@@ -1,0 +1,1 @@
+bench/experiments.ml: Bytes Enclave_sdk Guest_kernel List Option Printf Result Sevsnp String Veil_attacks Veil_core Workloads

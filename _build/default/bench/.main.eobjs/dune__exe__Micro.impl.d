@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Hashtbl Instance Lazy Measure Printf Sevsnp Staged String Test Time Toolkit Veil_core Veil_crypto Workloads

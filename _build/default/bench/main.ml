@@ -1,0 +1,44 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§9), plus the ablations DESIGN.md calls out and
+   Bechamel micro-benchmarks of the simulator.  Run with an experiment
+   id (e1..e11, ablate, micro) or no argument for everything. *)
+
+let usage () =
+  print_endline "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablate|micro|all]";
+  print_endline "       (no argument = all; scale via VEIL_BENCH_SCALE, default 1)"
+
+let scale =
+  match Sys.getenv_opt "VEIL_BENCH_SCALE" with Some s -> int_of_string s | None -> 1
+
+let all () =
+  Experiments.e1 ();
+  Experiments.e2 ();
+  Experiments.e3 ~scale ();
+  Experiments.e4 ();
+  Experiments.e5 ~scale ();
+  Experiments.e6 ~scale ();
+  Experiments.e7 ();
+  Experiments.e8 ();
+  Experiments.e9 ();
+  Experiments.e10 ();
+  Experiments.e11 ();
+  Experiments.ablate ~scale ();
+  Micro.run ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "e1" -> Experiments.e1 ()
+  | "e2" -> Experiments.e2 ()
+  | "e3" -> Experiments.e3 ~scale ()
+  | "e4" -> Experiments.e4 ()
+  | "e5" -> Experiments.e5 ~scale ()
+  | "e6" -> Experiments.e6 ~scale ()
+  | "e7" -> Experiments.e7 ()
+  | "e8" -> Experiments.e8 ()
+  | "e9" -> Experiments.e9 ()
+  | "e10" -> Experiments.e10 ()
+  | "e11" -> Experiments.e11 ()
+  | "ablate" -> Experiments.ablate ~scale ()
+  | "micro" -> Micro.run ()
+  | "all" -> all ()
+  | _ -> usage ()

@@ -1,0 +1,111 @@
+(* Bechamel wall-clock micro-benchmarks of the simulator's hot
+   primitives — one Test.make per table/figure-critical operation, all
+   registered in one executable per the project layout. *)
+
+open Bechamel
+open Toolkit
+
+let sha_buf = Bytes.make 4096 'x'
+
+let test_sha256 =
+  Test.make ~name:"crypto/sha256-4k"
+    (Staged.stage (fun () -> ignore (Veil_crypto.Sha256.digest_bytes sha_buf)))
+
+let chacha_key = Bytes.make 32 'k'
+let chacha_nonce = Bytes.make 12 'n'
+
+let test_chacha =
+  Test.make ~name:"crypto/chacha20-4k"
+    (Staged.stage (fun () ->
+         ignore (Veil_crypto.Chacha20.encrypt ~key:chacha_key ~nonce:chacha_nonce sha_buf)))
+
+let bignum_group = lazy (Veil_crypto.Group.default ())
+
+let test_powmod =
+  Test.make ~name:"crypto/powmod-96bit"
+    (Staged.stage (fun () ->
+         let g = Lazy.force bignum_group in
+         ignore
+           (Veil_crypto.Bignum.powmod ~base:g.Veil_crypto.Group.g ~exp:g.Veil_crypto.Group.q
+              ~modulus:g.Veil_crypto.Group.p)))
+
+(* E2's subject: a full OS->VeilMon->OS round trip on a live system *)
+let switch_sys = lazy (Veil_core.Boot.boot_veil ~npages:2048 ~seed:19 ())
+
+let test_domain_switch =
+  Test.make ~name:"veil/domain-switch-roundtrip"
+    (Staged.stage (fun () ->
+         let sys = Lazy.force switch_sys in
+         Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+           ~target:Veil_core.Privdom.Mon;
+         Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+           ~target:Veil_core.Privdom.Unt))
+
+let test_os_call =
+  Test.make ~name:"veil/os-call-pvalidate"
+    (Staged.stage (fun () ->
+         let sys = Lazy.force switch_sys in
+         ignore
+           (Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+              (Veil_core.Idcb.R_pvalidate { gpfn = 1200; to_private = true }))))
+
+let test_rmpadjust =
+  Test.make ~name:"sevsnp/rmpadjust"
+    (Staged.stage (fun () ->
+         let sys = Lazy.force switch_sys in
+         Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+           ~target:Veil_core.Privdom.Mon;
+         ignore
+           (Sevsnp.Platform.rmpadjust sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu ~gpfn:1300
+              ~target:Sevsnp.Types.Vmpl3 ~perms:Sevsnp.Perm.all ~vmsa:false ());
+         Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+           ~target:Veil_core.Privdom.Unt))
+
+let lzss_input = lazy (Workloads.Textgen.text (Veil_crypto.Rng.create 5) 4096)
+
+let test_deflate =
+  Test.make ~name:"workloads/deflate-4k"
+    (Staged.stage (fun () -> ignore (Workloads.Deflate.compress (Lazy.force lzss_input))))
+
+let mcache_inst = lazy (
+  let m = Workloads.Mcache.create () in
+  for i = 0 to 63 do
+    Workloads.Mcache.set m ~key:(string_of_int i) ~value:(Bytes.make 100 'v') ()
+  done;
+  m)
+
+let test_mcache =
+  Test.make ~name:"workloads/mcache-get-set"
+    (Staged.stage (fun () ->
+         let m = Lazy.force mcache_inst in
+         Workloads.Mcache.set m ~key:"7" ~value:(Bytes.make 100 'w') ();
+         ignore (Workloads.Mcache.get m "7")))
+
+let test_lzss =
+  Test.make ~name:"workloads/lzss-4k"
+    (Staged.stage (fun () -> ignore (Workloads.Lzss.compress (Lazy.force lzss_input))))
+
+let test_huffman =
+  Test.make ~name:"workloads/huffman-4k"
+    (Staged.stage (fun () -> ignore (Workloads.Huffman.encode (Lazy.force lzss_input))))
+
+let all_tests =
+  Test.make_grouped ~name:"veil-micro"
+    [ test_sha256; test_chacha; test_powmod; test_domain_switch; test_os_call; test_rmpadjust;
+      test_lzss; test_huffman; test_deflate; test_mcache ]
+
+let run () =
+  print_endline (String.make 78 '-');
+  print_endline "Bechamel micro-benchmarks (host wall-clock of simulator primitives)";
+  print_endline (String.make 78 '-');
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-34s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+    results

@@ -1,0 +1,1 @@
+bin/veilctl.ml: Arg Bytes Cmd Cmdliner Enclave_sdk Format Guest_kernel Hypervisor List Option Printf Sevsnp String Term Veil_attacks Veil_core Veil_crypto Workloads

@@ -1,0 +1,305 @@
+(* veilctl — drive the simulated Veil CVM from the command line:
+   inspect a boot, run the attack suites, the LTP battery, or a
+   workload under any measurement mode. *)
+
+open Cmdliner
+
+let npages_arg =
+  let doc = "Guest memory in 4 KB frames (>= 1024)." in
+  Arg.(value & opt int Veil_core.Boot.default_npages & info [ "m"; "npages" ] ~docv:"FRAMES" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int 11 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+(* --- boot --- *)
+
+let boot_cmd =
+  let run npages seed =
+    let sys = Veil_core.Boot.boot_veil ~npages ~seed () in
+    Printf.printf "Veil CVM booted: %d frames, kernel at %s\n" npages
+      (Veil_core.Privdom.to_string
+         (Veil_core.Privdom.of_vmpl (Sevsnp.Vcpu.vmpl sys.Veil_core.Boot.vcpu)));
+    Printf.printf "boot cost: %d cycles (%.1f ms guest time)\n" sys.Veil_core.Boot.boot_cycles
+      (1000.0 *. Sevsnp.Cycles.seconds_of_cycles sys.Veil_core.Boot.boot_cycles);
+    Printf.printf "launch measurement: %s\n"
+      (Veil_crypto.Sha256.hex_of_digest
+         (Option.get
+            (Sevsnp.Attestation.launch_measurement
+               sys.Veil_core.Boot.platform.Sevsnp.Platform.attestation)));
+    print_endline "memory layout (frames):";
+    Format.printf "%a@." Veil_core.Layout.pp sys.Veil_core.Boot.layout;
+    (match Veil_core.Veil.connect_user sys with
+    | Ok _ -> print_endline "remote attestation handshake: OK"
+    | Error e -> Printf.printf "remote attestation handshake FAILED: %s\n" e)
+  in
+  Cmd.v
+    (Cmd.info "boot" ~doc:"Boot a Veil CVM and print its layout and measurement.")
+    Term.(const run $ npages_arg $ seed_arg)
+
+(* --- attacks --- *)
+
+let attacks_cmd =
+  let name_arg =
+    let doc = "Run only the named attack (default: all)." in
+    Arg.(value & opt (some string) None & info [ "n"; "name" ] ~docv:"NAME" ~doc)
+  in
+  let run name =
+    let attacks =
+      match name with
+      | None -> Veil_attacks.Attacks.all ()
+      | Some n ->
+          List.filter (fun a -> Veil_attacks.Attacks.name a = n) (Veil_attacks.Attacks.all ())
+    in
+    if attacks = [] then begin
+      print_endline "no such attack; available:";
+      List.iter
+        (fun a -> Printf.printf "  %s\n" (Veil_attacks.Attacks.name a))
+        (Veil_attacks.Attacks.all ());
+      exit 1
+    end;
+    let blocked = ref 0 in
+    List.iter
+      (fun a ->
+        let o = Veil_attacks.Attacks.run a in
+        if Veil_attacks.Attacks.is_blocked o then incr blocked;
+        Printf.printf "%-36s %s\n" (Veil_attacks.Attacks.name a)
+          (Veil_attacks.Attacks.outcome_to_string o))
+      attacks;
+    Printf.printf "defended: %d/%d\n" !blocked (List.length attacks);
+    if !blocked <> List.length attacks then exit 1
+  in
+  Cmd.v
+    (Cmd.info "attacks" ~doc:"Run the §8 attack suite (Tables 1-2 and the §8.3 validation).")
+    Term.(const run $ name_arg)
+
+(* --- ltp --- *)
+
+let ltp_cmd =
+  let run npages seed =
+    let sys = Veil_core.Boot.boot_veil ~npages ~seed () in
+    let results = Enclave_sdk.Ltp.run_all sys in
+    List.iter
+      (fun r ->
+        Printf.printf "%-14s %d/%d%s\n"
+          (Guest_kernel.Sysno.to_string r.Enclave_sdk.Ltp.lsys)
+          r.Enclave_sdk.Ltp.passed r.Enclave_sdk.Ltp.total
+          (if r.Enclave_sdk.Ltp.killed then "  (unsupported: enclave killed)" else ""))
+      results;
+    let s = Enclave_sdk.Ltp.summarize results in
+    Printf.printf "calls passing everything: %d/%d; cases: %d/%d\n"
+      s.Enclave_sdk.Ltp.calls_all_passed s.Enclave_sdk.Ltp.calls_total
+      s.Enclave_sdk.Ltp.cases_passed s.Enclave_sdk.Ltp.cases_total
+  in
+  Cmd.v
+    (Cmd.info "ltp" ~doc:"Run the LTP-style syscall robustness battery inside enclaves (§7).")
+    Term.(const run $ npages_arg $ seed_arg)
+
+(* --- run a workload --- *)
+
+let run_cmd =
+  let workload_arg =
+    let doc =
+      "Workload name (gzip, sqlite, unqlite, mbedtls, lighttpd, nginx, memcached, openssl, 7zip, \
+       spec-cpu)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let mode_arg =
+    let modes =
+      [ ("native", Workloads.Driver.Native); ("veil", Workloads.Driver.Veil_background);
+        ("enclave", Workloads.Driver.Enclave); ("kaudit", Workloads.Driver.Kaudit);
+        ("veils-log", Workloads.Driver.Veils_log) ]
+    in
+    let doc = "Measurement mode: native, veil, enclave, kaudit or veils-log." in
+    Arg.(value & opt (enum modes) Workloads.Driver.Native & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let scale_arg =
+    let doc = "Problem-size multiplier." in
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+  in
+  let run name mode scale npages seed =
+    match Workloads.Registry.find name with
+    | None ->
+        Printf.printf "unknown workload %S; known: %s\n" name
+          (String.concat ", "
+             (List.map (fun w -> w.Workloads.Workload.name) (Workloads.Registry.all ())));
+        exit 1
+    | Some w ->
+        let s = Workloads.Driver.run ~scale ~seed ~npages mode w in
+        Printf.printf "%s [%s]: %d cycles (%.2f ms guest time)\n" name
+          (Workloads.Driver.mode_to_string mode) s.Workloads.Driver.cycles
+          (1000.0 *. s.Workloads.Driver.seconds);
+        Printf.printf "  syscalls=%d vm-exits=%d domain-switches=%d audit-records=%d\n"
+          s.Workloads.Driver.syscalls s.Workloads.Driver.vm_exits s.Workloads.Driver.domain_switches
+          s.Workloads.Driver.audit_records;
+        Printf.printf "  cycles: compute=%d kernel=%d switch=%d copy=%d monitor=%d crypto=%d io=%d\n"
+          s.Workloads.Driver.compute_cycles s.Workloads.Driver.kernel_cycles
+          s.Workloads.Driver.switch_cycles s.Workloads.Driver.copy_cycles
+          s.Workloads.Driver.monitor_cycles s.Workloads.Driver.crypto_cycles
+          s.Workloads.Driver.io_cycles;
+        (match s.Workloads.Driver.enclave with
+        | Some st ->
+            Printf.printf
+              "  enclave: ocalls=%d exits=%d redirect-bytes=%d redirect-cycles=%d exit-cycles=%d\n"
+              st.Enclave_sdk.Runtime.ocalls st.Enclave_sdk.Runtime.enclave_exits
+              st.Enclave_sdk.Runtime.redirect_bytes st.Enclave_sdk.Runtime.redirect_cycles
+              st.Enclave_sdk.Runtime.exit_cycles
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an evaluation workload in a chosen measurement mode.")
+    Term.(const run $ workload_arg $ mode_arg $ scale_arg $ npages_arg $ seed_arg)
+
+(* --- status: boot, exercise every service, dump counters --- *)
+
+let status_cmd =
+  let run npages seed =
+    let sys = Veil_core.Boot.boot_veil ~npages ~seed () in
+    let kernel = sys.Veil_core.Boot.kernel in
+    (* a little of everything *)
+    Guest_kernel.Audit.set_rules (Guest_kernel.Kernel.audit kernel)
+      Guest_kernel.Sysno.audit_default_ruleset;
+    let proc = Guest_kernel.Kernel.spawn kernel in
+    for i = 0 to 9 do
+      ignore
+        (Guest_kernel.Kernel.invoke kernel proc Guest_kernel.Sysno.Open
+           [ Guest_kernel.Ktypes.Str (Printf.sprintf "/tmp/s%d" i); Guest_kernel.Ktypes.Int 0x42;
+             Guest_kernel.Ktypes.Int 0o644 ])
+    done;
+    let img =
+      Guest_kernel.Kmodule.build (Guest_kernel.Kernel.rng kernel) ~name:"status-mod" ~text_size:4096
+        ~data_size:256 ~symbols:[ "ksym_0" ]
+    in
+    Guest_kernel.Kernel.vendor_sign_module kernel img;
+    ignore (Guest_kernel.Kernel.load_module kernel img);
+    let eproc = Guest_kernel.Kernel.spawn kernel in
+    (match Enclave_sdk.Runtime.create sys ~binary:(Bytes.make 4096 's') eproc with
+    | Ok rt ->
+        Enclave_sdk.Runtime.run rt (fun rt ->
+            ignore (Enclave_sdk.Runtime.ocall rt Guest_kernel.Sysno.Getpid []))
+    | Error e -> print_endline ("enclave: " ^ e));
+    ignore
+      (Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+         (Veil_core.Idcb.R_tpm_extend { pcr = 0; data = Bytes.of_string "status" }));
+    (* report *)
+    let m = Veil_core.Monitor.stats sys.Veil_core.Boot.mon in
+    Printf.printf "VeilMon   : os-calls=%d pvalidate-delegations=%d vcpu-boots=%d sanitizer-rejects=%d\n"
+      m.Veil_core.Monitor.os_calls m.Veil_core.Monitor.delegated_pvalidates
+      m.Veil_core.Monitor.delegated_vcpu_boots m.Veil_core.Monitor.sanitizer_rejections;
+    let k = Veil_core.Kci.stats sys.Veil_core.Boot.kci in
+    Printf.printf "VeilS-KCI : active=%b loaded=%d unloaded=%d rejected=%d\n"
+      (Veil_core.Kci.active sys.Veil_core.Boot.kci)
+      k.Veil_core.Kci.modules_loaded k.Veil_core.Kci.modules_unloaded k.Veil_core.Kci.rejected;
+    let s = Veil_core.Slog.stats sys.Veil_core.Boot.slog in
+    Printf.printf "VeilS-LOG : appended=%d dropped=%d used=%d/%d bytes\n" s.Veil_core.Slog.appended
+      s.Veil_core.Slog.dropped_full
+      (Veil_core.Slog.used_bytes sys.Veil_core.Boot.slog)
+      (Veil_core.Slog.capacity_bytes sys.Veil_core.Boot.slog);
+    let e = Veil_core.Encsvc.stats sys.Veil_core.Boot.enc in
+    Printf.printf "VeilS-ENC : created=%d destroyed=%d rejected=%d entries=%d exits=%d paging=%d/%d\n"
+      e.Veil_core.Encsvc.created e.Veil_core.Encsvc.destroyed e.Veil_core.Encsvc.rejected
+      e.Veil_core.Encsvc.entries e.Veil_core.Encsvc.exits e.Veil_core.Encsvc.evictions
+      e.Veil_core.Encsvc.restores;
+    Printf.printf "VeilS-TPM : extends=%d pcr0=%s\n"
+      (Veil_core.Vtpm.extends_count sys.Veil_core.Boot.vtpm)
+      (Veil_crypto.Sha256.hex_of_digest (Veil_core.Vtpm.pcr_value sys.Veil_core.Boot.vtpm 0));
+    let h = Hypervisor.Hv.stats sys.Veil_core.Boot.hv in
+    Printf.printf "Hypervisor: domain-switches=%d io=%d interrupts=%d page-state-changes=%d\n"
+      h.Hypervisor.Hv.domain_switches h.Hypervisor.Hv.io_requests h.Hypervisor.Hv.interrupts_injected
+      h.Hypervisor.Hv.page_state_changes;
+    Printf.printf "Guest     : syscalls=%d vm-exits=%d guest-time=%.1f ms\n"
+      (Guest_kernel.Kernel.syscalls_invoked kernel)
+      sys.Veil_core.Boot.vcpu.Sevsnp.Vcpu.exits
+      (1000.0 *. Sevsnp.Cycles.seconds_of_cycles (Sevsnp.Vcpu.rdtsc sys.Veil_core.Boot.vcpu))
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Boot, exercise all four protected services, print every counter.")
+    Term.(const run $ npages_arg $ seed_arg)
+
+(* --- migrate: demonstrate enclave migration between two CVMs --- *)
+
+let migrate_cmd =
+  let run npages seed =
+    let src = Veil_core.Boot.boot_veil ~npages ~seed () in
+    let dst = Veil_core.Boot.boot_veil ~npages ~seed:(seed + 1) () in
+    let proc = Guest_kernel.Kernel.spawn src.Veil_core.Boot.kernel in
+    let rt =
+      match Enclave_sdk.Runtime.create src ~binary:(Bytes.make 5000 'm') proc with
+      | Ok rt -> rt
+      | Error e -> failwith e
+    in
+    Enclave_sdk.Runtime.run rt (fun rt ->
+        Enclave_sdk.Runtime.write_data rt ~va:(Enclave_sdk.Runtime.heap_base rt)
+          (Bytes.of_string "migrate me"));
+    Printf.printf "source enclave measurement: %s\n"
+      (Veil_crypto.Sha256.hex_of_digest (Enclave_sdk.Runtime.measurement rt));
+    match
+      Veil_core.Migration.export src (Enclave_sdk.Runtime.enclave rt)
+        ~dest_public:(Veil_core.Monitor.dh_public dst.Veil_core.Boot.mon)
+    with
+    | Error e -> failwith e
+    | Ok sealed -> (
+        let wire = Veil_core.Migration.sealed_to_bytes sealed in
+        Printf.printf "sealed state: %d bytes (encrypted + authenticated for the destination)\n"
+          (Bytes.length wire);
+        let owner = Guest_kernel.Kernel.spawn dst.Veil_core.Boot.kernel in
+        match
+          Veil_core.Migration.import dst ~owner
+            ~source_public:(Veil_core.Monitor.dh_public src.Veil_core.Boot.mon)
+            (Option.get (Veil_core.Migration.sealed_of_bytes wire))
+        with
+        | Error e -> failwith e
+        | Ok enclave ->
+            Printf.printf "imported measurement:       %s\n"
+              (Veil_crypto.Sha256.hex_of_digest (Veil_core.Encsvc.measurement enclave));
+            print_endline "migration complete: same identity, state intact, source scrubbed.")
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~doc:"Migrate an enclave between two Veil CVMs (sealed transport).")
+    Term.(const run $ npages_arg $ seed_arg)
+
+(* --- sql: run statements against the mini engine on a fresh guest --- *)
+
+let sql_cmd =
+  let stmts_arg =
+    let doc = "SQL statements to execute in order." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"STATEMENT" ~doc)
+  in
+  let run stmts npages seed =
+    let n = Veil_core.Boot.boot_native ~npages ~seed () in
+    let kernel = n.Veil_core.Boot.n_kernel in
+    let proc = Guest_kernel.Kernel.spawn kernel in
+    let env =
+      {
+        Workloads.Env.sys = (fun s a -> Guest_kernel.Kernel.invoke kernel proc s a);
+        compute = (fun c -> Sevsnp.Vcpu.charge n.Veil_core.Boot.n_vcpu Sevsnp.Cycles.Compute c);
+        env_rng = Veil_crypto.Rng.create seed;
+      }
+    in
+    let db = Workloads.Sqldb.open_db env ~dir:"/srv/sql" in
+    List.iter
+      (fun stmt ->
+        match Workloads.Sqldb.exec db stmt with
+        | Ok Workloads.Sqldb.Done -> Printf.printf "ok> %s\n" stmt
+        | Ok (Workloads.Sqldb.Rows rows) ->
+            Printf.printf "ok> %s\n" stmt;
+            List.iter (fun row -> Printf.printf "    | %s\n" (String.concat " | " row)) rows;
+            Printf.printf "    (%d row%s)\n" (List.length rows)
+              (if List.length rows = 1 then "" else "s")
+        | Error e -> Printf.printf "error> %s\n    %s\n" stmt e)
+      stmts;
+    Workloads.Sqldb.close db
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:"Execute statements on the B-tree-backed mini SQL engine inside a fresh guest.")
+    Term.(const run $ stmts_arg $ npages_arg $ seed_arg)
+
+let main =
+  let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in
+  Cmd.group
+    (Cmd.info "veilctl" ~version:Veil_core.Veil.version ~doc)
+    [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; migrate_cmd; sql_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/audit_forensics.ml: Bytes Guest_kernel List Printf Sevsnp String Veil_core Veil_crypto

@@ -1,0 +1,1 @@
+examples/kernel_hardening.ml: Bytes Format Guest_kernel List Printf Sevsnp Veil_core

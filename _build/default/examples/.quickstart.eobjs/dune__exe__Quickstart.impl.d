@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Enclave_sdk Format Guest_kernel Option Printf Sevsnp String Veil_core Veil_crypto

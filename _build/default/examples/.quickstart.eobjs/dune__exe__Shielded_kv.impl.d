@@ -1,0 +1,1 @@
+examples/shielded_kv.ml: Bytes Enclave_sdk Guest_kernel Hashtbl List Option Printf Result Sevsnp String Veil_core Veil_crypto

@@ -1,0 +1,1 @@
+examples/shielded_kv.mli:

@@ -1,0 +1,1 @@
+examples/tiered_security.ml: Array Bytes Enclave_sdk Guest_kernel List Option Printf Sevsnp String Veil_core Veil_crypto

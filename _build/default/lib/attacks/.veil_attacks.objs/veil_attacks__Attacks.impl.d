@@ -1,0 +1,1 @@
+lib/attacks/attacks.ml: Bytes Enclave_sdk Format Guest_kernel Hypervisor List Option Sevsnp String Veil_core Veil_crypto

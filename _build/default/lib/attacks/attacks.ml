@@ -1,0 +1,533 @@
+module T = Sevsnp.Types
+module P = Sevsnp.Platform
+module K = Guest_kernel.Kernel
+
+type outcome =
+  | Blocked_npf of T.npf_info
+  | Blocked_error of string
+  | Blocked_sanitizer of string
+  | Blocked_crypto of string
+  | Breached of string
+
+let outcome_to_string = function
+  | Blocked_npf info -> Format.asprintf "blocked: CVM halted, %a" T.pp_npf info
+  | Blocked_error e -> "blocked: " ^ e
+  | Blocked_sanitizer e -> "blocked by sanitizer: " ^ e
+  | Blocked_crypto e -> "blocked by attestation/crypto: " ^ e
+  | Breached e -> "BREACHED: " ^ e
+
+let is_blocked = function Breached _ -> false | _ -> true
+
+type t = { name : string; description : string; exec : unit -> outcome }
+
+let name t = t.name
+let description t = t.description
+let run t = t.exec ()
+
+let attack_npages = 2048
+
+let fresh () = Veil_core.Boot.boot_veil ~npages:attack_npages ~seed:31 ()
+
+(* Convert raised platform faults into outcomes. *)
+let catching f =
+  try f () with
+  | T.Npf info -> Blocked_npf info
+  | T.Cvm_halted reason -> Blocked_error ("CVM halted: " ^ reason)
+
+let mk name description exec = { name; description; exec = (fun () -> catching exec) }
+
+(* --- helpers --- *)
+
+let os_write_gpa (sys : Veil_core.Boot.veil_system) gpa =
+  (* The compromised kernel's arbitrary-write gadget. *)
+  P.write sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu gpa (Bytes.of_string "pwned");
+  Breached "wrote to protected memory without a fault"
+
+let os_read_gpa (sys : Veil_core.Boot.veil_system) gpa =
+  ignore (P.read sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu gpa 16);
+  Breached "read protected memory without a fault"
+
+let make_enclave sys =
+  let proc = K.spawn sys.Veil_core.Boot.kernel in
+  let binary = Bytes.of_string (String.make 5000 'E') in
+  match Enclave_sdk.Runtime.create sys ~binary proc with
+  | Ok rt -> rt
+  | Error e -> failwith ("attack setup: " ^ e)
+
+(* --- Table 1: framework attacks --- *)
+
+let atk_boot_image =
+  mk "boot-malicious-image"
+    "substitute the measured boot image and try to pass remote attestation (Table 1, boot-time)"
+    (fun () ->
+      (* Reference deployment the user expects... *)
+      let good = Veil_core.Boot.boot_veil ~npages:attack_npages ~seed:31 () in
+      let expected = Sevsnp.Attestation.launch_measurement good.Veil_core.Boot.platform.P.attestation in
+      (* ...and the attacker's CVM booted from a different disk. *)
+      let evil = Veil_core.Boot.boot_veil ~npages:attack_npages ~seed:666 () in
+      let user =
+        Veil_core.Channel.create (Veil_crypto.Rng.create 1)
+          ~platform_public:(Sevsnp.Attestation.platform_public_key evil.Veil_core.Boot.platform.P.attestation)
+          ~expected_launch:expected
+      in
+      match Veil_core.Channel.connect user evil.Veil_core.Boot.mon evil.Veil_core.Boot.vcpu with
+      | Ok () -> Breached "remote user accepted a tampered boot image"
+      | Error e -> Blocked_crypto e)
+
+let atk_read_mon =
+  mk "read-dom-mon" "compromised OS reads VeilMon heap memory (Table 1, domain enforcement)"
+    (fun () ->
+      let sys = fresh () in
+      os_read_gpa sys (T.gpa_of_gpfn (sys.Veil_core.Boot.layout.Veil_core.Layout.mon_heap.Veil_core.Layout.lo + 2)))
+
+let atk_write_sec =
+  mk "write-dom-sec" "compromised OS overwrites the VeilS-LOG storage region (Table 1)"
+    (fun () ->
+      let sys = fresh () in
+      os_write_gpa sys (T.gpa_of_gpfn sys.Veil_core.Boot.layout.Veil_core.Layout.log_region.Veil_core.Layout.lo))
+
+let atk_rmpadjust_lift =
+  mk "rmpadjust-lift"
+    "compromised OS executes RMPADJUST to regain access to a protected frame (Table 1)"
+    (fun () ->
+      let sys = fresh () in
+      match
+        P.rmpadjust sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu
+          ~gpfn:sys.Veil_core.Boot.layout.Veil_core.Layout.mon_heap.Veil_core.Layout.lo ~target:T.Vmpl3 ~perms:Sevsnp.Perm.all
+          ~vmsa:false ()
+      with
+      | Ok () -> Breached "RMPADJUST lifted VMPL restrictions from Dom_UNT"
+      | Error e -> Blocked_error e)
+
+let atk_rmpadjust_priv =
+  mk "rmpadjust-privilege"
+    "compromised OS tries RMPADJUST against a more privileged VMPL (architectural check)"
+    (fun () ->
+      let sys = fresh () in
+      let own_frame = sys.Veil_core.Boot.layout.Veil_core.Layout.kernel_free.Veil_core.Layout.lo in
+      match
+        P.rmpadjust sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu ~gpfn:own_frame ~target:T.Vmpl1
+          ~perms:Sevsnp.Perm.none ~vmsa:false ()
+      with
+      | Ok () -> Breached "Dom_UNT adjusted Dom_SEC permissions"
+      | Error e -> Blocked_error e)
+
+let atk_write_vmsa =
+  mk "overwrite-registers"
+    "compromised OS overwrites a trusted domain's saved register state (VMSA) (Table 1)"
+    (fun () ->
+      let sys = fresh () in
+      let vmsa = Veil_core.Monitor.vmsa_of sys.Veil_core.Boot.mon ~vcpu_id:0 ~dom:Veil_core.Privdom.Sec in
+      os_write_gpa sys (T.gpa_of_gpfn vmsa.Sevsnp.Vmsa.backing_gpfn))
+
+let atk_write_protected_pt =
+  mk "overwrite-page-tables"
+    "compromised OS overwrites enclave page tables kept in Dom_SEC (Table 1 / §8.3 validation)"
+    (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      let root = Veil_core.Encsvc.pt_root (Enclave_sdk.Runtime.enclave rt) in
+      os_write_gpa sys (T.gpa_of_gpfn root))
+
+let atk_spawn_vcpu_rmpadjust =
+  mk "spawn-vcpu-vmsa-attr"
+    "compromised OS marks its own frame as a VMSA to spawn a privileged VCPU (Table 1)"
+    (fun () ->
+      let sys = fresh () in
+      let frame = K.alloc_frame sys.Veil_core.Boot.kernel in
+      match
+        P.rmpadjust sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu ~gpfn:frame ~target:T.Vmpl0
+          ~perms:Sevsnp.Perm.all ~vmsa:true ()
+      with
+      | Ok () -> Breached "Dom_UNT created a VMSA"
+      | Error e -> Blocked_error e)
+
+let atk_spawn_vcpu_hypercall =
+  mk "spawn-vcpu-hypercall"
+    "compromised OS asks the hypervisor to run a forged VMSA at VMPL-0 (Table 1)"
+    (fun () ->
+      let sys = fresh () in
+      let frame = K.alloc_frame sys.Veil_core.Boot.kernel in
+      (* write plausible VMSA bytes, then request a launch *)
+      P.write sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu (T.gpa_of_gpfn frame) (Bytes.make 64 '\x41');
+      let ghcb = K.ghcb sys.Veil_core.Boot.kernel in
+      ghcb.Sevsnp.Ghcb.request <-
+        Sevsnp.Ghcb.Req_create_vcpu { vmsa_gpfn = frame; target_vmpl = T.Vmpl0 };
+      P.vmgexit sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
+      if ghcb.Sevsnp.Ghcb.response = 0 then Breached "hypervisor launched a forged VMPL-0 VMSA"
+      else Blocked_error "hardware refused the frame: no RMP VMSA attribute")
+
+let atk_idcb_trusted =
+  mk "overwrite-trusted-idcb"
+    "compromised OS overwrites trusted-domain communication memory in Dom_SEC (Table 1)"
+    (fun () ->
+      let sys = fresh () in
+      os_write_gpa sys (T.gpa_of_gpfn (sys.Veil_core.Boot.layout.Veil_core.Layout.svc_region.Veil_core.Layout.lo + 1)))
+
+let atk_malicious_pointer =
+  mk "malicious-request-pointer"
+    "compromised OS passes a pointer into VeilMon memory inside a service request (Table 1)"
+    (fun () ->
+      let sys = fresh () in
+      let evil_dest = T.gpa_of_gpfn sys.Veil_core.Boot.layout.Veil_core.Layout.mon_heap.Veil_core.Layout.lo in
+      match
+        Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu (Veil_core.Idcb.R_log_fetch { dest_gpa = evil_dest; max = 4096 })
+      with
+      | Veil_core.Idcb.Resp_error e -> Blocked_sanitizer e
+      | _ -> Breached "VeilMon wrote to its own memory on the OS's behalf")
+
+let atk_pvalidate_protected =
+  mk "pvalidate-protected-frame"
+    "compromised OS asks the delegate to unvalidate a VeilMon frame (§5.3 check)"
+    (fun () ->
+      let sys = fresh () in
+      match
+        Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+          (Veil_core.Idcb.R_pvalidate { gpfn = sys.Veil_core.Boot.layout.Veil_core.Layout.mon_image.Veil_core.Layout.lo; to_private = false })
+      with
+      | Veil_core.Idcb.Resp_error e -> Blocked_sanitizer e
+      | _ -> Breached "delegated PVALIDATE touched a trusted region")
+
+let framework_attacks () =
+  [
+    atk_boot_image;
+    atk_read_mon;
+    atk_write_sec;
+    atk_rmpadjust_lift;
+    atk_rmpadjust_priv;
+    atk_write_vmsa;
+    atk_write_protected_pt;
+    atk_spawn_vcpu_rmpadjust;
+    atk_spawn_vcpu_hypercall;
+    atk_idcb_trusted;
+    atk_malicious_pointer;
+    atk_pvalidate_protected;
+  ]
+
+(* --- Table 2: enclave attacks --- *)
+
+let atk_wrong_binary =
+  mk "enclave-wrong-binary"
+    "OS loads a trojaned binary into the enclave; remote attestation must catch it (Table 2)"
+    (fun () ->
+      let sys = fresh () in
+      let proc = K.spawn sys.Veil_core.Boot.kernel in
+      let good_binary = Bytes.of_string (String.make 5000 'G') in
+      let evil_binary = Bytes.of_string (String.make 5000 'X') in
+      match Enclave_sdk.Runtime.create sys ~binary:evil_binary proc with
+      | Error e -> Blocked_error e
+      | Ok rt ->
+          let expected =
+            Veil_core.Encsvc.measure_expected ~binary:good_binary ~npages_heap:16 ~npages_stack:4
+              ~base_va:Guest_kernel.Process.enclave_base
+          in
+          if Bytes.equal (Enclave_sdk.Runtime.measurement rt) expected then
+            Breached "tampered binary produced the expected measurement"
+          else Blocked_crypto "enclave measurement mismatch: user withholds secrets")
+
+let atk_enclave_read =
+  mk "enclave-read-from-os" "compromised OS reads enclave memory (Table 2)" (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      match Veil_core.Encsvc.resident_frame (Enclave_sdk.Runtime.enclave rt) Guest_kernel.Process.enclave_base with
+      | Some frame -> os_read_gpa sys (T.gpa_of_gpfn frame)
+      | None -> Breached "enclave page unexpectedly absent")
+
+let atk_enclave_write =
+  mk "enclave-write-from-os" "compromised OS writes enclave memory (Table 2)" (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      match Veil_core.Encsvc.resident_frame (Enclave_sdk.Runtime.enclave rt) Guest_kernel.Process.enclave_base with
+      | Some frame -> os_write_gpa sys (T.gpa_of_gpfn frame)
+      | None -> Breached "enclave page unexpectedly absent")
+
+let atk_enclave_alias =
+  mk "enclave-aliased-layout"
+    "OS submits an enclave layout with two virtual pages on one frame (Table 2, layout)"
+    (fun () ->
+      let sys = fresh () in
+      let frame = K.alloc_frame sys.Veil_core.Boot.kernel in
+      let mk_page i =
+        {
+          Guest_kernel.Enclave_desc.page_va = Guest_kernel.Process.enclave_base + (i * T.page_size);
+          page_gpfn = frame (* same frame twice! *);
+          page_kind = Guest_kernel.Enclave_desc.Code;
+        }
+      in
+      let ghcb_frame = K.alloc_frame sys.Veil_core.Boot.kernel in
+      (match K.share_page_with_host sys.Veil_core.Boot.kernel ghcb_frame with Ok () -> () | Error e -> failwith e);
+      let desc =
+        {
+          Guest_kernel.Enclave_desc.enclave_id = 999;
+          owner_pid = 1;
+          base_va = Guest_kernel.Process.enclave_base;
+          entry_va = Guest_kernel.Process.enclave_base;
+          pages = [ mk_page 0; mk_page 1 ];
+          ghcb_gpfn = ghcb_frame;
+          ghcb_va = 0;
+          shared = [];
+          finalized = false;
+          measurement = None;
+        }
+      in
+      match Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu (Veil_core.Idcb.R_enclave_finalize desc) with
+      | Veil_core.Idcb.Resp_error e -> Blocked_sanitizer e
+      | _ -> Breached "aliased enclave layout accepted")
+
+let atk_enclave_steal_frame =
+  mk "enclave-disjointness"
+    "OS builds a second enclave over the first enclave's physical pages (Table 2)"
+    (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      let victim_frame =
+        match
+          Veil_core.Encsvc.resident_frame (Enclave_sdk.Runtime.enclave rt) Guest_kernel.Process.enclave_base
+        with
+        | Some f -> f
+        | None -> failwith "no victim frame"
+      in
+      let ghcb_frame = K.alloc_frame sys.Veil_core.Boot.kernel in
+      (match K.share_page_with_host sys.Veil_core.Boot.kernel ghcb_frame with Ok () -> () | Error e -> failwith e);
+      let desc =
+        {
+          Guest_kernel.Enclave_desc.enclave_id = 998;
+          owner_pid = 1;
+          base_va = Guest_kernel.Process.enclave_base;
+          entry_va = Guest_kernel.Process.enclave_base;
+          pages =
+            [
+              {
+                Guest_kernel.Enclave_desc.page_va = Guest_kernel.Process.enclave_base;
+                page_gpfn = victim_frame;
+                page_kind = Guest_kernel.Enclave_desc.Code;
+              };
+            ];
+          ghcb_gpfn = ghcb_frame;
+          ghcb_va = 0;
+          shared = [];
+          finalized = false;
+          measurement = None;
+        }
+      in
+      match Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu (Veil_core.Idcb.R_enclave_finalize desc) with
+      | Veil_core.Idcb.Resp_error e -> Blocked_sanitizer e
+      | _ -> Breached "second enclave mapped the first enclave's frames")
+
+let atk_enclave_vmsa_os =
+  mk "enclave-vmsa-from-os" "compromised OS rewrites the enclave's saved rip in its VMSA (Table 2)"
+    (fun () ->
+      let sys = fresh () in
+      let _rt = make_enclave sys in
+      let vmsa = Veil_core.Monitor.vmsa_of sys.Veil_core.Boot.mon ~vcpu_id:0 ~dom:Veil_core.Privdom.Enc in
+      os_write_gpa sys (T.gpa_of_gpfn vmsa.Sevsnp.Vmsa.backing_gpfn))
+
+let atk_enclave_vmsa_hv =
+  mk "enclave-vmsa-from-hypervisor"
+    "hypervisor tries to overwrite the enclave VMSA through host memory (Table 2)"
+    (fun () ->
+      let sys = fresh () in
+      let _rt = make_enclave sys in
+      match Hypervisor.Hv.try_tamper_vmsa sys.Veil_core.Boot.hv ~vcpu_id:0 ~vmpl:T.Vmpl2 with
+      | Ok () -> Breached "host wrote a private VMSA frame"
+      | Error e -> Blocked_error e)
+
+let atk_bad_ghcb =
+  mk "enclave-bad-ghcb-mapping"
+    "OS schedules the enclave with a wrong GHCB mapping; the switch must crash the CVM (§6.2)"
+    (fun () ->
+      let sys = fresh () in
+      let _rt = make_enclave sys in
+      (* point the GHCB MSR at a private frame and attempt the switch *)
+      let vmsa = Sevsnp.Vcpu.current_vmsa sys.Veil_core.Boot.vcpu in
+      vmsa.Sevsnp.Vmsa.ghcb_gpa <- T.gpa_of_gpfn (K.alloc_frame sys.Veil_core.Boot.kernel);
+      P.vmgexit sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
+      Breached "domain switch proceeded with a bogus GHCB")
+
+let atk_refuse_relay =
+  mk "hypervisor-refuse-interrupt-relay"
+    "hypervisor forces interrupt handling inside Dom_ENC instead of relaying (Table 2)"
+    (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      Hypervisor.Hv.set_refuse_interrupt_relay sys.Veil_core.Boot.hv true;
+      Enclave_sdk.Runtime.run rt (fun _ ->
+          Hypervisor.Hv.inject_interrupt sys.Veil_core.Boot.hv sys.Veil_core.Boot.vcpu);
+      Breached "kernel handler executed inside Dom_ENC")
+
+let atk_cross_enclave =
+  mk "malicious-enclave-cross-read"
+    "a malicious enclave dereferences another enclave's address (Table 2)"
+    (fun () ->
+      let sys = fresh () in
+      let victim = make_enclave sys in
+      ignore victim;
+      let attacker_proc = K.spawn sys.Veil_core.Boot.kernel in
+      match
+        Enclave_sdk.Runtime.create sys ~binary:(Bytes.of_string (String.make 4096 'A')) attacker_proc
+      with
+      | Error e -> failwith e
+      | Ok attacker -> (
+          (* the victim's pages are not in the attacker's protected
+             tables; unprivileged code cannot remap them *)
+          try
+            Enclave_sdk.Runtime.run attacker (fun rt ->
+                ignore
+                  (Enclave_sdk.Runtime.read_data rt
+                     ~va:(Guest_kernel.Process.enclave_base + (64 * T.page_size))
+                     ~len:16));
+            Breached "attacker enclave read outside its mapping"
+          with P.Guest_page_fault _ -> Blocked_error "#PF: address not mapped in protected tables"))
+
+let atk_enclave_exec_os =
+  mk "enclave-execute-os-code" "an enclave jumps into kernel code at Dom_ENC (Table 2)" (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      Enclave_sdk.Runtime.run rt (fun _ ->
+          P.check_exec sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu
+            (T.gpa_of_gpfn sys.Veil_core.Boot.layout.Veil_core.Layout.kernel_text.Veil_core.Layout.lo));
+      Breached "kernel text executed from Dom_ENC")
+
+let atk_paging_replay =
+  mk "enclave-paging-replay"
+    "OS replays a stale evicted page at restore time; freshness counter must reject (§6.2)"
+    (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      let enclave = Enclave_sdk.Runtime.enclave rt in
+      let id = Veil_core.Encsvc.enclave_id enclave in
+      let va = Enclave_sdk.Runtime.heap_base rt in
+      Enclave_sdk.Runtime.run rt (fun rt ->
+          Enclave_sdk.Runtime.write_data rt ~va (Bytes.of_string "version 1"));
+      (* evict v1 and squirrel away its ciphertext *)
+      let frame = Option.get (Veil_core.Encsvc.resident_frame enclave va) in
+      (match
+         Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+           (Veil_core.Idcb.R_enclave_evict { enclave_id = id; va })
+       with
+      | Veil_core.Idcb.Resp_ok -> ()
+      | _ -> failwith "evict failed");
+      let stale =
+        P.read sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu (T.gpa_of_gpfn frame)
+          T.page_size
+      in
+      (* restore v1, update to v2, evict again *)
+      (match
+         Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+           (Veil_core.Idcb.R_enclave_restore { enclave_id = id; va; gpfn = frame })
+       with
+      | Veil_core.Idcb.Resp_ok -> ()
+      | _ -> failwith "restore failed");
+      Enclave_sdk.Runtime.run rt (fun rt ->
+          Enclave_sdk.Runtime.write_data rt ~va (Bytes.of_string "version 2"));
+      (match
+         Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+           (Veil_core.Idcb.R_enclave_evict { enclave_id = id; va })
+       with
+      | Veil_core.Idcb.Resp_ok -> ()
+      | _ -> failwith "second evict failed");
+      (* replay the stale v1 ciphertext *)
+      P.write sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu (T.gpa_of_gpfn frame) stale;
+      match
+        Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+          (Veil_core.Idcb.R_enclave_restore { enclave_id = id; va; gpfn = frame })
+      with
+      | Veil_core.Idcb.Resp_error e -> Blocked_error e
+      | Veil_core.Idcb.Resp_ok -> Breached "stale enclave page accepted (rollback!)"
+      | _ -> Breached "unexpected response")
+
+let atk_enclave_ghcb_escalate =
+  mk "enclave-ghcb-escalation"
+    "a malicious enclave requests a switch to Dom_MON through its own GHCB (policy check)"
+    (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      try
+        Enclave_sdk.Runtime.run rt (fun _ ->
+            let vcpu = sys.Veil_core.Boot.vcpu in
+            match P.ghcb_of_vcpu sys.Veil_core.Boot.platform vcpu with
+            | Some g ->
+                g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl0 };
+                P.vmgexit sys.Veil_core.Boot.platform vcpu
+            | None -> failwith "no ghcb");
+        Breached "enclave switched to Dom_MON"
+      with T.Cvm_halted reason -> Blocked_error ("CVM halted: " ^ reason))
+
+let enclave_attacks () =
+  [
+    atk_wrong_binary;
+    atk_paging_replay;
+    atk_enclave_ghcb_escalate;
+    atk_enclave_read;
+    atk_enclave_write;
+    atk_enclave_alias;
+    atk_enclave_steal_frame;
+    atk_enclave_vmsa_os;
+    atk_enclave_vmsa_hv;
+    atk_bad_ghcb;
+    atk_refuse_relay;
+    atk_cross_enclave;
+    atk_enclave_exec_os;
+  ]
+
+(* --- §8.3 validation --- *)
+
+let atk_validation_pt =
+  mk "validation-pt-overwrite"
+    "§8.3 attack 1: map VeilMon page tables into the OS address space and modify them"
+    (fun () ->
+      let sys = fresh () in
+      let rt = make_enclave sys in
+      let pt_frame = Veil_core.Encsvc.pt_root (Enclave_sdk.Runtime.enclave rt) in
+      (* the OS maps the frame into a process and writes through its
+         own (unprotected) tables — the RMP stops the final store *)
+      let proc = K.spawn sys.Veil_core.Boot.kernel in
+      let io =
+        {
+          Sevsnp.Pagetable.read_u64 = P.read_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
+          write_u64 = P.write_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
+          alloc_frame = (fun () -> K.alloc_frame sys.Veil_core.Boot.kernel);
+        }
+      in
+      let va = 0x7000_0000 in
+      Sevsnp.Pagetable.map io ~root:proc.Guest_kernel.Process.pt_root va
+        { Sevsnp.Pagetable.pte_gpfn = pt_frame; pte_flags = Sevsnp.Pagetable.kernel_rw };
+      P.write_via_pt sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu ~root:proc.Guest_kernel.Process.pt_root va
+        (Bytes.make 8 '\xff');
+      Breached "VeilMon page tables modified from the OS")
+
+let atk_validation_module =
+  mk "validation-module-text-overwrite"
+    "§8.3 attack 2: disable OS W^X bits and overwrite a VeilS-KCI-protected module's text"
+    (fun () ->
+      let sys = fresh () in
+      let kernel = sys.Veil_core.Boot.kernel in
+      let img =
+        Guest_kernel.Kmodule.build (K.rng kernel) ~name:"victim" ~text_size:4096 ~data_size:512
+          ~symbols:[ "ksym_1" ]
+      in
+      K.vendor_sign_module kernel img;
+      match K.load_module kernel img with
+      | Error e -> failwith ("module load failed: " ^ e)
+      | Ok loaded ->
+          let text_frame = List.hd loaded.Guest_kernel.Kmodule.text_gpfns in
+          (* attacker sets the writable bit in its own page tables —
+             ineffective against the RMP *)
+          let proc = K.spawn kernel in
+          let io =
+            {
+              Sevsnp.Pagetable.read_u64 = P.read_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
+              write_u64 = P.write_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
+              alloc_frame = (fun () -> K.alloc_frame kernel);
+            }
+          in
+          let va = 0x7100_0000 in
+          Sevsnp.Pagetable.map io ~root:proc.Guest_kernel.Process.pt_root va
+            { Sevsnp.Pagetable.pte_gpfn = text_frame; pte_flags = Sevsnp.Pagetable.kernel_rw };
+          P.write_via_pt sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu ~root:proc.Guest_kernel.Process.pt_root va
+            (Bytes.of_string "\xcc\xcc\xcc\xcc");
+          Breached "module text overwritten despite VeilS-KCI")
+
+let validation_attacks () = [ atk_validation_pt; atk_validation_module ]
+
+let all () = framework_attacks () @ enclave_attacks () @ validation_attacks ()

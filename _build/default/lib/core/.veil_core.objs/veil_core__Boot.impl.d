@@ -1,0 +1,1 @@
+lib/core/boot.ml: Bytes Encsvc Guest_kernel Hashtbl Hypervisor Idcb Kci Layout List Monitor Privdom Sevsnp Slog Veil_crypto Vtpm

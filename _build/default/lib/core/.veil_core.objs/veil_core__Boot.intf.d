@@ -1,0 +1,1 @@
+lib/core/boot.mli: Encsvc Guest_kernel Hypervisor Kci Layout Monitor Sevsnp Slog Vtpm

@@ -1,0 +1,1 @@
+lib/core/channel.ml: Buffer Bytes Char Encsvc Int64 Monitor Sevsnp Slog String Veil_crypto

@@ -1,0 +1,1 @@
+lib/core/channel.mli: Encsvc Monitor Sevsnp Slog Veil_crypto

@@ -1,0 +1,1 @@
+lib/core/encsvc.ml: Buffer Bytes Guest_kernel Hashtbl Idcb Int32 List Monitor Printf Privdom Sevsnp Veil_crypto

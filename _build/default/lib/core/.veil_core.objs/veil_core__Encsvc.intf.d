@@ -1,0 +1,1 @@
+lib/core/encsvc.mli: Guest_kernel Monitor Sevsnp

@@ -1,0 +1,1 @@
+lib/core/idcb.ml: Bytes Guest_kernel List Sevsnp String

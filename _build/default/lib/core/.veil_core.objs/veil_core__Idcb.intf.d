@@ -1,0 +1,1 @@
+lib/core/idcb.mli: Guest_kernel Sevsnp

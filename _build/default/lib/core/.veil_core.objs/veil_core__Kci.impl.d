@@ -1,0 +1,1 @@
+lib/core/kci.ml: Bytes Guest_kernel Idcb Int64 Layout List Monitor Privdom Sevsnp Veil_crypto

@@ -1,0 +1,1 @@
+lib/core/kci.mli: Monitor Sevsnp Veil_crypto

@@ -1,0 +1,1 @@
+lib/core/migration.ml: Boot Buffer Bytes Char Encsvc Guest_kernel Idcb Int64 List Monitor Option Privdom Sevsnp Veil_crypto

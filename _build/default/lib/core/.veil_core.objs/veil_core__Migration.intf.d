@@ -1,0 +1,1 @@
+lib/core/migration.mli: Boot Encsvc Guest_kernel Veil_crypto

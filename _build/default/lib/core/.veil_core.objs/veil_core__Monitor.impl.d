@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Buffer Guest_kernel Hashtbl Hypervisor Idcb Layout List Printf Privdom Sevsnp Veil_crypto

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Hypervisor Idcb Layout Privdom Sevsnp Veil_crypto

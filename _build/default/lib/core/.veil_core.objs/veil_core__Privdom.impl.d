@@ -1,0 +1,1 @@
+lib/core/privdom.ml: Format Sevsnp

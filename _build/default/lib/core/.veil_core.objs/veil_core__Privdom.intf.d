@@ -1,0 +1,1 @@
+lib/core/privdom.mli: Format Sevsnp

@@ -1,0 +1,1 @@
+lib/core/slog.ml: Bytes Guest_kernel Idcb Int32 Layout List Monitor Privdom Sevsnp String Veil_crypto

@@ -1,0 +1,1 @@
+lib/core/veil.ml: Boot Channel Encsvc Idcb Kci Layout Migration Monitor Privdom Sevsnp Slog Veil_crypto Vtpm

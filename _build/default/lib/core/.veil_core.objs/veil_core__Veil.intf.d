@@ -1,0 +1,1 @@
+lib/core/veil.mli: Boot Channel Encsvc Idcb Kci Layout Migration Monitor Privdom Sevsnp Slog Vtpm

@@ -1,0 +1,1 @@
+lib/core/vtpm.ml: Array Buffer Bytes Idcb List Monitor Option Privdom Sevsnp Veil_crypto

@@ -1,0 +1,1 @@
+lib/core/vtpm.mli: Monitor Veil_crypto

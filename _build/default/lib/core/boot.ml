@@ -1,0 +1,152 @@
+module T = Sevsnp.Types
+module P = Sevsnp.Platform
+module K = Guest_kernel.Kernel
+
+type veil_system = {
+  platform : P.t;
+  hv : Hypervisor.Hv.t;
+  mon : Monitor.t;
+  kernel : K.t;
+  kci : Kci.t;
+  slog : Slog.t;
+  enc : Encsvc.t;
+  vtpm : Vtpm.t;
+  vcpu : Sevsnp.Vcpu.t;
+  layout : Layout.t;
+  boot_cycles : int;
+}
+
+type native_system = {
+  n_platform : P.t;
+  n_hv : Hypervisor.Hv.t;
+  n_kernel : K.t;
+  n_vcpu : Sevsnp.Vcpu.t;
+  n_boot_cycles : int;
+}
+
+let default_npages = 8192
+
+(* Deterministic boot-image bytes so the launch measurement is stable
+   for a given seed (remote attestation checks depend on this). *)
+let image_segment ~seed ~which (r : Layout.region) =
+  let rng = Veil_crypto.Rng.create (seed lxor Hashtbl.hash which) in
+  let size = Layout.region_size r * T.page_size in
+  (T.gpa_of_gpfn r.Layout.lo, Veil_crypto.Rng.bytes rng size)
+
+let region_pair (r : Layout.region) = (r.Layout.lo, r.Layout.hi)
+
+let install_hooks mon (kernel : K.t) vcpu =
+  let call req = Monitor.os_call mon vcpu req in
+  let lift_unit = function
+    | Idcb.Resp_ok -> Ok ()
+    | Idcb.Resp_error e -> Error e
+    | _ -> Error "unexpected response"
+  in
+  let hooks =
+    {
+      Guest_kernel.Hooks.h_pvalidate =
+        (fun ~gpfn ~to_private -> lift_unit (call (Idcb.R_pvalidate { gpfn; to_private })));
+      h_vcpu_boot = (fun ~vcpu_id -> lift_unit (call (Idcb.R_vcpu_boot { vcpu_id })));
+      h_module_load =
+        (fun image ->
+          (* The OS allocates; the service verifies, copies, relocates
+             and write-protects (§6.1). *)
+          let npages n = max 1 ((n + T.page_size - 1) / T.page_size) in
+          let span n = List.init (npages n) (fun _ -> K.alloc_frame kernel) in
+          let text_gpfns = span (Bytes.length image.Guest_kernel.Kmodule.text) in
+          let data_gpfns = span (Bytes.length image.Guest_kernel.Kmodule.data) in
+          match call (Idcb.R_module_load { image; text_gpfns; data_gpfns }) with
+          | Idcb.Resp_loaded loaded -> Ok loaded
+          | Idcb.Resp_error e ->
+              List.iter (K.free_frame kernel) (text_gpfns @ data_gpfns);
+              Error e
+          | _ -> Error "unexpected response");
+      h_module_unload = (fun loaded -> lift_unit (call (Idcb.R_module_unload loaded)));
+      h_audit = (fun record -> ignore (call (Idcb.R_log_append record)));
+      h_enclave_finalize =
+        (fun desc ->
+          match call (Idcb.R_enclave_finalize desc) with
+          | Idcb.Resp_measurement m -> Ok m
+          | Idcb.Resp_error e -> Error e
+          | _ -> Error "unexpected response");
+      h_enclave_destroy = (fun desc -> lift_unit (call (Idcb.R_enclave_destroy desc)));
+      h_pt_sync =
+        (fun ~pid ~va ~npages ~prot -> ignore (call (Idcb.R_pt_sync { pid; va; npages; prot })));
+    }
+  in
+  K.set_hooks kernel hooks
+
+let boot_veil ?(npages = default_npages) ?log_frames ?(seed = 11) ?(activate_kci = true) () =
+  let layout = Layout.standard ?log_frames ~npages () in
+  let platform = P.create ~seed ~npages () in
+  let hv = Hypervisor.Hv.create platform in
+  let boot_image =
+    [
+      image_segment ~seed ~which:"veilmon" layout.Layout.mon_image;
+      image_segment ~seed ~which:"kernel" layout.Layout.kernel_text;
+    ]
+  in
+  let vcpu = Hypervisor.Hv.launch_cvm hv ~entry_name:"veilmon" ~boot_image in
+  let mon = Monitor.create ~hv ~layout ~boot_vcpu:vcpu in
+  let kernel =
+    K.boot ~platform ~vcpu
+      ~free_frames:(region_pair layout.Layout.kernel_free)
+      ~text_frames:(region_pair layout.Layout.kernel_text)
+      ~data_frames:(region_pair layout.Layout.kernel_data)
+      ()
+  in
+  let kernel_entry = T.gpa_of_gpfn layout.Layout.kernel_text.Layout.lo in
+  Monitor.initialize mon ~kernel_entry;
+  (* Protected services are part of the measured boot image (§5.1). *)
+  let kci =
+    Kci.install mon ~vendor_public:(K.vendor_public_key kernel) ~symbols:(K.symbol_table kernel)
+  in
+  let slog = Slog.install mon in
+  let enc = Encsvc.install mon in
+  let vtpm = Vtpm.install mon in
+  if activate_kci then Kci.activate kci vcpu;
+  install_hooks mon kernel vcpu;
+  (* Drop into the kernel at Dom_UNT. *)
+  Monitor.domain_switch mon vcpu ~target:Privdom.Unt;
+  K.finish_boot kernel;
+  Hypervisor.Hv.set_interrupt_handler hv (K.handle_interrupt kernel);
+  ignore (K.spawn kernel);
+  {
+    platform;
+    hv;
+    mon;
+    kernel;
+    kci;
+    slog;
+    enc;
+    vtpm;
+    vcpu;
+    layout;
+    boot_cycles = Sevsnp.Vcpu.rdtsc vcpu;
+  }
+
+let boot_native ?(npages = default_npages) ?(seed = 11) () =
+  let layout = Layout.standard ~npages () in
+  let platform = P.create ~seed ~npages () in
+  let hv = Hypervisor.Hv.create platform in
+  let boot_image = [ image_segment ~seed ~which:"kernel" layout.Layout.kernel_text ] in
+  let vcpu = Hypervisor.Hv.launch_cvm hv ~entry_name:"linux" ~boot_image in
+  (* The native kernel owns everything between the image and the boot
+     VMSA frame. *)
+  let kernel =
+    K.boot ~platform ~vcpu
+      ~free_frames:(layout.Layout.kernel_data.Layout.hi, npages - 1)
+      ~text_frames:(region_pair layout.Layout.kernel_text)
+      ~data_frames:(region_pair layout.Layout.kernel_data)
+      ()
+  in
+  K.finish_boot kernel;
+  Hypervisor.Hv.set_interrupt_handler hv (K.handle_interrupt kernel);
+  ignore (K.spawn kernel);
+  {
+    n_platform = platform;
+    n_hv = hv;
+    n_kernel = kernel;
+    n_vcpu = vcpu;
+    n_boot_cycles = Sevsnp.Vcpu.rdtsc vcpu;
+  }

@@ -1,0 +1,37 @@
+(** System bring-up: native CVM and Veil CVM.
+
+    [boot_veil] reproduces the paper's modified boot flow (§5.1): the
+    hypervisor launches the measured boot image with a single VMPL-0
+    VCPU running VeilMon, which protects memory, installs services,
+    replicates the VCPU and only then drops into the kernel at
+    Dom_UNT.  [boot_native] is the baseline: the same kernel booted at
+    VMPL-0 with no monitor, used by every native-vs-Veil experiment. *)
+
+type veil_system = {
+  platform : Sevsnp.Platform.t;
+  hv : Hypervisor.Hv.t;
+  mon : Monitor.t;
+  kernel : Guest_kernel.Kernel.t;
+  kci : Kci.t;
+  slog : Slog.t;
+  enc : Encsvc.t;
+  vtpm : Vtpm.t;
+  vcpu : Sevsnp.Vcpu.t;
+  layout : Layout.t;
+  boot_cycles : int;  (** guest cycles consumed by the whole boot *)
+}
+
+type native_system = {
+  n_platform : Sevsnp.Platform.t;
+  n_hv : Hypervisor.Hv.t;
+  n_kernel : Guest_kernel.Kernel.t;
+  n_vcpu : Sevsnp.Vcpu.t;
+  n_boot_cycles : int;
+}
+
+val boot_veil : ?npages:int -> ?log_frames:int -> ?seed:int -> ?activate_kci:bool -> unit -> veil_system
+(** Defaults: [npages = 8192] (32 MB guest), KCI activated. *)
+
+val boot_native : ?npages:int -> ?seed:int -> unit -> native_system
+
+val default_npages : int

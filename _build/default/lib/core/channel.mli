@@ -1,0 +1,43 @@
+(** Remote-user secure channel (§5.1).
+
+    Models the user side of Veil's attestation-rooted channel: verify
+    a signed SEV-SNP report (launch measurement + requester VMPL +
+    bound DH public value), derive a session key, and exchange
+    sealed messages with VeilMon — e.g. to retrieve VeilS-LOG's
+    hash-chained logs or an enclave measurement. *)
+
+type t
+
+val create :
+  Veil_crypto.Rng.t ->
+  platform_public:Veil_crypto.Bignum.t ->
+  expected_launch:bytes option ->
+  t
+(** [expected_launch] is the known-good boot-image measurement; [None]
+    accepts any (trust-on-first-use, used by tests). *)
+
+val connect : t -> Monitor.t -> Sevsnp.Vcpu.t -> (unit, string) result
+(** Run the attestation handshake: nonce, signed report from VMPL-0,
+    launch-measurement check, DH key agreement. *)
+
+val connected : t -> bool
+
+val session_key : t -> bytes option
+
+(* Sealed messages (shared by both endpoints) *)
+
+val seal : key:bytes -> seq:int -> dir:int -> bytes -> bytes
+(** ChaCha20 + HMAC-SHA256 envelope; [dir] separates the two
+    directions' nonce spaces. *)
+
+val open_ : key:bytes -> seq:int -> dir:int -> bytes -> (bytes, string) result
+
+(* High-level user operations *)
+
+val fetch_logs : t -> Slog.t -> Sevsnp.Vcpu.t -> (string list, string) result
+(** Retrieve all protected log lines over the channel and verify the
+    hash chain; does not clear the store. *)
+
+val verify_enclave : t -> Encsvc.t -> enclave_id:int -> expected:bytes -> (bool, string) result
+(** Compare an enclave's measurement (obtained over the channel)
+    against a locally computed expectation. *)

@@ -1,0 +1,67 @@
+type request =
+  | R_none
+  | R_pvalidate of { gpfn : Sevsnp.Types.gpfn; to_private : bool }
+  | R_vcpu_boot of { vcpu_id : int }
+  | R_module_load of {
+      image : Guest_kernel.Kmodule.image;
+      text_gpfns : Sevsnp.Types.gpfn list;
+      data_gpfns : Sevsnp.Types.gpfn list;
+    }
+  | R_module_unload of Guest_kernel.Kmodule.loaded
+  | R_log_append of Guest_kernel.Audit.record
+  | R_log_fetch of { dest_gpa : Sevsnp.Types.gpa; max : int }
+  | R_enclave_finalize of Guest_kernel.Enclave_desc.t
+  | R_enclave_destroy of Guest_kernel.Enclave_desc.t
+  | R_enclave_evict of { enclave_id : int; va : Sevsnp.Types.va }
+  | R_enclave_restore of { enclave_id : int; va : Sevsnp.Types.va; gpfn : Sevsnp.Types.gpfn }
+  | R_pt_sync of { pid : int; va : Sevsnp.Types.va; npages : int; prot : Guest_kernel.Ktypes.prot }
+  | R_enclave_schedule of { enclave_id : int; vcpu_id : int }
+  | R_tpm_extend of { pcr : int; data : bytes }
+  | R_tpm_quote of { nonce : bytes }
+
+type response =
+  | Resp_none
+  | Resp_ok
+  | Resp_loaded of Guest_kernel.Kmodule.loaded
+  | Resp_measurement of bytes
+  | Resp_count of int
+  | Resp_quote of bytes  (** serialized, signed vTPM quote *)
+  | Resp_error of string
+
+type t = {
+  gpfn : Sevsnp.Types.gpfn;
+  vcpu_id : int;
+  mutable request : request;
+  mutable response : response;
+}
+
+let create ~gpfn ~vcpu_id = { gpfn; vcpu_id; request = R_none; response = Resp_none }
+
+let request_size = function
+  | R_none -> 0
+  | R_pvalidate _ -> 24
+  | R_vcpu_boot _ -> 16
+  | R_module_load { image; text_gpfns; data_gpfns } ->
+      (* pointer-based: header + frame list; contents are read from OS
+         memory by VeilS-KCI directly *)
+      ignore image;
+      64 + (16 * (List.length text_gpfns + List.length data_gpfns))
+  | R_module_unload _ -> 32
+  | R_log_append r -> 64 + String.length r.Guest_kernel.Audit.detail
+  | R_log_fetch _ -> 24
+  | R_enclave_finalize d | R_enclave_destroy d -> 64 + (24 * Guest_kernel.Enclave_desc.npages d)
+  | R_enclave_evict _ -> 24
+  | R_enclave_restore _ -> 32
+  | R_pt_sync _ -> 32
+  | R_enclave_schedule _ -> 24
+  | R_tpm_extend { data; _ } -> 16 + Bytes.length data
+  | R_tpm_quote { nonce } -> 8 + Bytes.length nonce
+
+let response_size = function
+  | Resp_none -> 0
+  | Resp_ok -> 8
+  | Resp_loaded _ -> 48
+  | Resp_measurement m -> Bytes.length m
+  | Resp_count _ -> 8
+  | Resp_quote q -> Bytes.length q
+  | Resp_error e -> String.length e

@@ -1,0 +1,57 @@
+(** Inter-domain communication blocks (§5.2).
+
+    Shared-memory request/response mailboxes between domains, always
+    allocated in the *less privileged* party's memory so both sides
+    can access them, at per-VCPU granularity.  Requests from the OS
+    are untrusted: any address they carry is sanitized by VeilMon
+    before use (§8.1). *)
+
+type request =
+  | R_none
+  | R_pvalidate of { gpfn : Sevsnp.Types.gpfn; to_private : bool }
+      (** page-state-change delegation (§5.3) *)
+  | R_vcpu_boot of { vcpu_id : int }  (** VCPU boot/hotplug delegation (§5.3) *)
+  | R_module_load of {
+      image : Guest_kernel.Kmodule.image;
+      text_gpfns : Sevsnp.Types.gpfn list;  (** OS-allocated frames (§6.1) *)
+      data_gpfns : Sevsnp.Types.gpfn list;
+    }  (** VeilS-KCI *)
+  | R_module_unload of Guest_kernel.Kmodule.loaded
+  | R_log_append of Guest_kernel.Audit.record  (** VeilS-LOG execute-ahead *)
+  | R_log_fetch of { dest_gpa : Sevsnp.Types.gpa; max : int }
+      (** OS-assisted retrieval into an OS buffer — the pointer the
+          sanitizer must vet *)
+  | R_enclave_finalize of Guest_kernel.Enclave_desc.t  (** VeilS-ENC *)
+  | R_enclave_destroy of Guest_kernel.Enclave_desc.t
+  | R_enclave_evict of { enclave_id : int; va : Sevsnp.Types.va }
+  | R_enclave_restore of { enclave_id : int; va : Sevsnp.Types.va; gpfn : Sevsnp.Types.gpfn }
+  | R_pt_sync of { pid : int; va : Sevsnp.Types.va; npages : int; prot : Guest_kernel.Ktypes.prot }
+  | R_enclave_schedule of { enclave_id : int; vcpu_id : int }
+      (** §10 multi-threading: the OS scheduler asks VeilMon to
+          synchronize a VCPU's Dom_ENC instance with this enclave *)
+  | R_tpm_extend of { pcr : int; data : bytes }  (** VeilS-TPM (SVSM-style service) *)
+  | R_tpm_quote of { nonce : bytes }
+
+type response =
+  | Resp_none
+  | Resp_ok
+  | Resp_loaded of Guest_kernel.Kmodule.loaded
+  | Resp_measurement of bytes
+  | Resp_count of int
+  | Resp_quote of bytes  (** serialized, signed vTPM quote *)
+  | Resp_error of string
+
+type t = {
+  gpfn : Sevsnp.Types.gpfn;  (** backing frame (in the less-privileged domain) *)
+  vcpu_id : int;
+  mutable request : request;
+  mutable response : response;
+}
+
+val create : gpfn:Sevsnp.Types.gpfn -> vcpu_id:int -> t
+
+val request_size : request -> int
+(** Approximate wire size in bytes, used to charge the cross-domain
+    copy cost. *)
+
+val response_size : response -> int

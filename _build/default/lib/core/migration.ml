@@ -1,0 +1,148 @@
+module T = Sevsnp.Types
+module P = Sevsnp.Platform
+module C = Sevsnp.Cycles
+module Ed = Guest_kernel.Enclave_desc
+
+type sealed_state = { blob : bytes }
+
+let magic = "VEILMIG1"
+
+(* Hop the boot VCPU into Dom_SEC for trusted-side page access. *)
+let with_sec (sys : Boot.veil_system) f =
+  let vcpu = sys.Boot.vcpu in
+  let here = Privdom.of_vmpl (Sevsnp.Vcpu.vmpl vcpu) in
+  let need = not (Privdom.more_privileged here Privdom.Enc || Privdom.equal here Privdom.Sec) in
+  if need then Monitor.domain_switch sys.Boot.mon vcpu ~target:Privdom.Sec;
+  let r = f vcpu in
+  if need then Monitor.domain_switch sys.Boot.mon vcpu ~target:here;
+  r
+
+let kind_code = function Ed.Code -> 0 | Ed.Data -> 1 | Ed.Stack -> 2 | Ed.Heap -> 3
+
+let kind_of_code = function
+  | 0 -> Some Ed.Code
+  | 1 -> Some Ed.Data
+  | 2 -> Some Ed.Stack
+  | 3 -> Some Ed.Heap
+  | _ -> None
+
+let transport_nonce = Bytes.make 12 'M'
+
+let seal ~key manifest =
+  let ct = Veil_crypto.Chacha20.encrypt ~key ~nonce:transport_nonce manifest in
+  let tag = Veil_crypto.Hmac.mac ~key ct in
+  { blob = Bytes.cat tag ct }
+
+let unseal ~key { blob } =
+  if Bytes.length blob < 32 then Error "sealed state too short"
+  else begin
+    let tag = Bytes.sub blob 0 32 in
+    let ct = Bytes.sub blob 32 (Bytes.length blob - 32) in
+    if not (Veil_crypto.Hmac.verify ~key ~msg:ct ~tag) then
+      Error "sealed state failed authentication (tampered in transit?)"
+    else Ok (Veil_crypto.Chacha20.encrypt ~key ~nonce:transport_nonce ct)
+  end
+
+let export (sys : Boot.veil_system) enclave ~dest_public =
+  if Encsvc.is_destroyed enclave then Error "enclave already destroyed"
+  else begin
+    let desc = Encsvc.desc enclave in
+    let pages = desc.Ed.pages in
+    (* every page must be resident: the OS pages everything in before
+       asking for migration *)
+    if List.exists (fun (p : Ed.page) -> Encsvc.resident_frame enclave p.Ed.page_va = None) pages
+    then Error "enclave has evicted pages; page them in before export"
+    else begin
+      let key = Monitor.session_key_with sys.Boot.mon ~peer_public:dest_public in
+      let manifest =
+        with_sec sys (fun vcpu ->
+            let buf = Buffer.create (4096 * List.length pages) in
+            Buffer.add_string buf magic;
+            Buffer.add_bytes buf (Encsvc.measurement enclave);
+            Buffer.add_int64_le buf (Int64.of_int desc.Ed.base_va);
+            Buffer.add_int64_le buf (Int64.of_int desc.Ed.entry_va);
+            Buffer.add_uint16_be buf (List.length pages);
+            List.iter
+              (fun (p : Ed.page) ->
+                let frame = Option.get (Encsvc.resident_frame enclave p.Ed.page_va) in
+                Sevsnp.Vcpu.charge vcpu C.Crypto (C.cipher_cost T.page_size);
+                Buffer.add_int64_le buf (Int64.of_int p.Ed.page_va);
+                Buffer.add_uint8 buf (kind_code p.Ed.page_kind);
+                Buffer.add_bytes buf (P.read sys.Boot.platform vcpu (T.gpa_of_gpfn frame) T.page_size))
+              pages;
+            Buffer.to_bytes buf)
+      in
+      let sealed = seal ~key manifest in
+      (* the source instance never runs again: scrub + release *)
+      (match Monitor.os_call sys.Boot.mon sys.Boot.vcpu (Idcb.R_enclave_destroy desc) with
+      | Idcb.Resp_ok -> Ok sealed
+      | Idcb.Resp_error e -> Error ("source teardown failed: " ^ e)
+      | _ -> Error "source teardown failed")
+    end
+  end
+
+let import (sys : Boot.veil_system) ~owner ~source_public sealed =
+  let key = Monitor.session_key_with sys.Boot.mon ~peer_public:source_public in
+  match unseal ~key sealed with
+  | Error _ as e -> e
+  | Ok manifest -> (
+      try
+        if Bytes.to_string (Bytes.sub manifest 0 8) <> magic then failwith "bad magic";
+        let measurement = Bytes.sub manifest 8 32 in
+        let _base_va = Int64.to_int (Bytes.get_int64_le manifest 40) in
+        let _entry_va = Int64.to_int (Bytes.get_int64_le manifest 48) in
+        let npages = Bytes.get_uint16_be manifest 56 in
+        let off = ref 58 in
+        let pages =
+          List.init npages (fun _ ->
+              let va = Int64.to_int (Bytes.get_int64_le manifest !off) in
+              let kind =
+                match kind_of_code (Bytes.get_uint8 manifest (!off + 8)) with
+                | Some k -> k
+                | None -> failwith "bad page kind"
+              in
+              let contents = Bytes.sub manifest (!off + 9) T.page_size in
+              off := !off + 9 + T.page_size;
+              (va, kind, contents))
+        in
+        let count k = List.length (List.filter (fun (_, kk, _) -> kk = k) pages) in
+        let code_pages = count Ed.Code and heap = count Ed.Heap and stack = count Ed.Stack in
+        if code_pages = 0 then failwith "manifest has no code pages";
+        (* the OS lays out a fresh enclave of the same shape (the code
+           bytes are placeholders; the trusted side installs the real
+           contents below) *)
+        let binary = Bytes.make (code_pages * T.page_size) '\000' in
+        match
+          Guest_kernel.Kernel.enclave_create sys.Boot.kernel owner ~binary ~heap_pages:heap
+            ~stack_pages:stack
+        with
+        | Error e -> Error ("destination layout failed: " ^ Guest_kernel.Ktypes.errno_to_string e)
+        | Ok desc -> (
+            match Encsvc.find sys.Boot.enc desc.Ed.enclave_id with
+            | None -> Error "destination enclave not registered"
+            | Some enclave ->
+                (* install the migrated contents from the trusted side *)
+                with_sec sys (fun vcpu ->
+                    List.iter
+                      (fun (va, _, contents) ->
+                        match Encsvc.resident_frame enclave va with
+                        | Some frame ->
+                            Sevsnp.Vcpu.charge vcpu C.Crypto (C.cipher_cost T.page_size);
+                            Sevsnp.Vcpu.charge vcpu C.Copy (C.copy_cost T.page_size);
+                            P.write sys.Boot.platform vcpu (T.gpa_of_gpfn frame) contents
+                        | None -> failwith "destination page missing")
+                      pages;
+                    (* the migrated enclave keeps its original identity *)
+                    Encsvc.set_measurement sys.Boot.enc enclave measurement);
+                Ok enclave)
+      with Failure e | Invalid_argument e -> Error ("malformed manifest: " ^ e))
+
+let sealed_to_bytes { blob } = Bytes.copy blob
+
+let sealed_of_bytes b = if Bytes.length b < 32 then None else Some { blob = Bytes.copy b }
+
+let tamper_for_test { blob } =
+  let b = Bytes.copy blob in
+  let i = Bytes.length b - 7 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+  { blob = b }

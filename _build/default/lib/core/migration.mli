@@ -1,0 +1,41 @@
+(** Enclave migration between Veil CVMs.
+
+    AMD's SVSM — the VMPL-0 module the paper plans to integrate with
+    (§11) — exists chiefly to support CVM migration; this module brings
+    the equivalent capability to Veil enclaves.  The source VeilMon
+    seals the enclave's protected state (page contents + layout +
+    measurement) under a transport key negotiated with the
+    *attested* destination monitor; the destination verifies integrity
+    and the measurement before rebuilding the enclave, so a malicious
+    host can neither read the state in transit nor splice enclaves
+    together. *)
+
+type sealed_state
+(** Opaque, encrypted + authenticated enclave image.  Safe to hand to
+    the untrusted host for transport. *)
+
+val export :
+  Boot.veil_system -> Encsvc.enclave -> dest_public:Veil_crypto.Bignum.t -> (sealed_state, string) result
+(** Seal a (not currently executing) enclave for the destination
+    monitor identified by its DH public key.  The source enclave is
+    destroyed after export (an enclave never runs twice). *)
+
+val import :
+  Boot.veil_system ->
+  owner:Guest_kernel.Process.t ->
+  source_public:Veil_crypto.Bignum.t ->
+  sealed_state ->
+  (Encsvc.enclave, string) result
+(** Rebuild the enclave on the destination: the OS allocates frames,
+    VeilS-ENC decrypts and verifies each page against the sealed
+    manifest, and finalization re-checks the usual layout invariants.
+    The measurement is preserved — a remote user's attestation of the
+    migrated enclave matches the original. *)
+
+val sealed_to_bytes : sealed_state -> bytes
+(** Wire form (what actually crosses the untrusted network). *)
+
+val sealed_of_bytes : bytes -> sealed_state option
+
+val tamper_for_test : sealed_state -> sealed_state
+(** Flip a ciphertext byte — import must reject the result. *)

@@ -1,0 +1,384 @@
+module P = Sevsnp.Platform
+module T = Sevsnp.Types
+module C = Sevsnp.Cycles
+module V = Sevsnp.Vcpu
+
+type stats = {
+  mutable os_calls : int;
+  mutable delegated_pvalidates : int;
+  mutable delegated_vcpu_boots : int;
+  mutable sanitizer_rejections : int;
+}
+
+type service = { svc_name : string; svc_target : Privdom.t; svc_handler : handler }
+
+and handler = t -> Sevsnp.Vcpu.t -> Idcb.request -> Idcb.response option
+
+and t = {
+  hv : Hypervisor.Hv.t;
+  platform : P.t;
+  layout : Layout.t;
+  boot_vcpu : V.t;
+  rng : Veil_crypto.Rng.t;
+  dh : Veil_crypto.Dh.keypair;
+  stats : stats;
+  mutable protected : (T.gpfn * T.gpfn * Privdom.t) list;  (** [lo, hi) ranges *)
+  mutable protected_single : (T.gpfn, Privdom.t) Hashtbl.t;
+  mutable services : service list;
+  mutable replicas : (int * Privdom.t, Sevsnp.Vmsa.t) Hashtbl.t;
+  idcbs : (int, Idcb.t) Hashtbl.t;
+  mutable mon_ghcb_gpa : T.gpa;
+  mutable mon_heap_cursor : T.gpfn;
+  mutable svc_cursor : T.gpfn;
+  mutable svc_free : T.gpfn list;
+  mutable vmsa_cursor : T.gpfn;
+  mutable kernel_entry : int;
+  mutable initialized : bool;
+}
+
+let platform t = t.platform
+let hv t = t.hv
+let layout t = t.layout
+let stats t = t.stats
+let boot_vcpu t = t.boot_vcpu
+let monitor_ghcb_gpa t = t.mon_ghcb_gpa
+
+let charge t b n = V.charge t.boot_vcpu b n
+
+let charge_on vcpu b n = V.charge vcpu b n
+
+let create ~hv ~layout ~boot_vcpu =
+  if not (T.equal_vmpl (V.vmpl boot_vcpu) T.Vmpl0) then
+    failwith "VeilMon must boot on the hypervisor-created VMPL-0 instance";
+  let platform = Hypervisor.Hv.platform hv in
+  let rng = Veil_crypto.Rng.split platform.P.rng in
+  {
+    hv;
+    platform;
+    layout;
+    boot_vcpu;
+    rng;
+    dh = Veil_crypto.Dh.keygen rng;
+    stats = { os_calls = 0; delegated_pvalidates = 0; delegated_vcpu_boots = 0; sanitizer_rejections = 0 };
+    protected = [];
+    protected_single = Hashtbl.create 64;
+    services = [];
+    replicas = Hashtbl.create 16;
+    idcbs = Hashtbl.create 8;
+    mon_ghcb_gpa = 0;
+    mon_heap_cursor = layout.Layout.mon_heap.Layout.lo;
+    svc_cursor = layout.Layout.svc_region.Layout.lo;
+    svc_free = [];
+    vmsa_cursor = layout.Layout.vmsa_region.Layout.lo;
+    kernel_entry = 0;
+    initialized = false;
+  }
+
+(* --- protected-region registry --- *)
+
+let add_protected_range t ~owner lo hi = t.protected <- (lo, hi, owner) :: t.protected
+
+let add_protected_frames t ~owner frames =
+  List.iter (fun f -> Hashtbl.replace t.protected_single f owner) frames
+
+let remove_protected_frames t frames = List.iter (Hashtbl.remove t.protected_single) frames
+
+let frame_is_protected t gpfn =
+  Hashtbl.mem t.protected_single gpfn
+  || List.exists (fun (lo, hi, _) -> gpfn >= lo && gpfn < hi) t.protected
+
+let gpa_is_protected t gpa = frame_is_protected t (T.gpfn_of_gpa gpa)
+
+(* --- allocation --- *)
+
+let alloc_mon_frame t =
+  let f = t.mon_heap_cursor in
+  if f >= t.layout.Layout.mon_heap.Layout.hi then failwith "VeilMon heap exhausted";
+  t.mon_heap_cursor <- f + 1;
+  f
+
+let alloc_svc_frame t =
+  match t.svc_free with
+  | f :: rest ->
+      t.svc_free <- rest;
+      Sevsnp.Phys_mem.zero_page t.platform.P.mem f;
+      f
+  | [] ->
+      let f = t.svc_cursor in
+      if f >= t.layout.Layout.svc_region.Layout.hi then failwith "Dom_SEC heap exhausted";
+      t.svc_cursor <- f + 1;
+      f
+
+let free_svc_frame t f = t.svc_free <- f :: t.svc_free
+
+let alloc_vmsa_frame t =
+  let f = t.vmsa_cursor in
+  if f >= t.layout.Layout.vmsa_region.Layout.hi - 1 then failwith "VMSA region exhausted";
+  t.vmsa_cursor <- f + 1;
+  f
+
+(* --- replicas (§5.2) --- *)
+
+let vmsa_of t ~vcpu_id ~dom =
+  match Hashtbl.find_opt t.replicas (vcpu_id, dom) with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no %s instance for vcpu %d" (Privdom.to_string dom) vcpu_id)
+
+let idcb_of t ~vcpu_id =
+  match Hashtbl.find_opt t.idcbs vcpu_id with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "no IDCB for vcpu %d" vcpu_id)
+
+let mon_ghcb t =
+  match P.ghcb_at t.platform (T.gpfn_of_gpa t.mon_ghcb_gpa) with
+  | Some g -> g
+  | None -> failwith "monitor GHCB not initialized"
+
+let hypercall t vcpu req =
+  let g = mon_ghcb t in
+  g.Sevsnp.Ghcb.request <- req;
+  P.vmgexit t.platform vcpu
+
+let create_replica t vcpu ~vcpu_id ~(dom : Privdom.t) ~rip =
+  let frame = alloc_vmsa_frame t in
+  charge_on vcpu C.Monitor 2000 (* VMSA preparation: stack, GDT/IDT, page tables (§5.2) *);
+  (match
+     P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn:frame ~target:(Privdom.vmpl dom)
+       ~perms:Sevsnp.Perm.none ~vmsa:true ()
+   with
+  | Ok () -> ()
+  | Error e -> failwith ("replica VMSA rmpadjust: " ^ e));
+  let vmsa = Sevsnp.Vmsa.create ~vcpu_id ~vmpl:(Privdom.vmpl dom) ~backing_gpfn:frame in
+  vmsa.Sevsnp.Vmsa.cpl <- Privdom.cpl dom;
+  vmsa.Sevsnp.Vmsa.rip <- rip;
+  (match dom with
+  | Privdom.Sec | Privdom.Mon -> vmsa.Sevsnp.Vmsa.ghcb_gpa <- t.mon_ghcb_gpa
+  | Privdom.Enc | Privdom.Unt -> ());
+  (match P.install_vmsa t.platform vmsa with Ok () -> () | Error e -> failwith e);
+  Hashtbl.replace t.replicas (vcpu_id, dom) vmsa;
+  (* Ask the hypervisor to register (and, for fresh VCPUs, launch) it. *)
+  hypercall t vcpu (Sevsnp.Ghcb.Req_create_vcpu { vmsa_gpfn = frame; target_vmpl = Privdom.vmpl dom });
+  vmsa
+
+let create_all_replicas t vcpu ~vcpu_id =
+  (* Dom_UNT first: a fresh VCPU is entered on its first registered
+     instance, and §5.3 boots hotplugged VCPUs at VMPL-3. *)
+  List.iter
+    (fun dom ->
+      let rip = match dom with Privdom.Unt -> t.kernel_entry | _ -> 0 in
+      ignore (create_replica t vcpu ~vcpu_id ~dom ~rip))
+    [ Privdom.Unt; Privdom.Sec; Privdom.Enc ]
+
+(* --- initialization (§5.1, experiment E1) --- *)
+
+let grant_region t vcpu (r : Layout.region) ~target ~perms =
+  for gpfn = r.Layout.lo to r.Layout.hi - 1 do
+    match
+      P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn ~target ~perms ~vmsa:false ()
+    with
+    | Ok () -> ()
+    | Error e -> failwith ("boot sweep: " ^ e)
+  done
+
+let initialize t ~kernel_entry =
+  if t.initialized then failwith "VeilMon already initialized";
+  t.kernel_entry <- kernel_entry;
+  let vcpu = t.boot_vcpu in
+  let l = t.layout in
+  (* 1. Validate all guest memory (done by the kernel in a native CVM,
+        by VeilMon under Veil — same cost, cancels in the E1 delta). *)
+  for gpfn = 0 to l.Layout.total_frames - 1 do
+    if not (Sevsnp.Rmp.is_vmsa t.platform.P.rmp gpfn) then
+      match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn ~to_private:true () with
+      | Ok () -> ()
+      | Error e -> failwith ("boot validate: " ^ e)
+  done;
+  (* 2. Protection sweep: grant the OS its memory, give Dom_SEC read
+        access for service scans, keep Dom_MON/Dom_SEC regions dark. *)
+  let os_all = Sevsnp.Perm.all in
+  let rw = Sevsnp.Perm.rw in
+  List.iter
+    (fun r ->
+      grant_region t vcpu r ~target:T.Vmpl3 ~perms:os_all;
+      (* Dom_SEC gets read/write (no execute) over OS memory: services
+         scan page tables, install module text, re-encrypt enclave
+         pages — all in OS-owned frames. *)
+      grant_region t vcpu r ~target:T.Vmpl1 ~perms:rw)
+    [ l.Layout.kernel_text; l.Layout.kernel_data; l.Layout.kernel_free; l.Layout.idcb_region ];
+  grant_region t vcpu l.Layout.svc_region ~target:T.Vmpl1 ~perms:rw;
+  grant_region t vcpu l.Layout.log_region ~target:T.Vmpl1 ~perms:rw;
+  (* 3. Protected-region registry for request sanitization (§8.1). *)
+  add_protected_range t ~owner:Privdom.Mon l.Layout.mon_image.Layout.lo l.Layout.mon_image.Layout.hi;
+  add_protected_range t ~owner:Privdom.Mon l.Layout.mon_heap.Layout.lo l.Layout.mon_heap.Layout.hi;
+  add_protected_range t ~owner:Privdom.Mon l.Layout.vmsa_region.Layout.lo l.Layout.vmsa_region.Layout.hi;
+  add_protected_range t ~owner:Privdom.Sec l.Layout.svc_region.Layout.lo l.Layout.svc_region.Layout.hi;
+  add_protected_range t ~owner:Privdom.Sec l.Layout.log_region.Layout.lo l.Layout.log_region.Layout.hi;
+  (* 4. Monitor GHCB (shared page) for hypercalls. *)
+  let ghcb_frame = alloc_mon_frame t in
+  (match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn:ghcb_frame ~to_private:false () with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  t.mon_ghcb_gpa <- T.gpa_of_gpfn ghcb_frame;
+  (match P.set_ghcb t.platform vcpu t.mon_ghcb_gpa with Ok () -> () | Error e -> failwith e);
+  (* 5. Per-VCPU IDCB (in OS-accessible memory, §5.2). *)
+  Hashtbl.replace t.idcbs vcpu.V.id (Idcb.create ~gpfn:l.Layout.idcb_region.Layout.lo ~vcpu_id:vcpu.V.id);
+  (* 6. Replicate the boot VCPU across domains (§5.2).  The VMPL-0
+        launch instance is the Dom_MON replica. *)
+  Hashtbl.replace t.replicas (vcpu.V.id, Privdom.Mon) (V.current_vmsa vcpu);
+  create_all_replicas t vcpu ~vcpu_id:vcpu.V.id;
+  (* 6b. Pre-provision the kernel's GHCB: the Dom_UNT kernel cannot
+     create one itself (PVALIDATE is delegated, and delegation needs a
+     GHCB — VeilMon breaks the cycle at boot). *)
+  let kernel_ghcb_frame = l.Layout.idcb_region.Layout.hi - 1 in
+  (match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn:kernel_ghcb_frame ~to_private:false () with
+  | Ok () -> ()
+  | Error e -> failwith ("kernel ghcb share: " ^ e));
+  (match P.register_ghcb t.platform (T.gpa_of_gpfn kernel_ghcb_frame) with
+  | Ok _ -> ()
+  | Error e -> failwith ("kernel ghcb: " ^ e));
+  (vmsa_of t ~vcpu_id:vcpu.V.id ~dom:Privdom.Unt).Sevsnp.Vmsa.ghcb_gpa <-
+    T.gpa_of_gpfn kernel_ghcb_frame;
+  (* 7. Interrupt relay policy: deliver external interrupts to the OS. *)
+  hypercall t vcpu (Sevsnp.Ghcb.Req_relay_interrupts_to T.Vmpl3);
+  Hypervisor.Hv.kernel_handler_frame t.hv l.Layout.kernel_text.Layout.lo;
+  (* 8. Charge the launch-measurement hashing of the boot image. *)
+  let image_bytes = Layout.region_size l.Layout.mon_image + Layout.region_size l.Layout.kernel_text in
+  charge t C.Crypto (C.hash_cost (image_bytes * T.page_size));
+  t.initialized <- true
+
+(* --- domain switches --- *)
+
+let domain_switch t vcpu ~target =
+  let ghcb =
+    match P.ghcb_of_vcpu t.platform vcpu with
+    | Some g -> g
+    | None -> P.halt t.platform "domain switch without a GHCB"
+  in
+  ghcb.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = Privdom.vmpl target };
+  P.vmgexit t.platform vcpu
+
+(* --- sanitization (§8.1) --- *)
+
+let sanitize t vcpu (req : Idcb.request) : (unit, string) result =
+  charge_on vcpu C.Monitor 250;
+  let bad_frame gpfn = frame_is_protected t gpfn in
+  match req with
+  | Idcb.R_pvalidate { gpfn; _ } ->
+      if bad_frame gpfn then Error "pvalidate target is a protected frame" else Ok ()
+  | Idcb.R_log_fetch { dest_gpa; _ } ->
+      if gpa_is_protected t dest_gpa then Error "log fetch destination points into protected memory"
+      else Ok ()
+  | Idcb.R_enclave_finalize d ->
+      charge_on vcpu C.Monitor (20 * Guest_kernel.Enclave_desc.npages d);
+      if List.exists bad_frame (Guest_kernel.Enclave_desc.frames d) then
+        Error "enclave descriptor references protected frames"
+      else if bad_frame d.Guest_kernel.Enclave_desc.ghcb_gpfn then Error "enclave GHCB frame is protected"
+      else Ok ()
+  | Idcb.R_enclave_restore { gpfn; _ } ->
+      if bad_frame gpfn then Error "restore source is a protected frame" else Ok ()
+  | _ -> Ok ()
+
+(* --- built-in delegation handlers (§5.3) --- *)
+
+let handle_delegation t vcpu (req : Idcb.request) : Idcb.response option =
+  match req with
+  | Idcb.R_pvalidate { gpfn; to_private } -> (
+      t.stats.delegated_pvalidates <- t.stats.delegated_pvalidates + 1;
+      match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn ~to_private () with
+      | Ok () -> Some Idcb.Resp_ok
+      | Error e -> Some (Idcb.Resp_error e))
+  | Idcb.R_vcpu_boot { vcpu_id } ->
+      t.stats.delegated_vcpu_boots <- t.stats.delegated_vcpu_boots + 1;
+      let fresh = P.add_vcpu t.platform in
+      if fresh.V.id <> vcpu_id then Some (Idcb.Resp_error "unexpected vcpu id")
+      else begin
+        Hashtbl.replace t.idcbs vcpu_id
+          (Idcb.create ~gpfn:(t.layout.Layout.idcb_region.Layout.lo + vcpu_id) ~vcpu_id);
+        create_all_replicas t vcpu ~vcpu_id;
+        ignore (create_replica t vcpu ~vcpu_id ~dom:Privdom.Mon ~rip:0);
+        Some Idcb.Resp_ok
+      end
+  | _ -> None
+
+(* --- services --- *)
+
+let register_service t ~name ~target handler =
+  t.services <- t.services @ [ { svc_name = name; svc_target = target; svc_handler = handler } ]
+
+let classify_target (req : Idcb.request) : Privdom.t =
+  match req with
+  | Idcb.R_pvalidate _ | Idcb.R_vcpu_boot _ -> Privdom.Mon
+  | _ -> Privdom.Sec
+
+let dispatch t vcpu req =
+  match handle_delegation t vcpu req with
+  | Some r -> r
+  | None ->
+      let rec try_services = function
+        | [] -> Idcb.Resp_error "no service owns this request"
+        | s :: rest -> ( match s.svc_handler t vcpu req with Some r -> r | None -> try_services rest)
+      in
+      try_services t.services
+
+let os_call t vcpu (req : Idcb.request) : Idcb.response =
+  t.stats.os_calls <- t.stats.os_calls + 1;
+  let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
+  (* OS writes the request into the IDCB. *)
+  charge_on vcpu C.Copy (C.copy_cost (Idcb.request_size req));
+  idcb.Idcb.request <- req;
+  let target = classify_target req in
+  domain_switch t vcpu ~target;
+  (* Now running in the trusted domain: sanitize, then serve. *)
+  let resp =
+    match sanitize t vcpu idcb.Idcb.request with
+    | Error e ->
+        t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
+        Idcb.Resp_error e
+    | Ok () -> dispatch t vcpu idcb.Idcb.request
+  in
+  idcb.Idcb.response <- resp;
+  idcb.Idcb.request <- Idcb.R_none;
+  charge_on vcpu C.Copy (C.copy_cost (Idcb.response_size resp));
+  domain_switch t vcpu ~target:Privdom.Unt;
+  resp
+
+(* --- service primitives --- *)
+
+let mon_rmpadjust t vcpu ~gpfn ~target ~perms =
+  P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn ~target:(Privdom.vmpl target) ~perms ~vmsa:false ()
+
+let set_enclave_ghcb_policy t vcpu ~ghcb_gpfn =
+  (* Must be issued from Dom_MON (the hypervisor only honors VMPL-0). *)
+  let here = Privdom.of_vmpl (V.vmpl vcpu) in
+  let allowed = [ (T.Vmpl3, T.Vmpl2); (T.Vmpl2, T.Vmpl1) ] in
+  if Privdom.equal here Privdom.Mon then
+    hypercall t vcpu (Sevsnp.Ghcb.Req_set_switch_policy { ghcb_gpfn; allowed })
+  else begin
+    domain_switch t vcpu ~target:Privdom.Mon;
+    hypercall t vcpu (Sevsnp.Ghcb.Req_set_switch_policy { ghcb_gpfn; allowed });
+    domain_switch t vcpu ~target:here
+  end
+
+(* --- attestation & channel (§5.1) --- *)
+
+let dh_public t = t.dh.Veil_crypto.Dh.public
+
+let attestation_report t vcpu ~nonce =
+  let here = Privdom.of_vmpl (V.vmpl vcpu) in
+  let get () =
+    let buf = Buffer.create 64 in
+    Buffer.add_bytes buf nonce;
+    Buffer.add_bytes buf (Veil_crypto.Bignum.to_bytes_be (dh_public t));
+    let report_data = Veil_crypto.Sha256.digest_string (Buffer.contents buf) in
+    P.attestation_report t.platform vcpu ~report_data
+  in
+  if Privdom.equal here Privdom.Mon then get ()
+  else begin
+    domain_switch t vcpu ~target:Privdom.Mon;
+    let r = get () in
+    domain_switch t vcpu ~target:here;
+    r
+  end
+
+let session_key_with t ~peer_public =
+  Veil_crypto.Dh.shared_secret ~secret:t.dh.Veil_crypto.Dh.secret ~peer_public ()

@@ -1,0 +1,96 @@
+(** VeilMon — the Dom_MON security monitor (§5).
+
+    Boots at VMPL-0 in place of the kernel, protects its own and the
+    services' memory with RMPADJUST, replicates every VCPU into one
+    instance per domain (§5.2), mediates the architecturally-restricted
+    kernel functionality (§5.3), and routes sanitized OS requests to
+    the protected services over per-VCPU IDCBs. *)
+
+type t
+
+type stats = {
+  mutable os_calls : int;  (** OS → trusted-domain round trips *)
+  mutable delegated_pvalidates : int;
+  mutable delegated_vcpu_boots : int;
+  mutable sanitizer_rejections : int;
+}
+
+val create : hv:Hypervisor.Hv.t -> layout:Layout.t -> boot_vcpu:Sevsnp.Vcpu.t -> t
+(** Construct on the boot VCPU (must be running the VMPL-0 launch
+    instance).  Call {!initialize} to run the protection sweep. *)
+
+val initialize : t -> kernel_entry:int -> unit
+(** Veil's boot-time work (§5.1-5.2, measured by experiment E1):
+    PVALIDATE every guest frame, RMPADJUST the whole address space
+    into the domain policy, create the per-domain VCPU replicas and
+    install hypervisor policies. *)
+
+val platform : t -> Sevsnp.Platform.t
+val hv : t -> Hypervisor.Hv.t
+val layout : t -> Layout.t
+val stats : t -> stats
+val boot_vcpu : t -> Sevsnp.Vcpu.t
+val monitor_ghcb_gpa : t -> Sevsnp.Types.gpa
+
+val vmsa_of : t -> vcpu_id:int -> dom:Privdom.t -> Sevsnp.Vmsa.t
+(** The replica instance for a (VCPU, domain); raises if missing. *)
+
+val idcb_of : t -> vcpu_id:int -> Idcb.t
+
+(* Protected-region registry & sanitization (§8.1) *)
+
+val add_protected_frames : t -> owner:Privdom.t -> Sevsnp.Types.gpfn list -> unit
+val remove_protected_frames : t -> Sevsnp.Types.gpfn list -> unit
+val frame_is_protected : t -> Sevsnp.Types.gpfn -> bool
+val gpa_is_protected : t -> Sevsnp.Types.gpa -> bool
+
+(* Service plumbing *)
+
+type handler = t -> Sevsnp.Vcpu.t -> Idcb.request -> Idcb.response option
+(** Services return [Some response] for requests they own. *)
+
+val register_service : t -> name:string -> target:Privdom.t -> handler -> unit
+(** [target] is the domain the request is dispatched in (services run
+    at Dom_SEC; delegated VMPL-0 work at Dom_MON). *)
+
+val os_call : t -> Sevsnp.Vcpu.t -> Idcb.request -> Idcb.response
+(** The full §5.2 path: the OS writes the IDCB, requests a
+    hypervisor-relayed switch to the serving domain, the request is
+    sanitized and dispatched, and the VCPU switches back.  Charges
+    both switch costs and the IDCB copies. *)
+
+val domain_switch : t -> Sevsnp.Vcpu.t -> target:Privdom.t -> unit
+(** Raw hypervisor-relayed switch (used by services and the enclave
+    runtime); current instance's GHCB must permit it. *)
+
+(* Monitor-side primitives for services *)
+
+val mon_rmpadjust :
+  t ->
+  Sevsnp.Vcpu.t ->
+  gpfn:Sevsnp.Types.gpfn ->
+  target:Privdom.t ->
+  perms:Sevsnp.Perm.t ->
+  (unit, string) result
+
+val alloc_mon_frame : t -> Sevsnp.Types.gpfn
+(** Bump-allocate from the Dom_MON heap. *)
+
+val alloc_svc_frame : t -> Sevsnp.Types.gpfn
+
+val free_svc_frame : t -> Sevsnp.Types.gpfn -> unit
+(** Return a Dom_SEC frame (e.g. a destroyed enclave's page-table
+    clone) to the service heap. *)
+
+val set_enclave_ghcb_policy : t -> Sevsnp.Vcpu.t -> ghcb_gpfn:Sevsnp.Types.gpfn -> unit
+(** Instruct the hypervisor that this (user-mapped) GHCB may only
+    switch between Dom_UNT and Dom_ENC (§6.2). *)
+
+(* Attestation / secure channel (§5.1) *)
+
+val dh_public : t -> Veil_crypto.Bignum.t
+val attestation_report : t -> Sevsnp.Vcpu.t -> nonce:bytes -> Sevsnp.Attestation.report
+(** Report with [report_data = H(nonce || dh_public)], requested from
+    Dom_MON so the report carries VMPL-0. *)
+
+val session_key_with : t -> peer_public:Veil_crypto.Bignum.t -> bytes

@@ -1,0 +1,28 @@
+type t = Mon | Sec | Enc | Unt
+
+let all = [ Mon; Sec; Enc; Unt ]
+
+let vmpl = function
+  | Mon -> Sevsnp.Types.Vmpl0
+  | Sec -> Sevsnp.Types.Vmpl1
+  | Enc -> Sevsnp.Types.Vmpl2
+  | Unt -> Sevsnp.Types.Vmpl3
+
+let cpl = function
+  | Mon | Sec | Unt -> Sevsnp.Types.Cpl0
+  | Enc -> Sevsnp.Types.Cpl3
+
+let of_vmpl = function
+  | Sevsnp.Types.Vmpl0 -> Mon
+  | Sevsnp.Types.Vmpl1 -> Sec
+  | Sevsnp.Types.Vmpl2 -> Enc
+  | Sevsnp.Types.Vmpl3 -> Unt
+
+let more_privileged a b =
+  Sevsnp.Types.vmpl_strictly_higher (vmpl a) (vmpl b)
+
+let to_string = function Mon -> "Dom_MON" | Sec -> "Dom_SEC" | Enc -> "Dom_ENC" | Unt -> "Dom_UNT"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) b = a = b

@@ -1,0 +1,22 @@
+(** Veil's dual-factor privilege domains (§5.1).
+
+    A domain is a mode of execution formed by combining a VMPL with a
+    traditional protection ring: Dom_MON (VMPL-0 + CPL-0) for VeilMon,
+    Dom_SEC (VMPL-1 + CPL-0) for protected services, Dom_ENC (VMPL-2 +
+    CPL-3) for enclaves, and Dom_UNT (VMPL-3) for the operating system
+    and its processes. *)
+
+type t = Mon | Sec | Enc | Unt
+
+val all : t list
+
+val vmpl : t -> Sevsnp.Types.vmpl
+val cpl : t -> Sevsnp.Types.cpl
+val of_vmpl : Sevsnp.Types.vmpl -> t
+
+val more_privileged : t -> t -> bool
+(** Strictly more privileged (lower VMPL). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,114 @@
+module T = Sevsnp.Types
+module C = Sevsnp.Cycles
+module P = Sevsnp.Platform
+
+type stats = { mutable appended : int; mutable dropped_full : int; mutable fetches : int }
+
+type t = {
+  mon : Monitor.t;
+  region : Layout.region;
+  stats : stats;
+  mutable head : int;  (** next free byte offset within the region *)
+  mutable nlines : int;
+  mutable chain : bytes;
+}
+
+let stats t = t.stats
+let capacity_bytes t = Layout.region_size t.region * T.page_size
+let used_bytes t = t.head
+let count t = t.nlines
+
+let chain_digest t = t.chain
+
+let extend_chain prev line =
+  let ctx = Veil_crypto.Sha256.init () in
+  Veil_crypto.Sha256.update ctx prev;
+  Veil_crypto.Sha256.update_string ctx line;
+  Veil_crypto.Sha256.finalize ctx
+
+let verify_chain ~lines ~digest =
+  let d = List.fold_left extend_chain (Bytes.make 32 '\000') lines in
+  Bytes.equal d digest
+
+let base_gpa t = T.gpa_of_gpfn t.region.Layout.lo
+
+let append t vcpu (record : Guest_kernel.Audit.record) =
+  let line = Guest_kernel.Audit.to_line record in
+  let len = String.length line in
+  if t.head + len + 4 > capacity_bytes t then begin
+    t.stats.dropped_full <- t.stats.dropped_full + 1;
+    Idcb.Resp_error "VeilS-LOG: reserved storage full; retrieve logs"
+  end
+  else begin
+    let platform = Monitor.platform t.mon in
+    (* Length-prefixed append into the protected region (Dom_SEC rw). *)
+    let framed = Bytes.create (4 + len) in
+    Bytes.set_int32_le framed 0 (Int32.of_int len);
+    Bytes.blit_string line 0 framed 4 len;
+    Sevsnp.Vcpu.charge vcpu C.Copy (C.copy_cost (len + 4));
+    Sevsnp.Vcpu.charge vcpu C.Monitor 350 (* bookkeeping *);
+    P.write platform vcpu (base_gpa t + t.head) framed;
+    Sevsnp.Vcpu.charge vcpu C.Crypto (C.hash_cost len);
+    t.chain <- extend_chain t.chain line;
+    t.head <- t.head + len + 4;
+    t.nlines <- t.nlines + 1;
+    t.stats.appended <- t.stats.appended + 1;
+    Idcb.Resp_ok
+  end
+
+(* OS-assisted fetch into an OS buffer: the destination pointer came
+   from the untrusted kernel and has already passed VeilMon's
+   sanitizer; we additionally bound the copy. *)
+let fetch_to_os t vcpu ~dest_gpa ~max =
+  let platform = Monitor.platform t.mon in
+  let n = min max t.head in
+  let data = P.read platform vcpu (base_gpa t) n in
+  Sevsnp.Vcpu.charge vcpu C.Copy (C.copy_cost n);
+  P.write platform vcpu dest_gpa data;
+  t.stats.fetches <- t.stats.fetches + 1;
+  Idcb.Resp_count n
+
+let read_all t =
+  let platform = Monitor.platform t.mon in
+  let vcpu = Monitor.boot_vcpu t.mon in
+  (* Trusted-side read: hop into Dom_SEC when called from below. *)
+  let here = Privdom.of_vmpl (Sevsnp.Vcpu.vmpl vcpu) in
+  let need_switch = not (Privdom.more_privileged here Privdom.Enc || Privdom.equal here Privdom.Sec) in
+  if need_switch then Monitor.domain_switch t.mon vcpu ~target:Privdom.Sec;
+  let rec go off acc =
+    if off >= t.head then List.rev acc
+    else begin
+      let len = Int32.to_int (Bytes.get_int32_le (P.read platform vcpu (base_gpa t + off) 4) 0) in
+      let line = Bytes.to_string (P.read platform vcpu (base_gpa t + off + 4) len) in
+      go (off + 4 + len) (line :: acc)
+    end
+  in
+  let lines = go 0 [] in
+  if need_switch then Monitor.domain_switch t.mon vcpu ~target:here;
+  lines
+
+let clear t =
+  t.head <- 0;
+  t.nlines <- 0;
+  t.chain <- Bytes.make 32 '\000'
+
+let handler t _mon vcpu (req : Idcb.request) =
+  match req with
+  | Idcb.R_log_append record -> Some (append t vcpu record)
+  | Idcb.R_log_fetch { dest_gpa; max } -> Some (fetch_to_os t vcpu ~dest_gpa ~max)
+  | _ -> None
+
+let install mon =
+  let t =
+    {
+      mon;
+      region = (Monitor.layout mon).Layout.log_region;
+      stats = { appended = 0; dropped_full = 0; fetches = 0 };
+      head = 0;
+      nlines = 0;
+      chain = Bytes.make 32 '\000';
+    }
+  in
+  Monitor.register_service mon ~name:"veils-log" ~target:Privdom.Sec (fun m vcpu req ->
+      handler t m vcpu req);
+  t

@@ -1,0 +1,37 @@
+(** VeilS-LOG — tamper-proof system audit logs (§6.3).
+
+    Keeps kaudit records in an append-only store inside the Dom_SEC
+    reserved log region, written *before* the audited event executes
+    (execute-ahead — the kernel hook fires from [Audit.emit]).  Entries
+    are hash-chained so any after-the-fact modification of retrieved logs is
+    evident; a remote user retrieves and clears the store over
+    VeilMon's authenticated channel. *)
+
+type t
+
+type stats = {
+  mutable appended : int;
+  mutable dropped_full : int;  (** appends refused because the region filled up *)
+  mutable fetches : int;
+}
+
+val install : Monitor.t -> t
+(** Register with VeilMon; storage is the layout's [log_region]. *)
+
+val stats : t -> stats
+val capacity_bytes : t -> int
+val used_bytes : t -> int
+val count : t -> int
+
+val read_all : t -> string list
+(** Trusted-side read of all stored lines (oldest first) — what the
+    remote user receives over the secure channel. *)
+
+val chain_digest : t -> bytes
+(** Running SHA-256 hash chain over every appended line. *)
+
+val verify_chain : lines:string list -> digest:bytes -> bool
+(** Remote-side check that [lines] reproduce [digest]. *)
+
+val clear : t -> unit
+(** Remote-user-initiated reset after retrieval (§6.3). *)

@@ -1,0 +1,34 @@
+module Privdom = Privdom
+module Layout = Layout
+module Idcb = Idcb
+module Monitor = Monitor
+module Kci = Kci
+module Slog = Slog
+module Encsvc = Encsvc
+module Channel = Channel
+module Vtpm = Vtpm
+module Migration = Migration
+module Boot = Boot
+
+type system = Boot.veil_system
+
+let version = "1.0.0"
+
+let boot ?npages ?log_frames ?seed () = Boot.boot_veil ?npages ?log_frames ?seed ()
+
+let boot_native ?npages ?seed () = Boot.boot_native ?npages ?seed ()
+
+let attest (sys : system) ~nonce = Monitor.attestation_report sys.Boot.mon sys.Boot.vcpu ~nonce
+
+let connect_user ?(seed = 1) (sys : system) =
+  let platform = sys.Boot.platform in
+  let user =
+    Channel.create (Veil_crypto.Rng.create seed)
+      ~platform_public:(Sevsnp.Attestation.platform_public_key platform.Sevsnp.Platform.attestation)
+      ~expected_launch:(Sevsnp.Attestation.launch_measurement platform.Sevsnp.Platform.attestation)
+  in
+  match Channel.connect user sys.Boot.mon sys.Boot.vcpu with
+  | Ok () -> Ok user
+  | Error e -> Error e
+
+let protected_logs (sys : system) = Slog.read_all sys.Boot.slog

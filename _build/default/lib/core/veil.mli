@@ -1,0 +1,44 @@
+(** Veil public facade.
+
+    One import surface for downstream users:
+
+    {[
+      let sys = Veil_core.Veil.boot () in
+      let report = Veil_core.Veil.attest sys ~nonce in
+      ...
+    ]}
+
+    The submodule aliases re-export the full API; the helpers below
+    cover the common paths (boot, attest, inspect). *)
+
+module Privdom = Privdom
+module Layout = Layout
+module Idcb = Idcb
+module Monitor = Monitor
+module Kci = Kci
+module Slog = Slog
+module Encsvc = Encsvc
+module Channel = Channel
+module Vtpm = Vtpm
+module Migration = Migration
+module Boot = Boot
+
+type system = Boot.veil_system
+
+val boot : ?npages:int -> ?log_frames:int -> ?seed:int -> unit -> system
+(** Boot a Veil CVM (monitor + services + kernel at Dom_UNT). *)
+
+val boot_native : ?npages:int -> ?seed:int -> unit -> Boot.native_system
+(** Baseline: the same kernel at VMPL-0 with no monitor. *)
+
+val attest : system -> nonce:bytes -> Sevsnp.Attestation.report
+(** Request a VMPL-0 attestation report binding VeilMon's DH key. *)
+
+val connect_user : ?seed:int -> system -> (Channel.t, string) result
+(** Create a remote user, verify the launch measurement, and complete
+    the secure-channel handshake. *)
+
+val protected_logs : system -> string list
+(** Trusted-side view of VeilS-LOG's store. *)
+
+val version : string

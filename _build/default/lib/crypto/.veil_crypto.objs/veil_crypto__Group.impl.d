@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Bignum Lazy Rng Sha256

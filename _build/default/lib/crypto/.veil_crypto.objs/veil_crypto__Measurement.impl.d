@@ -1,0 +1,1 @@
+lib/crypto/measurement.ml: Bytes Printf Sha256

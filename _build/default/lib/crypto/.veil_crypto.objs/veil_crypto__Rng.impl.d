@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Bytes Char Int64

@@ -1,0 +1,12 @@
+(** ChaCha20 stream cipher (RFC 8439).
+
+    VeilS-ENC encrypts enclave pages with a per-enclave key before
+    handing them to the untrusted OS during demand paging. *)
+
+val block : key:bytes -> nonce:bytes -> counter:int -> bytes
+(** One 64-byte keystream block.  [key] is 32 bytes, [nonce] 12 bytes. *)
+
+val encrypt : key:bytes -> nonce:bytes -> ?counter:int -> bytes -> bytes
+(** XOR the input with the keystream starting at [counter] (default 1,
+    per RFC 8439's cipher usage).  Encryption and decryption are the
+    same operation. *)

@@ -1,0 +1,12 @@
+type keypair = { secret : Bignum.t; public : Bignum.t }
+
+let keygen ?group rng =
+  let g = match group with Some g -> g | None -> Group.default () in
+  let secret = Bignum.add Bignum.one (Bignum.random_below rng (Bignum.sub g.Group.q Bignum.one)) in
+  let public = Bignum.powmod ~base:g.Group.g ~exp:secret ~modulus:g.Group.p in
+  { secret; public }
+
+let shared_secret ?group ~secret ~peer_public () =
+  let g = match group with Some g -> g | None -> Group.default () in
+  let s = Bignum.powmod ~base:peer_public ~exp:secret ~modulus:g.Group.p in
+  Sha256.digest_bytes (Bignum.to_bytes_be s)

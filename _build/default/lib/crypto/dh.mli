@@ -1,0 +1,12 @@
+(** Diffie-Hellman key agreement over a [Group.t].
+
+    The SEV attestation digest carries the guest's DH public value so a
+    remote user can establish the secure channel with VeilMon that the
+    paper's §5.1 describes. *)
+
+type keypair = { secret : Bignum.t; public : Bignum.t }
+
+val keygen : ?group:Group.t -> Rng.t -> keypair
+
+val shared_secret : ?group:Group.t -> secret:Bignum.t -> peer_public:Bignum.t -> unit -> bytes
+(** 32-byte symmetric key derived by hashing g^(ab) mod p. *)

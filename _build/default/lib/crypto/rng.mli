@@ -1,0 +1,27 @@
+(** Deterministic, seedable pseudo-random generator (splitmix64-based).
+
+    Used everywhere the simulator needs randomness so that whole-system
+    runs are reproducible from a single seed.  Not cryptographically
+    secure; the simulated platform only needs determinism. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. *)
+
+val next64 : t -> int64
+(** Next 64 pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val byte : t -> int
+(** Uniform in [0, 256). *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] pseudo-random bytes. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent generator (for sub-components). *)

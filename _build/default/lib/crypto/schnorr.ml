@@ -1,0 +1,49 @@
+type keypair = { secret : Bignum.t; public : Bignum.t }
+type signature = { s : Bignum.t; e : Bignum.t }
+
+let keygen ?group rng =
+  let g = match group with Some g -> g | None -> Group.default () in
+  let secret = Bignum.add Bignum.one (Bignum.random_below rng (Bignum.sub g.Group.q Bignum.one)) in
+  (* public = g^(-secret) so that verification is r = g^s * y^e. *)
+  let neg = Bignum.sub g.Group.q secret in
+  let public = Bignum.powmod ~base:g.Group.g ~exp:neg ~modulus:g.Group.p in
+  { secret; public }
+
+let challenge g r msg =
+  let buf = Buffer.create 64 in
+  Buffer.add_bytes buf (Bignum.to_bytes_be r);
+  Buffer.add_bytes buf msg;
+  Group.element_of_bytes g (Bytes.of_string (Buffer.contents buf))
+
+let sign ?group rng ~secret msg =
+  let g = match group with Some g -> g | None -> Group.default () in
+  let k = Bignum.add Bignum.one (Bignum.random_below rng (Bignum.sub g.Group.q Bignum.one)) in
+  let r = Bignum.powmod ~base:g.Group.g ~exp:k ~modulus:g.Group.p in
+  let e = challenge g r msg in
+  let s = Bignum.rem (Bignum.add k (Bignum.mul secret e)) g.Group.q in
+  { s; e }
+
+let verify ?group ~public ~msg { s; e } =
+  let g = match group with Some g -> g | None -> Group.default () in
+  let gv = Bignum.powmod ~base:g.Group.g ~exp:s ~modulus:g.Group.p in
+  let yv = Bignum.powmod ~base:public ~exp:e ~modulus:g.Group.p in
+  let rv = Bignum.rem (Bignum.mul gv yv) g.Group.p in
+  Bignum.equal (challenge g rv msg) e
+
+let signature_to_bytes { s; e } =
+  let bs = Bignum.to_bytes_be s and be = Bignum.to_bytes_be e in
+  let buf = Buffer.create (4 + Bytes.length bs + Bytes.length be) in
+  Buffer.add_uint16_be buf (Bytes.length bs);
+  Buffer.add_bytes buf bs;
+  Buffer.add_uint16_be buf (Bytes.length be);
+  Buffer.add_bytes buf be;
+  Bytes.of_string (Buffer.contents buf)
+
+let signature_of_bytes b =
+  try
+    let ls = Bytes.get_uint16_be b 0 in
+    let s = Bignum.of_bytes_be (Bytes.sub b 2 ls) in
+    let le = Bytes.get_uint16_be b (2 + ls) in
+    let e = Bignum.of_bytes_be (Bytes.sub b (4 + ls) le) in
+    if 4 + ls + le = Bytes.length b then Some { s; e } else None
+  with Invalid_argument _ -> None

@@ -1,0 +1,16 @@
+(** Schnorr signatures over a [Group.t].
+
+    Signs the simulated SEV attestation reports (standing in for AMD's
+    VCEK chain) and kernel-module images for VeilS-KCI. *)
+
+type keypair = { secret : Bignum.t; public : Bignum.t }
+type signature = { s : Bignum.t; e : Bignum.t }
+
+val keygen : ?group:Group.t -> Rng.t -> keypair
+
+val sign : ?group:Group.t -> Rng.t -> secret:Bignum.t -> bytes -> signature
+
+val verify : ?group:Group.t -> public:Bignum.t -> msg:bytes -> signature -> bool
+
+val signature_to_bytes : signature -> bytes
+val signature_of_bytes : bytes -> signature option

@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for CVM launch measurements, enclave measurements, page
+    integrity hashes and as the compression function behind [Hmac]
+    and the signature stack. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> bytes -> unit
+val update_string : ctx -> string -> unit
+val finalize : ctx -> bytes
+(** 32-byte digest.  The context must not be reused afterwards. *)
+
+val digest_bytes : bytes -> bytes
+val digest_string : string -> bytes
+
+val hex_of_digest : bytes -> string
+(** Lowercase hex rendering of a digest (or any byte string). *)

@@ -1,0 +1,1 @@
+lib/hypervisor/hv.ml: Bytes Format Hashtbl List Sevsnp

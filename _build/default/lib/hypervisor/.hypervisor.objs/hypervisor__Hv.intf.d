@@ -1,0 +1,1 @@
+lib/hypervisor/hv.mli: Sevsnp

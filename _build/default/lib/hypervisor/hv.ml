@@ -1,0 +1,201 @@
+module P = Sevsnp.Platform
+module T = Sevsnp.Types
+module G = Sevsnp.Ghcb
+module C = Sevsnp.Cycles
+
+type stats = {
+  mutable domain_switches : int;
+  mutable io_requests : int;
+  mutable io_bytes : int;
+  mutable interrupts_injected : int;
+  mutable page_state_changes : int;
+}
+
+type t = {
+  platform : P.t;
+  vmsas : (int * int, Sevsnp.Vmsa.t) Hashtbl.t; (* (vcpu_id, vmpl index) -> instance *)
+  switch_policy : (T.gpfn, (T.vmpl * T.vmpl) list) Hashtbl.t;
+  stats : stats;
+  mutable relay_target : T.vmpl option;
+  mutable refuse_interrupt_relay : bool;
+  mutable interrupt_handler : (Sevsnp.Vcpu.t -> unit) option;
+  mutable kernel_handler_gpfn : T.gpfn option;
+}
+
+let platform t = t.platform
+let stats t = t.stats
+
+let vmsa_for t ~vcpu_id ~vmpl = Hashtbl.find_opt t.vmsas (vcpu_id, T.vmpl_index vmpl)
+
+let register_vmsa t (vmsa : Sevsnp.Vmsa.t) =
+  Hashtbl.replace t.vmsas (vmsa.Sevsnp.Vmsa.vcpu_id, T.vmpl_index vmsa.Sevsnp.Vmsa.vmpl) vmsa
+
+let current_vmpl vcpu = Sevsnp.Vcpu.vmpl vcpu
+
+let policy_allows t ~ghcb_gpfn ~a ~b =
+  match Hashtbl.find_opt t.switch_policy ghcb_gpfn with
+  | None -> true
+  | Some pairs ->
+      List.exists
+        (fun (x, y) ->
+          (T.equal_vmpl a x && T.equal_vmpl b y) || (T.equal_vmpl a y && T.equal_vmpl b x))
+        pairs
+
+let handle_domain_switch t vcpu target_vmpl =
+  let vmsa = Sevsnp.Vcpu.current_vmsa vcpu in
+  let ghcb_gpfn = T.gpfn_of_gpa vmsa.Sevsnp.Vmsa.ghcb_gpa in
+  let from = vmsa.Sevsnp.Vmsa.vmpl in
+  Sevsnp.Vcpu.charge vcpu C.Switch C.hv_switch_logic;
+  if not (policy_allows t ~ghcb_gpfn ~a:from ~b:target_vmpl) then
+    P.halt t.platform
+      (Format.asprintf "domain switch %a -> %a via GHCB frame %d violates installed policy" T.pp_vmpl from
+         T.pp_vmpl target_vmpl ghcb_gpfn)
+  else begin
+    match vmsa_for t ~vcpu_id:vcpu.Sevsnp.Vcpu.id ~vmpl:target_vmpl with
+    | None ->
+        P.halt t.platform
+          (Format.asprintf "no VMSA registered for vcpu %d at %a" vcpu.Sevsnp.Vcpu.id T.pp_vmpl target_vmpl)
+    | Some target ->
+        t.stats.domain_switches <- t.stats.domain_switches + 1;
+        P.vmenter t.platform vcpu target
+  end
+
+let handle_create_vcpu t vcpu ~vmsa_gpfn ~target_vmpl =
+  let ghcb = P.ghcb_of_vcpu t.platform vcpu in
+  match P.vmsa_at t.platform vmsa_gpfn with
+  | None -> ( (* not a hardware-accepted VMSA: refuse, guest sees error *)
+      match ghcb with Some g -> g.G.response <- 1 | None -> ())
+  | Some vmsa ->
+      if not (T.equal_vmpl vmsa.Sevsnp.Vmsa.vmpl target_vmpl) then (
+        match ghcb with Some g -> g.G.response <- 1 | None -> ())
+      else begin
+        register_vmsa t vmsa;
+        (* An instance for a not-yet-running VCPU boots it (AP/hotplug). *)
+        let target_vcpu =
+          List.find_opt (fun v -> v.Sevsnp.Vcpu.id = vmsa.Sevsnp.Vmsa.vcpu_id) t.platform.P.vcpus
+        in
+        (match target_vcpu with
+        | Some v when v.Sevsnp.Vcpu.current = None -> P.vmenter t.platform v vmsa
+        | _ -> ());
+        match ghcb with Some g -> g.G.response <- 0 | None -> ()
+      end
+
+let handle_exit t vcpu =
+  match P.ghcb_of_vcpu t.platform vcpu with
+  | None -> P.halt t.platform "non-automatic exit without a GHCB"
+  | Some ghcb -> (
+      match ghcb.G.request with
+      | G.Req_none -> () (* automatic exit: nothing for the host to do *)
+      | G.Req_domain_switch { target_vmpl } ->
+          ghcb.G.request <- G.Req_none;
+          handle_domain_switch t vcpu target_vmpl
+      | G.Req_create_vcpu { vmsa_gpfn; target_vmpl } ->
+          ghcb.G.request <- G.Req_none;
+          handle_create_vcpu t vcpu ~vmsa_gpfn ~target_vmpl
+      | G.Req_io { write; port = _; len } ->
+          ghcb.G.request <- G.Req_none;
+          t.stats.io_requests <- t.stats.io_requests + 1;
+          t.stats.io_bytes <- t.stats.io_bytes + len;
+          Sevsnp.Vcpu.charge vcpu C.Io (C.io_cost len);
+          ignore write;
+          ghcb.G.response <- 0;
+          P.vmenter t.platform vcpu (Sevsnp.Vcpu.current_vmsa vcpu)
+      | G.Req_page_state_change { gpfn = _; to_shared = _ } ->
+          ghcb.G.request <- G.Req_none;
+          t.stats.page_state_changes <- t.stats.page_state_changes + 1;
+          ghcb.G.response <- 0;
+          P.vmenter t.platform vcpu (Sevsnp.Vcpu.current_vmsa vcpu)
+      | G.Req_set_switch_policy { ghcb_gpfn; allowed } ->
+          ghcb.G.request <- G.Req_none;
+          (* Only honored from the hypervisor-known VMPL-0 instance; a
+             lower domain cannot retune the guard rails. *)
+          if T.equal_vmpl (current_vmpl vcpu) T.Vmpl0 then begin
+            Hashtbl.replace t.switch_policy ghcb_gpfn allowed;
+            ghcb.G.response <- 0
+          end
+          else ghcb.G.response <- 1;
+          P.vmenter t.platform vcpu (Sevsnp.Vcpu.current_vmsa vcpu)
+      | G.Req_relay_interrupts_to vmpl ->
+          ghcb.G.request <- G.Req_none;
+          if T.equal_vmpl (current_vmpl vcpu) T.Vmpl0 then begin
+            t.relay_target <- Some vmpl;
+            ghcb.G.response <- 0
+          end
+          else ghcb.G.response <- 1;
+          P.vmenter t.platform vcpu (Sevsnp.Vcpu.current_vmsa vcpu)
+      | G.Req_halt reason ->
+          ghcb.G.request <- G.Req_none;
+          P.halt t.platform reason)
+
+let create platform =
+  let t =
+    {
+      platform;
+      vmsas = Hashtbl.create 16;
+      switch_policy = Hashtbl.create 8;
+      stats =
+        { domain_switches = 0; io_requests = 0; io_bytes = 0; interrupts_injected = 0; page_state_changes = 0 };
+      relay_target = None;
+      refuse_interrupt_relay = false;
+      interrupt_handler = None;
+      kernel_handler_gpfn = None;
+    }
+  in
+  platform.P.exit_handler <- Some (handle_exit t);
+  t
+
+let launch_cvm t ~entry_name ~boot_image =
+  P.launch_load t.platform ~entry_name boot_image;
+  let vcpu = P.add_boot_vcpu t.platform in
+  (* Firmware creates the boot VMSA at the top guest frame, at VMPL-0. *)
+  let vmsa_gpfn = Sevsnp.Phys_mem.npages t.platform.P.mem - 1 in
+  Sevsnp.Rmp.validate t.platform.P.rmp vmsa_gpfn;
+  (Sevsnp.Rmp.entry t.platform.P.rmp vmsa_gpfn).Sevsnp.Rmp.vmsa <- true;
+  let vmsa = Sevsnp.Vmsa.create ~vcpu_id:vcpu.Sevsnp.Vcpu.id ~vmpl:T.Vmpl0 ~backing_gpfn:vmsa_gpfn in
+  (match P.install_vmsa t.platform vmsa with Ok () -> () | Error e -> failwith e);
+  register_vmsa t vmsa;
+  P.vmenter t.platform vcpu vmsa;
+  vcpu
+
+let set_interrupt_handler t f = t.interrupt_handler <- Some f
+
+let kernel_handler_frame t gpfn = t.kernel_handler_gpfn <- Some gpfn
+
+let set_refuse_interrupt_relay t b = t.refuse_interrupt_relay <- b
+
+let inject_interrupt t vcpu =
+  t.stats.interrupts_injected <- t.stats.interrupts_injected + 1;
+  Sevsnp.Vcpu.charge vcpu C.Switch C.interrupt_delivery;
+  let interrupted = Sevsnp.Vcpu.current_vmsa vcpu in
+  let deliver () = match t.interrupt_handler with Some f -> f vcpu | None -> () in
+  match t.relay_target with
+  | Some target when not (T.equal_vmpl interrupted.Sevsnp.Vmsa.vmpl target) ->
+      if t.refuse_interrupt_relay then begin
+        (* Force handling in the interrupted domain: fetching the
+           kernel's handler there violates VMPL permissions. *)
+        match t.kernel_handler_gpfn with
+        | Some gpfn -> P.check_exec t.platform vcpu (T.gpa_of_gpfn gpfn)
+        | None -> P.halt t.platform "interrupt with no handler reachable"
+      end
+      else begin
+        P.automatic_exit t.platform vcpu;
+        (match vmsa_for t ~vcpu_id:vcpu.Sevsnp.Vcpu.id ~vmpl:target with
+        | None -> P.halt t.platform "no relay-target instance"
+        | Some target_vmsa -> P.vmenter t.platform vcpu target_vmsa);
+        deliver ();
+        P.automatic_exit t.platform vcpu;
+        P.vmenter t.platform vcpu interrupted
+      end
+  | _ -> deliver ()
+
+let try_tamper_vmsa t ~vcpu_id ~vmpl =
+  match vmsa_for t ~vcpu_id ~vmpl with
+  | None -> Error "no such VMSA"
+  | Some vmsa ->
+      let gpa = T.gpa_of_gpfn vmsa.Sevsnp.Vmsa.backing_gpfn in
+      (* Try to overwrite the saved rip through host memory. *)
+      (match P.host_write t.platform gpa (Bytes.make 8 '\xff') with
+      | Ok () -> Ok () (* would indicate a broken platform *)
+      | Error e -> Error e)
+
+let try_read_guest t gpa len = P.host_read t.platform gpa len

@@ -1,0 +1,63 @@
+(** The (untrusted) host hypervisor.
+
+    Models the KVM side of the paper's prototype (§7): it keeps one
+    VMSA per (VCPU, domain), handles the domain-switch hypercall, and
+    relays external interrupts according to the policy VMPL-0 software
+    installs.  It also exposes the adversarial controls used in the
+    security analysis (§8.2): tampering with VMSAs and refusing to
+    relay interrupts during enclave execution.
+
+    The hypervisor is *outside* the CVM trust boundary: every guest
+    memory access it makes goes through {!Sevsnp.Platform.host_read} /
+    [host_write] and is therefore limited to [Shared] pages. *)
+
+type t
+
+type stats = {
+  mutable domain_switches : int;
+  mutable io_requests : int;
+  mutable io_bytes : int;
+  mutable interrupts_injected : int;
+  mutable page_state_changes : int;
+}
+
+val create : Sevsnp.Platform.t -> t
+(** Attach to the platform (installs the VMGEXIT handler). *)
+
+val platform : t -> Sevsnp.Platform.t
+val stats : t -> stats
+
+val launch_cvm :
+  t -> entry_name:string -> boot_image:(Sevsnp.Types.gpa * bytes) list -> Sevsnp.Vcpu.t
+(** Measured launch: load the boot image, create the boot VCPU with a
+    VMPL-0 instance (hypervisor-created, as §3 requires) and enter it.
+    The boot VMSA occupies the highest guest frame. *)
+
+val vmsa_for : t -> vcpu_id:int -> vmpl:Sevsnp.Types.vmpl -> Sevsnp.Vmsa.t option
+(** The registered instance for a (VCPU, domain), if any. *)
+
+val inject_interrupt : t -> Sevsnp.Vcpu.t -> unit
+(** External interrupt during guest execution.  If the interrupted
+    instance is not the relay target, the hypervisor re-enters the
+    relay-target instance first (§6.2); with {!set_refuse_interrupt_relay}
+    it instead forces handling in the interrupted domain, which halts
+    the CVM when that domain cannot execute the kernel's handler. *)
+
+val set_interrupt_handler : t -> (Sevsnp.Vcpu.t -> unit) -> unit
+(** Guest kernel's interrupt service routine (simulation hook; runs
+    after the hypervisor has re-entered the relay-target domain). *)
+
+val kernel_handler_frame : t -> Sevsnp.Types.gpfn -> unit
+(** Tell the simulated interrupt path which frame holds the kernel's
+    handler text (used to evaluate the refuse-relay attack). *)
+
+(* Adversarial controls (§8) *)
+
+val set_refuse_interrupt_relay : t -> bool -> unit
+
+val try_tamper_vmsa : t -> vcpu_id:int -> vmpl:Sevsnp.Types.vmpl -> (unit, string) result
+(** Attempt to overwrite a registered VMSA's saved [rip] through host
+    memory access.  Fails on SNP because the VMSA lives in a private
+    guest frame. *)
+
+val try_read_guest : t -> Sevsnp.Types.gpa -> int -> (bytes, string) result

@@ -1,0 +1,1 @@
+lib/kernel/audit.ml: List Printf Set Sysno

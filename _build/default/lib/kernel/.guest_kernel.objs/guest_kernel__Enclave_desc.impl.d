@@ -1,0 +1,1 @@
+lib/kernel/enclave_desc.ml: Ktypes List Sevsnp

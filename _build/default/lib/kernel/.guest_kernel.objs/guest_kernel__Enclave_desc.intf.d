@@ -1,0 +1,1 @@
+lib/kernel/enclave_desc.mli: Ktypes Sevsnp

@@ -1,0 +1,1 @@
+lib/kernel/fd.ml: Buffer Net

@@ -1,0 +1,1 @@
+lib/kernel/fs.ml: Buffer Bytes Hashtbl Ktypes List String Veil_crypto

@@ -1,0 +1,1 @@
+lib/kernel/hooks.ml: Audit Enclave_desc Kmodule Ktypes Sevsnp

@@ -1,0 +1,1 @@
+lib/kernel/hooks.mli: Audit Enclave_desc Kmodule Ktypes Sevsnp

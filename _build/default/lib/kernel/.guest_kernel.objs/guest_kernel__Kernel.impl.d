@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Audit Buffer Bytes Enclave_desc Fd Format Fs Hashtbl Hooks Int64 Kmodule Ktypes List Net Option Printf Process Result Sched Sevsnp String Sysno Veil_crypto

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Audit Enclave_desc Fs Hooks Kmodule Ktypes Process Sevsnp Sysno Veil_crypto

@@ -1,0 +1,1 @@
+lib/kernel/kmodule.ml: Bytes List Sevsnp Veil_crypto

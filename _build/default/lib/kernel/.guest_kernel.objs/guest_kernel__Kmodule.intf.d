@@ -1,0 +1,1 @@
+lib/kernel/kmodule.mli: Sevsnp Veil_crypto

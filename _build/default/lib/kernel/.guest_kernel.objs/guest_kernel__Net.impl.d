@@ -1,0 +1,1 @@
+lib/kernel/net.ml: Buffer Bytes Hashtbl Ktypes Queue String

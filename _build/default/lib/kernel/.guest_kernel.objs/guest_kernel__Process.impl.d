@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Enclave_desc Fd Hashtbl Ktypes List Sevsnp

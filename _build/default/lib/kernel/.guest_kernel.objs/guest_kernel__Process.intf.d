@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Enclave_desc Fd Hashtbl Ktypes Sevsnp

@@ -1,0 +1,56 @@
+type record = { seq : int; cycles : int; sys : Sysno.t; pid : int; detail : string }
+
+let to_line r =
+  Printf.sprintf "type=SYSCALL seq=%d tsc=%d syscall=%s(%d) pid=%d %s" r.seq r.cycles
+    (Sysno.to_string r.sys) (Sysno.number r.sys) r.pid r.detail
+
+module Sysset = Set.Make (struct
+  type t = Sysno.t
+
+  let compare = Sysno.compare
+end)
+
+type t = {
+  mutable rules : Sysset.t;
+  mutable buffer : record list;  (** newest first *)
+  mutable nrecords : int;
+  mutable next_seq : int;
+  mutable protect_hook : (record -> unit) option;
+}
+
+let create () = { rules = Sysset.empty; buffer = []; nrecords = 0; next_seq = 1; protect_hook = None }
+
+let set_rules t rules = t.rules <- Sysset.of_list rules
+let clear_rules t = t.rules <- Sysset.empty
+let matches t sys = Sysset.mem sys t.rules
+
+let set_protect_hook t h = t.protect_hook <- h
+
+let emit t ~cycles ~sys ~pid ~detail =
+  if not (matches t sys) then None
+  else begin
+    let r = { seq = t.next_seq; cycles; sys; pid; detail } in
+    t.next_seq <- t.next_seq + 1;
+    (* Execute-ahead: the protected copy is taken before the kernel
+       proceeds with the event. *)
+    (match t.protect_hook with Some h -> h r | None -> ());
+    t.buffer <- r :: t.buffer;
+    t.nrecords <- t.nrecords + 1;
+    Some r
+  end
+
+let records t = List.rev t.buffer
+let count t = t.nrecords
+
+let tamper t ~seq ~detail =
+  let found = ref false in
+  t.buffer <-
+    List.map
+      (fun r ->
+        if r.seq = seq then begin
+          found := true;
+          { r with detail }
+        end
+        else r)
+      t.buffer;
+  !found

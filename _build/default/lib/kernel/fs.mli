@@ -1,0 +1,43 @@
+(** In-memory hierarchical filesystem backing the guest's virtio disk.
+
+    Supports the path and file operations the workload programs and
+    LTP-style robustness tests need: nested directories, growable
+    regular files, devices ([/dev/null], [/dev/urandom], [/dev/console]),
+    rename/link/unlink, permission bits and stat. *)
+
+type t
+
+type node_kind = Regular | Directory | Device of string
+
+val create : Veil_crypto.Rng.t -> t
+(** Fresh filesystem with [/], [/tmp], [/dev] (+ devices), [/etc],
+    [/var/log]. *)
+
+val console_output : t -> string
+(** Everything written to [/dev/console] so far. *)
+
+(* Path operations; paths are absolute, '/'-separated. *)
+
+val mkdir : t -> string -> (unit, Ktypes.errno) result
+val rmdir : t -> string -> (unit, Ktypes.errno) result
+val create_file : t -> string -> mode:int -> (unit, Ktypes.errno) result
+val unlink : t -> string -> (unit, Ktypes.errno) result
+val rename : t -> string -> string -> (unit, Ktypes.errno) result
+val link : t -> string -> string -> (unit, Ktypes.errno) result
+val symlink : t -> target:string -> linkpath:string -> (unit, Ktypes.errno) result
+val readlink : t -> string -> (string, Ktypes.errno) result
+val exists : t -> string -> bool
+val kind_of : t -> string -> node_kind option
+val stat : t -> string -> (Ktypes.stat, Ktypes.errno) result
+val chmod : t -> string -> int -> (unit, Ktypes.errno) result
+val truncate : t -> string -> int -> (unit, Ktypes.errno) result
+val readdir : t -> string -> (string list, Ktypes.errno) result
+
+(* Content operations on regular files and devices. *)
+
+val read_at : t -> string -> pos:int -> len:int -> (bytes, Ktypes.errno) result
+val write_at : t -> string -> pos:int -> bytes -> (int, Ktypes.errno) result
+(** Returns bytes written; extends the file as needed.  On append
+    devices the position is ignored. *)
+
+val size_of : t -> string -> (int, Ktypes.errno) result

@@ -1,0 +1,22 @@
+type t = {
+  h_pvalidate : gpfn:Sevsnp.Types.gpfn -> to_private:bool -> (unit, string) result;
+  h_vcpu_boot : vcpu_id:int -> (unit, string) result;
+  h_module_load : Kmodule.image -> (Kmodule.loaded, string) result;
+  h_module_unload : Kmodule.loaded -> (unit, string) result;
+  h_audit : Audit.record -> unit;
+  h_enclave_finalize : Enclave_desc.t -> (bytes, string) result;
+  h_enclave_destroy : Enclave_desc.t -> (unit, string) result;
+  h_pt_sync : pid:int -> va:Sevsnp.Types.va -> npages:int -> prot:Ktypes.prot -> unit;
+}
+
+let none =
+  {
+    h_pvalidate = (fun ~gpfn:_ ~to_private:_ -> Error "no monitor installed");
+    h_vcpu_boot = (fun ~vcpu_id:_ -> Error "no monitor installed");
+    h_module_load = (fun _ -> Error "no monitor installed");
+    h_module_unload = (fun _ -> Error "no monitor installed");
+    h_audit = (fun _ -> ());
+    h_enclave_finalize = (fun _ -> Error "no monitor installed");
+    h_enclave_destroy = (fun _ -> Error "no monitor installed");
+    h_pt_sync = (fun ~pid:_ ~va:_ ~npages:_ ~prot:_ -> ());
+  }

@@ -1,0 +1,31 @@
+(** Kernel → Veil delegation and service hooks.
+
+    The paper's ~560-line kernel patch boils down to these call-outs:
+    architecturally-restricted work delegated to VeilMon (§5.3), the
+    kaudit hook into VeilS-LOG, module load/unload through VeilS-KCI,
+    and enclave lifecycle calls into VeilS-ENC.  A native (non-Veil)
+    kernel runs with no hooks installed and performs the VMPL-0
+    operations itself. *)
+
+type t = {
+  h_pvalidate : gpfn:Sevsnp.Types.gpfn -> to_private:bool -> (unit, string) result;
+      (** page-state change delegation: VeilMon checks the frame is not
+          a trusted region, then executes PVALIDATE *)
+  h_vcpu_boot : vcpu_id:int -> (unit, string) result;
+      (** VCPU boot/hotplug delegation: VeilMon creates the VMSA(s) *)
+  h_module_load : Kmodule.image -> (Kmodule.loaded, string) result;
+      (** VeilS-KCI: verify signature, copy, relocate, write-protect *)
+  h_module_unload : Kmodule.loaded -> (unit, string) result;
+  h_audit : Audit.record -> unit;
+      (** VeilS-LOG execute-ahead capture (called from kaudit's emit) *)
+  h_enclave_finalize : Enclave_desc.t -> (bytes, string) result;
+      (** VeilS-ENC: protect + measure; returns the measurement *)
+  h_enclave_destroy : Enclave_desc.t -> (unit, string) result;
+  h_pt_sync : pid:int -> va:Sevsnp.Types.va -> npages:int -> prot:Ktypes.prot -> unit;
+      (** §6.2: non-enclave permission changes must be synchronized
+          into the enclave's protected page tables *)
+}
+
+val none : t
+(** All hooks are identity/no-op failures — used by the native kernel,
+    which must never actually call the delegating ones. *)

@@ -1,0 +1,50 @@
+type image = {
+  name : string;
+  text : bytes;
+  data : bytes;
+  relocs : (int * string) list;
+  mutable signature : bytes option;
+}
+
+let build rng ~name ~text_size ~data_size ~symbols =
+  if text_size < 8 * (List.length symbols + 1) then invalid_arg "Kmodule.build: text too small for relocations";
+  let text = Veil_crypto.Rng.bytes rng text_size in
+  let data = Veil_crypto.Rng.bytes rng data_size in
+  let relocs = List.mapi (fun i sym -> (8 * i, sym)) symbols in
+  { name; text; data; relocs; signature = None }
+
+let image_digest img =
+  let m = Veil_crypto.Measurement.create ~domain:"kernel-module" in
+  Veil_crypto.Measurement.add_string m ~label:"name" img.name;
+  Veil_crypto.Measurement.add_bytes m ~label:"text" img.text;
+  Veil_crypto.Measurement.add_bytes m ~label:"data" img.data;
+  List.iter
+    (fun (off, sym) ->
+      Veil_crypto.Measurement.add_int m ~label:"reloc-off" off;
+      Veil_crypto.Measurement.add_string m ~label:"reloc-sym" sym)
+    img.relocs;
+  Veil_crypto.Measurement.digest m
+
+let sign rng ~vendor_secret img =
+  let s = Veil_crypto.Schnorr.sign rng ~secret:vendor_secret (image_digest img) in
+  img.signature <- Some (Veil_crypto.Schnorr.signature_to_bytes s)
+
+let verify ~vendor_public img =
+  match img.signature with
+  | None -> false
+  | Some sb -> (
+      match Veil_crypto.Schnorr.signature_of_bytes sb with
+      | None -> false
+      | Some s -> Veil_crypto.Schnorr.verify ~public:vendor_public ~msg:(image_digest img) s)
+
+type loaded = {
+  module_image : image;
+  text_gpfns : Sevsnp.Types.gpfn list;
+  data_gpfns : Sevsnp.Types.gpfn list;
+  load_address : int;
+  mutable installed : bool;
+}
+
+let binary_size img = Bytes.length img.text + Bytes.length img.data + (16 * List.length img.relocs)
+
+let installed_size l = Sevsnp.Types.page_size * (List.length l.text_gpfns + List.length l.data_gpfns)

@@ -1,0 +1,32 @@
+(** Loopback network stack.
+
+    Just enough of AF_INET/SOCK_STREAM for the evaluation's server
+    workloads (lighttpd/NGINX/memcached miniatures): listeners with
+    accept queues and connected stream pairs with unbounded byte
+    queues.  Single-threaded semantics: operations never block;
+    [recv] on an empty stream returns [EAGAIN]. *)
+
+type t
+type endpoint
+
+val create : unit -> t
+
+val socket : t -> endpoint
+val bind : t -> endpoint -> port:int -> (unit, Ktypes.errno) result
+val listen : t -> endpoint -> backlog:int -> (unit, Ktypes.errno) result
+
+val connect : t -> endpoint -> port:int -> (unit, Ktypes.errno) result
+(** Loopback connect: queues the connection on the listener. *)
+
+val accept : t -> endpoint -> (endpoint, Ktypes.errno) result
+
+val pair : t -> endpoint * endpoint
+(** A connected endpoint pair (socketpair). *)
+
+val send : t -> endpoint -> bytes -> (int, Ktypes.errno) result
+val recv : t -> endpoint -> int -> (bytes, Ktypes.errno) result
+val pending : t -> endpoint -> int
+(** Bytes currently queued for [recv]. *)
+
+val shutdown : t -> endpoint -> unit
+val close : t -> endpoint -> unit

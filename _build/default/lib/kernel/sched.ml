@@ -1,0 +1,93 @@
+type _ Effect.t += Yield : unit Effect.t | Block : (unit -> bool) -> unit Effect.t
+
+type status =
+  | Runnable of (unit, unit) Effect.Deep.continuation
+  | Blocked of (unit -> bool) * (unit, unit) Effect.Deep.continuation
+  | Fresh of (unit -> unit)
+
+type task = { name : string; mutable status : status option (* None = finished *) }
+
+type t = {
+  mutable tasks : task list;
+  on_context_switch : unit -> unit;
+  mutable switches : int;
+}
+
+exception Deadlock of string list
+
+let create ?(on_context_switch = fun () -> ()) () =
+  { tasks = []; on_context_switch; switches = 0 }
+
+let spawn t ~name body = t.tasks <- t.tasks @ [ { name; status = Some (Fresh body) } ]
+
+let yield () = Effect.perform Yield
+
+let block_until pred = if not (pred ()) then Effect.perform (Block pred)
+
+let live t = List.length (List.filter (fun task -> task.status <> None) t.tasks)
+
+let context_switches t = t.switches
+
+(* Run one step of a task; its effects suspend it back into [status]. *)
+let step t task =
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> task.status <- None);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) -> task.status <- Some (Runnable k))
+          | Block pred ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  task.status <- Some (Blocked (pred, k)))
+          | _ -> None);
+    }
+  in
+  match task.status with
+  | None -> ()
+  | Some (Fresh body) ->
+      t.switches <- t.switches + 1;
+      t.on_context_switch ();
+      Effect.Deep.match_with body () handler
+  | Some (Runnable k) ->
+      (* the fiber keeps its original deep handler: resume bare — a
+         fresh wrapper's retc would clobber the status the original
+         handler records at the next suspension *)
+      t.switches <- t.switches + 1;
+      t.on_context_switch ();
+      task.status <- None (* replaced by the handler if it suspends *);
+      Effect.Deep.continue k ()
+  | Some (Blocked (pred, k)) ->
+      if pred () then begin
+        t.switches <- t.switches + 1;
+        t.on_context_switch ();
+        task.status <- None;
+        Effect.Deep.continue k ()
+      end
+
+let runnable task =
+  match task.status with
+  | Some (Fresh _) | Some (Runnable _) -> true
+  | Some (Blocked (pred, _)) -> pred ()
+  | None -> false
+
+let run t =
+  let progress = ref true in
+  while live t > 0 do
+    if not !progress then
+      raise
+        (Deadlock
+           (List.filter_map (fun task -> if task.status <> None then Some task.name else None) t.tasks));
+    progress := false;
+    List.iter
+      (fun task ->
+        if runnable task then begin
+          progress := true;
+          step t task
+        end)
+      t.tasks
+  done

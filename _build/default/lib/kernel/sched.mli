@@ -1,0 +1,39 @@
+(** Cooperative in-guest scheduler.
+
+    Guest "threads of execution" (process bodies) run as OCaml-5
+    effect-based coroutines: they [yield] at syscall boundaries or
+    [block_until] a condition (data on a socket, a pending
+    connection), and the scheduler round-robins runnable work — so a
+    server and its load generator execute as genuinely interleaved
+    processes instead of hand-written callback turns.
+
+    The scheduler is kernel policy, not hardware: it consumes no
+    simulated cycles itself beyond the context-switch charge the
+    caller supplies. *)
+
+type t
+
+val create : ?on_context_switch:(unit -> unit) -> unit -> t
+(** [on_context_switch] is invoked at every switch between coroutines
+    (charge scheduling costs there). *)
+
+val spawn : t -> name:string -> (unit -> unit) -> unit
+(** Register a coroutine; it starts on the next {!run}. *)
+
+exception Deadlock of string list
+(** Raised by {!run} when every live coroutine is blocked (the list
+    names them). *)
+
+val run : t -> unit
+(** Round-robin until every coroutine has finished. *)
+
+(* Called from inside coroutines: *)
+
+val yield : unit -> unit
+(** Give up the processor voluntarily. *)
+
+val block_until : (unit -> bool) -> unit
+(** Suspend until the predicate holds (re-checked each round). *)
+
+val live : t -> int
+val context_switches : t -> int

@@ -1,0 +1,42 @@
+(** System call numbers and names.
+
+    The 96 calls the paper's SDK prototype supports (§7), with their
+    Linux x86-64 numbers — the common vocabulary between the kernel's
+    dispatcher, the kaudit rule engine, and the enclave SDK's
+    call/type specifications. *)
+
+type t =
+  | Read | Write | Open | Close | Stat | Fstat | Lstat | Poll | Lseek
+  | Mmap | Mprotect | Munmap | Brk | Rt_sigaction | Rt_sigprocmask | Ioctl
+  | Pread64 | Pwrite64 | Readv | Writev | Access | Pipe | Select
+  | Sched_yield | Dup | Dup2 | Nanosleep | Getpid | Sendfile
+  | Socket | Connect | Accept | Sendto | Recvfrom | Sendmsg | Recvmsg
+  | Shutdown | Bind | Listen | Getsockname | Getpeername | Socketpair
+  | Setsockopt | Getsockopt | Clone | Fork | Vfork | Execve | Exit
+  | Wait4 | Kill | Uname | Fcntl | Fsync | Truncate | Ftruncate
+  | Getdents | Getcwd | Chdir | Rename | Mkdir | Rmdir | Creat | Link
+  | Unlink | Symlink | Readlink | Chmod | Fchmod | Chown | Umask
+  | Gettimeofday | Getuid | Getgid | Setuid | Setgid
+  | Geteuid | Getegid | Getppid | Setreuid | Setresuid | Mknod | Statfs
+  | Futex | Clock_gettime | Exit_group | Openat | Mkdirat
+  | Mknodat | Unlinkat | Renameat | Splice | Accept4 | Dup3 | Pipe2
+  | Getrandom
+
+val all : t list
+(** All 96 supported calls. *)
+
+val count : int
+
+val number : t -> int
+(** Linux x86-64 syscall number. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val audit_default_ruleset : t list
+(** The prior-work forensic ruleset the paper's §9.2 CS3 footnote
+    lists (file creation, network access, process execution calls). *)

@@ -1,0 +1,1 @@
+lib/sdk/dlmalloc.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sdk/exitless.ml: Array Guest_kernel Runtime Sanitizer Sevsnp Spec Veil_core

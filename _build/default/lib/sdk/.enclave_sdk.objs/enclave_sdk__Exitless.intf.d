@@ -1,0 +1,1 @@
+lib/sdk/exitless.mli: Guest_kernel Runtime Sevsnp

@@ -1,0 +1,1 @@
+lib/sdk/libc.ml: Bytes Guest_kernel Hashtbl Printf Result Runtime

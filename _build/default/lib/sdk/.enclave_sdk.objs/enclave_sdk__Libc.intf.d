@@ -1,0 +1,1 @@
+lib/sdk/libc.mli: Guest_kernel Runtime

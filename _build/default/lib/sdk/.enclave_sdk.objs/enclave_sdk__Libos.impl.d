@@ -1,0 +1,1 @@
+lib/sdk/libos.ml: Buffer Bytes Guest_kernel Hashtbl Libc List Option Result Runtime Sevsnp String

@@ -1,0 +1,1 @@
+lib/sdk/ltp.ml: Bytes Guest_kernel List Runtime Spec Veil_core

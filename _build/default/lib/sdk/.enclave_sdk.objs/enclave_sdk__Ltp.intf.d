@@ -1,0 +1,1 @@
+lib/sdk/ltp.mli: Guest_kernel Veil_core

@@ -1,0 +1,1 @@
+lib/sdk/runtime.ml: Bytes Dlmalloc Fun Guest_kernel Hypervisor List Printf Sanitizer Sevsnp Spec Veil_core

@@ -1,0 +1,1 @@
+lib/sdk/runtime.mli: Guest_kernel Sevsnp Veil_core

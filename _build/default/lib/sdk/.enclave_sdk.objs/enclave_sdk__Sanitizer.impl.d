@@ -1,0 +1,1 @@
+lib/sdk/sanitizer.ml: Guest_kernel Sevsnp Spec

@@ -1,0 +1,1 @@
+lib/sdk/sanitizer.mli: Guest_kernel Sevsnp Spec

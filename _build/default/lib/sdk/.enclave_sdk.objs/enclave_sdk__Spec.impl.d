@@ -1,0 +1,1 @@
+lib/sdk/spec.ml: Bytes Guest_kernel List Printf String

@@ -1,0 +1,1 @@
+lib/sdk/spec.mli: Guest_kernel

@@ -1,0 +1,93 @@
+module C = Sevsnp.Cycles
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+
+type slot = {
+  mutable req : (S.t * K.arg list) option;
+  mutable res : K.ret option;
+}
+
+type t = {
+  rt : Runtime.t;
+  slots : slot array;
+  mutable next : int;
+  mutable total : int;
+}
+
+type ticket = int
+
+(* The ring logically lives in the shared arena; its slot metadata is
+   modeled as OCaml state while every submit/complete charges the
+   arena-crossing copy costs. *)
+let create rt ~slots =
+  if slots <= 0 then Error "exitless: need at least one slot"
+  else begin
+    let _, _ = Runtime.enclave_range rt in
+    Ok { rt; slots = Array.init slots (fun _ -> { req = None; res = None }); next = 0; total = 0 }
+  end
+
+let charge_enclave t n = Sevsnp.Vcpu.charge (Runtime.system t.rt).Veil_core.Boot.vcpu C.Copy n
+
+let submit t sys args =
+  let spec = Spec.spec_of sys in
+  if not spec.Spec.sdk_supported then Error ("exitless: unsupported call " ^ S.to_string sys)
+  else begin
+    match Sanitizer.check_call spec args with
+    | Error e -> Error ("exitless: " ^ e)
+    | Ok () ->
+        let slot_idx = t.next mod Array.length t.slots in
+        let slot = t.slots.(slot_idx) in
+        if slot.req <> None then Error "exitless: ring full (drain the worker)"
+        else begin
+          (* marshal the request into the shared ring: deep copy, but
+             no domain switch *)
+          charge_enclave t (C.deep_copy_cost (Spec.copy_in_bytes spec args) + 400);
+          slot.req <- Some (sys, args);
+          slot.res <- None;
+          let ticket = t.next in
+          t.next <- t.next + 1;
+          t.total <- t.total + 1;
+          Ok ticket
+        end
+  end
+
+let poll t ticket =
+  let slot = t.slots.(ticket mod Array.length t.slots) in
+  match slot.res with
+  | Some r ->
+      charge_enclave t (C.deep_copy_cost (Spec.copy_out_bytes r) + 200);
+      slot.res <- None;
+      Some r
+  | None -> None
+
+let drain_on t worker =
+  let sys_boot = Runtime.system t.rt in
+  let kernel = sys_boot.Veil_core.Boot.kernel in
+  let completed = ref 0 in
+  Array.iter
+    (fun slot ->
+      match slot.req with
+      | None -> ()
+      | Some (sys, args) ->
+          (* the worker VCPU pays the kernel work (it runs at Dom_UNT
+             already: no switch on the enclave's VCPU) *)
+          Sevsnp.Vcpu.charge worker C.Kernel C.syscall_base;
+          let ret = Guest_kernel.Kernel.invoke kernel (Runtime.proc t.rt) sys args in
+          slot.req <- None;
+          slot.res <- Some ret;
+          incr completed)
+    t.slots;
+  !completed
+
+let await t ~worker ticket =
+  match poll t ticket with
+  | Some r -> r
+  | None ->
+      ignore (drain_on t worker);
+      (match poll t ticket with
+      | Some r -> r
+      | None -> failwith "exitless: completion lost")
+
+let pending t = Array.fold_left (fun acc s -> if s.req <> None then acc + 1 else acc) 0 t.slots
+
+let submitted_total t = t.total

@@ -1,0 +1,44 @@
+(** Minimal enclave libc.
+
+    Thin, typed wrappers over {!Runtime.ocall} mirroring the subset of
+    musl the paper's SDK exposes — file I/O, sockets, memory mapping
+    and console output — plus the in-enclave allocator. *)
+
+type t = Runtime.t
+
+val open_ : t -> string -> flags:int -> mode:int -> (int, Guest_kernel.Ktypes.errno) result
+val close : t -> int -> (unit, Guest_kernel.Ktypes.errno) result
+val read : t -> int -> int -> (bytes, Guest_kernel.Ktypes.errno) result
+val write : t -> int -> bytes -> (int, Guest_kernel.Ktypes.errno) result
+val pread : t -> int -> len:int -> pos:int -> (bytes, Guest_kernel.Ktypes.errno) result
+val pwrite : t -> int -> bytes -> pos:int -> (int, Guest_kernel.Ktypes.errno) result
+val lseek : t -> int -> int -> Guest_kernel.Ktypes.whence -> (int, Guest_kernel.Ktypes.errno) result
+val unlink : t -> string -> (unit, Guest_kernel.Ktypes.errno) result
+
+val mmap : t -> len:int -> prot:int -> (int, Guest_kernel.Ktypes.errno) result
+(** Anonymous mapping in *untrusted* process memory (the IAGO check
+    rejects results inside the enclave). *)
+
+val munmap : t -> va:int -> len:int -> (unit, Guest_kernel.Ktypes.errno) result
+
+val socket : t -> (int, Guest_kernel.Ktypes.errno) result
+val connect : t -> int -> port:int -> (unit, Guest_kernel.Ktypes.errno) result
+val send : t -> int -> bytes -> (int, Guest_kernel.Ktypes.errno) result
+val recv : t -> int -> int -> (bytes, Guest_kernel.Ktypes.errno) result
+
+val printf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Formatted write to the console device. *)
+
+val getrandom : t -> int -> (bytes, Guest_kernel.Ktypes.errno) result
+val getpid : t -> int
+
+val malloc : t -> int -> int option
+val free : t -> int -> unit
+
+(* Standard open flags (Linux-compatible bit values). *)
+val o_rdonly : int
+val o_wronly : int
+val o_rdwr : int
+val o_creat : int
+val o_trunc : int
+val o_append : int

@@ -1,0 +1,33 @@
+(** LTP-style system-call robustness suite (§7).
+
+    Mirrors the paper's evaluation of the SDK against the Linux Test
+    Project: for every one of the 96 calls, a battery of positive and
+    negative cases runs *inside an enclave* through the redirection
+    path.  A case passes when the call behaves per specification
+    (correct result or the right errno); calls the single-threaded SDK
+    does not support kill the enclave, failing all of their cases —
+    exactly the prototype's behaviour. *)
+
+type result = {
+  lsys : Guest_kernel.Sysno.t;
+  total : int;
+  passed : int;
+  killed : bool;  (** the enclave died on this call *)
+}
+
+type summary = {
+  calls_total : int;
+  calls_all_passed : int;  (** the paper reports 85/96 *)
+  cases_total : int;
+  cases_passed : int;
+}
+
+val cases_for : Guest_kernel.Sysno.t -> int
+(** Number of battery cases defined for a call (>= 2 for every call). *)
+
+val run_one : Veil_core.Boot.veil_system -> Guest_kernel.Sysno.t -> result
+(** Fresh enclave, run the call's battery. *)
+
+val run_all : Veil_core.Boot.veil_system -> result list
+
+val summarize : result list -> summary

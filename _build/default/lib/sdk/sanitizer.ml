@@ -1,0 +1,29 @@
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+
+let check_call = Spec.validate_args
+
+let returns_address (sys : S.t) = match sys with S.Mmap | S.Brk -> true | _ -> false
+
+let iago_check (spec : Spec.t) (ret : K.ret) ~enclave_lo ~enclave_hi =
+  match ret with
+  | K.RErr _ -> Ok ()
+  | K.RInt v when returns_address spec.Spec.sys ->
+      if v land (Sevsnp.Types.page_size - 1) <> 0 && S.equal spec.Spec.sys S.Mmap then
+        Error "IAGO: unaligned address returned by mmap"
+      else if v + Sevsnp.Types.page_size > enclave_lo && v < enclave_hi then
+        Error "IAGO: OS returned a pointer into enclave memory"
+      else Ok ()
+  | K.RInt _ | K.RBuf _ | K.RStat _ -> Ok ()
+
+(* Differences against the mechanically derived grammar that unit
+   tests uncovered; each entry documents the refinement applied. *)
+let refinements =
+  [
+    (S.Write, "third argument bounds the second (buffer) — length taken from the buffer itself");
+    (S.Read, "return value, not the requested length, bounds the copy-in");
+    (S.Getcwd, "output buffer length is implicit; treated as returns_buf");
+    (S.Ioctl, "request-dependent trailing arguments passed as opaque rest");
+    (S.Mmap, "fd = -1 (anonymous) must skip the file-backed copy grammar");
+    (S.Recvfrom, "address/addrlen out-parameters dropped for connected sockets");
+  ]

@@ -1,0 +1,22 @@
+(** Boundary sanitisation for redirected system calls (§6.2, §7).
+
+    Checks performed by the SDK on top of the {!Spec} grammar: deep
+    argument validation before a call leaves the enclave, and IAGO
+    checks on values the untrusted OS returns (pointers handed back by
+    mmap/brk must never land inside enclave memory). *)
+
+val check_call : Spec.t -> Guest_kernel.Ktypes.arg list -> (unit, string) result
+
+val iago_check :
+  Spec.t ->
+  Guest_kernel.Ktypes.ret ->
+  enclave_lo:Sevsnp.Types.va ->
+  enclave_hi:Sevsnp.Types.va ->
+  (unit, string) result
+(** Reject returns that reference enclave memory (classic IAGO
+    vector): for address-returning calls the result must be
+    page-aligned and fully outside [enclave_lo, enclave_hi). *)
+
+val refinements : (Guest_kernel.Sysno.t * string) list
+(** Hand-refined discrepancies versus the mechanical Syzkaller-derived
+    grammar, found by unit tests (the paper reports several). *)

@@ -1,0 +1,164 @@
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+
+type shape = S_int | S_str | S_buf_in | S_len_out | S_rest
+
+type t = { sys : S.t; shapes : shape list; returns_buf : bool; sdk_supported : bool }
+
+let mk ?(ret_buf = false) ?(supported = true) sys shapes =
+  { sys; shapes; returns_buf = ret_buf; sdk_supported = supported }
+
+(* The "call specification": positional shapes matching the kernel ABI
+   in Guest_kernel.Kernel.dispatch. *)
+let table =
+  [
+    mk S.Read [ S_int; S_len_out ] ~ret_buf:true;
+    mk S.Write [ S_int; S_buf_in ];
+    mk S.Open [ S_str; S_int; S_int ];
+    mk S.Close [ S_int ];
+    mk S.Stat [ S_str ];
+    mk S.Fstat [ S_int ];
+    mk S.Lstat [ S_str ];
+    mk S.Poll [ S_rest ] ~supported:false;
+    mk S.Lseek [ S_int; S_int; S_int ];
+    mk S.Mmap [ S_int; S_int; S_int; S_int; S_int; S_int ];
+    mk S.Mprotect [ S_int; S_int; S_int ];
+    mk S.Munmap [ S_int; S_int ];
+    mk S.Brk [ S_int ];
+    mk S.Rt_sigaction [ S_rest ] ~supported:false;
+    mk S.Rt_sigprocmask [ S_rest ] ~supported:false;
+    mk S.Ioctl [ S_int; S_int; S_rest ];
+    mk S.Pread64 [ S_int; S_len_out; S_int ] ~ret_buf:true;
+    mk S.Pwrite64 [ S_int; S_buf_in; S_int ];
+    mk S.Readv [ S_int; S_len_out ] ~ret_buf:true;
+    mk S.Writev [ S_int; S_buf_in ];
+    mk S.Access [ S_str ];
+    mk S.Pipe [];
+    mk S.Select [ S_rest ] ~supported:false;
+    mk S.Sched_yield [];
+    mk S.Dup [ S_int ];
+    mk S.Dup2 [ S_int; S_int ];
+    mk S.Nanosleep [ S_int ];
+    mk S.Getpid [];
+    mk S.Sendfile [ S_int; S_int; S_int ];
+    mk S.Socket [ S_int; S_int; S_int ];
+    mk S.Connect [ S_int; S_int ];
+    mk S.Accept [ S_int ];
+    mk S.Sendto [ S_int; S_buf_in ];
+    mk S.Recvfrom [ S_int; S_len_out ] ~ret_buf:true;
+    mk S.Sendmsg [ S_int; S_buf_in ];
+    mk S.Recvmsg [ S_int; S_len_out ] ~ret_buf:true;
+    mk S.Shutdown [ S_int ];
+    mk S.Bind [ S_int; S_int ];
+    mk S.Listen [ S_int; S_int ];
+    mk S.Getsockname [ S_int ];
+    mk S.Getpeername [ S_int ];
+    mk S.Socketpair [];
+    mk S.Setsockopt [ S_int; S_int; S_int ];
+    mk S.Getsockopt [ S_int; S_int; S_int ];
+    mk S.Clone [] ~supported:false;
+    mk S.Fork [] ~supported:false;
+    mk S.Vfork [] ~supported:false;
+    mk S.Execve [ S_str ] ~supported:false;
+    mk S.Exit [ S_int ];
+    mk S.Wait4 [ S_int ] ~supported:false;
+    mk S.Kill [ S_int; S_int ] ~supported:false;
+    mk S.Uname [] ~ret_buf:true;
+    mk S.Fcntl [ S_int; S_int ];
+    mk S.Fsync [ S_int ];
+    mk S.Truncate [ S_str; S_int ];
+    mk S.Ftruncate [ S_int; S_int ];
+    mk S.Getdents [ S_int ] ~ret_buf:true;
+    mk S.Getcwd [] ~ret_buf:true;
+    mk S.Chdir [ S_str ];
+    mk S.Rename [ S_str; S_str ];
+    mk S.Mkdir [ S_str; S_int ];
+    mk S.Rmdir [ S_str ];
+    mk S.Creat [ S_str; S_int ];
+    mk S.Link [ S_str; S_str ];
+    mk S.Unlink [ S_str ];
+    mk S.Symlink [ S_str; S_str ];
+    mk S.Readlink [ S_str ] ~ret_buf:true;
+    mk S.Chmod [ S_str; S_int ];
+    mk S.Fchmod [ S_int; S_int ];
+    mk S.Chown [ S_str; S_int; S_int ];
+    mk S.Umask [ S_int ];
+    mk S.Gettimeofday [];
+    mk S.Getuid [];
+    mk S.Getgid [];
+    mk S.Setuid [ S_int ];
+    mk S.Setgid [ S_int ];
+    mk S.Geteuid [];
+    mk S.Getegid [];
+    mk S.Getppid [];
+    mk S.Setreuid [ S_int; S_int ];
+    mk S.Setresuid [ S_int; S_int; S_int ];
+    mk S.Mknod [ S_str; S_int; S_int ];
+    mk S.Statfs [ S_str ];
+    mk S.Futex [ S_rest ] ~supported:false;
+    mk S.Clock_gettime [];
+    mk S.Exit_group [ S_int ];
+    mk S.Openat [ S_int; S_str; S_int; S_int ];
+    mk S.Mkdirat [ S_int; S_str; S_int ];
+    mk S.Mknodat [ S_int; S_str; S_int; S_int ];
+    mk S.Unlinkat [ S_int; S_str ];
+    mk S.Renameat [ S_str; S_str ];
+    mk S.Splice [ S_int; S_int; S_int ];
+    mk S.Accept4 [ S_int ];
+    mk S.Dup3 [ S_int; S_int ];
+    mk S.Pipe2 [];
+    mk S.Getrandom [ S_len_out ] ~ret_buf:true;
+  ]
+
+let spec_of sys =
+  match List.find_opt (fun s -> S.equal s.sys sys) table with
+  | Some s -> s
+  | None -> invalid_arg ("Spec.spec_of: no specification for " ^ S.to_string sys)
+
+let all = table
+
+let unsupported = List.filter_map (fun s -> if s.sdk_supported then None else Some s.sys) table
+
+let supported_count = List.length table - List.length unsupported
+
+let shape_matches shape (arg : K.arg) =
+  match (shape, arg) with
+  | S_int, K.Int _ -> true
+  | S_str, K.Str _ -> true
+  | S_buf_in, K.Buf _ -> true
+  | S_len_out, K.Int n -> n >= 0
+  | S_rest, _ -> true
+  | _ -> false
+
+let validate_args t args =
+  let rec go shapes args pos =
+    match (shapes, args) with
+    | [], [] -> Ok ()
+    | [ S_rest ], _ -> Ok () (* trailing opaque arguments *)
+    | [], _ :: _ -> Error "too many arguments"
+    | _ :: _, [] -> Error "missing arguments"
+    | shape :: ss, arg :: aa ->
+        if shape_matches shape arg then go ss aa (pos + 1)
+        else Error (Printf.sprintf "argument %d has the wrong type" pos)
+  in
+  go t.shapes args 0
+
+let arg_bytes (arg : K.arg) shape =
+  match (shape, arg) with
+  | S_str, K.Str s -> String.length s + 1
+  | S_buf_in, K.Buf b -> Bytes.length b
+  | _ -> 8
+
+let copy_in_bytes t args =
+  let rec go shapes args acc =
+    match (shapes, args) with
+    | shape :: ss, arg :: aa -> go ss aa (acc + arg_bytes arg shape)
+    | _ -> acc
+  in
+  go t.shapes args 0
+
+let copy_out_bytes (ret : K.ret) =
+  match ret with
+  | K.RBuf b -> Bytes.length b
+  | K.RStat _ -> 64
+  | K.RInt _ | K.RErr _ -> 8

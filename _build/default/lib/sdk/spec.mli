@@ -1,0 +1,43 @@
+(** System-call call/type specifications (§7).
+
+    The paper derives per-syscall marshaling grammar from Syzkaller's
+    call and type specifications; this module is that table for the
+    96-call SDK surface.  Each spec describes the argument shapes (so
+    the sanitizer can deep-copy exactly the right bytes across the
+    enclave boundary), whether the call returns a buffer, and whether
+    the single-threaded SDK supports it at all (unsupported calls kill
+    the enclave, as in the prototype). *)
+
+(** Shape of one positional argument in the kernel ABI. *)
+type shape =
+  | S_int  (** scalar, passed by value *)
+  | S_str  (** NUL-terminated string copied into untrusted memory *)
+  | S_buf_in  (** caller buffer copied out of the enclave *)
+  | S_len_out  (** scalar that bounds the buffer the call returns *)
+  | S_rest  (** trailing arguments passed through opaquely (ioctl) *)
+
+type t = {
+  sys : Guest_kernel.Sysno.t;
+  shapes : shape list;
+  returns_buf : bool;  (** result carries a buffer to copy back in *)
+  sdk_supported : bool;  (** false: multi-process/signals/poll — enclave is killed *)
+}
+
+val spec_of : Guest_kernel.Sysno.t -> t
+val all : t list
+
+val supported_count : int
+(** How many of the 96 calls the SDK supports (the paper reports
+    85/96 passing robustness tests). *)
+
+val unsupported : Guest_kernel.Sysno.t list
+
+val validate_args : t -> Guest_kernel.Ktypes.arg list -> (unit, string) result
+(** Deep argument validation against the shape list: arity and per
+    -position type agreement (the "call specification" check). *)
+
+val copy_in_bytes : t -> Guest_kernel.Ktypes.arg list -> int
+(** Bytes that must cross from enclave to untrusted memory. *)
+
+val copy_out_bytes : Guest_kernel.Ktypes.ret -> int
+(** Bytes crossing back on return. *)

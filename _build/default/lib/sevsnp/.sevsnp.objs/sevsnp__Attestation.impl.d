@@ -1,0 +1,1 @@
+lib/sevsnp/attestation.ml: Types Veil_crypto

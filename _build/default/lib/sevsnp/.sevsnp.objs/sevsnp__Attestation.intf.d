@@ -1,0 +1,1 @@
+lib/sevsnp/attestation.mli: Types Veil_crypto

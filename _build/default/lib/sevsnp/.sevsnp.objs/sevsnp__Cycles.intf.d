@@ -1,0 +1,1 @@
+lib/sevsnp/cycles.mli:

@@ -1,0 +1,1 @@
+lib/sevsnp/ghcb.ml: Bytes Types

@@ -1,0 +1,1 @@
+lib/sevsnp/pagetable.ml: List Printf Types

@@ -1,0 +1,1 @@
+lib/sevsnp/perm.ml: Format Types

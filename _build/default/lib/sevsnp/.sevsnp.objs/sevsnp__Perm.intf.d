@@ -1,0 +1,1 @@
+lib/sevsnp/perm.mli: Format Types

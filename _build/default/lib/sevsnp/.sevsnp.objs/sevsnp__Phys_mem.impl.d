@@ -1,0 +1,1 @@
+lib/sevsnp/phys_mem.ml: Bytes Char Hashtbl Printf Types

@@ -1,0 +1,1 @@
+lib/sevsnp/phys_mem.mli: Types

@@ -1,0 +1,1 @@
+lib/sevsnp/platform.ml: Attestation Bytes Cycles Format Ghcb Hashtbl List Pagetable Phys_mem Printf Rmp Types Vcpu Veil_crypto Vmsa

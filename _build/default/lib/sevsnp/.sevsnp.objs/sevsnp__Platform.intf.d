@@ -1,0 +1,1 @@
+lib/sevsnp/platform.mli: Attestation Cycles Ghcb Hashtbl Pagetable Perm Phys_mem Rmp Types Vcpu Veil_crypto Vmsa

@@ -1,0 +1,1 @@
+lib/sevsnp/rmp.ml: Array Format Hashtbl Perm Printf Types

@@ -1,0 +1,1 @@
+lib/sevsnp/rmp.mli: Perm Types

@@ -1,0 +1,1 @@
+lib/sevsnp/types.mli: Format

@@ -1,0 +1,1 @@
+lib/sevsnp/vcpu.ml: Cycles Printf Vmsa

@@ -1,0 +1,1 @@
+lib/sevsnp/vcpu.mli: Cycles Types Vmsa

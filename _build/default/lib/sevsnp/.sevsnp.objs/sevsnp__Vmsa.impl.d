@@ -1,0 +1,1 @@
+lib/sevsnp/vmsa.ml: Array Format Types

@@ -1,0 +1,1 @@
+lib/sevsnp/vmsa.mli: Format Types

@@ -1,0 +1,41 @@
+type report = {
+  launch_measurement : bytes;
+  requester_vmpl : Types.vmpl;
+  report_data : bytes;
+  signature : Veil_crypto.Schnorr.signature;
+}
+
+type t = {
+  rng : Veil_crypto.Rng.t;
+  key : Veil_crypto.Schnorr.keypair;
+  mutable launch : bytes option;
+}
+
+let create rng = { rng; key = Veil_crypto.Schnorr.keygen rng; launch = None }
+
+let platform_public_key t = t.key.Veil_crypto.Schnorr.public
+
+let record_launch t ~measurement = t.launch <- Some measurement
+
+let launch_measurement t = t.launch
+
+let message ~launch ~vmpl ~data =
+  let m = Veil_crypto.Measurement.create ~domain:"sev-snp-attestation-report" in
+  Veil_crypto.Measurement.add_bytes m ~label:"launch" launch;
+  Veil_crypto.Measurement.add_int m ~label:"vmpl" (Types.vmpl_index vmpl);
+  Veil_crypto.Measurement.add_bytes m ~label:"report-data" data;
+  Veil_crypto.Measurement.digest m
+
+let report_message r =
+  message ~launch:r.launch_measurement ~vmpl:r.requester_vmpl ~data:r.report_data
+
+let report t ~requester_vmpl ~report_data =
+  match t.launch with
+  | None -> failwith "attestation: no launch measurement recorded"
+  | Some launch ->
+      let msg = message ~launch ~vmpl:requester_vmpl ~data:report_data in
+      let signature = Veil_crypto.Schnorr.sign t.rng ~secret:t.key.Veil_crypto.Schnorr.secret msg in
+      { launch_measurement = launch; requester_vmpl; report_data; signature }
+
+let verify ~public_key r =
+  Veil_crypto.Schnorr.verify ~public:public_key ~msg:(report_message r) r.signature

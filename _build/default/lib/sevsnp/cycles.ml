@@ -1,0 +1,80 @@
+type bucket = Compute | Switch | Copy | Kernel | Monitor | Crypto | Io | Other
+
+let bucket_index = function
+  | Compute -> 0
+  | Switch -> 1
+  | Copy -> 2
+  | Kernel -> 3
+  | Monitor -> 4
+  | Crypto -> 5
+  | Io -> 6
+  | Other -> 7
+
+let buckets = [| Compute; Switch; Copy; Kernel; Monitor; Crypto; Io; Other |]
+
+type counter = { mutable total : int; by : int array }
+
+let create_counter () = { total = 0; by = Array.make 8 0 }
+
+let charge c b n =
+  assert (n >= 0);
+  c.total <- c.total + n;
+  c.by.(bucket_index b) <- c.by.(bucket_index b) + n
+
+let total c = c.total
+let read_bucket c b = c.by.(bucket_index b)
+
+let reset c =
+  c.total <- 0;
+  Array.fill c.by 0 8 0
+
+let snapshot c = Array.to_list (Array.map (fun b -> (b, read_bucket c b)) buckets)
+
+let freq_hz = 2_400_000_000
+
+let seconds_of_cycles n = float_of_int n /. float_of_int freq_hz
+
+(* Calibration anchors (§9.1): VMCALL round trip = 1100; full SNP
+   domain switch = 7135, dominated by VMSA save/restore. *)
+let vmcall_roundtrip = 1100
+let automatic_exit = 550
+let vmsa_save = 2450
+let vmsa_restore = 2450
+let ghcb_msr_protocol = 200
+let hv_switch_logic = 935
+
+let domain_switch =
+  (* exit: base + state save + GHCB; host logic; enter: base + restore *)
+  automatic_exit + vmsa_save + ghcb_msr_protocol + hv_switch_logic + automatic_exit + vmsa_restore
+
+(* RMPADJUST: instruction plus a one-time touch of the target frame
+   (subsequent adjusts of the same frame hit the cache).  Veil's boot
+   sweep issues two adjusts per frame (Dom_UNT grant + Dom_SEC read
+   grant): 2*1200 + 4000 = 6400 cycles/page; a 2 GB guest has 524288
+   pages, so the sweep costs ~3.36e9 cycles = 1.40 s @ 2.4 GHz — ~70%
+   of the measured ~2 s initialization increase (§9.1). *)
+let rmpadjust_insn = 1200
+let rmpadjust_page_touch = 4000
+let pvalidate = 800
+let npf_exit = 2200
+let interrupt_delivery = 1500
+
+let syscall_base = 1800
+
+let copy_cost n = 3 * n
+(* CVM kernel copies run through SWIOTLB bounce buffers and C-bit
+   aware mappings: ~3 cycles/byte. *)
+
+let deep_copy_cost n = 12 * n
+(* Spec-driven deep copy across the enclave boundary (allocation,
+   pointer chasing, bounds checks): ~12 cycles/byte — what Fig. 5's
+   lighttpd redirect share implies. *)
+
+let kaudit_format = 11_000
+(* Building one kaudit SYSCALL record (field formatting, context
+   capture); calibrated against Fig. 6's Kaudit bars. *)
+let hash_cost n = 12 * n
+let cipher_cost n = 4 * n
+let io_cost n = 9000 + (n / 2) (* virtio request + DMA-ish per-byte *)
+
+let native_cvm_boot = 37_000_000_000

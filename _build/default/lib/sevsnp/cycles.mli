@@ -1,0 +1,98 @@
+(** Cycle-cost model and per-VCPU accounting.
+
+    All simulator time is expressed in CPU cycles of the paper's
+    evaluation machine (AMD EPYC 7313P, 2.4 GHz guest-visible clock).
+    Constants are calibrated against the measurements the paper anchors
+    (§9.1): a plain VMCALL round trip costs ~1100 cycles, a
+    hypervisor-relayed SNP domain switch ~7135 cycles, and RMPADJUST
+    over every guest page dominates the ~2 s Veil boot-time increase.
+    See EXPERIMENTS.md for the calibration table. *)
+
+(** Attribution bucket for a charge, used to decompose overheads
+    (e.g. Fig. 5 separates syscall-redirect copies from enclave
+    exits). *)
+type bucket =
+  | Compute  (** guest user/kernel computation *)
+  | Switch  (** world switches: VMGEXIT/VMENTER, VMSA save/restore *)
+  | Copy  (** cross-domain argument/result copies *)
+  | Kernel  (** in-kernel syscall work *)
+  | Monitor  (** VeilMon / protected-service processing *)
+  | Crypto  (** hashing, encryption, signatures *)
+  | Io  (** simulated device I/O *)
+  | Other
+
+type counter
+
+val create_counter : unit -> counter
+val charge : counter -> bucket -> int -> unit
+val total : counter -> int
+val read_bucket : counter -> bucket -> int
+val reset : counter -> unit
+val snapshot : counter -> (bucket * int) list
+
+val freq_hz : int
+(** Guest clock: 2.4 GHz. *)
+
+val seconds_of_cycles : int -> float
+
+(* Architectural event costs *)
+
+val vmcall_roundtrip : int
+(** Non-SNP VM exit + resume (the paper's 1100-cycle baseline). *)
+
+val automatic_exit : int
+(** One direction of a legacy world switch. *)
+
+val vmsa_save : int
+(** Encrypt + store full VCPU state to the VMSA on VMGEXIT. *)
+
+val vmsa_restore : int
+(** Load + decrypt VCPU state from a VMSA on VMENTER. *)
+
+val ghcb_msr_protocol : int
+(** Writing the GHCB MSR and the request block. *)
+
+val hv_switch_logic : int
+(** Host-side handling of a domain-switch hypercall. *)
+
+val domain_switch : int
+(** Full hypervisor-relayed domain switch; calibrated to 7135. *)
+
+val rmpadjust_insn : int
+(** RMPADJUST instruction proper. *)
+
+val rmpadjust_page_touch : int
+(** Memory access to the target page that RMPADJUST incurs (the §9.1
+    boot-time analysis attributes >70% of boot cost to this). *)
+
+val pvalidate : int
+val npf_exit : int
+val interrupt_delivery : int
+
+(* Software event costs *)
+
+val syscall_base : int
+(** Kernel entry/exit + dispatch for one system call. *)
+
+val copy_cost : int -> int
+(** [copy_cost n] cycles for an in-kernel copy of [n] bytes (bounce
+    -buffered CVM I/O path). *)
+
+val deep_copy_cost : int -> int
+(** Spec-driven deep copy of [n] bytes across the enclave boundary. *)
+
+val kaudit_format : int
+(** Cost of formatting one kaudit record. *)
+
+val hash_cost : int -> int
+(** SHA-256 software cost over [n] bytes. *)
+
+val cipher_cost : int -> int
+(** ChaCha20 software cost over [n] bytes. *)
+
+val io_cost : int -> int
+(** Device I/O (virtio) cost for [n] bytes. *)
+
+val native_cvm_boot : int
+(** Whole native CVM boot (the paper's ~15 s baseline against which the
+    +2 s Veil initialization is a 13% increase). *)

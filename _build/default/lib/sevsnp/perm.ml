@@ -1,0 +1,42 @@
+type t = { read : bool; write : bool; user_exec : bool; super_exec : bool }
+
+let none = { read = false; write = false; user_exec = false; super_exec = false }
+let all = { read = true; write = true; user_exec = true; super_exec = true }
+let ro = { none with read = true }
+let rw = { none with read = true; write = true }
+let rx = { none with read = true; user_exec = true; super_exec = true }
+let r_user_exec = { none with read = true; user_exec = true }
+
+let allows t access cpl =
+  match (access : Types.access) with
+  | Types.Read -> t.read
+  | Types.Write -> t.write
+  | Types.Execute -> ( match (cpl : Types.cpl) with Types.Cpl0 -> t.super_exec | Types.Cpl3 -> t.user_exec)
+
+let subset a b =
+  (not a.read || b.read)
+  && (not a.write || b.write)
+  && (not a.user_exec || b.user_exec)
+  && (not a.super_exec || b.super_exec)
+
+let union a b =
+  {
+    read = a.read || b.read;
+    write = a.write || b.write;
+    user_exec = a.user_exec || b.user_exec;
+    super_exec = a.super_exec || b.super_exec;
+  }
+
+let inter a b =
+  {
+    read = a.read && b.read;
+    write = a.write && b.write;
+    user_exec = a.user_exec && b.user_exec;
+    super_exec = a.super_exec && b.super_exec;
+  }
+
+let equal (a : t) b = a = b
+
+let pp fmt t =
+  let c b ch = if b then ch else '-' in
+  Format.fprintf fmt "%c%c%c%c" (c t.read 'r') (c t.write 'w') (c t.user_exec 'u') (c t.super_exec 's')

@@ -1,0 +1,82 @@
+type t = { npages : int; frames : (int, bytes) Hashtbl.t }
+
+let create ~npages =
+  if npages <= 0 then invalid_arg "Phys_mem.create";
+  { npages; frames = Hashtbl.create 1024 }
+
+let npages t = t.npages
+let bytes_size t = t.npages * Types.page_size
+
+let valid_gpa t gpa = gpa >= 0 && gpa < bytes_size t
+
+let frame t gpfn =
+  match Hashtbl.find_opt t.frames gpfn with
+  | Some f -> f
+  | None ->
+      let f = Bytes.make Types.page_size '\000' in
+      Hashtbl.replace t.frames gpfn f;
+      f
+
+let check_range t gpa len =
+  if len < 0 || gpa < 0 || gpa + len > bytes_size t then
+    invalid_arg (Printf.sprintf "Phys_mem: access 0x%x+%d out of range" gpa len)
+
+let read t gpa len =
+  check_range t gpa len;
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = gpa + !pos in
+    let off = Types.page_offset a in
+    let n = min (len - !pos) (Types.page_size - off) in
+    (match Hashtbl.find_opt t.frames (Types.gpfn_of_gpa a) with
+    | Some f -> Bytes.blit f off out !pos n
+    | None -> Bytes.fill out !pos n '\000');
+    pos := !pos + n
+  done;
+  out
+
+let write t gpa data =
+  let len = Bytes.length data in
+  check_range t gpa len;
+  let pos = ref 0 in
+  while !pos < len do
+    let a = gpa + !pos in
+    let off = Types.page_offset a in
+    let n = min (len - !pos) (Types.page_size - off) in
+    Bytes.blit data !pos (frame t (Types.gpfn_of_gpa a)) off n;
+    pos := !pos + n
+  done
+
+let read_byte t gpa =
+  check_range t gpa 1;
+  match Hashtbl.find_opt t.frames (Types.gpfn_of_gpa gpa) with
+  | Some f -> Char.code (Bytes.get f (Types.page_offset gpa))
+  | None -> 0
+
+let write_byte t gpa v =
+  check_range t gpa 1;
+  Bytes.set (frame t (Types.gpfn_of_gpa gpa)) (Types.page_offset gpa) (Char.chr (v land 0xff))
+
+let read_u64 t gpa =
+  let b = read t gpa 8 in
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  !v land max_int
+
+let write_u64 t gpa v =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
+  done;
+  write t gpa b
+
+let zero_page t gpfn =
+  if gpfn < 0 || gpfn >= t.npages then invalid_arg "Phys_mem.zero_page";
+  match Hashtbl.find_opt t.frames gpfn with
+  | Some f -> Bytes.fill f 0 Types.page_size '\000'
+  | None -> ()
+
+let page_is_materialized t gpfn = Hashtbl.mem t.frames gpfn

@@ -1,0 +1,36 @@
+(** Guest-physical memory.
+
+    Sparse: page frames are materialized on first touch so that a 2 GB
+    guest costs nothing until pages are used.  This module performs no
+    permission checking — that is {!Rmp} / {!Platform} territory; it is
+    the raw encrypted DRAM of the CVM. *)
+
+type t
+
+val create : npages:int -> t
+
+val npages : t -> int
+val bytes_size : t -> int
+
+val valid_gpa : t -> Types.gpa -> bool
+
+val read : t -> Types.gpa -> int -> bytes
+(** [read t gpa len] copies [len] bytes.  Raises [Invalid_argument] on
+    out-of-range access. *)
+
+val write : t -> Types.gpa -> bytes -> unit
+
+val read_byte : t -> Types.gpa -> int
+val write_byte : t -> Types.gpa -> int -> unit
+
+val read_u64 : t -> Types.gpa -> int
+(** Little-endian 8-byte load truncated to OCaml's 63-bit int (the
+    simulator never uses the top bit). *)
+
+val write_u64 : t -> Types.gpa -> int -> unit
+
+val zero_page : t -> Types.gpfn -> unit
+
+val page_is_materialized : t -> Types.gpfn -> bool
+(** True when the frame has been touched (used by tests and by the
+    boot-cost model to distinguish touched pages). *)

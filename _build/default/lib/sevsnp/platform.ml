@@ -1,0 +1,274 @@
+type t = {
+  mem : Phys_mem.t;
+  rmp : Rmp.t;
+  mutable vcpus : Vcpu.t list;
+  ghcbs : (Types.gpfn, Ghcb.t) Hashtbl.t;
+  attestation : Attestation.t;
+  rng : Veil_crypto.Rng.t;
+  mutable halted : string option;
+  mutable exit_handler : (Vcpu.t -> unit) option;
+  mutable npf_count : int;
+  vmsa_table : (Types.gpfn, Vmsa.t) Hashtbl.t;
+}
+
+exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
+
+let create ?(seed = 7) ~npages () =
+  let rng = Veil_crypto.Rng.create seed in
+  {
+    mem = Phys_mem.create ~npages;
+    rmp = Rmp.create ~npages;
+    vcpus = [];
+    ghcbs = Hashtbl.create 8;
+    attestation = Attestation.create (Veil_crypto.Rng.split rng);
+    rng;
+    halted = None;
+    exit_handler = None;
+    npf_count = 0;
+    vmsa_table = Hashtbl.create 16;
+  }
+
+let halt t reason =
+  if t.halted = None then t.halted <- Some reason;
+  raise (Types.Cvm_halted reason)
+
+let check_running t = match t.halted with None -> () | Some r -> raise (Types.Cvm_halted r)
+
+let is_halted t = t.halted
+
+let raise_npf t info =
+  t.npf_count <- t.npf_count + 1;
+  t.halted <- Some (Format.asprintf "%a" Types.pp_npf info);
+  raise (Types.Npf info)
+
+(* --- launch --- *)
+
+let launch_load t ~entry_name segments =
+  let m = Veil_crypto.Measurement.create ~domain:"cvm-launch" in
+  Veil_crypto.Measurement.add_string m ~label:"entry" entry_name;
+  List.iter
+    (fun (gpa, data) ->
+      let first = Types.gpfn_of_gpa gpa and last = Types.gpfn_of_gpa (gpa + Bytes.length data - 1) in
+      for gpfn = first to last do
+        Rmp.validate t.rmp gpfn
+      done;
+      Phys_mem.write t.mem gpa data;
+      Veil_crypto.Measurement.add_int m ~label:"gpa" gpa;
+      Veil_crypto.Measurement.add_bytes m ~label:"segment" data)
+    segments;
+  Attestation.record_launch t.attestation ~measurement:(Veil_crypto.Measurement.digest m)
+
+let add_boot_vcpu t =
+  assert (t.vcpus = []);
+  let v = Vcpu.create ~id:0 in
+  t.vcpus <- [ v ];
+  v
+
+let add_vcpu t =
+  let id = List.length t.vcpus in
+  let v = Vcpu.create ~id in
+  t.vcpus <- t.vcpus @ [ v ];
+  v
+
+(* --- checked guest access --- *)
+
+let check_page t vcpu gpfn access =
+  match
+    Rmp.check_guest_access t.rmp ~gpfn ~vmpl:(Vcpu.vmpl vcpu) ~cpl:(Vcpu.cpl vcpu) ~access
+  with
+  | Ok () -> ()
+  | Error info -> raise_npf t info
+
+let check_range t vcpu gpa len access =
+  if len > 0 then begin
+    let first = Types.gpfn_of_gpa gpa and last = Types.gpfn_of_gpa (gpa + len - 1) in
+    for gpfn = first to last do
+      check_page t vcpu gpfn access
+    done
+  end
+
+let read t vcpu gpa len =
+  check_running t;
+  check_range t vcpu gpa len Types.Read;
+  Phys_mem.read t.mem gpa len
+
+let write t vcpu gpa data =
+  check_running t;
+  check_range t vcpu gpa (Bytes.length data) Types.Write;
+  Phys_mem.write t.mem gpa data
+
+let read_u64 t vcpu gpa =
+  check_running t;
+  check_range t vcpu gpa 8 Types.Read;
+  Phys_mem.read_u64 t.mem gpa
+
+let write_u64 t vcpu gpa v =
+  check_running t;
+  check_range t vcpu gpa 8 Types.Write;
+  Phys_mem.write_u64 t.mem gpa v
+
+let check_exec t vcpu gpa =
+  check_running t;
+  check_page t vcpu (Types.gpfn_of_gpa gpa) Types.Execute
+
+let raw_pt_read t gpa = Phys_mem.read_u64 t.mem gpa
+
+let translate t ~root va = Pagetable.walk ~read_u64:(raw_pt_read t) ~root va
+
+let pt_access_ok (vcpu : Vcpu.t) (pte : Pagetable.pte) access =
+  let f = pte.Pagetable.pte_flags in
+  let user = Vcpu.cpl vcpu = Types.Cpl3 in
+  (not (user && not f.Pagetable.user))
+  && (match access with Types.Write -> f.Pagetable.writable | Types.Read -> true | Types.Execute -> not f.Pagetable.nx)
+
+let via_pt t vcpu ~root va len access k =
+  check_running t;
+  let pos = ref 0 in
+  while !pos < len do
+    let a = va + !pos in
+    let off = Types.page_offset a in
+    let n = min (len - !pos) (Types.page_size - off) in
+    (match translate t ~root (a - off) with
+    | None -> raise (Guest_page_fault { fault_va = a; fault_access = access })
+    | Some pte ->
+        if not (pt_access_ok vcpu pte access) then raise (Guest_page_fault { fault_va = a; fault_access = access });
+        check_page t vcpu pte.Pagetable.pte_gpfn access;
+        k ~gpa:(Types.gpa_of_gpfn pte.Pagetable.pte_gpfn + off) ~pos:!pos ~len:n);
+    pos := !pos + n
+  done
+
+let read_via_pt t vcpu ~root va len =
+  let out = Bytes.create len in
+  via_pt t vcpu ~root va len Types.Read (fun ~gpa ~pos ~len ->
+      Bytes.blit (Phys_mem.read t.mem gpa len) 0 out pos len);
+  out
+
+let write_via_pt t vcpu ~root va data =
+  via_pt t vcpu ~root va (Bytes.length data) Types.Write (fun ~gpa ~pos ~len ->
+      Phys_mem.write t.mem gpa (Bytes.sub data pos len))
+
+(* --- instructions --- *)
+
+let rmpadjust t vcpu ?(bucket = Cycles.Other) ~gpfn ~target ~perms ~vmsa () =
+  check_running t;
+  let touch =
+    if gpfn >= 0 && gpfn < Rmp.npages t.rmp then begin
+      let e = Rmp.entry t.rmp gpfn in
+      let cold = not e.Rmp.touched in
+      e.Rmp.touched <- true;
+      if cold then Cycles.rmpadjust_page_touch else 0
+    end
+    else 0
+  in
+  Vcpu.charge vcpu bucket (Cycles.rmpadjust_insn + touch);
+  (* The page touch: a caller that cannot read the frame faults. *)
+  let caller = Vcpu.vmpl vcpu in
+  (match Rmp.check_guest_access t.rmp ~gpfn ~vmpl:caller ~cpl:Types.Cpl0 ~access:Types.Read with
+  | Ok () -> ()
+  | Error info -> raise_npf t info);
+  Rmp.adjust t.rmp ~caller ~gpfn ~target ~perms ~vmsa
+
+let pvalidate t vcpu ?(bucket = Cycles.Other) ~gpfn ~to_private () =
+  check_running t;
+  Vcpu.charge vcpu bucket Cycles.pvalidate;
+  if Vcpu.vmpl vcpu <> Types.Vmpl0 then Error "pvalidate: FAIL_PERMISSION (not VMPL-0)"
+  else if gpfn < 0 || gpfn >= Rmp.npages t.rmp then Error "pvalidate: frame out of range"
+  else begin
+    if to_private then Rmp.validate t.rmp gpfn else Rmp.unvalidate t.rmp gpfn;
+    Ok ()
+  end
+
+let set_ghcb t vcpu gpa =
+  check_running t;
+  let gpfn = Types.gpfn_of_gpa gpa in
+  if gpfn < 0 || gpfn >= Rmp.npages t.rmp then Error "ghcb: frame out of range"
+  else if Rmp.state t.rmp gpfn <> Rmp.Shared then Error "ghcb: page is not shared"
+  else begin
+    (Vcpu.current_vmsa vcpu).Vmsa.ghcb_gpa <- gpa;
+    if not (Hashtbl.mem t.ghcbs gpfn) then Hashtbl.replace t.ghcbs gpfn (Ghcb.create ());
+    Ok ()
+  end
+
+let register_ghcb t gpa =
+  let gpfn = Types.gpfn_of_gpa gpa in
+  if gpfn < 0 || gpfn >= Rmp.npages t.rmp then Error "ghcb: frame out of range"
+  else if Rmp.state t.rmp gpfn <> Rmp.Shared then Error "ghcb: page is not shared"
+  else begin
+    match Hashtbl.find_opt t.ghcbs gpfn with
+    | Some g -> Ok g
+    | None ->
+        let g = Ghcb.create () in
+        Hashtbl.replace t.ghcbs gpfn g;
+        Ok g
+  end
+
+let ghcb_at t gpfn = Hashtbl.find_opt t.ghcbs gpfn
+
+let ghcb_of_vcpu t vcpu =
+  let gpa = (Vcpu.current_vmsa vcpu).Vmsa.ghcb_gpa in
+  if gpa = 0 then None else ghcb_at t (Types.gpfn_of_gpa gpa)
+
+let dispatch_exit t vcpu =
+  match t.exit_handler with
+  | Some h -> h vcpu
+  | None -> halt t "VM exit with no hypervisor attached"
+
+let vmgexit t vcpu =
+  check_running t;
+  Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_save + Cycles.ghcb_msr_protocol);
+  vcpu.Vcpu.exits <- vcpu.Vcpu.exits + 1;
+  dispatch_exit t vcpu
+
+let automatic_exit t vcpu =
+  check_running t;
+  Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_save);
+  vcpu.Vcpu.exits <- vcpu.Vcpu.exits + 1;
+  dispatch_exit t vcpu
+
+let vmenter t vcpu vmsa =
+  check_running t;
+  Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_restore);
+  vcpu.Vcpu.current <- Some vmsa
+
+let install_vmsa t (vmsa : Vmsa.t) =
+  (* Hardware accepts a frame as a VMSA only once RMPADJUST marked it. *)
+  if not (Rmp.is_vmsa t.rmp vmsa.Vmsa.backing_gpfn) then
+    Error "install_vmsa: frame lacks the RMP VMSA attribute"
+  else begin
+    Hashtbl.replace t.vmsa_table vmsa.Vmsa.backing_gpfn vmsa;
+    Ok ()
+  end
+
+let vmsa_at t gpfn =
+  if Rmp.is_vmsa t.rmp gpfn then Hashtbl.find_opt t.vmsa_table gpfn else None
+
+(* --- host-side access --- *)
+
+let host_page_check t gpa len =
+  if len < 0 || gpa < 0 || gpa + len > Phys_mem.bytes_size t.mem then Error "host access out of range"
+  else begin
+    let first = Types.gpfn_of_gpa gpa and last = Types.gpfn_of_gpa (gpa + max 0 (len - 1)) in
+    let rec go gpfn =
+      if gpfn > last then Ok ()
+      else if Rmp.host_can_access t.rmp gpfn then go (gpfn + 1)
+      else Error (Printf.sprintf "SNP: host access to private guest frame %d blocked" gpfn)
+    in
+    go first
+  end
+
+let host_read t gpa len =
+  match host_page_check t gpa len with
+  | Ok () -> Ok (Phys_mem.read t.mem gpa len)
+  | Error _ as e -> e
+
+let host_write t gpa data =
+  match host_page_check t gpa (Bytes.length data) with
+  | Ok () ->
+      Phys_mem.write t.mem gpa data;
+      Ok ()
+  | Error _ as e -> e
+
+let attestation_report t vcpu ~report_data =
+  check_running t;
+  Vcpu.charge vcpu Cycles.Crypto (Cycles.hash_cost 4096);
+  Attestation.report t.attestation ~requester_vmpl:(Vcpu.vmpl vcpu) ~report_data

@@ -1,0 +1,135 @@
+(** The SEV-SNP machine: memory + RMP + VCPUs + instruction semantics.
+
+    This is the hardware boundary of the simulation.  Guest software
+    (kernel, VeilMon, services, enclaves) may only touch memory through
+    the checked accessors here, which enforce RMP/VMPL permissions and
+    halt the CVM on violation — exactly the paper's failure model
+    ("the CVM halts with continuous #NPF").  The hypervisor side uses
+    the [host_*] accessors, which the hardware limits to [Shared]
+    pages. *)
+
+type t = {
+  mem : Phys_mem.t;
+  rmp : Rmp.t;
+  mutable vcpus : Vcpu.t list;
+  ghcbs : (Types.gpfn, Ghcb.t) Hashtbl.t;
+  attestation : Attestation.t;
+  rng : Veil_crypto.Rng.t;
+  mutable halted : string option;
+  mutable exit_handler : (Vcpu.t -> unit) option;  (** installed by the hypervisor *)
+  mutable npf_count : int;  (** #NPFs taken (validation experiments) *)
+  vmsa_table : (Types.gpfn, Vmsa.t) Hashtbl.t;  (** hardware's view of VMSA frames *)
+}
+
+exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
+(** Guest-level #PF from a page-table miss / flag violation; delivered
+    to the OS (or, for enclaves, the demand-paging path). *)
+
+val create : ?seed:int -> npages:int -> unit -> t
+
+val halt : t -> string -> 'a
+(** Record the halt and raise {!Types.Cvm_halted}. *)
+
+val check_running : t -> unit
+
+val is_halted : t -> string option
+
+(* Launch *)
+
+val launch_load : t -> entry_name:string -> (Types.gpa * bytes) list -> unit
+(** Hypervisor launch sequence: validate the covered frames, install
+    contents, measure them (with their load addresses) into the launch
+    digest, and record it for attestation. *)
+
+val add_boot_vcpu : t -> Vcpu.t
+(** The single VCPU the hypervisor creates at launch; its first
+    instance must be installed with {!vmenter}. *)
+
+val add_vcpu : t -> Vcpu.t
+(** Hot-plug: allocate the next VCPU id (not yet running). *)
+
+(* Checked guest memory access *)
+
+val read : t -> Vcpu.t -> Types.gpa -> int -> bytes
+val write : t -> Vcpu.t -> Types.gpa -> bytes -> unit
+val read_u64 : t -> Vcpu.t -> Types.gpa -> int
+val write_u64 : t -> Vcpu.t -> Types.gpa -> int -> unit
+val check_exec : t -> Vcpu.t -> Types.gpa -> unit
+
+val read_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> int -> bytes
+(** Translate through the given page-table root with the VCPU's
+    current CPL (user pages only at CPL-3), then RMP-check.  Raises
+    {!Guest_page_fault} on translation failure. *)
+
+val write_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> bytes -> unit
+
+val translate : t -> root:Types.gpfn -> Types.va -> Pagetable.pte option
+(** Raw MMU walk (no VMPL checks — hardware walker). *)
+
+val raw_pt_read : t -> Types.gpa -> int
+(** Raw u64 read for walkers; no checks. *)
+
+(* Instructions *)
+
+val rmpadjust :
+  t ->
+  Vcpu.t ->
+  ?bucket:Cycles.bucket ->
+  gpfn:Types.gpfn ->
+  target:Types.vmpl ->
+  perms:Perm.t ->
+  vmsa:bool ->
+  unit ->
+  (unit, string) result
+(** RMPADJUST.  Charges instruction + page-touch cycles.  Attempting to
+    adjust a frame the caller cannot itself read raises #NPF and halts
+    (the paper's Dom_UNT attack outcome); an insufficient-privilege
+    target VMPL returns [Error] (architectural FAIL_PERMISSION). *)
+
+val pvalidate : t -> Vcpu.t -> ?bucket:Cycles.bucket -> gpfn:Types.gpfn -> to_private:bool -> unit -> (unit, string) result
+(** PVALIDATE; VMPL-0 only (lower VMPLs get FAIL_PERMISSION — the
+    architectural restriction behind Veil's delegation, §5.3). *)
+
+val set_ghcb : t -> Vcpu.t -> Types.gpa -> (unit, string) result
+(** Write the GHCB MSR for the *current instance*.  The page must be
+    [Shared]. *)
+
+val register_ghcb : t -> Types.gpa -> (Ghcb.t, string) result
+(** Materialize the GHCB mailbox for an already-[Shared] frame without
+    touching any VMSA's GHCB MSR (used when VMPL-0 provisions a GHCB
+    for another domain). *)
+
+val ghcb_of_vcpu : t -> Vcpu.t -> Ghcb.t option
+val ghcb_at : t -> Types.gpfn -> Ghcb.t option
+
+val vmgexit : t -> Vcpu.t -> unit
+(** Non-automatic exit: charges the save-side switch cost and invokes
+    the hypervisor's exit handler. *)
+
+val automatic_exit : t -> Vcpu.t -> unit
+(** Interrupt-style exit (no GHCB): cheaper save side, same handler. *)
+
+val vmenter : t -> Vcpu.t -> Vmsa.t -> unit
+(** Hypervisor resumes the VCPU with [vmsa] as the running instance. *)
+
+val install_vmsa : t -> Vmsa.t -> (unit, string) result
+(** Materialize a VMSA in a frame that RMPADJUST has marked as such.
+    Fails when the VMSA attribute is missing — which is why only
+    software able to RMPADJUST the target VMPL can create instances. *)
+
+val vmsa_at : t -> Types.gpfn -> Vmsa.t option
+(** Hardware lookup used by the hypervisor at VMRUN; [None] when the
+    frame is not a valid VMSA (the spawn-VCPU attack of Table 1). *)
+
+val raise_npf : t -> Types.npf_info -> 'a
+(** Record the fault, halt the CVM and raise {!Types.Npf}. *)
+
+(* Host-side (hypervisor / external) memory access *)
+
+val host_read : t -> Types.gpa -> int -> (bytes, string) result
+val host_write : t -> Types.gpa -> bytes -> (unit, string) result
+
+(* Attestation *)
+
+val attestation_report : t -> Vcpu.t -> report_data:bytes -> Attestation.report
+(** Signed report carrying the requester's current VMPL (§5.1). *)

@@ -1,0 +1,87 @@
+type page_state = Invalid | Private | Shared
+
+type entry = { mutable state : page_state; mutable vmsa : bool; mutable touched : bool; perms : Perm.t array }
+
+type t = { npages : int; entries : (int, entry) Hashtbl.t }
+
+let create ~npages =
+  if npages <= 0 then invalid_arg "Rmp.create";
+  { npages; entries = Hashtbl.create 1024 }
+
+let npages t = t.npages
+
+let fresh_entry () = { state = Invalid; vmsa = false; touched = false; perms = [| Perm.all; Perm.none; Perm.none; Perm.none |] }
+
+let entry t gpfn =
+  if gpfn < 0 || gpfn >= t.npages then invalid_arg (Printf.sprintf "Rmp.entry: frame %d out of range" gpfn);
+  match Hashtbl.find_opt t.entries gpfn with
+  | Some e -> e
+  | None ->
+      let e = fresh_entry () in
+      Hashtbl.replace t.entries gpfn e;
+      e
+
+let state t gpfn = (entry t gpfn).state
+let perms_of t gpfn vmpl = (entry t gpfn).perms.(Types.vmpl_index vmpl)
+let is_vmsa t gpfn = (entry t gpfn).vmsa
+
+let validate t gpfn =
+  let e = entry t gpfn in
+  e.state <- Private;
+  e.vmsa <- false;
+  e.perms.(0) <- Perm.all;
+  e.perms.(1) <- Perm.none;
+  e.perms.(2) <- Perm.none;
+  e.perms.(3) <- Perm.none
+
+let unvalidate t gpfn =
+  let e = entry t gpfn in
+  e.state <- Shared;
+  e.vmsa <- false
+
+let adjust t ~caller ~gpfn ~target ~perms ~vmsa =
+  if gpfn < 0 || gpfn >= t.npages then Error "rmpadjust: frame out of range"
+  else if vmsa && not (Types.equal_vmpl caller Types.Vmpl0) then
+    (* VMSA creation is a VMPL-0 capability — the architectural root of
+       Veil's VCPU-boot delegation (§5.3). *)
+    Error "rmpadjust: FAIL_PERMISSION (VMSA attribute requires VMPL-0)"
+  else if (not vmsa) && not (Types.vmpl_strictly_higher caller target) then
+    Error
+      (Format.asprintf "rmpadjust: %a may not adjust permissions for %a" Types.pp_vmpl caller Types.pp_vmpl
+         target)
+  else begin
+    let e = entry t gpfn in
+    match e.state with
+    | Private ->
+        if Types.vmpl_strictly_higher caller target then e.perms.(Types.vmpl_index target) <- perms;
+        e.vmsa <- vmsa;
+        Ok ()
+    | Invalid -> Error "rmpadjust: page not validated"
+    | Shared -> Error "rmpadjust: page is shared with the host"
+  end
+
+let npf gpfn vmpl access reason =
+  Error
+    { Types.fault_gpa = Types.gpa_of_gpfn gpfn; fault_vmpl = vmpl; fault_access = access; fault_reason = reason }
+
+let check_guest_access t ~gpfn ~vmpl ~cpl ~access =
+  if gpfn < 0 || gpfn >= t.npages then npf gpfn vmpl access "frame out of range"
+  else begin
+    let e = entry t gpfn in
+    match e.state with
+    | Invalid -> npf gpfn vmpl access "page not validated"
+    | Shared -> (
+        (* Shared pages are plain-text mailboxes: no execution. *)
+        match access with
+        | Types.Execute -> npf gpfn vmpl access "execute from shared page"
+        | Types.Read | Types.Write -> Ok ())
+    | Private ->
+        if e.vmsa && access = Types.Write && vmpl <> Types.Vmpl0 then
+          npf gpfn vmpl access "write to in-use VMSA page"
+        else if Perm.allows e.perms.(Types.vmpl_index vmpl) access cpl then Ok ()
+        else npf gpfn vmpl access (Format.asprintf "VMPL permission violation (%a)" Perm.pp e.perms.(Types.vmpl_index vmpl))
+  end
+
+let host_can_access t gpfn = gpfn >= 0 && gpfn < t.npages && state t gpfn = Shared
+
+let iter_entries t f = Hashtbl.iter f t.entries

@@ -1,0 +1,59 @@
+(** Reverse Map (RMP) table.
+
+    One entry per guest-physical frame, tracking the SEV-SNP page
+    state, the VMSA attribute and the per-VMPL access permissions that
+    [RMPADJUST] manipulates.  The RMP is hardware state: guest software
+    only reaches it through {!Platform.rmpadjust} /
+    {!Platform.pvalidate}, the hypervisor through the [hv_*]
+    operations (standing in for RMPUPDATE). *)
+
+type page_state =
+  | Invalid  (** not validated; any guest access faults *)
+  | Private  (** validated, encrypted guest memory *)
+  | Shared  (** unencrypted, host-visible (GHCBs, bounce buffers) *)
+
+type entry = {
+  mutable state : page_state;
+  mutable vmsa : bool;
+  mutable touched : bool;  (** frame contents already pulled into cache by a prior RMPADJUST *)
+  perms : Perm.t array;  (** indexed by VMPL; [perms.(0)] is pinned to [Perm.all] *)
+}
+
+type t
+
+val create : npages:int -> t
+
+val npages : t -> int
+
+val entry : t -> Types.gpfn -> entry
+(** The (lazily materialized) entry; out-of-range frames raise
+    [Invalid_argument]. *)
+
+val state : t -> Types.gpfn -> page_state
+val perms_of : t -> Types.gpfn -> Types.vmpl -> Perm.t
+val is_vmsa : t -> Types.gpfn -> bool
+
+val validate : t -> Types.gpfn -> unit
+(** PVALIDATE effect: [Invalid] or [Shared] frame becomes [Private]
+    with full VMPL-0 permissions and no lower-VMPL permissions. *)
+
+val unvalidate : t -> Types.gpfn -> unit
+(** Transition to [Shared] (guest gave the page back to the host). *)
+
+val adjust :
+  t -> caller:Types.vmpl -> gpfn:Types.gpfn -> target:Types.vmpl -> perms:Perm.t -> vmsa:bool -> (unit, string) result
+(** RMPADJUST semantics: the caller must be strictly more privileged
+    than [target]; the frame must be [Private].  On success sets
+    [target]'s permissions and the VMSA attribute. *)
+
+val check_guest_access :
+  t -> gpfn:Types.gpfn -> vmpl:Types.vmpl -> cpl:Types.cpl -> access:Types.access -> (unit, Types.npf_info) result
+(** The hardware page-access check (table walk already done).  VMSA
+    frames are never writable from guest software except by VMPL-0
+    (initialization). *)
+
+val host_can_access : t -> Types.gpfn -> bool
+(** The host may only touch [Shared] frames. *)
+
+val iter_entries : t -> (Types.gpfn -> entry -> unit) -> unit
+(** Iterate over materialized entries only. *)

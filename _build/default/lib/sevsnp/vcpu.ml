@@ -1,0 +1,21 @@
+type t = {
+  id : int;
+  mutable current : Vmsa.t option;
+  counter : Cycles.counter;
+  mutable exits : int;
+  mutable pending_interrupts : int;
+}
+
+let create ~id = { id; current = None; counter = Cycles.create_counter (); exits = 0; pending_interrupts = 0 }
+
+let current_vmsa t =
+  match t.current with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "vcpu %d has no running instance" t.id)
+
+let vmpl t = (current_vmsa t).Vmsa.vmpl
+let cpl t = (current_vmsa t).Vmsa.cpl
+
+let rdtsc t = Cycles.total t.counter
+
+let charge t bucket n = Cycles.charge t.counter bucket n

@@ -1,0 +1,27 @@
+(** A virtual CPU.
+
+    The physical execution resource.  At any instant it runs at most
+    one VMSA (one VCPU *instance* in the paper's terminology); Veil
+    replicates instances across domains and the hypervisor re-enters
+    the VCPU with a different instance's VMSA to switch domains. *)
+
+type t = {
+  id : int;
+  mutable current : Vmsa.t option;  (** the instance currently on the CPU *)
+  counter : Cycles.counter;
+  mutable exits : int;  (** total world exits taken *)
+  mutable pending_interrupts : int;  (** queued external interrupts *)
+}
+
+val create : id:int -> t
+
+val vmpl : t -> Types.vmpl
+(** VMPL of the running instance.  Raises [Failure] if none. *)
+
+val cpl : t -> Types.cpl
+val current_vmsa : t -> Vmsa.t
+
+val rdtsc : t -> int
+(** Cycle count observed by guest software (the counter total). *)
+
+val charge : t -> Cycles.bucket -> int -> unit

@@ -1,0 +1,1 @@
+lib/workloads/cpu_w.ml: Array Bytes Env Gzip_w Textgen Veil_crypto Workload

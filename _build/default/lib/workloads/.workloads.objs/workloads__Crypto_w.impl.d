@@ -1,0 +1,1 @@
+lib/workloads/crypto_w.ml: Bytes Env Printf Sevsnp Veil_crypto Workload

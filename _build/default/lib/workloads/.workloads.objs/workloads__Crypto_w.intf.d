@@ -1,0 +1,1 @@
+lib/workloads/crypto_w.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/dbs.ml: Array Btree Buffer Bytes Char Env Hashtbl Int64 Printf Sqldb Veil_crypto Workload

@@ -1,0 +1,1 @@
+lib/workloads/dbs.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/deflate.ml: Array Buffer Bytes Char Hashtbl Int32 List Lzss Option

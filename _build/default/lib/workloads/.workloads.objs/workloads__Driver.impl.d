@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Array Enclave_sdk Env Guest_kernel Hypervisor Option Sevsnp Veil_core Veil_crypto Workload

@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Enclave_sdk Workload

@@ -1,0 +1,1 @@
+lib/workloads/env.ml: Bytes Guest_kernel Veil_crypto

@@ -1,0 +1,1 @@
+lib/workloads/env.mli: Guest_kernel Veil_crypto

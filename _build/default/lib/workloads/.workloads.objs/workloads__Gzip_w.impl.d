@@ -1,0 +1,1 @@
+lib/workloads/gzip_w.ml: Bytes Deflate Env Huffman Lzss Textgen Workload

@@ -1,0 +1,1 @@
+lib/workloads/gzip_w.mli: Workload

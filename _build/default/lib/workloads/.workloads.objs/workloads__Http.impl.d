@@ -1,0 +1,1 @@
+lib/workloads/http.ml: Bytes Env Hashtbl Printf String

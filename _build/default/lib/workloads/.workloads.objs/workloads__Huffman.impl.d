@@ -1,0 +1,1 @@
+lib/workloads/huffman.ml: Array Buffer Bytes Char Hashtbl Int32 List

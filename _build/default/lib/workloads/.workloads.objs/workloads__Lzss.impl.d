@@ -1,0 +1,1 @@
+lib/workloads/lzss.ml: Array Buffer Bytes Char List

@@ -1,0 +1,1 @@
+lib/workloads/mcache.ml: Array Bytes Hashtbl

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cpu_w Crypto_w Dbs Gzip_w List Servers Workload

@@ -1,0 +1,1 @@
+lib/workloads/servers.ml: Bytes Env Guest_kernel Http List Mcache Option Printf String Textgen Veil_crypto Workload

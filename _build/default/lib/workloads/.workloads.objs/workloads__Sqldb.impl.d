@@ -1,0 +1,1 @@
+lib/workloads/sqldb.ml: Btree Bytes Env Hashtbl List Printf Result String

@@ -1,0 +1,1 @@
+lib/workloads/textgen.ml: Array Buffer Bytes Veil_crypto

@@ -1,0 +1,1 @@
+lib/workloads/textgen.mli: Veil_crypto

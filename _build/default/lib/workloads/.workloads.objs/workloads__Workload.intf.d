@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Env Veil_crypto

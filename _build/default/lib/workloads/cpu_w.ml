@@ -1,0 +1,60 @@
+let sevenzip ?(input_kb = 192) () =
+  Workload.make ~name:"7zip"
+    ~setup:(fun ctx ->
+      let size = input_kb * 1024 * ctx.Workload.scale in
+      let data = Textgen.text ctx.Workload.rng size in
+      let fd =
+        Env.open_ ctx.Workload.client "/srv/7zip-input.dat"
+          ~flags:(Env.o_creat lor Env.o_wronly lor Env.o_trunc)
+          ~mode:0o644
+      in
+      ignore (Env.write ctx.Workload.client fd data);
+      Env.close ctx.Workload.client fd)
+    (fun ctx ->
+      let out =
+        Gzip_w.compress_file ~chunk:4096 ctx ~src:"/srv/7zip-input.dat" ~dst:"/tmp/out.7z" ~window_bits:15
+      in
+      assert (out > 0))
+
+let spec ?(iterations = 3) () =
+  Workload.make ~name:"spec-cpu" (fun ctx ->
+      let env = ctx.Workload.env in
+      let rng = ctx.Workload.rng in
+      for _ = 1 to iterations * ctx.Workload.scale do
+        (* matmul 64x64 *)
+        let n = 64 in
+        let a = Array.init n (fun _ -> Array.init n (fun _ -> Veil_crypto.Rng.int rng 100)) in
+        let b = Array.init n (fun _ -> Array.init n (fun _ -> Veil_crypto.Rng.int rng 100)) in
+        let c = Array.make_matrix n n 0 in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let s = ref 0 in
+            for k = 0 to n - 1 do
+              s := !s + (a.(i).(k) * b.(k).(j))
+            done;
+            c.(i).(j) <- !s
+          done
+        done;
+        env.Env.compute (3 * n * n * n);
+        (* sieve of Eratosthenes to 50k *)
+        let limit = 50_000 in
+        let sieve = Bytes.make (limit + 1) '\001' in
+        let count = ref 0 in
+        for p = 2 to limit do
+          if Bytes.get sieve p = '\001' then begin
+            incr count;
+            let q = ref (p * p) in
+            while !q <= limit do
+              Bytes.set sieve !q '\000';
+              q := !q + p
+            done
+          end
+        done;
+        env.Env.compute (limit * 9);
+        assert (!count = 5133);
+        (* quicksort 20k ints *)
+        let arr = Array.init 20_000 (fun _ -> Veil_crypto.Rng.int rng 1_000_000) in
+        Array.sort compare arr;
+        env.Env.compute (20_000 * 40);
+        assert (c.(0).(0) >= 0)
+      done)

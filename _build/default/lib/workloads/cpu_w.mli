@@ -1,0 +1,10 @@
+(** CPU-bound workload miniatures.
+
+    [sevenzip]: Phoronix pts/compress-7zip — the GZip engine with a
+    32 KB window and heavier per-byte search (Table 5).
+    [spec]: a SPEC-CPU-flavoured kernel mix (matrix multiply, sieve,
+    sort) with essentially no system calls — the §9.1 background-impact
+    probe. *)
+
+val sevenzip : ?input_kb:int -> unit -> Workload.t
+val spec : ?iterations:int -> unit -> Workload.t

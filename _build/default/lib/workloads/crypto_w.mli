@@ -1,0 +1,14 @@
+(** Cryptographic workload miniatures.
+
+    [mbedtls]: the library self-test of Table 4 — SHA/HMAC/ChaCha/
+    modular-exponentiation vectors with a console line per test group,
+    run inside the enclave.
+    [openssl]: the Phoronix pts/openssl digest-throughput benchmark of
+    Table 5 — bulk SHA-256 with periodic result writes (the audited
+    configuration's low-rate logger). *)
+
+val mbedtls : ?tests:int -> unit -> Workload.t
+(** Default 320 tests per scale unit (the paper's suite runs 2.8k). *)
+
+val openssl : ?buffers:int -> unit -> Workload.t
+(** Default 48 x 16 KB digests per scale unit. *)

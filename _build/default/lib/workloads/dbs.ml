@@ -1,0 +1,94 @@
+let key_of rng =
+  let b = Bytes.create Btree.key_size in
+  for i = 0 to Btree.key_size - 1 do
+    Bytes.set b i (Char.chr (Veil_crypto.Rng.int rng 26 + 97))
+  done;
+  b
+
+let sqlite ?(inserts = 1500) () =
+  Workload.make ~name:"sqlite" (fun ctx ->
+      let env = ctx.Workload.env in
+      let n = inserts * ctx.Workload.scale in
+      let wal_fd =
+        Env.open_ env "/tmp/sqlite.wal" ~flags:(Env.o_creat lor Env.o_wronly lor Env.o_append) ~mode:0o644
+      in
+      let db = Sqldb.open_db env ~dir:"/tmp/sqlitedb" in
+      (match Sqldb.exec db "CREATE TABLE kv (k, v)" with
+      | Ok _ -> ()
+      | Error e -> failwith ("sqlite: " ^ e));
+      let keys = Array.init n (fun _ -> Bytes.to_string (key_of ctx.Workload.rng)) in
+      let wal_buf = Buffer.create 512 in
+      Array.iteri
+        (fun i key ->
+          let value = Veil_crypto.Sha256.hex_of_digest (Veil_crypto.Rng.bytes ctx.Workload.rng 16) in
+          env.Env.compute 12_000 (* SQL parse + plan (the engine charges encode) *);
+          (* group-committed write-ahead journal, then the tree update *)
+          Buffer.add_string wal_buf key;
+          Buffer.add_string wal_buf value;
+          env.Env.compute 900 (* record framing + checksum *);
+          if i mod 48 = 47 then begin
+            ignore (Env.write env wal_fd (Buffer.to_bytes wal_buf));
+            Buffer.clear wal_buf
+          end;
+          (match Sqldb.exec db (Printf.sprintf "INSERT INTO kv VALUES ('%s', '%s')" key value) with
+          | Ok Sqldb.Done -> ()
+          | Ok _ -> failwith "sqlite: unexpected result"
+          | Error e -> failwith ("sqlite: " ^ e));
+          if i mod 192 = 191 then Sqldb.checkpoint db)
+        keys;
+      if Buffer.length wal_buf > 0 then ignore (Env.write env wal_fd (Buffer.to_bytes wal_buf));
+      (* speedtest-style read-back of a sample (point-lookup plans) *)
+      for i = 0 to (n / 10) - 1 do
+        let key = keys.(Veil_crypto.Rng.int ctx.Workload.rng n) in
+        ignore i;
+        match Sqldb.exec db (Printf.sprintf "SELECT v FROM kv WHERE k = '%s'" key) with
+        | Ok (Sqldb.Rows (_ :: _)) -> ()
+        | Ok _ -> failwith "sqlite: lost key"
+        | Error e -> failwith ("sqlite: " ^ e)
+      done;
+      Sqldb.close db;
+      Env.close env wal_fd)
+
+let unqlite ?(inserts = 4000) () =
+  Workload.make ~name:"unqlite" (fun ctx ->
+      let env = ctx.Workload.env in
+      let n = inserts * ctx.Workload.scale in
+      let fd =
+        Env.open_ env "/tmp/unqlite.db" ~flags:(Env.o_creat lor Env.o_wronly lor Env.o_append) ~mode:0o644
+      in
+      (* on-disk hash index: bucket directory persisted alongside the
+         append-only record log, as UnQLite keeps its KV store *)
+      let idx_fd =
+        Env.open_ env "/tmp/unqlite.idx" ~flags:(Env.o_creat lor Env.o_rdwr) ~mode:0o644
+      in
+      let nbuckets = 512 and slot_size = 16 in
+      let bucket_of key = Hashtbl.hash key mod nbuckets in
+      let index = Hashtbl.create 1024 in
+      let pos = ref 0 in
+      for i = 0 to n - 1 do
+        let key = Printf.sprintf "key-%08d" (Veil_crypto.Rng.int ctx.Workload.rng (4 * n)) in
+        let value = Veil_crypto.Rng.bytes ctx.Workload.rng 40 in
+        let record = Bytes.of_string (Printf.sprintf "%s:%s;" key (Veil_crypto.Sha256.hex_of_digest value)) in
+        ignore (Env.write env fd record);
+        env.Env.compute 62_000 (* key hash, bucket chain walk, commit bookkeeping *);
+        Hashtbl.replace index key (!pos, Bytes.length record);
+        (* update the bucket slot on disk (head pointer) *)
+        let slot = Bytes.create slot_size in
+        Bytes.set_int64_le slot 0 (Int64.of_int !pos);
+        Bytes.set_int64_le slot 8 (Int64.of_int (Bytes.length record));
+        if i mod 8 = 7 then ignore (Env.pwrite env idx_fd slot ~pos:(bucket_of key * slot_size));
+        pos := !pos + Bytes.length record;
+        if i mod 1024 = 1023 then Env.fsync env fd
+      done;
+      Env.close env fd;
+      (* read back a sample: bucket slot, then the record *)
+      let rfd = Env.open_ env "/tmp/unqlite.db" ~flags:Env.o_rdonly ~mode:0 in
+      Hashtbl.iter
+        (fun key (off, len) ->
+          if Veil_crypto.Rng.int ctx.Workload.rng 64 = 0 then begin
+            ignore (Env.pread env idx_fd ~len:slot_size ~pos:(bucket_of key * slot_size));
+            ignore (Env.pread env rfd ~len ~pos:off)
+          end)
+        index;
+      Env.close env idx_fd;
+      Env.close env rfd)

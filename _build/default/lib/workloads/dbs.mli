@@ -1,0 +1,13 @@
+(** Database workload miniatures.
+
+    [sqlite]: B-tree inserts through a write-ahead log, modeled on
+    Table 4's "insert 10k random entries" and Table 5's speedtest.
+    [unqlite]: append-only hash store, Table 4's huge-db insert run —
+    one small write per insert, the paper's highest exit-rate
+    program. *)
+
+val sqlite : ?inserts:int -> unit -> Workload.t
+(** Default 1500 inserts per scale unit. *)
+
+val unqlite : ?inserts:int -> unit -> Workload.t
+(** Default 4000 inserts per scale unit. *)

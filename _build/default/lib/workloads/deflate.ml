@@ -1,0 +1,242 @@
+(* DEFLATE's two-alphabet coding over LZ77 tokens.  Bit order is
+   MSB-first (real DEFLATE is LSB-first); the symbol structure — the
+   part that matters for fidelity — follows RFC 1951 exactly. *)
+
+let len_base =
+  [| 3; 4; 5; 6; 7; 8; 9; 10; 11; 13; 15; 17; 19; 23; 27; 31; 35; 43; 51; 59; 67; 83; 99; 115; 131;
+     163; 195; 227; 258 |]
+
+let len_extra =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 4; 4; 4; 5; 5; 5; 5; 0 |]
+
+let dist_base =
+  [| 1; 2; 3; 4; 5; 7; 9; 13; 17; 25; 33; 49; 65; 97; 129; 193; 257; 385; 513; 769; 1025; 1537; 2049;
+     3073; 4097; 6145; 8193; 12289; 16385; 24577 |]
+
+let dist_extra =
+  [| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 6; 6; 7; 7; 8; 8; 9; 9; 10; 10; 11; 11; 12; 12; 13; 13 |]
+
+let eob = 256
+let litlen_alphabet = 286
+let dist_alphabet = 30
+
+let find_code base extra v =
+  let rec go i =
+    if i + 1 >= Array.length base then i
+    else if v < base.(i + 1) then i
+    else go (i + 1)
+  in
+  let i = go 0 in
+  (i, extra.(i), v - base.(i))
+
+let length_code len =
+  if len < 3 || len > 258 then invalid_arg "Deflate.length_code";
+  let i, bits, v = find_code len_base len_extra len in
+  (257 + i, bits, v)
+
+let distance_code dist =
+  if dist < 1 || dist > 32768 then invalid_arg "Deflate.distance_code";
+  find_code dist_base dist_extra dist
+
+(* --- generic canonical Huffman over an [n]-symbol alphabet --- *)
+
+type hnode = Leaf of int * int | Inner of int * hnode * hnode
+
+let hweight = function Leaf (w, _) -> w | Inner (w, _, _) -> w
+
+let code_lengths freq =
+  let n = Array.length freq in
+  let heap = ref [] in
+  let push x =
+    let rec ins = function
+      | [] -> [ x ]
+      | y :: rest -> if hweight x <= hweight y then x :: y :: rest else y :: ins rest
+    in
+    heap := ins !heap
+  in
+  Array.iteri (fun s f -> if f > 0 then push (Leaf (f, s))) freq;
+  let lengths = Array.make n 0 in
+  (match !heap with
+  | [] -> ()
+  | [ Leaf (_, s) ] -> lengths.(s) <- 1
+  | _ ->
+      let rec build () =
+        match !heap with
+        | a :: b :: rest ->
+            heap := rest;
+            push (Inner (hweight a + hweight b, a, b));
+            if List.length !heap > 1 then build ()
+        | _ -> ()
+      in
+      build ();
+      let rec assign depth = function
+        | Leaf (_, s) -> lengths.(s) <- max 1 depth
+        | Inner (_, l, r) ->
+            assign (depth + 1) l;
+            assign (depth + 1) r
+      in
+      (match !heap with [ root ] -> assign 0 root | _ -> ()));
+  lengths
+
+let canonical_codes lengths =
+  let syms =
+    Array.to_list (Array.mapi (fun s l -> (s, l)) lengths)
+    |> List.filter (fun (_, l) -> l > 0)
+    |> List.sort (fun (s1, l1) (s2, l2) -> if l1 <> l2 then compare l1 l2 else compare s1 s2)
+  in
+  let codes = Array.make (Array.length lengths) (0, 0) in
+  let code = ref 0 and prev = ref 0 in
+  List.iter
+    (fun (sym, len) ->
+      if !prev <> 0 then code := (!code + 1) lsl (len - !prev) else code := 0;
+      prev := len;
+      codes.(sym) <- (!code, len))
+    syms;
+  codes
+
+(* --- bit IO (MSB-first) --- *)
+
+module Bw = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable n : int }
+
+  let create () = { buf = Buffer.create 4096; acc = 0; n = 0 }
+
+  let put t v len =
+    if len > 0 then begin
+      t.acc <- (t.acc lsl len) lor (v land ((1 lsl len) - 1));
+      t.n <- t.n + len;
+      while t.n >= 8 do
+        t.n <- t.n - 8;
+        Buffer.add_char t.buf (Char.chr ((t.acc lsr t.n) land 0xff))
+      done
+    end
+
+  let finish t =
+    if t.n > 0 then begin
+      t.acc <- t.acc lsl (8 - t.n);
+      Buffer.add_char t.buf (Char.chr (t.acc land 0xff));
+      t.n <- 0
+    end;
+    Buffer.to_bytes t.buf
+end
+
+module Br = struct
+  type t = { data : bytes; mutable pos : int (* bit position *) }
+
+  let create data pos_bytes = { data; pos = pos_bytes * 8 }
+
+  let bit t =
+    let byte = Char.code (Bytes.get t.data (t.pos / 8)) in
+    let b = (byte lsr (7 - (t.pos mod 8))) land 1 in
+    t.pos <- t.pos + 1;
+    b
+
+  let bits t n =
+    let v = ref 0 in
+    for _ = 1 to n do
+      v := (!v lsl 1) lor bit t
+    done;
+    !v
+end
+
+(* --- compress --- *)
+
+let compress ?(window_bits = 12) input =
+  let tokens = Lzss.compress ~window_bits input in
+  (* frequency pass *)
+  let lfreq = Array.make litlen_alphabet 0 and dfreq = Array.make dist_alphabet 0 in
+  let bump a i = a.(i) <- a.(i) + 1 in
+  List.iter
+    (fun tok ->
+      match tok with
+      | Lzss.Literal c -> bump lfreq (Char.code c)
+      | Lzss.Match { distance; length } ->
+          let ls, _, _ = length_code length in
+          let ds, _, _ = distance_code distance in
+          bump lfreq ls;
+          bump dfreq ds)
+    tokens;
+  bump lfreq eob;
+  let llen = code_lengths lfreq and dlen = code_lengths dfreq in
+  let lcodes = canonical_codes llen and dcodes = canonical_codes dlen in
+  (* header: orig len + raw code-length tables *)
+  let header = Bytes.create (4 + litlen_alphabet + dist_alphabet) in
+  Bytes.set_int32_le header 0 (Int32.of_int (Bytes.length input));
+  Array.iteri (fun i l -> Bytes.set header (4 + i) (Char.chr l)) llen;
+  Array.iteri (fun i l -> Bytes.set header (4 + litlen_alphabet + i) (Char.chr l)) dlen;
+  (* body *)
+  let bw = Bw.create () in
+  let emit codes s =
+    let c, l = codes.(s) in
+    Bw.put bw c l
+  in
+  List.iter
+    (fun tok ->
+      match tok with
+      | Lzss.Literal c -> emit lcodes (Char.code c)
+      | Lzss.Match { distance; length } ->
+          let ls, lbits, lval = length_code length in
+          emit lcodes ls;
+          Bw.put bw lval lbits;
+          let ds, dbits, dval = distance_code distance in
+          emit dcodes ds;
+          Bw.put bw dval dbits)
+    tokens;
+  emit lcodes eob;
+  Bytes.cat header (Bw.finish bw)
+
+(* --- decompress --- *)
+
+let decode_table lengths =
+  let table = Hashtbl.create 512 in
+  let codes = canonical_codes lengths in
+  Array.iteri (fun sym (c, l) -> if lengths.(sym) > 0 then Hashtbl.replace table (c, l) sym) codes;
+  table
+
+let read_symbol br table =
+  let code = ref 0 and len = ref 0 in
+  let result = ref None in
+  while !result = None do
+    code := (!code lsl 1) lor Br.bit br;
+    incr len;
+    if !len > 30 then failwith "Deflate.decompress: bad stream";
+    match Hashtbl.find_opt table (!code, !len) with
+    | Some s -> result := Some s
+    | None -> ()
+  done;
+  Option.get !result
+
+let decompress packed =
+  let orig_len = Int32.to_int (Bytes.get_int32_le packed 0) in
+  let llen = Array.init litlen_alphabet (fun i -> Char.code (Bytes.get packed (4 + i))) in
+  let dlen = Array.init dist_alphabet (fun i -> Char.code (Bytes.get packed (4 + litlen_alphabet + i))) in
+  let ltab = decode_table llen and dtab = decode_table dlen in
+  let br = Br.create packed (4 + litlen_alphabet + dist_alphabet) in
+  let out = Buffer.create orig_len in
+  let rec go () =
+    let s = read_symbol br ltab in
+    if s = eob then ()
+    else if s < 256 then begin
+      Buffer.add_char out (Char.chr s);
+      go ()
+    end
+    else begin
+      let li = s - 257 in
+      let length = len_base.(li) + Br.bits br len_extra.(li) in
+      let ds = read_symbol br dtab in
+      let distance = dist_base.(ds) + Br.bits br dist_extra.(ds) in
+      let start = Buffer.length out - distance in
+      if start < 0 then failwith "Deflate.decompress: bad distance";
+      for k = 0 to length - 1 do
+        Buffer.add_char out (Buffer.nth out (start + k))
+      done;
+      go ()
+    end
+  in
+  go ();
+  if Buffer.length out <> orig_len then failwith "Deflate.decompress: length mismatch";
+  Buffer.to_bytes out
+
+let compression_ratio input =
+  if Bytes.length input = 0 then 1.0
+  else float_of_int (Bytes.length (compress input)) /. float_of_int (Bytes.length input)

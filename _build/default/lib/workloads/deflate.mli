@@ -1,0 +1,26 @@
+(** DEFLATE-style compression (RFC 1951 structure).
+
+    The real gzip pipeline: LZ77 match finding ({!Lzss}), then the
+    literal/length and distance alphabets of DEFLATE — length codes
+    257..285 and distance codes 0..29 with their extra bits — coded
+    with per-block canonical Huffman tables and an end-of-block
+    marker.  The container header is simplified (raw code-length
+    tables instead of the RLE'd code-length code), so streams are not
+    byte-compatible with zlib, but every structural stage of the
+    format is exercised. *)
+
+val compress : ?window_bits:int -> bytes -> bytes
+val decompress : bytes -> bytes
+
+val compression_ratio : bytes -> float
+(** compressed/original size for the default window. *)
+
+(* Exposed for tests *)
+
+val length_code : int -> int * int * int
+(** [length_code len] = (symbol 257..285, extra-bit count, extra-bit
+    value) for a match length 3..258. *)
+
+val distance_code : int -> int * int * int
+(** [distance_code dist] = (symbol 0..29, extra bits, value) for a
+    distance 1..32768. *)

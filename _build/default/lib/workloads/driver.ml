@@ -1,0 +1,176 @@
+module C = Sevsnp.Cycles
+module K = Guest_kernel.Kernel
+
+type mode = Native | Veil_background | Enclave | Kaudit | Veils_log
+
+let mode_to_string = function
+  | Native -> "native"
+  | Veil_background -> "veil"
+  | Enclave -> "enclave"
+  | Kaudit -> "kaudit"
+  | Veils_log -> "veils-log"
+
+type stats = {
+  mode : mode;
+  workload : string;
+  vcpus : int;
+  cycles : int;
+  seconds : float;
+  compute_cycles : int;
+  kernel_cycles : int;
+  switch_cycles : int;
+  copy_cycles : int;
+  monitor_cycles : int;
+  crypto_cycles : int;
+  io_cycles : int;
+  syscalls : int;
+  vm_exits : int;
+  domain_switches : int;
+  audit_records : int;
+  log_appends : int;
+  enclave : Enclave_sdk.Runtime.stats option;
+}
+
+let tick_period = C.freq_hz / 250
+
+(* A native environment on [kernel]/[proc], with timer interrupts
+   injected at 250 Hz of guest time. *)
+let native_env kernel proc hv vcpu rng =
+  let last_tick = ref (Sevsnp.Vcpu.rdtsc vcpu) in
+  let tick () =
+    let now = Sevsnp.Vcpu.rdtsc vcpu in
+    if now - !last_tick >= tick_period then begin
+      last_tick := now;
+      Hypervisor.Hv.inject_interrupt hv vcpu
+    end
+  in
+  {
+    Env.sys =
+      (fun s a ->
+        let r = K.invoke kernel proc s a in
+        tick ();
+        r);
+    compute =
+      (fun n ->
+        Sevsnp.Vcpu.charge vcpu C.Compute n;
+        tick ());
+    env_rng = rng;
+  }
+
+type guest = {
+  g_kernel : K.t;
+  g_hv : Hypervisor.Hv.t;
+  g_vcpu : Sevsnp.Vcpu.t;
+  g_veil : Veil_core.Boot.veil_system option;
+}
+
+let boot_guest ~npages ~seed mode =
+  match mode with
+  | Native ->
+      let n = Veil_core.Boot.boot_native ~npages ~seed () in
+      {
+        g_kernel = n.Veil_core.Boot.n_kernel;
+        g_hv = n.Veil_core.Boot.n_hv;
+        g_vcpu = n.Veil_core.Boot.n_vcpu;
+        g_veil = None;
+      }
+  | Veil_background | Enclave | Kaudit | Veils_log ->
+      let v = Veil_core.Boot.boot_veil ~npages ~seed () in
+      {
+        g_kernel = v.Veil_core.Boot.kernel;
+        g_hv = v.Veil_core.Boot.hv;
+        g_vcpu = v.Veil_core.Boot.vcpu;
+        g_veil = Some v;
+      }
+
+let snapshot vcpu = Array.map (fun b -> C.read_bucket vcpu.Sevsnp.Vcpu.counter b)
+    [| C.Compute; C.Switch; C.Copy; C.Kernel; C.Monitor; C.Crypto; C.Io; C.Other |]
+
+let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) mode (w : Workload.t) =
+  let guest = boot_guest ~npages ~seed mode in
+  let kernel = guest.g_kernel and hv = guest.g_hv and vcpu = guest.g_vcpu in
+  let rng = Veil_crypto.Rng.create (seed * 7919) in
+  let client_proc = K.spawn kernel in
+  let client_env = native_env kernel client_proc hv vcpu (Veil_crypto.Rng.split rng) in
+  (* Audit configuration (Fig. 6 modes). *)
+  (match mode with
+  | Kaudit | Veils_log ->
+      Guest_kernel.Audit.set_rules (K.audit kernel) Guest_kernel.Sysno.audit_default_ruleset;
+      K.set_audit_protection kernel (mode = Veils_log)
+  | Native | Veil_background | Enclave -> ());
+  let setup_ctx =
+    { Workload.env = client_env; client = client_env; rng = Veil_crypto.Rng.split rng; scale }
+  in
+  w.Workload.setup setup_ctx;
+  (* Build the measured environment. *)
+  let run_body () =
+    match mode with
+    | Enclave ->
+        let veil = Option.get guest.g_veil in
+        let proc = K.spawn kernel in
+        let binary = Veil_crypto.Rng.bytes rng 16384 in
+        let rt =
+          match Enclave_sdk.Runtime.create veil ~heap_pages:24 ~stack_pages:4 ~binary proc with
+          | Ok rt -> rt
+          | Error e -> failwith ("driver: " ^ e)
+        in
+        let env =
+          {
+            Env.sys = (fun s a -> Enclave_sdk.Runtime.ocall rt s a);
+            compute = (fun n -> Enclave_sdk.Runtime.compute rt n);
+            env_rng = Veil_crypto.Rng.split rng;
+          }
+        in
+        let ctx = { Workload.env; client = client_env; rng = Veil_crypto.Rng.split rng; scale } in
+        Enclave_sdk.Runtime.run rt (fun _ -> w.Workload.body ctx);
+        Some (Enclave_sdk.Runtime.stats rt)
+    | Native | Veil_background | Kaudit | Veils_log ->
+        let proc = K.spawn kernel in
+        let env = native_env kernel proc hv vcpu (Veil_crypto.Rng.split rng) in
+        let ctx = { Workload.env; client = client_env; rng = Veil_crypto.Rng.split rng; scale } in
+        w.Workload.body ctx;
+        None
+  in
+  let before = snapshot vcpu in
+  let exits0 = vcpu.Sevsnp.Vcpu.exits in
+  let syscalls0 = K.syscalls_invoked kernel in
+  let switches0 = (Hypervisor.Hv.stats hv).Hypervisor.Hv.domain_switches in
+  let audit0 = Guest_kernel.Audit.count (K.audit kernel) in
+  let log0 =
+    match guest.g_veil with
+    | Some v -> (Veil_core.Slog.stats v.Veil_core.Boot.slog).Veil_core.Slog.appended
+    | None -> 0
+  in
+  let enclave_stats = run_body () in
+  let after = snapshot vcpu in
+  let d i = after.(i) - before.(i) in
+  let cycles = Array.fold_left ( + ) 0 (Array.init 8 d) in
+  {
+    mode;
+    workload = w.Workload.name;
+    vcpus = w.Workload.vcpus;
+    cycles;
+    seconds = C.seconds_of_cycles cycles;
+    compute_cycles = d 0;
+    switch_cycles = d 1;
+    copy_cycles = d 2;
+    kernel_cycles = d 3;
+    monitor_cycles = d 4;
+    crypto_cycles = d 5;
+    io_cycles = d 6;
+    syscalls = K.syscalls_invoked kernel - syscalls0;
+    vm_exits = vcpu.Sevsnp.Vcpu.exits - exits0;
+    domain_switches = (Hypervisor.Hv.stats hv).Hypervisor.Hv.domain_switches - switches0;
+    audit_records = Guest_kernel.Audit.count (K.audit kernel) - audit0;
+    log_appends =
+      (match guest.g_veil with
+      | Some v -> (Veil_core.Slog.stats v.Veil_core.Boot.slog).Veil_core.Slog.appended - log0
+      | None -> 0);
+    enclave = enclave_stats;
+  }
+
+let overhead_pct ~baseline s =
+  100.0 *. (float_of_int s.cycles -. float_of_int baseline.cycles) /. float_of_int baseline.cycles
+
+let rate_per_second s events =
+  if s.seconds <= 0.0 then 0.0 else float_of_int (events * s.vcpus) /. s.seconds

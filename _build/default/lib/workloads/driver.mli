@@ -1,0 +1,44 @@
+(** Benchmark driver: run a workload in one of the paper's measurement
+    configurations on a freshly booted guest and collect the cycle
+    accounting needed to regenerate §9's tables and figures. *)
+
+type mode =
+  | Native  (** native CVM, kernel at VMPL-0 (the baseline) *)
+  | Veil_background  (** Veil CVM, no protected service in use (§9.1) *)
+  | Enclave  (** program shielded by VeilS-ENC (Fig. 4/5) *)
+  | Kaudit  (** in-memory kaudit rules active, no protection (Fig. 6) *)
+  | Veils_log  (** kaudit + VeilS-LOG execute-ahead capture (Fig. 6) *)
+
+val mode_to_string : mode -> string
+
+type stats = {
+  mode : mode;
+  workload : string;
+  vcpus : int;
+  cycles : int;
+  seconds : float;  (** guest time at 2.4 GHz *)
+  compute_cycles : int;
+  kernel_cycles : int;
+  switch_cycles : int;
+  copy_cycles : int;
+  monitor_cycles : int;
+  crypto_cycles : int;
+  io_cycles : int;
+  syscalls : int;
+  vm_exits : int;
+  domain_switches : int;
+  audit_records : int;
+  log_appends : int;  (** VeilS-LOG appends *)
+  enclave : Enclave_sdk.Runtime.stats option;
+}
+
+val run : ?scale:int -> ?seed:int -> ?npages:int -> mode -> Workload.t -> stats
+(** Boot a fresh guest, run setup natively, then the workload body in
+    the requested configuration, measuring only the body. *)
+
+val overhead_pct : baseline:stats -> stats -> float
+(** Percentage slowdown versus the baseline run. *)
+
+val rate_per_second : stats -> int -> float
+(** [rate_per_second s events] scaled to the workload's VCPU count
+    (the paper reports whole-machine event rates). *)

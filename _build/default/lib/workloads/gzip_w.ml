@@ -1,0 +1,35 @@
+let compress_file ?(chunk = 65536) (ctx : Workload.ctx) ~src ~dst ~window_bits =
+  let env = ctx.Workload.env in
+  let in_fd = Env.open_ env src ~flags:Env.o_rdonly ~mode:0 in
+  let out_fd = Env.open_ env dst ~flags:(Env.o_creat lor Env.o_wronly lor Env.o_trunc) ~mode:0o644 in
+  let total_out = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let data = Env.read env in_fd chunk in
+    if Bytes.length data = 0 then continue := false
+    else begin
+      let packed = Deflate.compress ~window_bits data in
+      env.Env.compute (Lzss.compute_cost ~input_bytes:(Bytes.length data) ~window_bits);
+      env.Env.compute (Huffman.compute_cost (Bytes.length data));
+      total_out := !total_out + Env.write env out_fd packed
+    end
+  done;
+  Env.close env in_fd;
+  Env.close env out_fd;
+  !total_out
+
+let workload ?(input_kb = 256) () =
+  Workload.make ~name:"gzip"
+    ~setup:(fun ctx ->
+      let size = input_kb * 1024 * ctx.Workload.scale in
+      let data = Textgen.binary ctx.Workload.rng size in
+      let fd =
+        Env.open_ ctx.Workload.client "/srv/gzip-input.dat"
+          ~flags:(Env.o_creat lor Env.o_wronly lor Env.o_trunc)
+          ~mode:0o644
+      in
+      ignore (Env.write ctx.Workload.client fd data);
+      Env.close ctx.Workload.client fd)
+    (fun ctx ->
+      let out = compress_file ctx ~src:"/srv/gzip-input.dat" ~dst:"/tmp/gzip-out.gz" ~window_bits:12 in
+      assert (out > 0))

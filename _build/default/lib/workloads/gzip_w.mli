@@ -1,0 +1,11 @@
+(** GZip workload miniature (Table 4): compress a /dev/urandom-derived
+    input file, reading and writing in chunks.  Compute-dominated with
+    a low enclave exit rate — the paper's best case. *)
+
+val workload : ?input_kb:int -> unit -> Workload.t
+(** Default input: 256 KB per scale unit (Table 4 used 10 MB). *)
+
+val compress_file :
+  ?chunk:int -> Workload.ctx -> src:string -> dst:string -> window_bits:int -> int
+(** Shared engine (also used by the 7-Zip miniature); returns
+    compressed size. *)

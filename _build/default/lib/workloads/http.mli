@@ -1,0 +1,31 @@
+(** Minimal HTTP/1.0-style engine shared by the lighttpd and NGINX
+    miniatures: request parsing, file serving, and an ApacheBench-like
+    client. *)
+
+type server
+
+val server_start : Env.t -> port:int -> docroot:string -> server
+
+val set_per_request_compute : server -> int -> unit
+(** Server-side processing budget per request (lighttpd vs the lighter
+    NGINX worker differ; see EXPERIMENTS.md calibration). *)
+
+val serve_pending : Env.t -> server -> int
+(** Accept and fully serve every queued connection; returns the number
+    of requests handled. *)
+
+val serve_on_connection : Env.t -> server -> conn_fd:int -> bool
+(** Handle one request on an already-accepted (keep-alive) connection;
+    false when the peer is done. *)
+
+val requests_served : server -> int
+val listen_fd : server -> int
+
+val client_get : ?serve:(unit -> unit) -> Env.t -> port:int -> path:string -> bytes option
+(** Connect, GET, run the server side via [serve], read the full
+    response body, close. *)
+
+val client_connect : Env.t -> port:int -> int
+val client_get_keepalive : Env.t -> conn_fd:int -> server:server -> serve:(unit -> unit) -> path:string -> bytes option
+(** Issue a GET on a persistent connection; the [serve] callback runs
+    the server side between send and receive (single-threaded guest). *)

@@ -1,0 +1,141 @@
+(* Build a Huffman tree over byte frequencies, derive canonical code
+   lengths, then encode with the canonical codes.  The header carries
+   the original length and the 256 code lengths. *)
+
+type node = Leaf of int * int | Inner of int * node * node (* weight *)
+
+let weight = function Leaf (w, _) -> w | Inner (w, _, _) -> w
+
+module Pq = struct
+  (* tiny leftist-ish heap via sorted list insertion; 256 entries max *)
+  type t = node list ref
+
+  let create () : t = ref []
+
+  let push t n =
+    let rec ins = function
+      | [] -> [ n ]
+      | x :: rest -> if weight n <= weight x then n :: x :: rest else x :: ins rest
+    in
+    t := ins !t
+
+  let pop t = match !t with [] -> None | x :: rest -> t := rest; Some x
+  let size t = List.length !t
+end
+
+let code_lengths (freq : int array) =
+  let pq = Pq.create () in
+  Array.iteri (fun sym f -> if f > 0 then Pq.push pq (Leaf (f, sym))) freq;
+  let lengths = Array.make 256 0 in
+  if Pq.size pq = 0 then lengths
+  else if Pq.size pq = 1 then begin
+    (match Pq.pop pq with Some (Leaf (_, s)) -> lengths.(s) <- 1 | _ -> ());
+    lengths
+  end
+  else begin
+    let rec build () =
+      match (Pq.pop pq, Pq.pop pq) with
+      | Some a, Some b ->
+          Pq.push pq (Inner (weight a + weight b, a, b));
+          if Pq.size pq > 1 then build ()
+      | Some a, None -> Pq.push pq a
+      | _ -> ()
+    in
+    build ();
+    let rec assign depth = function
+      | Leaf (_, sym) -> lengths.(sym) <- max 1 depth
+      | Inner (_, l, r) ->
+          assign (depth + 1) l;
+          assign (depth + 1) r
+    in
+    (match Pq.pop pq with Some root -> assign 0 root | None -> ());
+    lengths
+  end
+
+(* Canonical codes from lengths: symbols sorted by (length, symbol). *)
+let canonical_codes lengths =
+  let syms =
+    Array.to_list (Array.mapi (fun s l -> (s, l)) lengths)
+    |> List.filter (fun (_, l) -> l > 0)
+    |> List.sort (fun (s1, l1) (s2, l2) -> if l1 <> l2 then compare l1 l2 else compare s1 s2)
+  in
+  let codes = Array.make 256 (0, 0) in
+  let code = ref 0 and prev_len = ref 0 in
+  List.iter
+    (fun (sym, len) ->
+      if !prev_len <> 0 then code := (!code + 1) lsl (len - !prev_len)
+      else code := 0;
+      prev_len := len;
+      codes.(sym) <- (!code, len))
+    syms;
+  codes
+
+module Bitbuf = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+  let create () = { buf = Buffer.create 1024; acc = 0; nbits = 0 }
+
+  let put t code len =
+    t.acc <- (t.acc lsl len) lor (code land ((1 lsl len) - 1));
+    t.nbits <- t.nbits + len;
+    while t.nbits >= 8 do
+      t.nbits <- t.nbits - 8;
+      Buffer.add_char t.buf (Char.chr ((t.acc lsr t.nbits) land 0xff))
+    done
+
+  let finish t =
+    if t.nbits > 0 then begin
+      let pad = 8 - t.nbits in
+      t.acc <- t.acc lsl pad;
+      t.nbits <- 8;
+      Buffer.add_char t.buf (Char.chr (t.acc land 0xff));
+      t.nbits <- 0
+    end;
+    Buffer.to_bytes t.buf
+end
+
+let encode input =
+  let n = Bytes.length input in
+  let freq = Array.make 256 0 in
+  Bytes.iter (fun c -> freq.(Char.code c) <- freq.(Char.code c) + 1) input;
+  let lengths = code_lengths freq in
+  let codes = canonical_codes lengths in
+  let header = Bytes.create (4 + 256) in
+  Bytes.set_int32_le header 0 (Int32.of_int n);
+  Array.iteri (fun i l -> Bytes.set header (4 + i) (Char.chr l)) lengths;
+  let bits = Bitbuf.create () in
+  Bytes.iter
+    (fun c ->
+      let code, len = codes.(Char.code c) in
+      Bitbuf.put bits code len)
+    input;
+  Bytes.cat header (Bitbuf.finish bits)
+
+let decode packed =
+  let n = Int32.to_int (Bytes.get_int32_le packed 0) in
+  let lengths = Array.init 256 (fun i -> Char.code (Bytes.get packed (4 + i))) in
+  let codes = canonical_codes lengths in
+  (* decode bit by bit against a (code,len) -> sym table *)
+  let table = Hashtbl.create 256 in
+  Array.iteri (fun sym (code, len) -> if lengths.(sym) > 0 then Hashtbl.replace table (code, len) sym) codes;
+  let out = Buffer.create n in
+  let bitpos = ref ((4 + 256) * 8) in
+  let total_bits = Bytes.length packed * 8 in
+  let code = ref 0 and len = ref 0 in
+  while Buffer.length out < n && !bitpos < total_bits do
+    let byte = Char.code (Bytes.get packed (!bitpos / 8)) in
+    let bit = (byte lsr (7 - (!bitpos mod 8))) land 1 in
+    incr bitpos;
+    code := (!code lsl 1) lor bit;
+    incr len;
+    match Hashtbl.find_opt table (!code, !len) with
+    | Some sym ->
+        Buffer.add_char out (Char.chr sym);
+        code := 0;
+        len := 0
+    | None -> ()
+  done;
+  if Buffer.length out <> n then invalid_arg "Huffman.decode: truncated stream";
+  Buffer.to_bytes out
+
+let compute_cost n = 25 * n

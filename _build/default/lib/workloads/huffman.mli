@@ -1,0 +1,14 @@
+(** Canonical Huffman coding over bytes.
+
+    Second stage of the GZip miniature: frequency count, length
+    -limited-ish code construction (plain Huffman tree depth), bit
+    -packed encoding with an embedded code-length table, and exact
+    decoding. *)
+
+val encode : bytes -> bytes
+(** Self-contained: the output embeds the canonical code lengths. *)
+
+val decode : bytes -> bytes
+
+val compute_cost : int -> int
+(** Cycle cost of coding [n] bytes. *)

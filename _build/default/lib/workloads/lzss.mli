@@ -1,0 +1,25 @@
+(** LZSS sliding-window compression.
+
+    The match-finding core of the GZip/7-Zip workload miniatures: hash
+    -chained longest-match search over a configurable window, emitting
+    literal/match tokens.  Real computation — decompression round
+    -trips exactly. *)
+
+type token = Literal of char | Match of { distance : int; length : int }
+
+val compress : ?window_bits:int -> bytes -> token list
+(** Default window 2^12; 7-Zip profile uses 2^15. *)
+
+val decompress : token list -> bytes
+
+val encode_tokens : token list -> bytes
+(** Byte serialization of a token stream (what lands in the output
+    file when Huffman coding is disabled). *)
+
+val decode_tokens : bytes -> token list
+
+val compressed_size : token list -> int
+
+val compute_cost : input_bytes:int -> window_bits:int -> int
+(** Cycle-model cost of compressing [input_bytes] (match search
+    dominates; wider windows cost more per byte). *)

@@ -1,0 +1,134 @@
+(* Slab classes grow by a factor of 2 from 64 bytes; each class keeps
+   its own LRU list (memcached uses 1.25 growth and per-class LRUs —
+   same structure, coarser classes). *)
+
+let n_classes = 10
+let base_chunk = 64
+
+type entry = {
+  key : string;
+  mutable value : bytes;
+  mutable expires : int;  (** 0 = immortal *)
+  mutable lru_tick : int;
+  klass : int;
+}
+
+type slab_class = {
+  chunk : int;
+  mutable used : int;  (** entries live in this class *)
+  mutable budget : int;  (** max entries the class may hold *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  classes : slab_class array;
+  mutable clock : int;
+  ext_now : (unit -> int) option;
+  mutable n_evictions : int;
+  mutable n_expired : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable tick_counter : int;
+}
+
+let slab_class_for size =
+  let rec go i = if i >= n_classes - 1 || size <= base_chunk lsl i then i else go (i + 1) in
+  go 0
+
+let create ?(memory_limit = 1 lsl 20) ?now () =
+  let per_class = memory_limit / n_classes in
+  {
+    table = Hashtbl.create 256;
+    classes =
+      Array.init n_classes (fun i ->
+          let chunk = base_chunk lsl i in
+          { chunk; used = 0; budget = max 1 (per_class / chunk) });
+    clock = 0;
+    ext_now = now;
+    n_evictions = 0;
+    n_expired = 0;
+    n_hits = 0;
+    n_misses = 0;
+    tick_counter = 0;
+  }
+
+let now t = match t.ext_now with Some f -> f () | None -> t.clock
+
+let tick t = t.clock <- t.clock + 1
+
+let touch t e =
+  t.tick_counter <- t.tick_counter + 1;
+  e.lru_tick <- t.tick_counter
+
+let is_expired t e = e.expires <> 0 && now t >= e.expires
+
+let remove t e =
+  Hashtbl.remove t.table e.key;
+  t.classes.(e.klass).used <- t.classes.(e.klass).used - 1
+
+(* Evict the least-recently-used live entry of a class. *)
+let evict_lru t klass =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ e ->
+      if e.klass = klass then
+        match !victim with
+        | Some v when v.lru_tick <= e.lru_tick -> ()
+        | _ -> victim := Some e)
+    t.table;
+  match !victim with
+  | Some e ->
+      remove t e;
+      t.n_evictions <- t.n_evictions + 1;
+      true
+  | None -> false
+
+let set t ~key ~value ?(ttl = 0) () =
+  (match Hashtbl.find_opt t.table key with Some old -> remove t old | None -> ());
+  let klass = slab_class_for (Bytes.length value) in
+  let c = t.classes.(klass) in
+  if c.used >= c.budget then ignore (evict_lru t klass);
+  if c.used < c.budget then begin
+    let e =
+      { key; value; expires = (if ttl = 0 then 0 else now t + ttl); lru_tick = 0; klass }
+    in
+    touch t e;
+    Hashtbl.replace t.table key e;
+    c.used <- c.used + 1
+  end
+
+let get t key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      None
+  | Some e ->
+      if is_expired t e then begin
+        remove t e;
+        t.n_expired <- t.n_expired + 1;
+        t.n_misses <- t.n_misses + 1;
+        None
+      end
+      else begin
+        touch t e;
+        t.n_hits <- t.n_hits + 1;
+        Some e.value
+      end
+
+let delete t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      remove t e;
+      true
+  | None -> false
+
+let entries t = Hashtbl.length t.table
+
+let bytes_used t =
+  Hashtbl.fold (fun _ e acc -> acc + t.classes.(e.klass).chunk) t.table 0
+
+let evictions t = t.n_evictions
+let expired t = t.n_expired
+let slab_class_of _t size = slab_class_for size
+let hits t = t.n_hits
+let misses t = t.n_misses

@@ -1,0 +1,36 @@
+(** Memcached's storage core: slab allocation, per-class LRU eviction,
+    and TTL expiry.
+
+    Backs the memcached workload miniature with the engine behaviour
+    that matters for its profile — constant-time get/set, memory
+    capped by a slab budget, LRU churn under pressure. *)
+
+type t
+
+val create : ?memory_limit:int -> ?now:(unit -> int) -> unit -> t
+(** [memory_limit] bytes of value storage (default 1 MB); [now] is
+    the clock used for TTLs (defaults to an internal tick counter). *)
+
+val set : t -> key:string -> value:bytes -> ?ttl:int -> unit -> unit
+(** [ttl] in clock units; 0/absent = immortal.  May evict LRU entries
+    of the same slab class to make room. *)
+
+val get : t -> string -> bytes option
+(** [None] when absent, expired, or evicted; refreshes LRU order. *)
+
+val delete : t -> string -> bool
+
+val tick : t -> unit
+(** Advance the internal clock (when no [now] was supplied). *)
+
+(* introspection *)
+
+val entries : t -> int
+val bytes_used : t -> int
+val evictions : t -> int
+val expired : t -> int
+val slab_class_of : t -> int -> int
+(** The slab class index chosen for a value of the given size. *)
+
+val hits : t -> int
+val misses : t -> int

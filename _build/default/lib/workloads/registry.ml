@@ -1,0 +1,24 @@
+let enclave_programs () =
+  [ Gzip_w.workload (); Dbs.unqlite (); Crypto_w.mbedtls (); Servers.lighttpd (); Dbs.sqlite () ]
+
+let audit_programs () =
+  [ Crypto_w.openssl (); Cpu_w.sevenzip (); Servers.memcached (); Dbs.sqlite (); Servers.nginx () ]
+
+let background_programs () = [ Cpu_w.spec (); Servers.memcached (); Servers.nginx () ]
+
+let all () =
+  [
+    Gzip_w.workload ();
+    Dbs.sqlite ();
+    Dbs.unqlite ();
+    Crypto_w.mbedtls ();
+    Servers.lighttpd ();
+    Servers.nginx ();
+    Servers.memcached ();
+    Crypto_w.openssl ();
+    Cpu_w.sevenzip ();
+    Cpu_w.spec ();
+    Servers.lighttpd_concurrent ();
+  ]
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) (all ())

@@ -1,0 +1,13 @@
+(** Named registry of all evaluation workloads. *)
+
+val enclave_programs : unit -> Workload.t list
+(** Table 4: GZip, SQLite, UnQLite, MbedTLS, Lighttpd. *)
+
+val audit_programs : unit -> Workload.t list
+(** Table 5: OpenSSL, 7-Zip, Memcached, SQLite, NGINX. *)
+
+val background_programs : unit -> Workload.t list
+(** §9.1 background impact: SPEC-like, memcached, NGINX. *)
+
+val find : string -> Workload.t option
+val all : unit -> Workload.t list

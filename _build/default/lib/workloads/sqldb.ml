@@ -1,0 +1,281 @@
+type value = string
+
+type table = { schema : string list; tree : Btree.t; mutable next_rowid : int }
+
+type t = { env : Env.t; dir : string; tables : (string, table) Hashtbl.t }
+
+type outcome = Done | Rows of value list list
+
+let tombstone = "\x00DEAD"
+let field_sep = '\x1f'
+
+(* --- row codec (rows live in 64-byte B-tree values) --- *)
+
+let encode_row values =
+  let s = String.concat (String.make 1 field_sep) values in
+  if String.length s > Btree.value_size - 1 then Error "row too large (64-byte row limit)"
+  else Ok (Bytes.of_string s)
+
+let decode_row value =
+  (* strip zero padding, split on the field separator *)
+  let s = Bytes.to_string value in
+  let len = try String.index s '\000' with Not_found -> String.length s in
+  String.split_on_char field_sep (String.sub s 0 len)
+
+let is_tombstone value =
+  Bytes.length value >= String.length tombstone
+  && Bytes.to_string (Bytes.sub value 0 (String.length tombstone)) = tombstone
+
+(* --- catalog --- *)
+
+let catalog_path dir = dir ^ "/catalog"
+
+let save_catalog t =
+  let lines =
+    Hashtbl.fold
+      (fun name tbl acc -> Printf.sprintf "%s:%s" name (String.concat "," tbl.schema) :: acc)
+      t.tables []
+  in
+  let data = Bytes.of_string (String.concat "\n" (List.sort compare lines)) in
+  let fd = Env.open_ t.env (catalog_path t.dir) ~flags:(Env.o_creat lor Env.o_wronly lor Env.o_trunc) ~mode:0o644 in
+  ignore (Env.write t.env fd data);
+  Env.close t.env fd
+
+let table_file t name = Printf.sprintf "%s/%s.tbl" t.dir name
+
+let load_table t name schema =
+  let tree = Btree.create t.env ~path:(table_file t name) in
+  let tbl = { schema; tree; next_rowid = Btree.iter_count tree } in
+  Hashtbl.replace t.tables name tbl;
+  tbl
+
+let open_db env ~dir =
+  if not (Env.file_exists env dir) then Env.mkdir env dir;
+  let t = { env; dir; tables = Hashtbl.create 8 } in
+  if Env.file_exists env (catalog_path dir) then begin
+    let size = Env.stat_size env (catalog_path dir) in
+    let fd = Env.open_ env (catalog_path dir) ~flags:Env.o_rdonly ~mode:0 in
+    let data = if size > 0 then Env.pread env fd ~len:size ~pos:0 else Bytes.empty in
+    Env.close env fd;
+    String.split_on_char '\n' (Bytes.to_string data)
+    |> List.iter (fun line ->
+           match String.index_opt line ':' with
+           | Some i ->
+               let name = String.sub line 0 i in
+               let cols = String.split_on_char ',' (String.sub line (i + 1) (String.length line - i - 1)) in
+               ignore (load_table t name cols)
+           | None -> ())
+  end;
+  t
+
+let checkpoint t = Hashtbl.iter (fun _ tbl -> Btree.flush tbl.tree) t.tables
+
+let close t =
+  save_catalog t;
+  Hashtbl.iter (fun _ tbl -> Btree.close tbl.tree) t.tables
+
+let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+
+(* --- tokenizer --- *)
+
+type token = Word of string | Str of string | Lparen | Rparen | Comma | Star | Eq
+
+let tokenize stmt =
+  let n = String.length stmt in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else begin
+      match stmt.[i] with
+      | ' ' | '\t' | '\n' | ';' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '*' -> go (i + 1) (Star :: acc)
+      | '=' -> go (i + 1) (Eq :: acc)
+      | '\'' -> (
+          match String.index_from_opt stmt (i + 1) '\'' with
+          | None -> Error "unterminated string literal"
+          | Some j -> go (j + 1) (Str (String.sub stmt (i + 1) (j - i - 1)) :: acc))
+      | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' ->
+          let j = ref i in
+          while
+            !j < n
+            &&
+            let c = stmt.[!j] in
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+          do
+            incr j
+          done;
+          go !j (Word (String.lowercase_ascii (String.sub stmt i (!j - i))) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+    end
+  in
+  go 0 []
+
+(* --- statements --- *)
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> Ok tbl
+  | None -> Error (Printf.sprintf "no such table: %s" name)
+
+let rowid_key id = Bytes.of_string (Printf.sprintf "%016d" id)
+
+(* Rows are keyed by their first column when it fits the key size
+   (upsert semantics, point-lookup plans); otherwise by rowid. *)
+let row_key tbl values =
+  match values with
+  | first :: _ when String.length first > 0 && String.length first <= Btree.key_size ->
+      Bytes.of_string first
+  | _ ->
+      let k = rowid_key tbl.next_rowid in
+      tbl.next_rowid <- tbl.next_rowid + 1;
+      k
+
+let rec parse_commalist ~closer acc = function
+  | t :: rest when t = closer -> Ok (List.rev acc, rest)
+  | Word w :: Comma :: rest -> parse_commalist ~closer (w :: acc) rest
+  | Word w :: (t :: _ as rest) when t = closer -> parse_commalist ~closer (w :: acc) rest
+  | Str s :: Comma :: rest -> parse_commalist ~closer (s :: acc) rest
+  | Str s :: (t :: _ as rest) when t = closer -> parse_commalist ~closer (s :: acc) rest
+  | _ -> Error "malformed list"
+
+let exec_create t name cols =
+  if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
+  else if cols = [] then Error "a table needs at least one column"
+  else begin
+    ignore (load_table t name cols);
+    save_catalog t;
+    Ok Done
+  end
+
+let exec_insert t name values =
+  Result.bind (find_table t name) (fun tbl ->
+      if List.length values <> List.length tbl.schema then
+        Error
+          (Printf.sprintf "expected %d values for %s, got %d" (List.length tbl.schema) name
+             (List.length values))
+      else
+        Result.bind (encode_row values) (fun row ->
+            t.env.Env.compute 2_000 (* plan + row encode *);
+            Btree.insert tbl.tree ~key:(row_key tbl values) ~value:row;
+            Ok Done))
+
+let col_index tbl col =
+  let rec go i = function
+    | [] -> Error (Printf.sprintf "no such column: %s" col)
+    | c :: _ when c = col -> Ok i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 tbl.schema
+
+let scan t tbl ~where f =
+  t.env.Env.compute 800;
+  Btree.iter tbl.tree (fun _key value ->
+      if not (is_tombstone value) then begin
+        let row = decode_row value in
+        let keep =
+          match where with
+          | None -> true
+          | Some (idx, v) -> ( match List.nth_opt row idx with Some x -> x = v | None -> false)
+        in
+        if keep then f row
+      end)
+
+let exec_select t name ~projection ~where =
+  Result.bind (find_table t name) (fun tbl ->
+      let where_resolved =
+        match where with
+        | None -> Ok None
+        | Some (col, v) -> Result.map (fun i -> Some (i, v)) (col_index tbl col)
+      in
+      (* validate the projection against the schema up front *)
+      let projection_ok =
+        match projection with `All -> Ok () | `Col c -> Result.map (fun _ -> ()) (col_index tbl c)
+      in
+      Result.bind projection_ok (fun () ->
+      Result.bind where_resolved (fun where ->
+          (* planner: an equality predicate on the first column becomes
+             a B-tree point lookup instead of a scan *)
+          let point_lookup =
+            match where with
+            | Some (0, v) when String.length v > 0 && String.length v <= Btree.key_size -> Some v
+            | _ -> None
+          in
+          let project =
+            match projection with
+            | `All -> fun row -> Ok row
+            | `Col c ->
+                fun row ->
+                  Result.bind (col_index tbl c) (fun i ->
+                      match List.nth_opt row i with
+                      | Some v -> Ok [ v ]
+                      | None -> Error "row/schema mismatch")
+          in
+          let rows = ref [] and err = ref None in
+          let visit row =
+            match project row with
+            | Ok r -> rows := r :: !rows
+            | Error e -> err := Some e
+          in
+          (match point_lookup with
+          | Some v -> (
+              t.env.Env.compute 1_200;
+              match Btree.find tbl.tree ~key:(Bytes.of_string v) with
+              | Some value when not (is_tombstone value) -> visit (decode_row value)
+              | _ -> ())
+          | None -> scan t tbl ~where visit);
+          match !err with Some e -> Error e | None -> Ok (Rows (List.rev !rows)))))
+
+let exec_delete t name ~where =
+  Result.bind (find_table t name) (fun tbl ->
+      Result.bind (col_index tbl (fst where)) (fun idx ->
+          let victims = ref [] in
+          let i = ref 0 in
+          Btree.iter tbl.tree (fun key value ->
+              incr i;
+              if not (is_tombstone value) then begin
+                let row = decode_row value in
+                match List.nth_opt row idx with
+                | Some x when x = snd where -> victims := Bytes.copy key :: !victims
+                | _ -> ()
+              end);
+          List.iter
+            (fun key -> Btree.insert tbl.tree ~key ~value:(Bytes.of_string tombstone))
+            !victims;
+          Ok Done))
+
+let exec t stmt =
+  match tokenize stmt with
+  | Error e -> Error e
+  | Ok tokens -> (
+      match tokens with
+      | Word "create" :: Word "table" :: Word name :: Lparen :: rest -> (
+          match parse_commalist ~closer:Rparen [] rest with
+          | Ok (cols, []) -> exec_create t name cols
+          | Ok _ -> Error "trailing tokens after CREATE TABLE"
+          | Error e -> Error e)
+      | Word "insert" :: Word "into" :: Word name :: Word "values" :: Lparen :: rest -> (
+          match parse_commalist ~closer:Rparen [] rest with
+          | Ok (values, []) -> exec_insert t name values
+          | Ok _ -> Error "trailing tokens after INSERT"
+          | Error e -> Error e)
+      | Word "select" :: proj :: Word "from" :: Word name :: rest -> (
+          let projection =
+            match proj with Star -> Ok `All | Word c -> Ok (`Col c) | _ -> Error "bad projection"
+          in
+          match (projection, rest) with
+          | Ok p, [] -> exec_select t name ~projection:p ~where:None
+          | Ok p, [ Word "where"; Word col; Eq; Str v ] ->
+              exec_select t name ~projection:p ~where:(Some (col, v))
+          | Ok _, _ -> Error "malformed SELECT"
+          | (Error _ as e), _ -> (match e with Error m -> Error m | _ -> assert false))
+      | [ Word "delete"; Word "from"; Word name; Word "where"; Word col; Eq; Str v ] ->
+          exec_delete t name ~where:(col, v)
+      | _ -> Error "unrecognized statement")
+
+let row_count t name =
+  Result.bind (find_table t name) (fun tbl ->
+      let n = ref 0 in
+      Btree.iter tbl.tree (fun _ v -> if not (is_tombstone v) then incr n);
+      Ok !n)

@@ -1,0 +1,37 @@
+(** A miniature SQL engine over the paged {!Btree}.
+
+    Gives the SQLite workload its authentic shape: statements are
+    parsed, planned and executed against B-tree-backed tables whose
+    pages move through the (redirectable) file system interface.
+
+    Supported grammar:
+    {v
+      CREATE TABLE name (col1, col2, ...)
+      INSERT INTO name VALUES ('v1', 'v2', ...)
+      SELECT * | col FROM name [WHERE col = 'v']
+      DELETE FROM name WHERE col = 'v'   (tombstone semantics)
+    v} *)
+
+type t
+
+type value = string
+
+type outcome =
+  | Done  (** DDL / DML succeeded *)
+  | Rows of value list list  (** SELECT results, one list per row *)
+
+val open_db : Env.t -> dir:string -> t
+(** Tables live as B-tree files under [dir]; the catalog persists in
+    [dir]/catalog. *)
+
+val close : t -> unit
+
+val checkpoint : t -> unit
+(** WAL-checkpoint semantics: write every table's dirty pages back and
+    fsync. *)
+
+val exec : t -> string -> (outcome, string) result
+(** Parse + execute one statement. *)
+
+val table_names : t -> string list
+val row_count : t -> string -> (int, string) result

@@ -1,0 +1,28 @@
+let words =
+  [|
+    "the"; "of"; "monitor"; "kernel"; "enclave"; "secure"; "domain"; "virtual"; "machine"; "privilege";
+    "level"; "memory"; "page"; "table"; "confidential"; "cloud"; "integrity"; "protects"; "services";
+    "hypervisor"; "attestation"; "measurement"; "system"; "and"; "with"; "guest";
+  |]
+
+let text rng n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    (* Zipf-ish skew: favour low indices *)
+    let r = Veil_crypto.Rng.int rng (Array.length words * (Array.length words + 1) / 2) in
+    let rec pick i acc = if r < acc + (Array.length words - i) then i else pick (i + 1) (acc + (Array.length words - i)) in
+    Buffer.add_string buf words.(pick 0 0 mod Array.length words);
+    Buffer.add_char buf (if Veil_crypto.Rng.int rng 12 = 0 then '\n' else ' ')
+  done;
+  Bytes.sub (Buffer.to_bytes buf) 0 n
+
+let binary rng n =
+  let b = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    let run = min (n - !pos) (16 + Veil_crypto.Rng.int rng 240) in
+    if Veil_crypto.Rng.int rng 3 = 0 then Bytes.fill b !pos run '\000'
+    else Bytes.blit (Veil_crypto.Rng.bytes rng run) 0 b !pos run;
+    pos := !pos + run
+  done;
+  b

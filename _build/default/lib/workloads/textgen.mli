@@ -1,0 +1,10 @@
+(** Compressible synthetic data (stands in for the paper's input
+    files, which we cannot ship). *)
+
+val text : Veil_crypto.Rng.t -> int -> bytes
+(** Word-like, skewed-frequency text of the given length —
+    compresses at a realistic ratio. *)
+
+val binary : Veil_crypto.Rng.t -> int -> bytes
+(** Mixed random/zero-run data (the /dev/urandom-derived file of
+    Table 4 compresses poorly; this preserves that). *)

@@ -1,0 +1,10 @@
+type ctx = { env : Env.t; client : Env.t; rng : Veil_crypto.Rng.t; scale : int }
+
+type t = {
+  name : string;
+  vcpus : int;
+  setup : ctx -> unit;
+  body : ctx -> unit;
+}
+
+let make ~name ?(vcpus = 1) ?(setup = fun _ -> ()) body = { name; vcpus; setup; body }

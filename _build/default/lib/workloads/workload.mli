@@ -1,0 +1,24 @@
+(** Workload definition shared by the benchmark driver.
+
+    The measured program runs against [ctx.env] (native, enclave or
+    audited depending on the driver mode); load generators — the ab /
+    memaslap clients of Tables 4-5 — run against [ctx.client], which
+    is always a plain native environment in the same guest. *)
+
+type ctx = {
+  env : Env.t;  (** the measured program's environment *)
+  client : Env.t;  (** native-side load generator / input preparation *)
+  rng : Veil_crypto.Rng.t;
+  scale : int;  (** problem-size multiplier (benches run larger than tests) *)
+}
+
+type t = {
+  name : string;
+  vcpus : int;
+      (** VCPUs of the paper's configuration (overheads are normalized
+          against total machine capacity) *)
+  setup : ctx -> unit;  (** input preparation, always native *)
+  body : ctx -> unit;  (** the measured program *)
+}
+
+val make : name:string -> ?vcpus:int -> ?setup:(ctx -> unit) -> (ctx -> unit) -> t

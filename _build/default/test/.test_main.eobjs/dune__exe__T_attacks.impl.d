@@ -1,0 +1,1 @@
+test/t_attacks.ml: Alcotest List Veil_attacks

@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Bytes Char Enclave_sdk Guest_kernel List Option Printf Sevsnp String Veil_core Veil_crypto

@@ -1,0 +1,1 @@
+test/t_crypto.ml: Alcotest Bignum Bytes Chacha20 Char Dh Gen Group Hmac List Measurement Option Printf QCheck QCheck_alcotest Rng Schnorr Sha256 String Veil_crypto

@@ -1,0 +1,1 @@
+test/t_engines.ml: Alcotest Bytes Guest_kernel Hashtbl List Printf QCheck QCheck_alcotest Veil_core Veil_crypto Workloads

@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Bytes Enclave_sdk Format Guest_kernel List Option Printf Sevsnp String Veil_core

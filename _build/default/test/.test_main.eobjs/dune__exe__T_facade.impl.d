@@ -1,0 +1,1 @@
+test/t_facade.ml: Alcotest Bytes Guest_kernel List Sevsnp String Veil_core

@@ -1,0 +1,1 @@
+test/t_future.ml: Alcotest Bytes Enclave_sdk Guest_kernel List Option Printf Result Sevsnp String Veil_core

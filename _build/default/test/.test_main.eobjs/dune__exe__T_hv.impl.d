@@ -1,0 +1,1 @@
+test/t_hv.ml: Alcotest Bytes Enclave_sdk Guest_kernel Hypervisor List Option Sevsnp Veil_core

@@ -1,0 +1,1 @@
+test/t_kernel.ml: Alcotest Bytes Guest_kernel Hashtbl List Option Printf QCheck QCheck_alcotest String Veil_core Veil_crypto

@@ -1,0 +1,1 @@
+test/t_kernel2.ml: Alcotest Bytes Guest_kernel Veil_core Workloads

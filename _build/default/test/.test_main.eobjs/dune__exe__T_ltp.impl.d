@@ -1,0 +1,1 @@
+test/t_ltp.ml: Alcotest Enclave_sdk Guest_kernel Lazy List Printf Veil_core

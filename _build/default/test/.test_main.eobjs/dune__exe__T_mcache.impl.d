@@ -1,0 +1,1 @@
+test/t_mcache.ml: Alcotest Bytes Hashtbl List Printf QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/t_props.ml: Array Bytes Enclave_sdk Guest_kernel Hashtbl List Printf QCheck QCheck_alcotest Sevsnp Veil_core

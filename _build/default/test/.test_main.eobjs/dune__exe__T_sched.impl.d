@@ -1,0 +1,1 @@
+test/t_sched.ml: Alcotest Buffer Bytes Format Guest_kernel Printf Veil_core

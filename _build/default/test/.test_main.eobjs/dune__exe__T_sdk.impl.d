@@ -1,0 +1,1 @@
+test/t_sdk.ml: Alcotest Bytes Enclave_sdk Guest_kernel List Option Printf QCheck QCheck_alcotest Result Sevsnp Veil_core

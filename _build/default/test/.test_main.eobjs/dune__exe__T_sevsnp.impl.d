@@ -1,0 +1,1 @@
+test/t_sevsnp.ml: Alcotest Bytes Hypervisor List Option QCheck QCheck_alcotest Sevsnp

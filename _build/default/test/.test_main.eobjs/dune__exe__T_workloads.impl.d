@@ -1,0 +1,1 @@
+test/t_workloads.ml: Alcotest Bytes Enclave_sdk Float Guest_kernel List Printf QCheck QCheck_alcotest String Veil_core Veil_crypto Workloads

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_attacks T_core T_crypto T_engines T_extensions T_facade T_future T_hv T_kernel T_kernel2 T_ltp T_mcache T_props T_sched T_sdk T_sevsnp T_workloads

@@ -1,0 +1,33 @@
+(* Security validation (§8): every attack in Tables 1-2 and the two
+   §8.3 validation experiments must be stopped. *)
+
+module A = Veil_attacks.Attacks
+
+let check_blocked attack () =
+  let outcome = A.run attack in
+  if not (A.is_blocked outcome) then
+    Alcotest.failf "%s — %s" (A.name attack) (A.outcome_to_string outcome)
+
+let to_cases attacks = List.map (fun a -> (A.name a, `Quick, check_blocked a)) attacks
+
+let test_counts () =
+  Alcotest.(check bool) "Table 1 coverage" true (List.length (A.framework_attacks ()) >= 8);
+  Alcotest.(check bool) "Table 2 coverage" true (List.length (A.enclave_attacks ()) >= 9);
+  Alcotest.(check int) "§8.3 validation attacks" 2 (List.length (A.validation_attacks ()))
+
+let test_validation_halts_with_npf () =
+  (* §8.3: both validation attacks end in continuous #NPF (a halted
+     CVM), not a graceful refusal *)
+  List.iter
+    (fun a ->
+      match A.run a with
+      | A.Blocked_npf _ -> ()
+      | o -> Alcotest.failf "%s should halt with #NPF, got %s" (A.name a) (A.outcome_to_string o))
+    (A.validation_attacks ())
+
+let suite =
+  [ ("attack inventory", `Quick, test_counts) ]
+  @ to_cases (A.framework_attacks ())
+  @ to_cases (A.enclave_attacks ())
+  @ to_cases (A.validation_attacks ())
+  @ [ ("§8.3 attacks halt with #NPF", `Quick, test_validation_halts_with_npf) ]

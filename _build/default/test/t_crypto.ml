@@ -1,0 +1,286 @@
+(* Crypto substrate tests: standard vectors + algebraic properties. *)
+
+open Veil_crypto
+
+let hex = Sha256.hex_of_digest
+
+let check_hex msg expected got = Alcotest.(check string) msg expected (hex got)
+
+(* --- SHA-256 (FIPS 180-4 / NIST vectors) --- *)
+
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest_string "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest_string "abc");
+  check_hex "448-bit" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_string (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  let whole = Sha256.digest_string "the quick brown fox jumps over the lazy dog" in
+  let ctx = Sha256.init () in
+  List.iter (Sha256.update_string ctx) [ "the quick brown "; "fox jumps"; ""; " over the lazy dog" ];
+  Alcotest.(check string) "incremental = one-shot" (hex whole) (hex (Sha256.finalize ctx))
+
+let test_sha256_block_boundaries () =
+  (* lengths straddling the 55/56/64-byte padding boundaries *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.update ctx (Bytes.make 1 c)) s;
+      Alcotest.(check string)
+        (Printf.sprintf "len %d byte-at-a-time" n)
+        (hex (Sha256.digest_string s))
+        (hex (Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 127; 128; 129 ]
+
+(* --- HMAC-SHA256 (RFC 4231) --- *)
+
+let test_hmac_rfc4231 () =
+  let case1 = Hmac.mac ~key:(Bytes.make 20 '\x0b') (Bytes.of_string "Hi There") in
+  check_hex "rfc4231 case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" case1;
+  let case2 = Hmac.mac ~key:(Bytes.of_string "Jefe") (Bytes.of_string "what do ya want for nothing?") in
+  check_hex "rfc4231 case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" case2;
+  (* case 6: key longer than the block size *)
+  let case6 =
+    Hmac.mac ~key:(Bytes.make 131 '\xaa')
+      (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First")
+  in
+  check_hex "rfc4231 case 6" "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" case6
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "secret" and msg = Bytes.of_string "message" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "verify ok" true (Hmac.verify ~key ~msg ~tag);
+  Bytes.set tag 3 'z';
+  Alcotest.(check bool) "tampered tag fails" false (Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool)
+    "wrong key fails" false
+    (Hmac.verify ~key:(Bytes.of_string "other") ~msg ~tag:(Hmac.mac ~key msg))
+
+(* --- ChaCha20 (RFC 8439) --- *)
+
+let test_chacha20_block () =
+  let key = Bytes.init 32 Char.chr in
+  let nonce = Bytes.of_string "\x00\x00\x00\x09\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let block = Chacha20.block ~key ~nonce ~counter:1 in
+  Alcotest.(check string)
+    "rfc8439 2.3.2 first 16 keystream bytes" "10f1e7e4d13b5915500fdd1fa32071c4"
+    (hex (Bytes.sub block 0 16))
+
+let test_chacha20_rfc_encrypt () =
+  let key = Bytes.init 32 Char.chr in
+  let nonce = Bytes.of_string "\x00\x00\x00\x00\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let pt =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, \
+     sunscreen would be it."
+  in
+  let ct = Chacha20.encrypt ~key ~nonce ~counter:1 (Bytes.of_string pt) in
+  Alcotest.(check string)
+    "rfc8439 2.4.2 first 16 ct bytes" "6e2e359a2568f98041ba0728dd0d6981"
+    (hex (Bytes.sub ct 0 16))
+
+let chacha_roundtrip =
+  QCheck.Test.make ~name:"chacha20 roundtrip" ~count:100
+    QCheck.(pair (bytes_of_size Gen.(0 -- 300)) small_nat)
+    (fun (data, seed) ->
+      let rng = Rng.create seed in
+      let key = Rng.bytes rng 32 and nonce = Rng.bytes rng 12 in
+      Bytes.equal data (Chacha20.encrypt ~key ~nonce (Chacha20.encrypt ~key ~nonce data)))
+
+(* --- Bignum --- *)
+
+let bn = Bignum.of_int
+
+let small = QCheck.Gen.(0 -- 1_000_000)
+
+let bignum_pair = QCheck.make QCheck.Gen.(pair small small)
+
+let test_bignum_basic () =
+  Alcotest.(check bool) "zero" true (Bignum.is_zero Bignum.zero);
+  Alcotest.(check (option int)) "roundtrip" (Some 123456789) (Bignum.to_int_opt (bn 123456789));
+  Alcotest.(check int) "compare" (-1) (Bignum.compare (bn 5) (bn 7));
+  Alcotest.(check string) "hex" "ff" (Bignum.to_hex (bn 255));
+  Alcotest.(check bool) "of_hex" true (Bignum.equal (Bignum.of_hex "deadbeef") (bn 0xdeadbeef));
+  Alcotest.(check bool)
+    "bytes roundtrip" true
+    (Bignum.equal (bn 987654321) (Bignum.of_bytes_be (Bignum.to_bytes_be (bn 987654321))))
+
+let test_bignum_underflow () =
+  Alcotest.check_raises "sub underflow" Bignum.Underflow (fun () -> ignore (Bignum.sub (bn 3) (bn 5)));
+  Alcotest.check_raises "div by zero" Bignum.Division_by_zero (fun () ->
+      ignore (Bignum.divmod (bn 3) Bignum.zero))
+
+let bignum_add_comm =
+  QCheck.Test.make ~name:"bignum add commutative" ~count:200 bignum_pair (fun (a, b) ->
+      Bignum.equal (Bignum.add (bn a) (bn b)) (Bignum.add (bn b) (bn a)))
+
+let bignum_mul_matches_int =
+  QCheck.Test.make ~name:"bignum mul matches int" ~count:200 bignum_pair (fun (a, b) ->
+      Bignum.to_int_opt (Bignum.mul (bn a) (bn b)) = Some (a * b))
+
+let bignum_divmod_identity =
+  QCheck.Test.make ~name:"bignum a = q*b + r, r < b" ~count:200
+    (QCheck.make QCheck.Gen.(pair small (1 -- 100_000)))
+    (fun (a, b) ->
+      let q, r = Bignum.divmod (bn a) (bn b) in
+      Bignum.equal (bn a) (Bignum.add (Bignum.mul q (bn b)) r) && Bignum.compare r (bn b) < 0)
+
+let bignum_shift_roundtrip =
+  QCheck.Test.make ~name:"bignum shift left then right" ~count:200
+    (QCheck.make QCheck.Gen.(pair small (0 -- 120)))
+    (fun (a, s) -> Bignum.equal (bn a) (Bignum.shift_right (Bignum.shift_left (bn a) s) s))
+
+let test_bignum_powmod_fermat () =
+  (* Fermat's little theorem on a known prime. *)
+  let p = bn 1_000_003 in
+  let rng = Rng.create 5 in
+  for _ = 1 to 25 do
+    let a = Bignum.add Bignum.one (Bignum.random_below rng (Bignum.sub p Bignum.two)) in
+    let r = Bignum.powmod ~base:a ~exp:(Bignum.sub p Bignum.one) ~modulus:p in
+    Alcotest.(check bool) "a^(p-1) = 1 mod p" true (Bignum.equal r Bignum.one)
+  done
+
+let test_bignum_invmod () =
+  let m = bn 1_000_003 in
+  let rng = Rng.create 9 in
+  for _ = 1 to 25 do
+    let a = Bignum.add Bignum.one (Bignum.random_below rng (Bignum.sub m Bignum.two)) in
+    match Bignum.invmod a m with
+    | None -> Alcotest.fail "inverse must exist modulo a prime"
+    | Some inv ->
+        Alcotest.(check bool) "a * a^-1 = 1" true (Bignum.equal (Bignum.rem (Bignum.mul a inv) m) Bignum.one)
+  done;
+  Alcotest.(check (option reject)) "gcd > 1 has no inverse"
+    None
+    (Option.map (fun _ -> ()) (Bignum.invmod (bn 6) (bn 9)))
+
+let test_bignum_primality () =
+  let rng = Rng.create 11 in
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check bool) (string_of_int n) expect (Bignum.is_probably_prime rng (bn n)))
+    [ (2, true); (3, true); (4, false); (17, true); (561, false) (* Carmichael *); (7919, true);
+      (1_000_003, true); (1_000_001, false) ]
+
+let test_bignum_large_mul () =
+  (* (2^200 - 1) * (2^200 + 1) = 2^400 - 1 *)
+  let p200 = Bignum.shift_left Bignum.one 200 in
+  let a = Bignum.sub p200 Bignum.one and b = Bignum.add p200 Bignum.one in
+  let expected = Bignum.sub (Bignum.shift_left Bignum.one 400) Bignum.one in
+  Alcotest.(check bool) "difference of squares" true (Bignum.equal (Bignum.mul a b) expected)
+
+(* --- Group / DH / Schnorr --- *)
+
+let test_group_structure () =
+  let g = Group.default () in
+  (* p = 2q + 1 *)
+  Alcotest.(check bool) "p = 2q+1" true
+    (Bignum.equal g.Group.p (Bignum.add (Bignum.shift_left g.Group.q 1) Bignum.one));
+  (* g generates the order-q subgroup: g^q = 1 *)
+  let gq = Bignum.powmod ~base:g.Group.g ~exp:g.Group.q ~modulus:g.Group.p in
+  Alcotest.(check bool) "g^q = 1" true (Bignum.equal gq Bignum.one);
+  Alcotest.(check bool) "g <> 1" false (Bignum.equal g.Group.g Bignum.one)
+
+let test_dh_agreement () =
+  let rng = Rng.create 21 in
+  let a = Dh.keygen rng and b = Dh.keygen rng in
+  let s1 = Dh.shared_secret ~secret:a.Dh.secret ~peer_public:b.Dh.public () in
+  let s2 = Dh.shared_secret ~secret:b.Dh.secret ~peer_public:a.Dh.public () in
+  Alcotest.(check string) "shared secrets agree" (hex s1) (hex s2);
+  let c = Dh.keygen rng in
+  let s3 = Dh.shared_secret ~secret:c.Dh.secret ~peer_public:a.Dh.public () in
+  Alcotest.(check bool) "third party differs" false (Bytes.equal s1 s3)
+
+let test_schnorr_sign_verify () =
+  let rng = Rng.create 33 in
+  let kp = Schnorr.keygen rng in
+  let msg = Bytes.of_string "veil attestation report" in
+  let s = Schnorr.sign rng ~secret:kp.Schnorr.secret msg in
+  Alcotest.(check bool) "valid signature verifies" true (Schnorr.verify ~public:kp.Schnorr.public ~msg s);
+  Alcotest.(check bool)
+    "wrong message fails" false
+    (Schnorr.verify ~public:kp.Schnorr.public ~msg:(Bytes.of_string "other") s);
+  let other = Schnorr.keygen rng in
+  Alcotest.(check bool) "wrong key fails" false (Schnorr.verify ~public:other.Schnorr.public ~msg s)
+
+let test_schnorr_serialization () =
+  let rng = Rng.create 44 in
+  let kp = Schnorr.keygen rng in
+  let s = Schnorr.sign rng ~secret:kp.Schnorr.secret (Bytes.of_string "x") in
+  (match Schnorr.signature_of_bytes (Schnorr.signature_to_bytes s) with
+  | Some s' ->
+      Alcotest.(check bool) "roundtrip verifies" true
+        (Schnorr.verify ~public:kp.Schnorr.public ~msg:(Bytes.of_string "x") s')
+  | None -> Alcotest.fail "signature did not roundtrip");
+  Alcotest.(check bool) "garbage rejected" true
+    (Schnorr.signature_of_bytes (Bytes.of_string "zz") = None)
+
+(* --- Measurement --- *)
+
+let test_measurement_framing () =
+  let m1 = Measurement.create ~domain:"d" in
+  Measurement.add_string m1 ~label:"a" "bc";
+  let m2 = Measurement.create ~domain:"d" in
+  Measurement.add_string m2 ~label:"ab" "c";
+  (* length framing must keep (a,"bc") and (ab,"c") distinct *)
+  Alcotest.(check bool) "no framing collision" false
+    (Bytes.equal (Measurement.digest m1) (Measurement.digest m2));
+  let m3 = Measurement.create ~domain:"other" in
+  Measurement.add_string m3 ~label:"a" "bc";
+  let m4 = Measurement.create ~domain:"d" in
+  Measurement.add_string m4 ~label:"a" "bc";
+  Alcotest.(check bool) "domain separation" false
+    (Bytes.equal (Measurement.digest m3) (Measurement.digest m4))
+
+(* --- Rng determinism --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done;
+  let c = Rng.create 8 in
+  Alcotest.(check bool) "different seed differs" false (Rng.next64 (Rng.create 7) = Rng.next64 c)
+
+let rng_int_bounds =
+  QCheck.Test.make ~name:"rng int within bounds" ~count:300
+    (QCheck.make QCheck.Gen.(pair small_nat (1 -- 10000)))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let q = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("sha256 NIST vectors", `Quick, test_sha256_vectors);
+    ("sha256 incremental", `Quick, test_sha256_incremental);
+    ("sha256 block boundaries", `Quick, test_sha256_block_boundaries);
+    ("hmac RFC 4231 vectors", `Quick, test_hmac_rfc4231);
+    ("hmac verify", `Quick, test_hmac_verify);
+    ("chacha20 RFC 8439 block", `Quick, test_chacha20_block);
+    ("chacha20 RFC 8439 encrypt", `Quick, test_chacha20_rfc_encrypt);
+    q chacha_roundtrip;
+    ("bignum basics", `Quick, test_bignum_basic);
+    ("bignum underflow/divzero", `Quick, test_bignum_underflow);
+    q bignum_add_comm;
+    q bignum_mul_matches_int;
+    q bignum_divmod_identity;
+    q bignum_shift_roundtrip;
+    ("bignum Fermat", `Quick, test_bignum_powmod_fermat);
+    ("bignum invmod", `Quick, test_bignum_invmod);
+    ("bignum Miller-Rabin", `Quick, test_bignum_primality);
+    ("bignum large multiply", `Quick, test_bignum_large_mul);
+    ("schnorr group structure", `Slow, test_group_structure);
+    ("dh agreement", `Quick, test_dh_agreement);
+    ("schnorr sign/verify", `Quick, test_schnorr_sign_verify);
+    ("schnorr serialization", `Quick, test_schnorr_serialization);
+    ("measurement framing", `Quick, test_measurement_framing);
+    ("rng determinism", `Quick, test_rng_deterministic);
+    q rng_int_bounds;
+  ]

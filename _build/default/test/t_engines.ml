@@ -1,0 +1,173 @@
+(* Workload engine depth: the DEFLATE coder and the mini-SQL engine. *)
+
+module W = Workloads
+
+let q = QCheck_alcotest.to_alcotest
+
+(* --- DEFLATE --- *)
+
+let test_deflate_code_tables () =
+  (* RFC 1951 spot checks *)
+  Alcotest.(check (triple int int int)) "len 3" (257, 0, 0) (W.Deflate.length_code 3);
+  Alcotest.(check (triple int int int)) "len 10" (264, 0, 0) (W.Deflate.length_code 10);
+  Alcotest.(check (triple int int int)) "len 11" (265, 1, 0) (W.Deflate.length_code 11);
+  Alcotest.(check (triple int int int)) "len 12" (265, 1, 1) (W.Deflate.length_code 12);
+  Alcotest.(check (triple int int int)) "len 130" (280, 4, 15) (W.Deflate.length_code 130);
+  Alcotest.(check (triple int int int)) "len 258" (285, 0, 0) (W.Deflate.length_code 258);
+  Alcotest.(check (triple int int int)) "dist 1" (0, 0, 0) (W.Deflate.distance_code 1);
+  Alcotest.(check (triple int int int)) "dist 5" (4, 1, 0) (W.Deflate.distance_code 5);
+  Alcotest.(check (triple int int int)) "dist 6" (4, 1, 1) (W.Deflate.distance_code 6);
+  Alcotest.(check (triple int int int)) "dist 1024" (19, 8, 255) (W.Deflate.distance_code 1024);
+  Alcotest.(check (triple int int int)) "dist 32768" (29, 13, 8191) (W.Deflate.distance_code 32768);
+  Alcotest.check_raises "len 2 invalid" (Invalid_argument "Deflate.length_code") (fun () ->
+      ignore (W.Deflate.length_code 2));
+  Alcotest.check_raises "dist 0 invalid" (Invalid_argument "Deflate.distance_code") (fun () ->
+      ignore (W.Deflate.distance_code 0))
+
+let deflate_roundtrip =
+  QCheck.Test.make ~name:"deflate roundtrip" ~count:50
+    (QCheck.bytes_of_size QCheck.Gen.(0 -- 4000))
+    (fun data -> Bytes.equal data (W.Deflate.decompress (W.Deflate.compress data)))
+
+let deflate_roundtrip_text =
+  QCheck.Test.make ~name:"deflate roundtrip on compressible text" ~count:20
+    (QCheck.make QCheck.Gen.(pair small_nat (100 -- 8000)))
+    (fun (seed, n) ->
+      let data = W.Textgen.text (Veil_crypto.Rng.create seed) n in
+      Bytes.equal data (W.Deflate.decompress (W.Deflate.compress data)))
+
+let test_deflate_compresses () =
+  let text = W.Textgen.text (Veil_crypto.Rng.create 4) 30000 in
+  let ratio = W.Deflate.compression_ratio text in
+  Alcotest.(check bool) (Printf.sprintf "text ratio %.2f < 0.55" ratio) true (ratio < 0.55);
+  (* beats the naive token coder on the same input *)
+  let naive = Bytes.length (W.Huffman.encode (W.Lzss.encode_tokens (W.Lzss.compress text))) in
+  let deflate = Bytes.length (W.Deflate.compress text) in
+  Alcotest.(check bool) "deflate <= token+huffman" true (deflate <= naive)
+
+let test_deflate_incompressible () =
+  let data = Veil_crypto.Rng.bytes (Veil_crypto.Rng.create 5) 8192 in
+  Alcotest.(check bytes) "random data roundtrip" data (W.Deflate.decompress (W.Deflate.compress data));
+  Alcotest.(check bool) "does not explode" true (W.Deflate.compression_ratio data < 1.25)
+
+let test_deflate_long_match () =
+  (* a run longer than max_match must be split into 258-byte matches *)
+  let data = Bytes.make 5000 'r' in
+  Alcotest.(check bytes) "run roundtrip" data (W.Deflate.decompress (W.Deflate.compress data));
+  Alcotest.(check bool) "run compresses hard" true (W.Deflate.compression_ratio data < 0.10)
+
+(* --- SQL engine --- *)
+
+let with_db f =
+  let n = Veil_core.Boot.boot_native ~npages:4096 ~seed:83 () in
+  let kernel = n.Veil_core.Boot.n_kernel in
+  let proc = Guest_kernel.Kernel.spawn kernel in
+  let env =
+    {
+      W.Env.sys = (fun s a -> Guest_kernel.Kernel.invoke kernel proc s a);
+      compute = (fun _ -> ());
+      env_rng = Veil_crypto.Rng.create 5;
+    }
+  in
+  f env (W.Sqldb.open_db env ~dir:"/tmp/db")
+
+let ok db stmt =
+  match W.Sqldb.exec db stmt with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s: %s" stmt e
+
+let expect_rows db stmt rows =
+  match ok db stmt with
+  | W.Sqldb.Rows r -> Alcotest.(check (list (list string))) stmt rows r
+  | W.Sqldb.Done -> Alcotest.failf "%s: expected rows" stmt
+
+let test_sql_crud () =
+  with_db (fun _env db ->
+      ignore (ok db "CREATE TABLE users (name, role)");
+      ignore (ok db "INSERT INTO users VALUES ('alice', 'admin')");
+      ignore (ok db "INSERT INTO users VALUES ('bob', 'dev')");
+      ignore (ok db "INSERT INTO users VALUES ('carol', 'dev')");
+      expect_rows db "SELECT * FROM users"
+        [ [ "alice"; "admin" ]; [ "bob"; "dev" ]; [ "carol"; "dev" ] ];
+      expect_rows db "SELECT name FROM users WHERE role = 'dev'" [ [ "bob" ]; [ "carol" ] ];
+      expect_rows db "SELECT role FROM users WHERE name = 'alice'" [ [ "admin" ] ];
+      ignore (ok db "DELETE FROM users WHERE name = 'bob'");
+      expect_rows db "SELECT name FROM users WHERE role = 'dev'" [ [ "carol" ] ];
+      Alcotest.(check (result int string)) "row count" (Ok 2) (W.Sqldb.row_count db "users"))
+
+let test_sql_upsert_semantics () =
+  with_db (fun _env db ->
+      ignore (ok db "CREATE TABLE kv (k, v)");
+      ignore (ok db "INSERT INTO kv VALUES ('x', '1')");
+      ignore (ok db "INSERT INTO kv VALUES ('x', '2')");
+      (* first-column keying: the second insert overwrites *)
+      expect_rows db "SELECT v FROM kv WHERE k = 'x'" [ [ "2" ] ];
+      Alcotest.(check (result int string)) "one row" (Ok 1) (W.Sqldb.row_count db "kv"))
+
+let test_sql_errors () =
+  with_db (fun _env db ->
+      let err stmt =
+        match W.Sqldb.exec db stmt with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: expected an error" stmt
+      in
+      err "SELECT * FROM missing";
+      ignore (ok db "CREATE TABLE t (a, b)");
+      err "CREATE TABLE t (a)";
+      err "INSERT INTO t VALUES ('only-one')";
+      err "SELECT nope FROM t";
+      err "DELETE FROM t WHERE nope = 'x'";
+      err "DROP TABLE t" (* unsupported statement *);
+      err "INSERT INTO t VALUES ('unterminated";
+      ignore (ok db "INSERT INTO t VALUES ('a', 'b')"))
+
+let test_sql_persistence () =
+  with_db (fun env db ->
+      ignore (ok db "CREATE TABLE persisted (k, v)");
+      for i = 0 to 199 do
+        ignore (ok db (Printf.sprintf "INSERT INTO persisted VALUES ('key%04d', 'val%d')" i i))
+      done;
+      W.Sqldb.close db;
+      (* reopen from the catalog + table files *)
+      let db2 = W.Sqldb.open_db env ~dir:"/tmp/db" in
+      Alcotest.(check (list string)) "catalog reloaded" [ "persisted" ] (W.Sqldb.table_names db2);
+      Alcotest.(check (result int string)) "rows reloaded" (Ok 200) (W.Sqldb.row_count db2 "persisted");
+      expect_rows db2 "SELECT v FROM persisted WHERE k = 'key0123'" [ [ "val123" ] ])
+
+let sql_model =
+  QCheck.Test.make ~name:"sql inserts/selects agree with a model" ~count:10
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 120) (pair (string_size ~gen:(char_range 'a' 'f') (1 -- 8)) (0 -- 99))))
+    (fun ops ->
+      let outcome = ref true in
+      with_db (fun _env db ->
+          ignore (ok db "CREATE TABLE m (k, v)");
+          let model = Hashtbl.create 16 in
+          List.iter
+            (fun (k, v) ->
+              Hashtbl.replace model k (string_of_int v);
+              ignore (ok db (Printf.sprintf "INSERT INTO m VALUES ('%s', '%d')" k v)))
+            ops;
+          Hashtbl.iter
+            (fun k v ->
+              match W.Sqldb.exec db (Printf.sprintf "SELECT v FROM m WHERE k = '%s'" k) with
+              | Ok (W.Sqldb.Rows [ [ x ] ]) when x = v -> ()
+              | _ -> outcome := false)
+            model;
+          if W.Sqldb.row_count db "m" <> Ok (Hashtbl.length model) then outcome := false);
+      !outcome)
+
+let suite =
+  [
+    ("deflate RFC 1951 code tables", `Quick, test_deflate_code_tables);
+    q deflate_roundtrip;
+    q deflate_roundtrip_text;
+    ("deflate compresses text", `Quick, test_deflate_compresses);
+    ("deflate incompressible data", `Quick, test_deflate_incompressible);
+    ("deflate long runs", `Quick, test_deflate_long_match);
+    ("sql create/insert/select/delete", `Quick, test_sql_crud);
+    ("sql upsert keying", `Quick, test_sql_upsert_semantics);
+    ("sql error handling", `Quick, test_sql_errors);
+    ("sql persistence across reopen", `Quick, test_sql_persistence);
+    q sql_model;
+  ]

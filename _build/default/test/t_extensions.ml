@@ -1,0 +1,223 @@
+(* §10 future-work extensions implemented beyond the prototype:
+   syscall batching, multi-VCPU enclave threads, enclave memory
+   sharing, and the SVSM-style VeilS-TPM service. *)
+
+module T = Sevsnp.Types
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+module V = Veil_core
+module Kern = Guest_kernel.Kernel
+module Rt = Enclave_sdk.Runtime
+
+let boot () = V.Boot.boot_veil ~npages:2048 ~seed:47 ()
+
+let mk_rt ?(heap_pages = 16) sys =
+  let proc = Kern.spawn sys.V.Boot.kernel in
+  match Rt.create sys ~heap_pages ~binary:(Bytes.make 5000 'X') proc with
+  | Ok rt -> rt
+  | Error e -> Alcotest.fail e
+
+(* --- syscall batching (§10) --- *)
+
+let test_batch_results_match_sequential () =
+  let sys = boot () in
+  let rt = mk_rt sys in
+  Rt.run rt (fun rt ->
+      let calls =
+        [ (S.Open, [ K.Str "/tmp/batch.txt"; K.Int 0x42; K.Int 0o644 ]);
+          (S.Getpid, []);
+          (S.Access, [ K.Str "/tmp/batch.txt" ]);
+          (S.Mkdir, [ K.Str "/tmp/batchdir"; K.Int 0o755 ]) ]
+      in
+      match Rt.ocall_batch rt calls with
+      | [ K.RInt fd; K.RInt pid; K.RInt 0; K.RInt 0 ] ->
+          Alcotest.(check bool) "fd plausible" true (fd >= 3);
+          Alcotest.(check bool) "pid plausible" true (pid > 0)
+      | rets ->
+          Alcotest.failf "unexpected batch results: %s"
+            (String.concat "; " (List.map (Format.asprintf "%a" K.pp_ret) rets)))
+
+let test_batch_pays_one_exit () =
+  let sys = boot () in
+  let rt = mk_rt sys in
+  Rt.run rt (fun rt ->
+      let st = Rt.stats rt in
+      let exits0 = st.Rt.enclave_exits in
+      ignore (Rt.ocall_batch rt (List.init 8 (fun _ -> (S.Getpid, []))));
+      Alcotest.(check int) "8 calls, 1 exit" (exits0 + 1) st.Rt.enclave_exits;
+      Alcotest.(check bool) "ocalls counted individually" true (st.Rt.ocalls >= 8))
+
+let test_batch_is_cheaper () =
+  let sys = boot () in
+  let rt = mk_rt sys in
+  let cost f =
+    let vcpu = sys.V.Boot.vcpu in
+    let t0 = Sevsnp.Vcpu.rdtsc vcpu in
+    Rt.run rt f;
+    Sevsnp.Vcpu.rdtsc vcpu - t0
+  in
+  let sequential = cost (fun rt -> for _ = 1 to 16 do ignore (Rt.ocall rt S.Getpid []) done) in
+  let batched = cost (fun rt -> ignore (Rt.ocall_batch rt (List.init 16 (fun _ -> (S.Getpid, []))))) in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d < 40%% of sequential %d" batched sequential)
+    true
+    (batched * 10 < sequential * 4)
+
+let test_batch_invalid_arg_isolated () =
+  let sys = boot () in
+  let rt = mk_rt sys in
+  Rt.run rt (fun rt ->
+      match Rt.ocall_batch rt [ (S.Getpid, []); (S.Open, [ K.Int 3 ]); (S.Getpid, []) ] with
+      | [ K.RInt _; K.RErr K.EINVAL; K.RInt _ ] -> ()
+      | _ -> Alcotest.fail "bad call must fail alone, not the batch")
+
+let test_batch_unsupported_kills () =
+  let sys = boot () in
+  let rt = mk_rt sys in
+  try
+    Rt.run rt (fun rt -> ignore (Rt.ocall_batch rt [ (S.Getpid, []); (S.Fork, []) ]));
+    Alcotest.fail "fork in a batch must kill the enclave"
+  with Rt.Enclave_killed _ -> ()
+
+(* --- multi-VCPU enclave threads (§10) --- *)
+
+let test_run_on_hotplugged_vcpu () =
+  let sys = boot () in
+  let kernel = sys.V.Boot.kernel in
+  (* hotplug VCPU 1 through the §5.3 delegation *)
+  (match (Kern.hooks kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let vcpu1 = List.nth sys.V.Boot.platform.Sevsnp.Platform.vcpus 1 in
+  let rt = mk_rt sys in
+  let secret = Bytes.of_string "written by thread 0" in
+  Rt.run rt (fun rt -> Rt.write_data rt ~va:(Rt.heap_base rt) secret);
+  (* the second thread sees the same enclave memory from VCPU 1 *)
+  Rt.run_on rt vcpu1 (fun rt ->
+      Alcotest.(check bool) "running on vcpu1" true
+        (T.equal_vmpl (Sevsnp.Vcpu.vmpl vcpu1) T.Vmpl2);
+      Alcotest.(check bytes) "same enclave memory" secret
+        (Rt.read_data rt ~va:(Rt.heap_base rt) ~len:(Bytes.length secret)));
+  Alcotest.(check bool) "vcpu1 back at Dom_UNT" true (T.equal_vmpl (Sevsnp.Vcpu.vmpl vcpu1) T.Vmpl3)
+
+let test_schedule_unknown_vcpu_fails () =
+  let sys = boot () in
+  let rt = mk_rt sys in
+  match
+    V.Monitor.os_call sys.V.Boot.mon sys.V.Boot.vcpu
+      (V.Idcb.R_enclave_schedule
+         { enclave_id = V.Encsvc.enclave_id (Rt.enclave rt); vcpu_id = 9 })
+  with
+  | V.Idcb.Resp_error _ -> ()
+  | _ -> Alcotest.fail "scheduling on a nonexistent VCPU must fail"
+
+(* --- enclave memory sharing (§10, the Chancel comparison) --- *)
+
+let test_share_region () =
+  let sys = boot () in
+  let owner = mk_rt sys in
+  let peer = mk_rt sys in
+  let heap = Rt.heap_base owner in
+  Rt.run owner (fun rt -> Rt.write_data rt ~va:heap (Bytes.of_string "shared state"));
+  (* owner's thread asks VeilS-ENC to map the page into the peer *)
+  Rt.run owner (fun _ ->
+      match
+        V.Encsvc.share_region sys.V.Boot.enc sys.V.Boot.vcpu ~owner:(Rt.enclave owner)
+          ~peer:(Rt.enclave peer) ~va:heap ~npages:1
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+  Alcotest.(check (list (triple int int int))) "registered"
+    [ (V.Encsvc.enclave_id (Rt.enclave owner), heap, 1) ]
+    (V.Encsvc.shared_with sys.V.Boot.enc (Rt.enclave peer));
+  (* the peer reads (and writes) the owner's page through its own
+     protected tables *)
+  Rt.run peer (fun rt ->
+      Alcotest.(check bytes) "peer sees owner's data" (Bytes.of_string "shared state")
+        (Rt.read_data rt ~va:heap ~len:12);
+      Rt.write_data rt ~va:heap (Bytes.of_string "peer replied"));
+  Rt.run owner (fun rt ->
+      Alcotest.(check bytes) "owner sees the reply" (Bytes.of_string "peer replied")
+        (Rt.read_data rt ~va:heap ~len:12));
+  (* the OS still cannot touch the shared frame *)
+  let frame = Option.get (V.Encsvc.resident_frame (Rt.enclave owner) heap) in
+  try
+    ignore (Sevsnp.Platform.read sys.V.Boot.platform sys.V.Boot.vcpu (T.gpa_of_gpfn frame) 8);
+    Alcotest.fail "OS read a shared enclave frame"
+  with T.Npf _ -> ()
+
+let test_share_rejects_outside_range () =
+  let sys = boot () in
+  let owner = mk_rt sys in
+  let peer = mk_rt sys in
+  Rt.run owner (fun _ ->
+      match
+        V.Encsvc.share_region sys.V.Boot.enc sys.V.Boot.vcpu ~owner:(Rt.enclave owner)
+          ~peer:(Rt.enclave peer) ~va:0x1000 ~npages:1
+      with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "shared a page outside the owner enclave")
+
+(* --- VeilS-TPM (SVSM-style fourth service) --- *)
+
+let test_vtpm_extend_and_quote () =
+  let sys = boot () in
+  let events = [ Bytes.of_string "grub"; Bytes.of_string "kernel-5.16"; Bytes.of_string "initrd" ] in
+  List.iter
+    (fun ev ->
+      match V.Monitor.os_call sys.V.Boot.mon sys.V.Boot.vcpu (V.Idcb.R_tpm_extend { pcr = 0; data = ev }) with
+      | V.Idcb.Resp_ok -> ()
+      | r -> Alcotest.failf "extend failed: %s" (match r with V.Idcb.Resp_error e -> e | _ -> "?"))
+    events;
+  Alcotest.(check int) "extends counted" 3 (V.Vtpm.extends_count sys.V.Boot.vtpm);
+  (* remote user replays the event log *)
+  Alcotest.(check bytes) "PCR0 matches the replayed log" (V.Vtpm.expected_pcr ~events)
+    (V.Vtpm.pcr_value sys.V.Boot.vtpm 0);
+  (* signed quote *)
+  let nonce = Bytes.of_string "freshness-123" in
+  match V.Monitor.os_call sys.V.Boot.mon sys.V.Boot.vcpu (V.Idcb.R_tpm_quote { nonce }) with
+  | V.Idcb.Resp_quote qb -> (
+      match V.Vtpm.quote_of_bytes qb with
+      | None -> Alcotest.fail "quote did not parse"
+      | Some q ->
+          Alcotest.(check bytes) "nonce bound" nonce q.V.Vtpm.q_nonce;
+          Alcotest.(check bool) "signature verifies" true
+            (V.Vtpm.verify_quote ~public:(V.Vtpm.quote_public_key sys.V.Boot.vtpm) q);
+          (* forgeries fail *)
+          let forged = { q with V.Vtpm.q_nonce = Bytes.of_string "replayed-nonce" } in
+          Alcotest.(check bool) "forged quote fails" false
+            (V.Vtpm.verify_quote ~public:(V.Vtpm.quote_public_key sys.V.Boot.vtpm) forged))
+  | _ -> Alcotest.fail "no quote"
+
+let test_vtpm_pcrs_unwritable_from_os () =
+  let sys = boot () in
+  ignore
+    (V.Monitor.os_call sys.V.Boot.mon sys.V.Boot.vcpu
+       (V.Idcb.R_tpm_extend { pcr = 1; data = Bytes.of_string "honest event" }));
+  (* the compromised OS tries to reset the PCR bank directly: the
+     storage frame lives in Dom_SEC *)
+  (match V.Monitor.os_call sys.V.Boot.mon sys.V.Boot.vcpu (V.Idcb.R_tpm_extend { pcr = 99; data = Bytes.empty }) with
+  | V.Idcb.Resp_error _ -> ()
+  | _ -> Alcotest.fail "extend of a bogus PCR index accepted");
+  (* last: the direct overwrite attempt halts the CVM *)
+  try
+    Sevsnp.Platform.write sys.V.Boot.platform sys.V.Boot.vcpu
+      (T.gpa_of_gpfn sys.V.Boot.layout.V.Layout.svc_region.V.Layout.lo)
+      (Bytes.make 32 '\000');
+    Alcotest.fail "OS rewrote the PCR bank"
+  with T.Npf _ -> ()
+
+let suite =
+  [
+    ("batch: results match sequential", `Quick, test_batch_results_match_sequential);
+    ("batch: one exit for the whole batch", `Quick, test_batch_pays_one_exit);
+    ("batch: cheaper than sequential", `Quick, test_batch_is_cheaper);
+    ("batch: invalid call isolated", `Quick, test_batch_invalid_arg_isolated);
+    ("batch: unsupported call kills", `Quick, test_batch_unsupported_kills);
+    ("threads: run_on a hotplugged VCPU", `Quick, test_run_on_hotplugged_vcpu);
+    ("threads: unknown VCPU rejected", `Quick, test_schedule_unknown_vcpu_fails);
+    ("sharing: mutually-trusting enclaves", `Quick, test_share_region);
+    ("sharing: out-of-range rejected", `Quick, test_share_rejects_outside_range);
+    ("vtpm: extend, replay, signed quote", `Quick, test_vtpm_extend_and_quote);
+    ("vtpm: PCRs unwritable from the OS", `Quick, test_vtpm_pcrs_unwritable_from_os);
+  ]

@@ -1,0 +1,46 @@
+(* The Veil_core.Veil public facade: the five-line user experience. *)
+
+module V = Veil_core.Veil
+
+let test_boot_and_attest () =
+  let sys = V.boot ~npages:2048 ~seed:67 () in
+  let report = V.attest sys ~nonce:(Bytes.of_string "n0") in
+  Alcotest.(check bool) "report from VMPL-0" true
+    (Sevsnp.Types.equal_vmpl report.Sevsnp.Attestation.requester_vmpl Sevsnp.Types.Vmpl0);
+  let pk = Sevsnp.Attestation.platform_public_key sys.V.Boot.platform.Sevsnp.Platform.attestation in
+  Alcotest.(check bool) "verifies" true (Sevsnp.Attestation.verify ~public_key:pk report)
+
+let test_connect_and_logs () =
+  let sys = V.boot ~npages:2048 ~seed:68 () in
+  Guest_kernel.Audit.set_rules
+    (Guest_kernel.Kernel.audit sys.V.Boot.kernel)
+    [ Guest_kernel.Sysno.Mkdir ];
+  let proc = Guest_kernel.Kernel.spawn sys.V.Boot.kernel in
+  ignore
+    (Guest_kernel.Kernel.invoke sys.V.Boot.kernel proc Guest_kernel.Sysno.Mkdir
+       [ Guest_kernel.Ktypes.Str "/tmp/fac"; Guest_kernel.Ktypes.Int 0o755 ]);
+  (match V.connect_user sys with
+  | Ok user -> Alcotest.(check bool) "session" true (V.Channel.connected user)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "protected log view" 1 (List.length (V.protected_logs sys))
+
+let test_native_baseline () =
+  let n = V.boot_native ~npages:2048 ~seed:69 () in
+  Alcotest.(check bool) "native kernel at VMPL-0" true
+    (Sevsnp.Types.equal_vmpl
+       (Guest_kernel.Kernel.kernel_vmpl n.V.Boot.n_kernel)
+       Sevsnp.Types.Vmpl0);
+  let v = V.boot ~npages:2048 ~seed:69 () in
+  Alcotest.(check bool) "veil kernel at VMPL-3" true
+    (Sevsnp.Types.equal_vmpl (Guest_kernel.Kernel.kernel_vmpl v.V.Boot.kernel) Sevsnp.Types.Vmpl3)
+
+let test_version () =
+  Alcotest.(check bool) "semver-ish" true (String.length V.version >= 5 && V.version.[1] = '.')
+
+let suite =
+  [
+    ("boot + attest", `Quick, test_boot_and_attest);
+    ("connect_user + protected_logs", `Quick, test_connect_and_logs);
+    ("native vs veil kernel privilege", `Quick, test_native_baseline);
+    ("version string", `Quick, test_version);
+  ]

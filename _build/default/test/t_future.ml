@@ -1,0 +1,232 @@
+(* Further §10/§11 capabilities: enclave migration (the SVSM use case),
+   exitless system calls, and the mini-LibOS layer. *)
+
+module T = Sevsnp.Types
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+module V = Veil_core
+module Kern = Guest_kernel.Kernel
+module Rt = Enclave_sdk.Runtime
+
+let boot seed = V.Boot.boot_veil ~npages:2048 ~seed ()
+
+let mk_rt sys binary =
+  let proc = Kern.spawn sys.V.Boot.kernel in
+  match Rt.create sys ~binary proc with Ok rt -> rt | Error e -> Alcotest.fail e
+
+(* --- migration --- *)
+
+let test_migration_roundtrip () =
+  let src = boot 51 and dst = boot 52 in
+  let rt = mk_rt src (Bytes.of_string (String.make 5000 'M')) in
+  let heap = Rt.heap_base rt in
+  Rt.run rt (fun rt -> Rt.write_data rt ~va:heap (Bytes.of_string "live state survives"));
+  let original_meas = Rt.measurement rt in
+  let src_frame = Option.get (V.Encsvc.resident_frame (Rt.enclave rt) heap) in
+  (* export, sealed for the destination monitor *)
+  let sealed =
+    match
+      V.Migration.export src (Rt.enclave rt) ~dest_public:(V.Monitor.dh_public dst.V.Boot.mon)
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  (* the source instance is gone and its frames scrubbed *)
+  Alcotest.(check bool) "source destroyed" true (V.Encsvc.is_destroyed (Rt.enclave rt));
+  let scrubbed =
+    Sevsnp.Platform.read src.V.Boot.platform src.V.Boot.vcpu (T.gpa_of_gpfn src_frame) 19
+  in
+  Alcotest.(check bytes) "source frames scrubbed" (Bytes.make 19 '\000') scrubbed;
+  (* the host can carry the wire bytes; they leak nothing recognizable *)
+  let wire = V.Migration.sealed_to_bytes sealed in
+  let contains hay needle =
+    let n = Bytes.length needle in
+    let rec go i =
+      i + n <= Bytes.length hay && (Bytes.equal (Bytes.sub hay i n) needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "state encrypted in transit" false
+    (contains wire (Bytes.of_string "live state survives"));
+  (* import on the destination *)
+  let owner = Kern.spawn dst.V.Boot.kernel in
+  let enclave2 =
+    match
+      V.Migration.import dst ~owner ~source_public:(V.Monitor.dh_public src.V.Boot.mon)
+        (Option.get (V.Migration.sealed_of_bytes wire))
+    with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bytes) "measurement preserved" original_meas (V.Encsvc.measurement enclave2);
+  (* the migrated heap contents are intact, and still OS-invisible *)
+  let frame2 = Option.get (V.Encsvc.resident_frame enclave2 heap) in
+  let contents =
+    (* trusted-side read *)
+    V.Monitor.domain_switch dst.V.Boot.mon dst.V.Boot.vcpu ~target:V.Privdom.Sec;
+    let c = Sevsnp.Platform.read dst.V.Boot.platform dst.V.Boot.vcpu (T.gpa_of_gpfn frame2) 19 in
+    V.Monitor.domain_switch dst.V.Boot.mon dst.V.Boot.vcpu ~target:V.Privdom.Unt;
+    c
+  in
+  Alcotest.(check bytes) "state survived migration" (Bytes.of_string "live state survives") contents;
+  try
+    ignore (Sevsnp.Platform.read dst.V.Boot.platform dst.V.Boot.vcpu (T.gpa_of_gpfn frame2) 8);
+    Alcotest.fail "destination OS read the migrated enclave"
+  with T.Npf _ -> ()
+
+let test_migration_tamper_rejected () =
+  let src = boot 53 and dst = boot 54 in
+  let rt = mk_rt src (Bytes.make 4096 'M') in
+  let sealed =
+    match V.Migration.export src (Rt.enclave rt) ~dest_public:(V.Monitor.dh_public dst.V.Boot.mon) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let owner = Kern.spawn dst.V.Boot.kernel in
+  match
+    V.Migration.import dst ~owner ~source_public:(V.Monitor.dh_public src.V.Boot.mon)
+      (V.Migration.tamper_for_test sealed)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered sealed state accepted"
+
+let test_migration_wrong_destination () =
+  let src = boot 55 and dst = boot 56 and eavesdropper = boot 57 in
+  let rt = mk_rt src (Bytes.make 4096 'M') in
+  (* sealed for [dst], intercepted by a different Veil host *)
+  let sealed =
+    match V.Migration.export src (Rt.enclave rt) ~dest_public:(V.Monitor.dh_public dst.V.Boot.mon) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let owner = Kern.spawn eavesdropper.V.Boot.kernel in
+  match
+    V.Migration.import eavesdropper ~owner ~source_public:(V.Monitor.dh_public src.V.Boot.mon) sealed
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a third party imported state sealed for someone else"
+
+(* --- exitless syscalls --- *)
+
+let hotplug sys id =
+  (match (Kern.hooks sys.V.Boot.kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:id with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  List.nth sys.V.Boot.platform.Sevsnp.Platform.vcpus id
+
+let test_exitless_basic () =
+  let sys = boot 58 in
+  let worker = hotplug sys 1 in
+  let rt = mk_rt sys (Bytes.make 4096 'E') in
+  Rt.run rt (fun rt ->
+      let ring = Result.get_ok (Enclave_sdk.Exitless.create rt ~slots:8) in
+      let exits0 = (Rt.stats rt).Rt.enclave_exits in
+      let t1 =
+        Result.get_ok
+          (Enclave_sdk.Exitless.submit ring S.Open [ K.Str "/tmp/exitless.txt"; K.Int 0x42; K.Int 0o644 ])
+      in
+      Alcotest.(check int) "one pending" 1 (Enclave_sdk.Exitless.pending ring);
+      Alcotest.(check bool) "not complete before drain" true
+        (Enclave_sdk.Exitless.poll ring t1 = None);
+      (* the worker drains on another VCPU *)
+      Alcotest.(check int) "drained" 1 (Enclave_sdk.Exitless.drain_on ring worker);
+      (match Enclave_sdk.Exitless.poll ring t1 with
+      | Some (K.RInt fd) ->
+          let t2 =
+            Result.get_ok
+              (Enclave_sdk.Exitless.submit ring S.Write [ K.Int fd; K.Buf (Bytes.of_string "async!") ])
+          in
+          (match Enclave_sdk.Exitless.await ring ~worker t2 with
+          | K.RInt 6 -> ()
+          | r -> Alcotest.failf "write: %a" K.pp_ret r)
+      | _ -> Alcotest.fail "open did not complete");
+      Alcotest.(check int) "zero enclave exits for two syscalls" exits0 (Rt.stats rt).Rt.enclave_exits)
+
+let test_exitless_ring_full () =
+  let sys = boot 59 in
+  let rt = mk_rt sys (Bytes.make 4096 'E') in
+  Rt.run rt (fun rt ->
+      let ring = Result.get_ok (Enclave_sdk.Exitless.create rt ~slots:2) in
+      ignore (Result.get_ok (Enclave_sdk.Exitless.submit ring S.Getpid []));
+      ignore (Result.get_ok (Enclave_sdk.Exitless.submit ring S.Getpid []));
+      match Enclave_sdk.Exitless.submit ring S.Getpid [] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "ring overflow accepted")
+
+let test_exitless_rejects_unsupported () =
+  let sys = boot 60 in
+  let rt = mk_rt sys (Bytes.make 4096 'E') in
+  Rt.run rt (fun rt ->
+      let ring = Result.get_ok (Enclave_sdk.Exitless.create rt ~slots:2) in
+      match Enclave_sdk.Exitless.submit ring S.Fork [] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "fork submitted exitlessly")
+
+(* --- LibOS --- *)
+
+let test_libos_memfs_zero_ocalls () =
+  let sys = boot 61 in
+  let rt = mk_rt sys (Bytes.make 4096 'L') in
+  Rt.run rt (fun rt ->
+      let libos = Enclave_sdk.Libos.create rt in
+      Enclave_sdk.Libos.mount_memfs libos ~prefix:"/enclave";
+      let ocalls0 = (Rt.stats rt).Rt.ocalls in
+      let f = Result.get_ok (Enclave_sdk.Libos.fopen libos "/enclave/secret.db" ~mode:`Write) in
+      ignore (Result.get_ok (Enclave_sdk.Libos.fwrite libos f (Bytes.of_string "contained")));
+      Result.get_ok (Enclave_sdk.Libos.fclose libos f);
+      let f2 = Result.get_ok (Enclave_sdk.Libos.fopen libos "/enclave/secret.db" ~mode:`Read) in
+      (match Enclave_sdk.Libos.fread libos f2 9 with
+      | Ok b -> Alcotest.(check bytes) "memfs roundtrip" (Bytes.of_string "contained") b
+      | Error e -> Alcotest.fail e);
+      Result.get_ok (Enclave_sdk.Libos.fclose libos f2);
+      Alcotest.(check int) "zero redirected calls for memfs io" ocalls0 (Rt.stats rt).Rt.ocalls;
+      Alcotest.(check bool) "savings recorded" true (Enclave_sdk.Libos.ocalls_saved libos > 0));
+  (* nothing about /enclave ever reached the host kernel *)
+  Alcotest.(check bool) "invisible to the OS fs" false
+    (Guest_kernel.Fs.exists (Kern.fs sys.V.Boot.kernel) "/enclave/secret.db")
+
+let test_libos_buffered_stdio () =
+  let sys = boot 62 in
+  let rt = mk_rt sys (Bytes.make 4096 'L') in
+  Rt.run rt (fun rt ->
+      let libos = Enclave_sdk.Libos.create ~stdio_buffer:4096 rt in
+      let f = Result.get_ok (Enclave_sdk.Libos.fopen libos "/tmp/buffered.log" ~mode:`Write) in
+      let ocalls0 = (Rt.stats rt).Rt.ocalls in
+      (* 64 writes of 32 bytes = 2 KB: fits in one buffer flush *)
+      for _ = 1 to 64 do
+        ignore (Result.get_ok (Enclave_sdk.Libos.fwrite libos f (Bytes.make 32 'x')))
+      done;
+      Result.get_ok (Enclave_sdk.Libos.fclose libos f);
+      let ocalls = (Rt.stats rt).Rt.ocalls - ocalls0 in
+      Alcotest.(check bool) (Printf.sprintf "64 writes cost %d ocalls (<= 2)" ocalls) true (ocalls <= 2));
+  (* the data really reached the host file *)
+  match Guest_kernel.Fs.size_of (Kern.fs sys.V.Boot.kernel) "/tmp/buffered.log" with
+  | Ok n -> Alcotest.(check int) "all bytes flushed" 2048 n
+  | Error _ -> Alcotest.fail "file missing"
+
+let test_libos_passthrough () =
+  let sys = boot 63 in
+  let rt = mk_rt sys (Bytes.make 4096 'L') in
+  Rt.run rt (fun rt ->
+      let libos = Enclave_sdk.Libos.create rt in
+      Enclave_sdk.Libos.mount_memfs libos ~prefix:"/enclave";
+      Alcotest.(check bool) "memfs path" true (Enclave_sdk.Libos.is_memfs_path libos "/enclave/x");
+      Alcotest.(check bool) "host path" false (Enclave_sdk.Libos.is_memfs_path libos "/tmp/x");
+      let f = Result.get_ok (Enclave_sdk.Libos.fopen libos "/tmp/host.txt" ~mode:`Write) in
+      ignore (Result.get_ok (Enclave_sdk.Libos.fwrite libos f (Bytes.of_string "to the host")));
+      Result.get_ok (Enclave_sdk.Libos.fclose libos f);
+      Alcotest.(check (option int)) "size via stat passthrough" (Some 11)
+        (Enclave_sdk.Libos.file_size libos "/tmp/host.txt"))
+
+let suite =
+  [
+    ("migration roundtrip preserves state + measurement", `Quick, test_migration_roundtrip);
+    ("migration rejects tampered state", `Quick, test_migration_tamper_rejected);
+    ("migration sealed to one destination only", `Quick, test_migration_wrong_destination);
+    ("exitless: two syscalls, zero exits", `Quick, test_exitless_basic);
+    ("exitless: ring capacity enforced", `Quick, test_exitless_ring_full);
+    ("exitless: unsupported calls rejected", `Quick, test_exitless_rejects_unsupported);
+    ("libos: memfs needs zero ocalls", `Quick, test_libos_memfs_zero_ocalls);
+    ("libos: buffered stdio amortizes", `Quick, test_libos_buffered_stdio);
+    ("libos: passthrough to the host", `Quick, test_libos_passthrough);
+  ]

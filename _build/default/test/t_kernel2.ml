@@ -1,0 +1,156 @@
+(* Deeper kernel semantics: path resolution corner cases, pipe/socket
+   end-of-stream behaviour, memory-mapping contents, permission bits,
+   and cross-run determinism of the whole simulator. *)
+
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+module Kern = Guest_kernel.Kernel
+module Fs = Guest_kernel.Fs
+
+let boot () =
+  let n = Veil_core.Boot.boot_native ~npages:2048 ~seed:91 () in
+  let kernel = n.Veil_core.Boot.n_kernel in
+  (kernel, Kern.spawn kernel)
+
+let sys kernel proc s a = Kern.invoke kernel proc s a
+
+let fd_of msg = function K.RInt n -> n | r -> Alcotest.failf "%s: %a" msg K.pp_ret r
+
+let test_symlink_chain_and_loop () =
+  let kernel, proc = boot () in
+  ignore (sys kernel proc S.Creat [ K.Str "/tmp/real"; K.Int 0o644 ]);
+  ignore (sys kernel proc S.Symlink [ K.Str "/tmp/real"; K.Str "/tmp/l1" ]);
+  ignore (sys kernel proc S.Symlink [ K.Str "/tmp/l1"; K.Str "/tmp/l2" ]);
+  ignore (sys kernel proc S.Symlink [ K.Str "/tmp/l2"; K.Str "/tmp/l3" ]);
+  (match sys kernel proc S.Open [ K.Str "/tmp/l3"; K.Int 1; K.Int 0 ] with
+  | K.RInt fd -> ignore (sys kernel proc S.Write [ K.Int fd; K.Buf (Bytes.of_string "via chain") ])
+  | r -> Alcotest.failf "open through chain: %a" K.pp_ret r);
+  (match Fs.read_at (Kern.fs kernel) "/tmp/real" ~pos:0 ~len:9 with
+  | Ok b -> Alcotest.(check bytes) "chain resolves to the target" (Bytes.of_string "via chain") b
+  | Error _ -> Alcotest.fail "target unreadable");
+  (* a loop must terminate with an error, not hang *)
+  ignore (sys kernel proc S.Symlink [ K.Str "/tmp/loopB"; K.Str "/tmp/loopA" ]);
+  ignore (sys kernel proc S.Symlink [ K.Str "/tmp/loopA"; K.Str "/tmp/loopB" ]);
+  match sys kernel proc S.Open [ K.Str "/tmp/loopA"; K.Int 0; K.Int 0 ] with
+  | K.RErr _ -> ()
+  | r -> Alcotest.failf "loop: %a" K.pp_ret r
+
+let test_pipe_eof_and_epipe () =
+  let kernel, proc = boot () in
+  let pair = fd_of "pipe" (sys kernel proc S.Pipe []) in
+  let r = pair land 0xffff and w = pair lsr 16 in
+  ignore (sys kernel proc S.Write [ K.Int w; K.Buf (Bytes.of_string "last") ]);
+  ignore (sys kernel proc S.Close [ K.Int w ]);
+  (* buffered data still readable after the writer closes... *)
+  (match sys kernel proc S.Read [ K.Int r; K.Int 4 ] with
+  | K.RBuf b -> Alcotest.(check bytes) "drains buffer" (Bytes.of_string "last") b
+  | x -> Alcotest.failf "read: %a" K.pp_ret x);
+  ignore (sys kernel proc S.Close [ K.Int r ])
+
+let test_socket_shutdown_semantics () =
+  let kernel, proc = boot () in
+  let srv = fd_of "s" (sys kernel proc S.Socket [ K.Int 2; K.Int 1; K.Int 0 ]) in
+  ignore (sys kernel proc S.Bind [ K.Int srv; K.Int 9100 ]);
+  ignore (sys kernel proc S.Listen [ K.Int srv; K.Int 2 ]);
+  let cli = fd_of "c" (sys kernel proc S.Socket [ K.Int 2; K.Int 1; K.Int 0 ]) in
+  ignore (sys kernel proc S.Connect [ K.Int cli; K.Int 9100 ]);
+  let conn = fd_of "a" (sys kernel proc S.Accept [ K.Int srv ]) in
+  ignore (sys kernel proc S.Sendto [ K.Int cli; K.Buf (Bytes.of_string "bye") ]);
+  ignore (sys kernel proc S.Shutdown [ K.Int cli ]);
+  (* queued data still delivered, then EOF (empty, not EAGAIN) *)
+  (match sys kernel proc S.Recvfrom [ K.Int conn; K.Int 16 ] with
+  | K.RBuf b -> Alcotest.(check bytes) "delivers queued" (Bytes.of_string "bye") b
+  | r -> Alcotest.failf "recv: %a" K.pp_ret r);
+  (match sys kernel proc S.Recvfrom [ K.Int conn; K.Int 16 ] with
+  | K.RBuf b when Bytes.length b = 0 -> ()
+  | r -> Alcotest.failf "expected EOF, got %a" K.pp_ret r);
+  (* sending into a shut-down peer fails *)
+  match sys kernel proc S.Sendto [ K.Int conn; K.Buf (Bytes.of_string "x") ] with
+  | K.RErr K.EPIPE -> ()
+  | r -> Alcotest.failf "expected EPIPE, got %a" K.pp_ret r
+
+let test_mmap_file_backed_contents () =
+  let kernel, proc = boot () in
+  let fd = fd_of "o" (sys kernel proc S.Open [ K.Str "/tmp/src"; K.Int 0x42; K.Int 0o644 ]) in
+  ignore (sys kernel proc S.Write [ K.Int fd; K.Buf (Bytes.of_string "mapped file contents") ]);
+  let va =
+    fd_of "mmap" (sys kernel proc S.Mmap [ K.Int 0; K.Int 4096; K.Int 3; K.Int 2; K.Int fd; K.Int 0 ])
+  in
+  (* the mapping observes the file data through the process tables *)
+  Alcotest.(check bytes) "file data visible" (Bytes.of_string "mapped file")
+    (Kern.read_user kernel proc ~va ~len:11)
+
+let test_umask_applies () =
+  let kernel, proc = boot () in
+  ignore (sys kernel proc S.Umask [ K.Int 0o077 ]);
+  ignore (sys kernel proc S.Creat [ K.Str "/tmp/masked"; K.Int 0o666 ]);
+  match sys kernel proc S.Stat [ K.Str "/tmp/masked" ] with
+  | K.RStat st -> Alcotest.(check int) "mode masked" 0o600 (st.K.st_mode land 0o777)
+  | r -> Alcotest.failf "stat: %a" K.pp_ret r
+
+let test_hard_link_survives_unlink () =
+  let kernel, proc = boot () in
+  let fd = fd_of "o" (sys kernel proc S.Open [ K.Str "/tmp/orig"; K.Int 0x42; K.Int 0o644 ]) in
+  ignore (sys kernel proc S.Write [ K.Int fd; K.Buf (Bytes.of_string "durable") ]);
+  ignore (sys kernel proc S.Link [ K.Str "/tmp/orig"; K.Str "/tmp/alias" ]);
+  ignore (sys kernel proc S.Unlink [ K.Str "/tmp/orig" ]);
+  match Fs.read_at (Kern.fs kernel) "/tmp/alias" ~pos:0 ~len:7 with
+  | Ok b -> Alcotest.(check bytes) "alias keeps the data" (Bytes.of_string "durable") b
+  | Error _ -> Alcotest.fail "alias lost"
+
+let test_getdents_reflects_changes () =
+  let kernel, proc = boot () in
+  ignore (sys kernel proc S.Mkdir [ K.Str "/tmp/dir"; K.Int 0o755 ]);
+  ignore (sys kernel proc S.Creat [ K.Str "/tmp/dir/one"; K.Int 0o644 ]);
+  ignore (sys kernel proc S.Creat [ K.Str "/tmp/dir/two"; K.Int 0o644 ]);
+  let dirfd = fd_of "od" (sys kernel proc S.Open [ K.Str "/tmp/dir"; K.Int 0; K.Int 0 ]) in
+  (match sys kernel proc S.Getdents [ K.Int dirfd ] with
+  | K.RBuf b -> Alcotest.(check string) "listing" "one\ntwo" (Bytes.to_string b)
+  | r -> Alcotest.failf "getdents: %a" K.pp_ret r);
+  ignore (sys kernel proc S.Unlink [ K.Str "/tmp/dir/one" ]);
+  match sys kernel proc S.Getdents [ K.Int dirfd ] with
+  | K.RBuf b -> Alcotest.(check string) "after unlink" "two" (Bytes.to_string b)
+  | r -> Alcotest.failf "getdents2: %a" K.pp_ret r
+
+let test_fd_isolation_between_processes () =
+  let kernel, p1 = boot () in
+  let p2 = Kern.spawn kernel in
+  let fd = fd_of "o" (sys kernel p1 S.Open [ K.Str "/tmp/p1-only"; K.Int 0x42; K.Int 0o644 ]) in
+  (* the same fd number means nothing in another process *)
+  match sys kernel p2 S.Read [ K.Int fd; K.Int 4 ] with
+  | K.RErr K.EBADF -> ()
+  | r -> Alcotest.failf "expected EBADF across processes, got %a" K.pp_ret r
+
+let test_brk_contents_zeroed_on_regrow () =
+  let kernel, proc = boot () in
+  let base = fd_of "brk" (sys kernel proc S.Brk [ K.Int 0 ]) in
+  ignore (sys kernel proc S.Brk [ K.Int (base + 4096) ]);
+  Kern.write_user kernel proc ~va:base (Bytes.of_string "dirty");
+  ignore (sys kernel proc S.Brk [ K.Int base ]) (* shrink: frame freed *);
+  ignore (sys kernel proc S.Brk [ K.Int (base + 4096) ]) (* regrow *);
+  Alcotest.(check bytes) "fresh pages are zero" (Bytes.make 5 '\000')
+    (Kern.read_user kernel proc ~va:base ~len:5)
+
+(* --- cross-run determinism of the whole stack --- *)
+
+let test_simulation_deterministic () =
+  let run () =
+    let s = Workloads.Driver.run ~npages:2048 ~seed:101 Workloads.Driver.Enclave (Workloads.Crypto_w.mbedtls ~tests:24 ()) in
+    (s.Workloads.Driver.cycles, s.Workloads.Driver.syscalls, s.Workloads.Driver.vm_exits)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) "bit-identical replay" a b
+
+let suite =
+  [
+    ("symlink chains and loops", `Quick, test_symlink_chain_and_loop);
+    ("pipe close semantics", `Quick, test_pipe_eof_and_epipe);
+    ("socket shutdown semantics", `Quick, test_socket_shutdown_semantics);
+    ("mmap file-backed contents", `Quick, test_mmap_file_backed_contents);
+    ("umask applies to creat", `Quick, test_umask_applies);
+    ("hard link survives unlink", `Quick, test_hard_link_survives_unlink);
+    ("getdents reflects changes", `Quick, test_getdents_reflects_changes);
+    ("fd tables are per-process", `Quick, test_fd_isolation_between_processes);
+    ("brk regrow zeroes pages", `Quick, test_brk_contents_zeroed_on_regrow);
+    ("whole-simulation determinism", `Slow, test_simulation_deterministic);
+  ]

@@ -1,0 +1,40 @@
+(* LTP-style syscall robustness results (§7 / experiment E11). *)
+
+module S = Guest_kernel.Sysno
+module L = Enclave_sdk.Ltp
+
+let boot () = Veil_core.Boot.boot_veil ~npages:4096 ~seed:37 ()
+
+let results = lazy (L.run_all (boot ()))
+
+let test_shape () =
+  let summary = L.summarize (Lazy.force results) in
+  Alcotest.(check int) "96 calls exercised" 96 summary.L.calls_total;
+  (* the paper's prototype passes all robustness cases for 85/96 *)
+  Alcotest.(check int) "85 calls pass their whole battery" 85 summary.L.calls_all_passed;
+  Alcotest.(check bool) "hundreds of cases" true (summary.L.cases_total > 200)
+
+let test_unsupported_fail_everything () =
+  List.iter
+    (fun r ->
+      if List.mem r.L.lsys Enclave_sdk.Spec.unsupported then begin
+        Alcotest.(check bool) (S.to_string r.L.lsys ^ " killed the enclave") true r.L.killed;
+        Alcotest.(check int) (S.to_string r.L.lsys ^ " passes nothing") 0 r.L.passed
+      end)
+    (Lazy.force results)
+
+let test_supported_all_pass () =
+  List.iter
+    (fun r ->
+      if not (List.mem r.L.lsys Enclave_sdk.Spec.unsupported) then
+        Alcotest.(check int)
+          (Printf.sprintf "%s passes %d/%d" (S.to_string r.L.lsys) r.L.passed r.L.total)
+          r.L.total r.L.passed)
+    (Lazy.force results)
+
+let suite =
+  [
+    ("85/96 calls pass (paper §7)", `Slow, test_shape);
+    ("unsupported calls kill the enclave", `Slow, test_unsupported_fail_everything);
+    ("supported calls pass their batteries", `Slow, test_supported_all_pass);
+  ]

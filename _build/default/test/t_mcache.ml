@@ -1,0 +1,103 @@
+(* Memcached storage-core tests: slab classes, LRU eviction, TTLs. *)
+
+module M = Workloads.Mcache
+
+let q = QCheck_alcotest.to_alcotest
+
+let test_basic () =
+  let m = M.create () in
+  M.set m ~key:"a" ~value:(Bytes.of_string "1") ();
+  M.set m ~key:"b" ~value:(Bytes.of_string "2") ();
+  Alcotest.(check (option bytes)) "get a" (Some (Bytes.of_string "1")) (M.get m "a");
+  Alcotest.(check (option bytes)) "miss" None (M.get m "zz");
+  Alcotest.(check int) "entries" 2 (M.entries m);
+  Alcotest.(check bool) "delete" true (M.delete m "a");
+  Alcotest.(check bool) "double delete" false (M.delete m "a");
+  Alcotest.(check (option bytes)) "gone" None (M.get m "a");
+  Alcotest.(check int) "hits" 1 (M.hits m);
+  Alcotest.(check int) "misses" 2 (M.misses m)
+
+let test_overwrite () =
+  let m = M.create () in
+  M.set m ~key:"k" ~value:(Bytes.make 10 'x') ();
+  M.set m ~key:"k" ~value:(Bytes.make 500 'y') () (* different slab class *);
+  Alcotest.(check int) "still one entry" 1 (M.entries m);
+  Alcotest.(check (option bytes)) "latest value" (Some (Bytes.make 500 'y')) (M.get m "k")
+
+let test_slab_classes () =
+  let m = M.create () in
+  Alcotest.(check int) "64B -> class 0" 0 (M.slab_class_of m 64);
+  Alcotest.(check int) "65B -> class 1" 1 (M.slab_class_of m 65);
+  Alcotest.(check int) "1KB -> class 4" 4 (M.slab_class_of m 1024);
+  Alcotest.(check bool) "huge values land in the top class" true (M.slab_class_of m (1 lsl 20) = 9)
+
+let test_ttl_expiry () =
+  let m = M.create () in
+  M.set m ~key:"ephemeral" ~value:(Bytes.of_string "x") ~ttl:3 ();
+  M.set m ~key:"immortal" ~value:(Bytes.of_string "y") ();
+  Alcotest.(check bool) "live before expiry" true (M.get m "ephemeral" <> None);
+  M.tick m;
+  M.tick m;
+  M.tick m;
+  Alcotest.(check (option bytes)) "expired" None (M.get m "ephemeral");
+  Alcotest.(check int) "expiry counted" 1 (M.expired m);
+  Alcotest.(check bool) "immortal lives" true (M.get m "immortal" <> None)
+
+let test_lru_eviction () =
+  (* tiny budget: class 0 (64 B chunks) holds floor(1024/10/64) = 1 entry *)
+  let m = M.create ~memory_limit:1024 () in
+  M.set m ~key:"old" ~value:(Bytes.make 8 'a') ();
+  M.set m ~key:"new" ~value:(Bytes.make 8 'b') ();
+  Alcotest.(check bool) "evicted something" true (M.evictions m >= 1);
+  Alcotest.(check (option bytes)) "old evicted" None (M.get m "old");
+  Alcotest.(check bool) "new retained" true (M.get m "new" <> None)
+
+let test_lru_order_respects_gets () =
+  let m = M.create ~memory_limit:1300 () in
+  (* class 0 budget = 2 entries *)
+  M.set m ~key:"a" ~value:(Bytes.make 8 'a') ();
+  M.set m ~key:"b" ~value:(Bytes.make 8 'b') ();
+  ignore (M.get m "a") (* refresh a: b becomes LRU *);
+  M.set m ~key:"c" ~value:(Bytes.make 8 'c') ();
+  Alcotest.(check bool) "a survives (recently used)" true (M.get m "a" <> None);
+  Alcotest.(check (option bytes)) "b evicted" None (M.get m "b")
+
+let test_memory_bounded () =
+  let m = M.create ~memory_limit:4096 () in
+  for i = 0 to 499 do
+    M.set m ~key:(Printf.sprintf "k%d" i) ~value:(Bytes.make 48 'v') ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "bytes used %d within budget" (M.bytes_used m))
+    true
+    (M.bytes_used m <= 4096);
+  Alcotest.(check bool) "evictions happened" true (M.evictions m > 400)
+
+let mcache_model =
+  QCheck.Test.make ~name:"mcache get/set agrees with a model (no eviction)" ~count:40
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 100) (pair (string_size ~gen:(char_range 'a' 'd') (1 -- 4)) (bytes_size (1 -- 40)))))
+    (fun ops ->
+      (* large limit: no evictions, so a plain map is the spec *)
+      let m = M.create ~memory_limit:(1 lsl 22) () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace model k v;
+          M.set m ~key:k ~value:v ())
+        ops;
+      M.evictions m = 0
+      && Hashtbl.fold (fun k v acc -> acc && M.get m k = Some v) model true
+      && M.entries m = Hashtbl.length model)
+
+let suite =
+  [
+    ("basic get/set/delete", `Quick, test_basic);
+    ("overwrite across slab classes", `Quick, test_overwrite);
+    ("slab class sizing", `Quick, test_slab_classes);
+    ("ttl expiry", `Quick, test_ttl_expiry);
+    ("lru eviction under pressure", `Quick, test_lru_eviction);
+    ("gets refresh lru order", `Quick, test_lru_order_respects_gets);
+    ("memory stays bounded", `Quick, test_memory_bounded);
+    q mcache_model;
+  ]

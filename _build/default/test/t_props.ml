@@ -1,0 +1,216 @@
+(* Whole-system property tests: random operation sequences must
+   preserve Veil's global security invariants, and the kernel must
+   survive arbitrary syscall garbage. *)
+
+module T = Sevsnp.Types
+module P = Sevsnp.Platform
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+module V = Veil_core
+module Kern = Guest_kernel.Kernel
+module Rt = Enclave_sdk.Runtime
+
+let q = QCheck_alcotest.to_alcotest
+
+(* --- invariant: confidentiality partition of physical memory ---
+
+   At every point: a frame is writable by Dom_UNT iff it is not a
+   monitor/service/VMSA/enclave frame; enclave frames are never
+   readable by Dom_UNT; monitor frames are never accessible below
+   VMPL-0. *)
+
+let partition_holds (sys : V.Boot.veil_system) =
+  let rmp = sys.V.Boot.platform.P.rmp in
+  let l = sys.V.Boot.layout in
+  let ok = ref true in
+  let check_region (r : V.Layout.region) f =
+    for gpfn = r.V.Layout.lo to r.V.Layout.hi - 1 do
+      if not (f gpfn) then ok := false
+    done
+  in
+  let p3 g = Sevsnp.Rmp.perms_of rmp g T.Vmpl3 in
+  let none_below g =
+    Sevsnp.Perm.equal (Sevsnp.Rmp.perms_of rmp g T.Vmpl1) Sevsnp.Perm.none
+    && Sevsnp.Perm.equal (Sevsnp.Rmp.perms_of rmp g T.Vmpl2) Sevsnp.Perm.none
+    && Sevsnp.Perm.equal (p3 g) Sevsnp.Perm.none
+  in
+  check_region l.V.Layout.mon_image none_below;
+  check_region l.V.Layout.mon_heap (fun g ->
+      (* the monitor GHCB is a shared mailbox; everything private stays dark *)
+      Sevsnp.Rmp.state rmp g = Sevsnp.Rmp.Shared || none_below g);
+  check_region l.V.Layout.svc_region (fun g -> Sevsnp.Perm.equal (p3 g) Sevsnp.Perm.none);
+  check_region l.V.Layout.log_region (fun g -> Sevsnp.Perm.equal (p3 g) Sevsnp.Perm.none);
+  (* every frame any live enclave currently owns is dark to Dom_UNT *)
+  Hashtbl.length sys.V.Boot.platform.P.vmsa_table > 0
+  &&
+  (Sevsnp.Rmp.iter_entries rmp (fun gpfn e ->
+       if e.Sevsnp.Rmp.vmsa && not (Sevsnp.Perm.equal e.Sevsnp.Rmp.perms.(3) Sevsnp.Perm.none) then
+         ok := false;
+       ignore gpfn);
+   !ok)
+
+(* One step of "system activity" chosen by the generator. *)
+type step =
+  | Enclave_create of int
+  | Enclave_destroy
+  | Enclave_evict
+  | Enclave_restore
+  | Module_load of int
+  | Module_unload
+  | Audit_burst of int
+  | Run_enclave_io
+
+let step_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun n -> Enclave_create (1 + (n mod 3))) small_nat);
+        (2, return Enclave_destroy);
+        (2, return Enclave_evict);
+        (2, return Enclave_restore);
+        (2, map (fun n -> Module_load (1 + (n mod 2))) small_nat);
+        (1, return Module_unload);
+        (2, map (fun n -> Audit_burst (1 + (n mod 5))) small_nat);
+        (2, return Run_enclave_io);
+      ])
+
+let apply_step sys live_rts live_modules evicted step =
+  let kernel = sys.V.Boot.kernel in
+  match step with
+  | Enclave_create pages -> (
+      let proc = Kern.spawn kernel in
+      match Rt.create sys ~heap_pages:(2 * pages) ~stack_pages:1 ~binary:(Bytes.make 4096 'p') proc with
+      | Ok rt -> live_rts := rt :: !live_rts
+      | Error _ -> ())
+  | Enclave_destroy -> (
+      match !live_rts with
+      | rt :: rest when not (V.Encsvc.is_destroyed (Rt.enclave rt)) ->
+          (match Rt.destroy rt with Ok () -> live_rts := rest | Error _ -> ())
+      | _ -> ())
+  | Enclave_evict -> (
+      match !live_rts with
+      | rt :: _ when not (V.Encsvc.is_destroyed (Rt.enclave rt)) -> (
+          let enclave = Rt.enclave rt in
+          let va = Rt.heap_base rt in
+          match V.Encsvc.resident_frame enclave va with
+          | Some frame -> (
+              match
+                V.Monitor.os_call sys.V.Boot.mon sys.V.Boot.vcpu
+                  (V.Idcb.R_enclave_evict { enclave_id = V.Encsvc.enclave_id enclave; va })
+              with
+              | V.Idcb.Resp_ok -> evicted := (rt, va, frame) :: !evicted
+              | _ -> ())
+          | None -> ())
+      | _ -> ())
+  | Enclave_restore -> (
+      match !evicted with
+      | (rt, va, frame) :: rest when not (V.Encsvc.is_destroyed (Rt.enclave rt)) ->
+          (match
+             V.Monitor.os_call sys.V.Boot.mon sys.V.Boot.vcpu
+               (V.Idcb.R_enclave_restore
+                  { enclave_id = V.Encsvc.enclave_id (Rt.enclave rt); va; gpfn = frame })
+           with
+          | V.Idcb.Resp_ok -> evicted := rest
+          | _ -> evicted := rest)
+      | _ :: rest -> evicted := rest
+      | [] -> ())
+  | Module_load i -> (
+      let img =
+        Guest_kernel.Kmodule.build (Kern.rng kernel)
+          ~name:(Printf.sprintf "prop-%d-%d" i (List.length !live_modules))
+          ~text_size:4096 ~data_size:256 ~symbols:[ "ksym_0" ]
+      in
+      Kern.vendor_sign_module kernel img;
+      match Kern.load_module kernel img with
+      | Ok _ -> live_modules := img.Guest_kernel.Kmodule.name :: !live_modules
+      | Error _ -> ())
+  | Module_unload -> (
+      match !live_modules with
+      | name :: rest -> (
+          match Kern.unload_module kernel name with Ok () -> live_modules := rest | Error _ -> ())
+      | [] -> ())
+  | Audit_burst n ->
+      Guest_kernel.Audit.set_rules (Kern.audit kernel) [ S.Open ];
+      let proc = Kern.init_process kernel in
+      for i = 0 to n - 1 do
+        ignore (Kern.invoke kernel proc S.Open [ K.Str (Printf.sprintf "/tmp/p%d" i); K.Int 0x42; K.Int 0o644 ])
+      done
+  | Run_enclave_io -> (
+      match !live_rts with
+      | rt :: _ when not (V.Encsvc.is_destroyed (Rt.enclave rt)) -> (
+          try
+            Rt.run rt (fun rt ->
+                match Rt.ocall rt S.Getpid [] with K.RInt _ -> () | _ -> failwith "getpid")
+          with P.Guest_page_fault _ -> () (* heap page may be evicted *))
+      | _ -> ())
+
+let system_invariant =
+  QCheck.Test.make ~name:"random activity preserves the memory partition" ~count:12
+    (QCheck.make QCheck.Gen.(list_size (5 -- 25) step_gen))
+    (fun steps ->
+      let sys = V.Boot.boot_veil ~npages:2048 ~seed:71 () in
+      let live_rts = ref [] and live_modules = ref [] and evicted = ref [] in
+      List.iter (fun s -> apply_step sys live_rts live_modules evicted s) steps;
+      partition_holds sys
+      (* and the protected log always matches what kaudit captured *)
+      && V.Slog.count sys.V.Boot.slog
+         = (V.Slog.stats sys.V.Boot.slog).V.Slog.appended)
+
+(* --- kernel fuzzing: random syscalls never break the kernel --- *)
+
+let arg_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun n -> K.Int (n - 500)) (0 -- 10_000));
+        (2, map (fun s -> K.Str s) (string_size ~gen:(char_range 'a' 'z') (0 -- 12)));
+        (1, map (fun s -> K.Str ("/" ^ s)) (string_size ~gen:(char_range 'a' 'z') (0 -- 12)));
+        (2, map (fun b -> K.Buf b) (bytes_size (0 -- 64)));
+        (1, map (fun n -> K.Ptr n) (0 -- 1_000_000));
+      ])
+
+let sysno_gen = QCheck.Gen.oneofl S.all
+
+let kernel_fuzz =
+  QCheck.Test.make ~name:"kernel survives arbitrary syscall garbage" ~count:40
+    (QCheck.make QCheck.Gen.(list_size (5 -- 60) (pair sysno_gen (list_size (0 -- 6) arg_gen))))
+    (fun calls ->
+      let n = V.Boot.boot_native ~npages:2048 ~seed:73 () in
+      let kernel = n.V.Boot.n_kernel in
+      let proc = Kern.spawn kernel in
+      List.for_all
+        (fun (sys, args) ->
+          match Kern.invoke kernel proc sys args with
+          | K.RInt _ | K.RBuf _ | K.RStat _ | K.RErr _ -> true
+          | exception P.Guest_page_fault _ -> true (* wild user pointers *)
+          | exception _ -> false)
+        calls
+      (* the kernel is still functional afterwards *)
+      &&
+      match Kern.invoke kernel proc S.Getpid [] with
+      | K.RInt pid -> pid = proc.Guest_kernel.Process.pid
+      | _ -> false)
+
+let sdk_fuzz =
+  QCheck.Test.make ~name:"SDK survives arbitrary redirected garbage" ~count:10
+    (QCheck.make QCheck.Gen.(list_size (3 -- 25) (pair sysno_gen (list_size (0 -- 6) arg_gen))))
+    (fun calls ->
+      let sys = V.Boot.boot_veil ~npages:2048 ~seed:79 () in
+      let proc = Kern.spawn sys.V.Boot.kernel in
+      match Rt.create sys ~binary:(Bytes.make 4096 'f') proc with
+      | Error _ -> false
+      | Ok rt -> (
+          try
+            Rt.run rt (fun rt ->
+                List.iter
+                  (fun (s, args) ->
+                    match Rt.ocall rt s args with
+                    | K.RInt _ | K.RBuf _ | K.RStat _ | K.RErr _ -> ())
+                  calls);
+            true
+          with
+          | Rt.Enclave_killed _ -> true (* unsupported call: by design *)
+          | P.Guest_page_fault _ -> true
+          | _ -> false))
+
+let suite = [ q system_invariant; q kernel_fuzz; q sdk_fuzz ]

@@ -1,0 +1,118 @@
+(* Cooperative scheduler tests: interleaving, blocking, deadlock
+   detection, and a concurrent echo server over the guest network. *)
+
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+module Kern = Guest_kernel.Kernel
+module Sched = Guest_kernel.Sched
+
+let test_round_robin () =
+  let sched = Sched.create () in
+  let trace = Buffer.create 16 in
+  Sched.spawn sched ~name:"a" (fun () ->
+      Buffer.add_char trace 'a';
+      Sched.yield ();
+      Buffer.add_char trace 'a');
+  Sched.spawn sched ~name:"b" (fun () ->
+      Buffer.add_char trace 'b';
+      Sched.yield ();
+      Buffer.add_char trace 'b');
+  Sched.run sched;
+  Alcotest.(check string) "interleaved" "abab" (Buffer.contents trace);
+  Alcotest.(check int) "all done" 0 (Sched.live sched);
+  Alcotest.(check bool) "switches counted" true (Sched.context_switches sched >= 4)
+
+let test_block_until () =
+  let sched = Sched.create () in
+  let flag = ref false and order = Buffer.create 8 in
+  Sched.spawn sched ~name:"waiter" (fun () ->
+      Sched.block_until (fun () -> !flag);
+      Buffer.add_string order "w");
+  Sched.spawn sched ~name:"setter" (fun () ->
+      Buffer.add_string order "s";
+      Sched.yield ();
+      flag := true);
+  Sched.run sched;
+  Alcotest.(check string) "waiter ran after the setter" "sw" (Buffer.contents order)
+
+let test_block_already_true () =
+  let sched = Sched.create () in
+  let ran = ref false in
+  Sched.spawn sched ~name:"t" (fun () ->
+      Sched.block_until (fun () -> true);
+      ran := true);
+  Sched.run sched;
+  Alcotest.(check bool) "no suspension when already satisfied" true !ran
+
+let test_deadlock_detected () =
+  let sched = Sched.create () in
+  Sched.spawn sched ~name:"stuck" (fun () -> Sched.block_until (fun () -> false));
+  Alcotest.check_raises "deadlock" (Sched.Deadlock [ "stuck" ]) (fun () -> Sched.run sched)
+
+let test_context_switch_charging () =
+  let charged = ref 0 in
+  let sched = Sched.create ~on_context_switch:(fun () -> incr charged) () in
+  Sched.spawn sched ~name:"x" (fun () -> Sched.yield ());
+  Sched.run sched;
+  Alcotest.(check int) "hook fired per switch" (Sched.context_switches sched) !charged
+
+let test_exception_propagates () =
+  let sched = Sched.create () in
+  Sched.spawn sched ~name:"boom" (fun () -> failwith "task exploded");
+  Alcotest.check_raises "propagates" (Failure "task exploded") (fun () -> Sched.run sched)
+
+(* --- a concurrent echo server over the guest network --- *)
+
+let test_concurrent_echo_server () =
+  let n = Veil_core.Boot.boot_native ~npages:2048 ~seed:97 () in
+  let kernel = n.Veil_core.Boot.n_kernel in
+  let sched = Sched.create () in
+  let nclients = 3 and requests_per_client = 4 in
+  let served = ref 0 and answered = ref 0 in
+  (* server process: accepts each client, echoes its requests *)
+  Sched.spawn sched ~name:"echo-server" (fun () ->
+      let proc = Kern.spawn kernel in
+      let sys s a = Kern.invoke_blocking kernel proc s a in
+      let srv = match sys S.Socket [ K.Int 2; K.Int 1; K.Int 0 ] with K.RInt f -> f | _ -> failwith "s" in
+      ignore (sys S.Bind [ K.Int srv; K.Int 9200 ]);
+      ignore (sys S.Listen [ K.Int srv; K.Int 8 ]);
+      for _ = 1 to nclients do
+        let conn = match sys S.Accept [ K.Int srv ] with K.RInt f -> f | _ -> failwith "accept" in
+        for _ = 1 to requests_per_client do
+          match sys S.Recvfrom [ K.Int conn; K.Int 64 ] with
+          | K.RBuf b when Bytes.length b > 0 ->
+              ignore (sys S.Sendto [ K.Int conn; K.Buf b ]);
+              incr served
+          | _ -> failwith "server recv"
+        done
+      done);
+  (* client processes: connect, send, check the echo *)
+  for c = 1 to nclients do
+    Sched.spawn sched ~name:(Printf.sprintf "client-%d" c) (fun () ->
+        let proc = Kern.spawn kernel in
+        let sys s a = Kern.invoke_blocking kernel proc s a in
+        let fd = match sys S.Socket [ K.Int 2; K.Int 1; K.Int 0 ] with K.RInt f -> f | _ -> failwith "c" in
+        ignore (sys S.Connect [ K.Int fd; K.Int 9200 ]);
+        for r = 1 to requests_per_client do
+          let msg = Bytes.of_string (Printf.sprintf "c%d-r%d" c r) in
+          ignore (sys S.Sendto [ K.Int fd; K.Buf msg ]);
+          match sys S.Recvfrom [ K.Int fd; K.Int 64 ] with
+          | K.RBuf b when Bytes.equal b msg -> incr answered
+          | K.RBuf b -> Alcotest.failf "client %d got %S" c (Bytes.to_string b)
+          | ret -> Alcotest.failf "client %d: %s" c (Format.asprintf "%a" K.pp_ret ret)
+        done)
+  done;
+  Sched.run sched;
+  Alcotest.(check int) "server echoed everything" (nclients * requests_per_client) !served;
+  Alcotest.(check int) "clients verified everything" (nclients * requests_per_client) !answered
+
+let suite =
+  [
+    ("round robin interleaving", `Quick, test_round_robin);
+    ("block_until", `Quick, test_block_until);
+    ("block on satisfied predicate", `Quick, test_block_already_true);
+    ("deadlock detection", `Quick, test_deadlock_detected);
+    ("context switch hook", `Quick, test_context_switch_charging);
+    ("task exceptions propagate", `Quick, test_exception_propagates);
+    ("concurrent echo server", `Quick, test_concurrent_echo_server);
+  ]

@@ -1,0 +1,314 @@
+(* SEV-SNP platform model tests: permissions, RMP semantics, memory,
+   page tables, instruction semantics, attestation. *)
+
+module T = Sevsnp.Types
+module Perm = Sevsnp.Perm
+module Rmp = Sevsnp.Rmp
+module P = Sevsnp.Platform
+
+let q = QCheck_alcotest.to_alcotest
+
+(* --- Perm lattice --- *)
+
+let perm_gen =
+  QCheck.Gen.(
+    map4
+      (fun r w u s -> { Perm.read = r; write = w; user_exec = u; super_exec = s })
+      bool bool bool bool)
+
+let perm_arb = QCheck.make perm_gen
+
+let perm_union_upper =
+  QCheck.Test.make ~name:"perm union is an upper bound" ~count:200 (QCheck.pair perm_arb perm_arb)
+    (fun (a, b) ->
+      let u = Perm.union a b in
+      Perm.subset a u && Perm.subset b u)
+
+let perm_inter_lower =
+  QCheck.Test.make ~name:"perm inter is a lower bound" ~count:200 (QCheck.pair perm_arb perm_arb)
+    (fun (a, b) ->
+      let i = Perm.inter a b in
+      Perm.subset i a && Perm.subset i b)
+
+let perm_subset_antisym =
+  QCheck.Test.make ~name:"perm subset antisymmetric" ~count:200 (QCheck.pair perm_arb perm_arb)
+    (fun (a, b) -> (not (Perm.subset a b && Perm.subset b a)) || Perm.equal a b)
+
+let test_perm_allows () =
+  Alcotest.(check bool) "rx allows supervisor exec" true (Perm.allows Perm.rx T.Execute T.Cpl0);
+  Alcotest.(check bool) "rx allows user exec" true (Perm.allows Perm.rx T.Execute T.Cpl3);
+  Alcotest.(check bool) "rw denies exec" false (Perm.allows Perm.rw T.Execute T.Cpl0);
+  Alcotest.(check bool)
+    "enclave text denies supervisor exec" false
+    (Perm.allows Perm.r_user_exec T.Execute T.Cpl0);
+  Alcotest.(check bool)
+    "enclave text allows user exec" true
+    (Perm.allows Perm.r_user_exec T.Execute T.Cpl3);
+  Alcotest.(check bool) "none denies read" false (Perm.allows Perm.none T.Read T.Cpl0)
+
+(* --- RMP --- *)
+
+let test_rmp_lifecycle () =
+  let rmp = Rmp.create ~npages:16 in
+  Alcotest.(check bool) "fresh page invalid" true (Rmp.state rmp 3 = Rmp.Invalid);
+  (match Rmp.check_guest_access rmp ~gpfn:3 ~vmpl:T.Vmpl0 ~cpl:T.Cpl0 ~access:T.Read with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "access to unvalidated page must fault");
+  Rmp.validate rmp 3;
+  Alcotest.(check bool) "validated is private" true (Rmp.state rmp 3 = Rmp.Private);
+  (match Rmp.check_guest_access rmp ~gpfn:3 ~vmpl:T.Vmpl0 ~cpl:T.Cpl0 ~access:T.Write with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "vmpl0 must have full access after validate");
+  (match Rmp.check_guest_access rmp ~gpfn:3 ~vmpl:T.Vmpl3 ~cpl:T.Cpl0 ~access:T.Read with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "vmpl3 has no default access");
+  Rmp.unvalidate rmp 3;
+  Alcotest.(check bool) "unvalidate -> shared" true (Rmp.state rmp 3 = Rmp.Shared)
+
+let test_rmp_adjust_rules () =
+  let rmp = Rmp.create ~npages:16 in
+  Rmp.validate rmp 1;
+  (* privileged caller grants a lower VMPL *)
+  (match Rmp.adjust rmp ~caller:T.Vmpl0 ~gpfn:1 ~target:T.Vmpl3 ~perms:Perm.all ~vmsa:false with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Rmp.check_guest_access rmp ~gpfn:1 ~vmpl:T.Vmpl3 ~cpl:T.Cpl0 ~access:T.Write with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "granted access must pass");
+  (* same or higher target refused *)
+  (match Rmp.adjust rmp ~caller:T.Vmpl1 ~gpfn:1 ~target:T.Vmpl1 ~perms:Perm.all ~vmsa:false with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cannot adjust own level");
+  (match Rmp.adjust rmp ~caller:T.Vmpl3 ~gpfn:1 ~target:T.Vmpl1 ~perms:Perm.all ~vmsa:false with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cannot adjust more privileged level");
+  (* vmsa attribute requires vmpl0, any target *)
+  (match Rmp.adjust rmp ~caller:T.Vmpl0 ~gpfn:1 ~target:T.Vmpl0 ~perms:Perm.none ~vmsa:true with
+  | Ok () -> Alcotest.(check bool) "vmsa marked" true (Rmp.is_vmsa rmp 1)
+  | Error e -> Alcotest.fail e);
+  (match Rmp.adjust rmp ~caller:T.Vmpl1 ~gpfn:1 ~target:T.Vmpl2 ~perms:Perm.none ~vmsa:true with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "vmsa attribute from vmpl1 must fail")
+
+let test_rmp_shared_semantics () =
+  let rmp = Rmp.create ~npages:4 in
+  Rmp.unvalidate rmp 0;
+  (match Rmp.check_guest_access rmp ~gpfn:0 ~vmpl:T.Vmpl3 ~cpl:T.Cpl3 ~access:T.Write with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "shared pages writable by all");
+  (match Rmp.check_guest_access rmp ~gpfn:0 ~vmpl:T.Vmpl0 ~cpl:T.Cpl0 ~access:T.Execute with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "never execute from shared pages");
+  Alcotest.(check bool) "host can touch shared" true (Rmp.host_can_access rmp 0);
+  Rmp.validate rmp 0;
+  Alcotest.(check bool) "host blocked on private" false (Rmp.host_can_access rmp 0)
+
+(* --- Phys_mem --- *)
+
+let test_phys_mem_rw () =
+  let mem = Sevsnp.Phys_mem.create ~npages:8 in
+  let data = Bytes.of_string "hello across a page boundary" in
+  Sevsnp.Phys_mem.write mem (T.page_size - 5) data;
+  Alcotest.(check bytes) "cross-page roundtrip" data
+    (Sevsnp.Phys_mem.read mem (T.page_size - 5) (Bytes.length data));
+  Sevsnp.Phys_mem.write_u64 mem 128 0x1122334455667788 |> ignore;
+  Alcotest.(check int) "u64 roundtrip" 0x1122334455667788 (Sevsnp.Phys_mem.read_u64 mem 128);
+  Alcotest.(check int) "untouched reads zero" 0 (Sevsnp.Phys_mem.read_byte mem (3 * T.page_size));
+  Alcotest.check_raises "oob write" (Invalid_argument "Phys_mem: access 0x8000+4 out of range")
+    (fun () -> Sevsnp.Phys_mem.write mem (8 * T.page_size) (Bytes.create 4))
+
+let phys_mem_roundtrip =
+  QCheck.Test.make ~name:"phys_mem write/read roundtrip" ~count:100
+    QCheck.(pair (bytes_of_size QCheck.Gen.(1 -- 200)) (QCheck.make QCheck.Gen.(0 -- 20000)))
+    (fun (data, gpa) ->
+      let mem = Sevsnp.Phys_mem.create ~npages:8 in
+      let gpa = gpa mod (Sevsnp.Phys_mem.bytes_size mem - Bytes.length data - 1) in
+      Sevsnp.Phys_mem.write mem gpa data;
+      Bytes.equal data (Sevsnp.Phys_mem.read mem gpa (Bytes.length data)))
+
+(* --- Pagetable --- *)
+
+module Pt = Sevsnp.Pagetable
+
+let mk_io mem next =
+  {
+    Pt.read_u64 = Sevsnp.Phys_mem.read_u64 mem;
+    write_u64 = Sevsnp.Phys_mem.write_u64 mem;
+    alloc_frame =
+      (fun () ->
+        let f = !next in
+        incr next;
+        f);
+  }
+
+let test_pagetable_map_walk () =
+  let mem = Sevsnp.Phys_mem.create ~npages:64 in
+  let next = ref 1 in
+  let io = mk_io mem next in
+  let root = 0 in
+  let va = 0x1234 * T.page_size in
+  Pt.map io ~root va { Pt.pte_gpfn = 42; pte_flags = Pt.user_rw };
+  (match Pt.walk ~read_u64:io.Pt.read_u64 ~root va with
+  | Some pte ->
+      Alcotest.(check int) "frame" 42 pte.Pt.pte_gpfn;
+      Alcotest.(check bool) "writable" true pte.Pt.pte_flags.Pt.writable;
+      Alcotest.(check bool) "nx" true pte.Pt.pte_flags.Pt.nx
+  | None -> Alcotest.fail "mapping not found");
+  Alcotest.(check bool) "unmapped va misses" true (Pt.walk ~read_u64:io.Pt.read_u64 ~root (va + T.page_size) = None);
+  Alcotest.(check bool) "protect" true (Pt.protect io ~root va Pt.user_ro);
+  (match Pt.walk ~read_u64:io.Pt.read_u64 ~root va with
+  | Some pte -> Alcotest.(check bool) "now read-only" false pte.Pt.pte_flags.Pt.writable
+  | None -> Alcotest.fail "lost mapping after protect");
+  Alcotest.(check bool) "unmap" true (Pt.unmap io ~root va);
+  Alcotest.(check bool) "gone" true (Pt.walk ~read_u64:io.Pt.read_u64 ~root va = None);
+  Alcotest.(check bool) "double unmap false" false (Pt.unmap io ~root va)
+
+let test_pagetable_encode_decode () =
+  let pte = { Pt.pte_gpfn = 0x12345; pte_flags = { Pt.present = true; writable = false; user = true; nx = true } } in
+  (match Pt.decode (Pt.encode pte) with
+  | Some p -> Alcotest.(check bool) "roundtrip" true (p = pte)
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "non-present decodes to None" true (Pt.decode 0 = None)
+
+let pagetable_many =
+  QCheck.Test.make ~name:"pagetable: many mappings all resolve" ~count:20
+    (QCheck.make QCheck.Gen.(1 -- 200))
+    (fun n ->
+      let mem = Sevsnp.Phys_mem.create ~npages:512 in
+      let next = ref 1 in
+      let io = mk_io mem next in
+      let root = 0 in
+      for i = 0 to n - 1 do
+        (* scatter across the VA space to hit different table paths *)
+        let va = i * 7919 * T.page_size mod (Pt.max_va / 2) land lnot (T.page_size - 1) in
+        Pt.map io ~root va { Pt.pte_gpfn = 1000 + i; pte_flags = Pt.user_rw }
+      done;
+      let ok = ref true in
+      let count = ref 0 in
+      Pt.iter_leaves ~read_u64:io.Pt.read_u64 ~root (fun _ _ -> incr count);
+      for i = 0 to n - 1 do
+        let va = i * 7919 * T.page_size mod (Pt.max_va / 2) land lnot (T.page_size - 1) in
+        match Pt.walk ~read_u64:io.Pt.read_u64 ~root va with
+        | Some pte -> if pte.Pt.pte_gpfn < 1000 then ok := false
+        | None -> ok := false
+      done;
+      !ok && !count <= n)
+
+let test_pagetable_table_frames () =
+  let mem = Sevsnp.Phys_mem.create ~npages:64 in
+  let next = ref 1 in
+  let io = mk_io mem next in
+  let root = 0 in
+  Pt.map io ~root 0x1000 { Pt.pte_gpfn = 50; pte_flags = Pt.user_rw };
+  let frames = Pt.table_frames ~read_u64:io.Pt.read_u64 ~root in
+  Alcotest.(check int) "3-level chain = 3 table frames" 3 (List.length frames);
+  Alcotest.(check bool) "root included" true (List.mem root frames);
+  Alcotest.(check bool) "leaf data frame not included" false (List.mem 50 frames)
+
+(* --- Platform access checks --- *)
+
+let mk_platform () =
+  let p = P.create ~npages:64 () in
+  let hv = Hypervisor.Hv.create p in
+  let vcpu = Hypervisor.Hv.launch_cvm hv ~entry_name:"t" ~boot_image:[ (0, Bytes.make 4096 'B') ] in
+  (p, hv, vcpu)
+
+let test_platform_checked_access () =
+  let p, _hv, vcpu = mk_platform () in
+  (* boot image frame is validated, vmpl0 has access *)
+  P.write p vcpu 100 (Bytes.of_string "ok");
+  Alcotest.(check bytes) "read back" (Bytes.of_string "ok") (P.read p vcpu 100 2);
+  (* unvalidated frame faults and halts *)
+  (try
+     ignore (P.read p vcpu (10 * T.page_size) 4);
+     Alcotest.fail "expected #NPF"
+   with T.Npf info -> Alcotest.(check bool) "read fault" true (info.T.fault_access = T.Read));
+  Alcotest.(check bool) "halted after NPF" true (P.is_halted p <> None);
+  Alcotest.check_raises "post-halt access raises" (T.Cvm_halted (Option.get (P.is_halted p)))
+    (fun () -> ignore (P.read p vcpu 100 2))
+
+let test_platform_pvalidate_restriction () =
+  let p, hv, vcpu = mk_platform () in
+  (match P.pvalidate p vcpu ~gpfn:20 ~to_private:true () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* create and enter a vmpl3 instance, then pvalidate must fail *)
+  Sevsnp.Rmp.validate p.P.rmp 50;
+  (Sevsnp.Rmp.entry p.P.rmp 50).Sevsnp.Rmp.vmsa <- true;
+  let vmsa3 = Sevsnp.Vmsa.create ~vcpu_id:0 ~vmpl:T.Vmpl3 ~backing_gpfn:50 in
+  (match P.install_vmsa p vmsa3 with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore hv;
+  P.vmenter p vcpu vmsa3;
+  (match P.pvalidate p vcpu ~gpfn:21 ~to_private:true () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "PVALIDATE must require VMPL-0")
+
+let test_platform_ghcb () =
+  let p, _hv, vcpu = mk_platform () in
+  (* GHCB must be shared *)
+  (match P.set_ghcb p vcpu (30 * T.page_size) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "GHCB on invalid page must fail");
+  (match P.pvalidate p vcpu ~gpfn:30 ~to_private:false () with Ok () -> () | Error e -> Alcotest.fail e);
+  (match P.set_ghcb p vcpu (30 * T.page_size) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "ghcb registered" true (P.ghcb_of_vcpu p vcpu <> None)
+
+let test_platform_host_access () =
+  let p, _hv, vcpu = mk_platform () in
+  (match P.host_read p 0 16 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "host read of private memory must fail");
+  (match P.pvalidate p vcpu ~gpfn:31 ~to_private:false () with Ok () -> () | Error e -> Alcotest.fail e);
+  (match P.host_write p (31 * T.page_size) (Bytes.of_string "host") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match P.host_read p (31 * T.page_size) 4 with
+  | Ok b -> Alcotest.(check bytes) "host rw on shared" (Bytes.of_string "host") b
+  | Error e -> Alcotest.fail e
+
+let test_attestation_report () =
+  let p, _hv, vcpu = mk_platform () in
+  let report = P.attestation_report p vcpu ~report_data:(Bytes.of_string "nonce") in
+  Alcotest.(check bool) "vmpl0 reported" true (T.equal_vmpl report.Sevsnp.Attestation.requester_vmpl T.Vmpl0);
+  let pk = Sevsnp.Attestation.platform_public_key p.P.attestation in
+  Alcotest.(check bool) "signature verifies" true (Sevsnp.Attestation.verify ~public_key:pk report);
+  let forged = { report with Sevsnp.Attestation.report_data = Bytes.of_string "evil" } in
+  Alcotest.(check bool) "forged report fails" false (Sevsnp.Attestation.verify ~public_key:pk forged)
+
+let test_cycles_anchors () =
+  let module C = Sevsnp.Cycles in
+  Alcotest.(check int) "domain switch = 7135 (paper §9.1)" 7135 C.domain_switch;
+  Alcotest.(check int) "vmcall roundtrip = 1100" 1100 C.vmcall_roundtrip;
+  Alcotest.(check int) "boot sweep 6400/page" 6400 ((2 * C.rmpadjust_insn) + C.rmpadjust_page_touch);
+  let c = C.create_counter () in
+  C.charge c C.Switch 10;
+  C.charge c C.Copy 5;
+  Alcotest.(check int) "total" 15 (C.total c);
+  Alcotest.(check int) "bucket" 10 (C.read_bucket c C.Switch);
+  C.reset c;
+  Alcotest.(check int) "reset" 0 (C.total c)
+
+let suite =
+  [
+    q perm_union_upper;
+    q perm_inter_lower;
+    q perm_subset_antisym;
+    ("perm allows semantics", `Quick, test_perm_allows);
+    ("rmp lifecycle", `Quick, test_rmp_lifecycle);
+    ("rmp adjust rules", `Quick, test_rmp_adjust_rules);
+    ("rmp shared semantics", `Quick, test_rmp_shared_semantics);
+    ("phys_mem rw", `Quick, test_phys_mem_rw);
+    q phys_mem_roundtrip;
+    ("pagetable map/walk/protect/unmap", `Quick, test_pagetable_map_walk);
+    ("pagetable pte encode/decode", `Quick, test_pagetable_encode_decode);
+    q pagetable_many;
+    ("pagetable table frames", `Quick, test_pagetable_table_frames);
+    ("platform checked access + halt", `Quick, test_platform_checked_access);
+    ("platform pvalidate vmpl0-only", `Quick, test_platform_pvalidate_restriction);
+    ("platform ghcb registration", `Quick, test_platform_ghcb);
+    ("platform host access policy", `Quick, test_platform_host_access);
+    ("attestation report", `Quick, test_attestation_report);
+    ("cycle model anchors", `Quick, test_cycles_anchors);
+  ]

@@ -1,0 +1,221 @@
+(* Workload engine tests: compression round trips, the B-tree storage
+   engine, HTTP/memcache servers, and the measurement driver. *)
+
+module W = Workloads
+
+let q = QCheck_alcotest.to_alcotest
+
+(* --- LZSS --- *)
+
+let lzss_roundtrip =
+  QCheck.Test.make ~name:"lzss compress/decompress roundtrip" ~count:60
+    (QCheck.bytes_of_size QCheck.Gen.(0 -- 2000))
+    (fun data -> Bytes.equal data (W.Lzss.decompress (W.Lzss.compress data)))
+
+let lzss_token_codec =
+  QCheck.Test.make ~name:"lzss token serialization roundtrip" ~count:60
+    (QCheck.bytes_of_size QCheck.Gen.(0 -- 1000))
+    (fun data ->
+      let tokens = W.Lzss.compress data in
+      W.Lzss.decode_tokens (W.Lzss.encode_tokens tokens) = tokens)
+
+let test_lzss_compresses_text () =
+  let rng = Veil_crypto.Rng.create 3 in
+  let text = W.Textgen.text rng 20000 in
+  let tokens = W.Lzss.compress text in
+  Alcotest.(check bool) "repetitive text shrinks" true
+    (W.Lzss.compressed_size tokens < Bytes.length text);
+  Alcotest.(check bytes) "exact roundtrip" text (W.Lzss.decompress tokens)
+
+let test_lzss_window () =
+  (* a repetition beyond the window cannot be matched *)
+  let data = Bytes.of_string (String.make 100 'a' ^ String.make 5000 'b' ^ String.make 100 'a') in
+  let t_small = W.Lzss.compress ~window_bits:8 data in
+  Alcotest.(check bytes) "small window still correct" data (W.Lzss.decompress t_small)
+
+(* --- Huffman --- *)
+
+let huffman_roundtrip =
+  QCheck.Test.make ~name:"huffman encode/decode roundtrip" ~count:60
+    (QCheck.bytes_of_size QCheck.Gen.(0 -- 3000))
+    (fun data -> Bytes.equal data (W.Huffman.decode (W.Huffman.encode data)))
+
+let test_huffman_skew () =
+  (* heavily skewed input must compress below 8 bits/symbol *)
+  let data = Bytes.init 4000 (fun i -> if i mod 17 = 0 then 'b' else 'a') in
+  let packed = W.Huffman.encode data in
+  Alcotest.(check bool) "skewed input compresses" true
+    (Bytes.length packed - 260 < Bytes.length data / 4);
+  Alcotest.(check bytes) "roundtrip" data (W.Huffman.decode packed)
+
+let test_huffman_single_symbol () =
+  let data = Bytes.make 100 'z' in
+  Alcotest.(check bytes) "degenerate alphabet" data (W.Huffman.decode (W.Huffman.encode data))
+
+(* --- Btree --- *)
+
+let null_env kernel proc =
+  {
+    W.Env.sys = (fun s a -> Guest_kernel.Kernel.invoke kernel proc s a);
+    compute = (fun _ -> ());
+    env_rng = Veil_crypto.Rng.create 5;
+  }
+
+let with_env f =
+  let n = Veil_core.Boot.boot_native ~npages:4096 ~seed:41 () in
+  let kernel = n.Veil_core.Boot.n_kernel in
+  f (null_env kernel (Guest_kernel.Kernel.spawn kernel))
+
+let test_btree_sequential () =
+  with_env (fun env ->
+      let t = W.Btree.create env ~path:"/tmp/bt-seq" in
+      for i = 0 to 999 do
+        W.Btree.insert t ~key:(Bytes.of_string (Printf.sprintf "%08d" i)) ~value:(Bytes.of_string (string_of_int i))
+      done;
+      Alcotest.(check int) "all entries" 1000 (W.Btree.iter_count t);
+      Alcotest.(check bool) "grew past one node" true (W.Btree.height t >= 2);
+      for i = 0 to 999 do
+        match W.Btree.find t ~key:(Bytes.of_string (Printf.sprintf "%08d" i)) with
+        | Some v ->
+            let s = Bytes.to_string v in
+            let s = String.sub s 0 (String.index s '\000') in
+            Alcotest.(check string) "value" (string_of_int i) s
+        | None -> Alcotest.failf "lost key %d" i
+      done;
+      Alcotest.(check bool) "absent key misses" true (W.Btree.find t ~key:(Bytes.of_string "nope") = None);
+      W.Btree.close t)
+
+let test_btree_overwrite () =
+  with_env (fun env ->
+      let t = W.Btree.create env ~path:"/tmp/bt-ow" in
+      W.Btree.insert t ~key:(Bytes.of_string "k") ~value:(Bytes.of_string "v1");
+      W.Btree.insert t ~key:(Bytes.of_string "k") ~value:(Bytes.of_string "v2");
+      Alcotest.(check int) "overwrite keeps one entry" 1 (W.Btree.iter_count t);
+      match W.Btree.find t ~key:(Bytes.of_string "k") with
+      | Some v -> Alcotest.(check string) "latest value" "v2" (String.sub (Bytes.to_string v) 0 2)
+      | None -> Alcotest.fail "lost key")
+
+let test_btree_persistence () =
+  with_env (fun env ->
+      let t = W.Btree.create env ~path:"/tmp/bt-persist" in
+      for i = 0 to 299 do
+        W.Btree.insert t ~key:(Bytes.of_string (Printf.sprintf "p%06d" i)) ~value:(Bytes.of_string "x")
+      done;
+      W.Btree.close t;
+      (* reopen from the file *)
+      let t2 = W.Btree.create env ~path:"/tmp/bt-persist" in
+      Alcotest.(check int) "reopened count" 300 (W.Btree.iter_count t2);
+      Alcotest.(check bool) "reopened lookup" true
+        (W.Btree.find t2 ~key:(Bytes.of_string "p000123") <> None))
+
+let btree_random =
+  QCheck.Test.make ~name:"btree random inserts all findable" ~count:8
+    (QCheck.make QCheck.Gen.(pair small_nat (list_size (10 -- 400) (string_size ~gen:(char_range 'a' 'p') (4 -- 12)))))
+    (fun (_, keys) ->
+      let result = ref true in
+      with_env (fun env ->
+          let t = W.Btree.create env ~path:"/tmp/bt-rand" in
+          List.iteri (fun i k -> W.Btree.insert t ~key:(Bytes.of_string k) ~value:(Bytes.of_string (string_of_int i))) keys;
+          List.iter (fun k -> if W.Btree.find t ~key:(Bytes.of_string k) = None then result := false) keys;
+          let uniq = List.sort_uniq compare keys in
+          if W.Btree.iter_count t <> List.length uniq then result := false);
+      !result)
+
+(* --- HTTP engine --- *)
+
+let test_http_serving () =
+  with_env (fun env ->
+      W.Env.mkdir env "/srv/www";
+      let fd = W.Env.open_ env "/srv/www/index.html" ~flags:(W.Env.o_creat lor W.Env.o_wronly) ~mode:0o644 in
+      ignore (W.Env.write env fd (Bytes.of_string "<html>veil</html>"));
+      W.Env.close env fd;
+      let server = W.Http.server_start env ~port:8088 ~docroot:"/srv/www" in
+      let serve () = ignore (W.Http.serve_pending env server) in
+      (match W.Http.client_get ~serve env ~port:8088 ~path:"/index.html" with
+      | Some body -> Alcotest.(check bytes) "body served" (Bytes.of_string "<html>veil</html>") body
+      | None -> Alcotest.fail "no response");
+      (match W.Http.client_get ~serve env ~port:8088 ~path:"/missing.html" with
+      | None -> ()
+      | Some _ -> Alcotest.fail "404 must not return a body");
+      Alcotest.(check int) "both requests handled (404 included)" 2 (W.Http.requests_served server))
+
+(* --- textgen --- *)
+
+let test_textgen () =
+  let rng = Veil_crypto.Rng.create 7 in
+  Alcotest.(check int) "text exact length" 5000 (Bytes.length (W.Textgen.text rng 5000));
+  Alcotest.(check int) "binary exact length" 5000 (Bytes.length (W.Textgen.binary rng 5000));
+  (* deterministic for a given seed *)
+  let a = W.Textgen.text (Veil_crypto.Rng.create 1) 1000 in
+  let b = W.Textgen.text (Veil_crypto.Rng.create 1) 1000 in
+  Alcotest.(check bytes) "deterministic" a b
+
+(* --- driver --- *)
+
+let test_driver_modes () =
+  let w = W.Cpu_w.spec ~iterations:1 () in
+  let native = W.Driver.run ~npages:2048 W.Driver.Native w in
+  let veil = W.Driver.run ~npages:2048 W.Driver.Veil_background w in
+  Alcotest.(check bool) "cycles measured" true (native.W.Driver.cycles > 0);
+  (* §9.1: no discernible background impact *)
+  let ov = W.Driver.overhead_pct ~baseline:native veil in
+  Alcotest.(check bool) "background impact < 2%" true (Float.abs ov < 2.0);
+  Alcotest.(check string) "workload name carried" "spec-cpu" native.W.Driver.workload
+
+let test_driver_enclave_mode () =
+  let w = W.Crypto_w.mbedtls ~tests:24 () in
+  let native = W.Driver.run ~npages:2048 W.Driver.Native w in
+  let enc = W.Driver.run ~npages:2048 W.Driver.Enclave w in
+  Alcotest.(check bool) "enclave slower" true (enc.W.Driver.cycles > native.W.Driver.cycles);
+  match enc.W.Driver.enclave with
+  | Some st ->
+      Alcotest.(check bool) "ocalls recorded" true (st.Enclave_sdk.Runtime.ocalls > 0);
+      Alcotest.(check bool) "exits recorded" true (st.Enclave_sdk.Runtime.enclave_exits > 0)
+  | None -> Alcotest.fail "enclave stats missing"
+
+let test_driver_audit_modes () =
+  let w = W.Crypto_w.openssl ~buffers:10 () in
+  let base = W.Driver.run ~npages:2048 W.Driver.Veil_background w in
+  let ka = W.Driver.run ~npages:2048 W.Driver.Kaudit w in
+  let vl = W.Driver.run ~npages:2048 W.Driver.Veils_log w in
+  Alcotest.(check int) "no records unaudited" 0 base.W.Driver.audit_records;
+  Alcotest.(check bool) "kaudit records" true (ka.W.Driver.audit_records > 0);
+  Alcotest.(check int) "kaudit alone does not hit VeilS-LOG" 0 ka.W.Driver.log_appends;
+  Alcotest.(check int) "veils-log captures every record" vl.W.Driver.audit_records vl.W.Driver.log_appends;
+  Alcotest.(check bool) "veils-log costs more than kaudit" true (vl.W.Driver.cycles > ka.W.Driver.cycles)
+
+let test_all_workloads_run_native () =
+  (* every registered workload completes end to end *)
+  List.iter
+    (fun w ->
+      let s = W.Driver.run ~npages:4096 W.Driver.Native w in
+      Alcotest.(check bool) (w.W.Workload.name ^ " did work") true (s.W.Driver.cycles > 0))
+    (W.Registry.all ())
+
+let test_registry () =
+  Alcotest.(check int) "Table 4 programs" 5 (List.length (W.Registry.enclave_programs ()));
+  Alcotest.(check int) "Table 5 programs" 5 (List.length (W.Registry.audit_programs ()));
+  Alcotest.(check bool) "find by name" true (W.Registry.find "gzip" <> None);
+  Alcotest.(check bool) "unknown name" true (W.Registry.find "quake3" = None)
+
+let suite =
+  [
+    q lzss_roundtrip;
+    q lzss_token_codec;
+    ("lzss compresses text", `Quick, test_lzss_compresses_text);
+    ("lzss small window", `Quick, test_lzss_window);
+    q huffman_roundtrip;
+    ("huffman skewed input", `Quick, test_huffman_skew);
+    ("huffman single symbol", `Quick, test_huffman_single_symbol);
+    ("btree sequential 1000", `Quick, test_btree_sequential);
+    ("btree overwrite", `Quick, test_btree_overwrite);
+    ("btree persistence across reopen", `Quick, test_btree_persistence);
+    q btree_random;
+    ("http serving", `Quick, test_http_serving);
+    ("textgen", `Quick, test_textgen);
+    ("driver native vs veil background", `Slow, test_driver_modes);
+    ("driver enclave mode", `Slow, test_driver_enclave_mode);
+    ("driver audit modes", `Slow, test_driver_audit_modes);
+    ("all workloads run natively", `Slow, test_all_workloads_run_native);
+    ("registry", `Quick, test_registry);
+  ]
