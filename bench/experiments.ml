@@ -21,6 +21,36 @@ let header title paper =
 
 let seconds c = C.seconds_of_cycles c
 
+(* --- machine-readable results (--json) ---
+
+   When enabled, every Driver.run result an experiment produces is
+   recorded and [emit_json] prints one JSON document (after the human
+   tables) with the full per-bucket cycle breakdown of each run. *)
+
+let json_mode = ref false
+let recorded : (string * D.stats) list ref = ref []
+
+let record ~experiment (s : D.stats) =
+  if !json_mode then recorded := (experiment, s) :: !recorded;
+  s
+
+let stats_json (experiment, (s : D.stats)) =
+  Printf.sprintf
+    "{\"experiment\":\"%s\",\"workload\":\"%s\",\"mode\":\"%s\",\"cycles\":%d,\"seconds\":%.6f,\
+     \"compute_cycles\":%d,\"kernel_cycles\":%d,\"switch_cycles\":%d,\"copy_cycles\":%d,\
+     \"monitor_cycles\":%d,\"crypto_cycles\":%d,\"io_cycles\":%d,\"syscalls\":%d,\"vm_exits\":%d,\
+     \"domain_switches\":%d,\"audit_records\":%d,\"log_appends\":%d}"
+    (Obs.Metrics.json_escape experiment)
+    (Obs.Metrics.json_escape s.D.workload)
+    (D.mode_to_string s.D.mode) s.D.cycles s.D.seconds s.D.compute_cycles s.D.kernel_cycles
+    s.D.switch_cycles s.D.copy_cycles s.D.monitor_cycles s.D.crypto_cycles s.D.io_cycles
+    s.D.syscalls s.D.vm_exits s.D.domain_switches s.D.audit_records s.D.log_appends
+
+let emit_json () =
+  if !json_mode then
+    Printf.printf "\n{\"veil_bench\":[%s]}\n"
+      (String.concat "," (List.rev_map stats_json !recorded))
+
 (* --- E1: initialization time (§9.1) --- *)
 
 let e1 ?(npages = 131072) () =
@@ -87,8 +117,8 @@ let e3 ?(scale = 1) () =
   Printf.printf "%-12s %14s %14s %10s\n" "program" "native cycles" "veil cycles" "overhead";
   List.iter
     (fun w ->
-      let native = D.run ~scale D.Native w in
-      let veil = D.run ~scale D.Veil_background w in
+      let native = record ~experiment:"e3" (D.run ~scale D.Native w) in
+      let veil = record ~experiment:"e3" (D.run ~scale D.Veil_background w) in
       Printf.printf "%-12s %14d %14d %9.2f%%   (paper: <2%%)\n" w.W.Workload.name native.D.cycles
         veil.D.cycles (D.overhead_pct ~baseline:native veil))
     (W.Registry.background_programs ())
@@ -168,8 +198,8 @@ let e5 ?(scale = 1) () =
     "exit/s pp" "redirect" "exit";
   List.iter
     (fun w ->
-      let native = D.run ~scale D.Native w in
-      let enc = D.run ~scale D.Enclave w in
+      let native = record ~experiment:"e5" (D.run ~scale D.Native w) in
+      let enc = record ~experiment:"e5" (D.run ~scale D.Enclave w) in
       let st = Option.get enc.D.enclave in
       let exits =
         st.Enclave_sdk.Runtime.enclave_exits + st.Enclave_sdk.Runtime.interrupts_while_inside
@@ -209,9 +239,9 @@ let e6 ?(scale = 1) () =
     "logs/s" "paper";
   List.iter
     (fun w ->
-      let base = D.run ~scale D.Veil_background w in
-      let ka = D.run ~scale D.Kaudit w in
-      let vl = D.run ~scale D.Veils_log w in
+      let base = record ~experiment:"e6" (D.run ~scale D.Veil_background w) in
+      let ka = record ~experiment:"e6" (D.run ~scale D.Kaudit w) in
+      let vl = record ~experiment:"e6" (D.run ~scale D.Veils_log w) in
       let pk, pv, pr = try List.assoc w.W.Workload.name paper with Not_found -> (0., 0., 0.) in
       Printf.printf "%-10s | %7.2f%% %7.2f%% | %7.2f%% %7.2f%% | %8.1fk %8.1fk\n" w.W.Workload.name
         (D.overhead_pct ~baseline:base ka)
@@ -321,8 +351,8 @@ let ablate ?(scale = 1) () =
   Printf.printf "    %-10s %9s %9s %9s %9s\n" "program" "7135cyc" "3600cyc" "1100cyc" "150cyc";
   List.iter
     (fun w ->
-      let native = D.run ~scale D.Native w in
-      let enc = D.run ~scale D.Enclave w in
+      let native = record ~experiment:"ablate" (D.run ~scale D.Native w) in
+      let enc = record ~experiment:"ablate" (D.run ~scale D.Enclave w) in
       let st = Option.get enc.D.enclave in
       let switches = st.Enclave_sdk.Runtime.enclave_exits + st.Enclave_sdk.Runtime.enclave_entries in
       let recompute per_switch =

@@ -4,11 +4,16 @@
    id (e1..e11, ablate, micro) or no argument for everything. *)
 
 let usage () =
-  print_endline "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablate|micro|all]";
-  print_endline "       (no argument = all; scale via VEIL_BENCH_SCALE, default 1)"
+  print_endline "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablate|micro|all] [--json]";
+  print_endline "       (no argument = all; scale via VEIL_BENCH_SCALE, default 1;";
+  print_endline "        --json additionally prints every recorded run as one JSON document)"
 
 let scale =
   match Sys.getenv_opt "VEIL_BENCH_SCALE" with Some s -> int_of_string s | None -> 1
+
+let args = List.filter (fun a -> a <> "--json") (List.tl (Array.to_list Sys.argv))
+
+let () = Experiments.json_mode := Array.exists (( = ) "--json") Sys.argv
 
 let all () =
   Experiments.e1 ();
@@ -26,7 +31,7 @@ let all () =
   Micro.run ()
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  (match match args with a :: _ -> a | [] -> "all" with
   | "e1" -> Experiments.e1 ()
   | "e2" -> Experiments.e2 ()
   | "e3" -> Experiments.e3 ~scale ()
@@ -41,4 +46,5 @@ let () =
   | "ablate" -> Experiments.ablate ~scale ()
   | "micro" -> Micro.run ()
   | "all" -> all ()
-  | _ -> usage ()
+  | _ -> usage ());
+  Experiments.emit_json ()

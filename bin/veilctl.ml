@@ -217,6 +217,158 @@ let status_cmd =
     (Cmd.info "status" ~doc:"Boot, exercise all four protected services, print every counter.")
     Term.(const run $ npages_arg $ seed_arg)
 
+(* --- trace / metrics: Veil-Trace observability --- *)
+
+(* One deterministic exercise of the whole stack (audited syscalls,
+   module load, enclave round trip, vTPM extend).  Both the [trace] and
+   [metrics] commands run exactly this after resetting the registry, so
+   their counts agree event-for-event. *)
+let quickstart_scenario sys =
+  let kernel = sys.Veil_core.Boot.kernel in
+  Guest_kernel.Audit.set_rules (Guest_kernel.Kernel.audit kernel)
+    Guest_kernel.Sysno.audit_default_ruleset;
+  let proc = Guest_kernel.Kernel.spawn kernel in
+  for i = 0 to 9 do
+    ignore
+      (Guest_kernel.Kernel.invoke kernel proc Guest_kernel.Sysno.Open
+         [ Guest_kernel.Ktypes.Str (Printf.sprintf "/tmp/s%d" i); Guest_kernel.Ktypes.Int 0x42;
+           Guest_kernel.Ktypes.Int 0o644 ])
+  done;
+  let img =
+    Guest_kernel.Kmodule.build (Guest_kernel.Kernel.rng kernel) ~name:"trace-mod" ~text_size:4096
+      ~data_size:256 ~symbols:[ "ksym_0" ]
+  in
+  Guest_kernel.Kernel.vendor_sign_module kernel img;
+  ignore (Guest_kernel.Kernel.load_module kernel img);
+  let eproc = Guest_kernel.Kernel.spawn kernel in
+  (match Enclave_sdk.Runtime.create sys ~binary:(Bytes.make 4096 't') eproc with
+  | Ok rt ->
+      Enclave_sdk.Runtime.run rt (fun rt ->
+          ignore (Enclave_sdk.Runtime.ocall rt Guest_kernel.Sysno.Getpid []))
+  | Error e -> print_endline ("enclave: " ^ e));
+  ignore
+    (Veil_core.Monitor.os_call sys.Veil_core.Boot.mon sys.Veil_core.Boot.vcpu
+       (Veil_core.Idcb.R_tpm_extend { pcr = 0; data = Bytes.of_string "trace" }))
+
+let arm_observability (platform : Sevsnp.Platform.t) =
+  Obs.Metrics.reset platform.Sevsnp.Platform.metrics;
+  Obs.Trace.clear platform.Sevsnp.Platform.tracer;
+  Obs.Trace.set_enabled platform.Sevsnp.Platform.tracer true
+
+let counter_value m name =
+  match Obs.Metrics.find m name with Some (Obs.Metrics.Counter c) -> Obs.Metrics.value c | _ -> 0
+
+let trace_summary (platform : Sevsnp.Platform.t) =
+  let tr = platform.Sevsnp.Platform.tracer in
+  let m = platform.Sevsnp.Platform.metrics in
+  Printf.printf "events: emitted=%d stored=%d (capacity %d)\n" (Obs.Trace.emitted tr)
+    (Obs.Trace.stored tr) (Obs.Trace.capacity tr);
+  List.iter
+    (fun (kind, metric) ->
+      Printf.printf "  %-14s trace=%-6d registry(%s)=%d\n" (Obs.Trace.kind_name kind)
+        (Obs.Trace.count_kind tr kind) metric (counter_value m metric))
+    [
+      (Obs.Trace.Domain_switch, "hv.domain_switches");
+      (Obs.Trace.Vmgexit, "platform.vmgexit");
+      (Obs.Trace.Vmenter, "platform.vmenter");
+      (Obs.Trace.Syscall, "kernel.syscalls");
+      (Obs.Trace.Npf, "platform.npf");
+      (Obs.Trace.Audit_emit, "slog.appended");
+    ]
+
+let out_arg =
+  let doc = "Write the Chrome trace-event JSON here (open in chrome://tracing or Perfetto)." in
+  Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let trace_cmd =
+  let workload_arg =
+    let doc =
+      "What to trace: \"quickstart\" (boot + one pass over every protected service) or an \
+       evaluation workload name (gzip, sqlite, ...)."
+    in
+    Arg.(value & pos 0 string "quickstart" & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let mode_arg =
+    let modes =
+      [ ("native", Workloads.Driver.Native); ("veil", Workloads.Driver.Veil_background);
+        ("enclave", Workloads.Driver.Enclave); ("kaudit", Workloads.Driver.Kaudit);
+        ("veils-log", Workloads.Driver.Veils_log) ]
+    in
+    let doc = "Measurement mode for workload traces." in
+    Arg.(value & opt (enum modes) Workloads.Driver.Veil_background & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let run workload mode out npages seed =
+    let platform =
+      match workload with
+      | "quickstart" ->
+          let sys = Veil_core.Boot.boot_veil ~npages ~seed () in
+          let platform = sys.Veil_core.Boot.platform in
+          arm_observability platform;
+          quickstart_scenario sys;
+          platform
+      | name -> (
+          match Workloads.Registry.find name with
+          | None ->
+              Printf.printf "unknown workload %S; known: quickstart, %s\n" name
+                (String.concat ", "
+                   (List.map (fun w -> w.Workloads.Workload.name) (Workloads.Registry.all ())));
+              exit 1
+          | Some w ->
+              let captured = ref None in
+              let on_boot p =
+                captured := Some p;
+                arm_observability p
+              in
+              ignore (Workloads.Driver.run ~seed ~npages ~on_boot mode w);
+              Option.get !captured)
+    in
+    let tr = platform.Sevsnp.Platform.tracer in
+    Obs.Trace.set_enabled tr false;
+    (match open_out out with
+    | oc ->
+        output_string oc (Obs.Chrome_trace.to_json tr);
+        close_out oc
+    | exception Sys_error msg ->
+        Printf.eprintf "cannot write trace: %s\n" msg;
+        exit 1);
+    Printf.printf "wrote %s (timestamps/durations in guest cycles @ %d Hz)\n" out
+      Sevsnp.Cycles.freq_hz;
+    trace_summary platform;
+    if not (Obs.Trace.well_nested tr) then begin
+      print_endline "warning: begin/end spans are not well nested";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a cycle-timestamped event trace of a run and export it as Chrome trace-event \
+          JSON.")
+    Term.(const run $ workload_arg $ mode_arg $ out_arg $ npages_arg $ seed_arg)
+
+let metrics_cmd =
+  let json_arg =
+    let doc = "Emit the registry as JSON instead of the flat text dump." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run json npages seed =
+    let sys = Veil_core.Boot.boot_veil ~npages ~seed () in
+    let platform = sys.Veil_core.Boot.platform in
+    (* Same reset point and scenario as [trace quickstart], so the two
+       commands report identical numbers. *)
+    arm_observability platform;
+    Obs.Trace.set_enabled platform.Sevsnp.Platform.tracer false;
+    quickstart_scenario sys;
+    let m = platform.Sevsnp.Platform.metrics in
+    if json then print_string (Obs.Metrics.to_json m) else print_string (Obs.Metrics.dump m)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the quickstart scenario and dump the unified metrics registry (counters, gauges, \
+          histogram percentiles).")
+    Term.(const run $ json_arg $ npages_arg $ seed_arg)
+
 (* --- migrate: demonstrate enclave migration between two CVMs --- *)
 
 let migrate_cmd =
@@ -300,6 +452,7 @@ let main =
   let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in
   Cmd.group
     (Cmd.info "veilctl" ~version:Veil_core.Veil.version ~doc)
-    [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; migrate_cmd; sql_cmd ]
+    [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; metrics_cmd; migrate_cmd;
+      sql_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -40,6 +40,8 @@ type t = {
   enclaves : (int, enclave) Hashtbl.t;
   frames_in_use : (T.gpfn, int) Hashtbl.t;  (** global disjointness registry *)
   scheduled : (int, int) Hashtbl.t;  (** vcpu id -> enclave id its Dom_ENC VMSA holds *)
+  c_entries : Obs.Metrics.counter;
+  c_exits : Obs.Metrics.counter;
 }
 
 let stats t = t.stats
@@ -468,7 +470,12 @@ let enter t vcpu enclave =
   | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl2 }
   | None -> P.halt platform "enclave entry without GHCB");
   P.vmgexit platform vcpu;
-  t.stats.entries <- t.stats.entries + 1
+  t.stats.entries <- t.stats.entries + 1;
+  Obs.Metrics.incr t.c_entries;
+  if Obs.Trace.enabled platform.P.tracer then
+    Obs.Trace.emit platform.P.tracer ~vcpu:vcpu.Sevsnp.Vcpu.id
+      ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
+      ~bucket:"monitor" ~arg:enclave.e_id Obs.Trace.Enclave_enter
 
 let exit_enclave t vcpu _enclave ~restore_ghcb =
   let platform = Monitor.platform t.mon in
@@ -481,7 +488,12 @@ let exit_enclave t vcpu _enclave ~restore_ghcb =
   (match P.set_ghcb platform vcpu restore_ghcb with
   | Ok () -> ()
   | Error e -> P.halt platform ("kernel GHCB restore: " ^ e));
-  t.stats.exits <- t.stats.exits + 1
+  t.stats.exits <- t.stats.exits + 1;
+  Obs.Metrics.incr t.c_exits;
+  if Obs.Trace.enabled platform.P.tracer then
+    Obs.Trace.emit platform.P.tracer ~vcpu:vcpu.Sevsnp.Vcpu.id
+      ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
+      ~bucket:"monitor" Obs.Trace.Enclave_exit
 
 let change_perms t vcpu enclave ~va ~npages ~prot =
   let platform = Monitor.platform t.mon in
@@ -557,6 +569,8 @@ let install mon =
       enclaves = Hashtbl.create 8;
       frames_in_use = Hashtbl.create 64;
       scheduled = Hashtbl.create 8;
+      c_entries = Obs.Metrics.counter (Monitor.platform mon).P.metrics "encsvc.entries";
+      c_exits = Obs.Metrics.counter (Monitor.platform mon).P.metrics "encsvc.exits";
     }
   in
   Monitor.register_service mon ~name:"veils-enc" ~target:Privdom.Sec (fun m vcpu req ->

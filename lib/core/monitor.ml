@@ -34,6 +34,8 @@ and t = {
   mutable vmsa_cursor : T.gpfn;
   mutable kernel_entry : int;
   mutable initialized : bool;
+  c_os_calls : Obs.Metrics.counter;
+  c_sanitizer_rejections : Obs.Metrics.counter;
 }
 
 let platform t = t.platform
@@ -72,6 +74,8 @@ let create ~hv ~layout ~boot_vcpu =
     vmsa_cursor = layout.Layout.vmsa_region.Layout.lo;
     kernel_entry = 0;
     initialized = false;
+    c_os_calls = Obs.Metrics.counter platform.P.metrics "monitor.os_calls";
+    c_sanitizer_rejections = Obs.Metrics.counter platform.P.metrics "monitor.sanitizer_rejections";
   }
 
 (* --- protected-region registry --- *)
@@ -322,6 +326,11 @@ let dispatch t vcpu req =
 
 let os_call t vcpu (req : Idcb.request) : Idcb.response =
   t.stats.os_calls <- t.stats.os_calls + 1;
+  Obs.Metrics.incr t.c_os_calls;
+  let tr = t.platform.P.tracer in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.span_begin tr ~bucket:"monitor" ~vcpu:vcpu.V.id
+      ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) "os_call";
   let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
   (* OS writes the request into the IDCB. *)
   charge_on vcpu C.Copy (C.copy_cost (Idcb.request_size req));
@@ -333,6 +342,7 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
     match sanitize t vcpu idcb.Idcb.request with
     | Error e ->
         t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
+        Obs.Metrics.incr t.c_sanitizer_rejections;
         Idcb.Resp_error e
     | Ok () -> dispatch t vcpu idcb.Idcb.request
   in
@@ -340,6 +350,9 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
   idcb.Idcb.request <- Idcb.R_none;
   charge_on vcpu C.Copy (C.copy_cost (Idcb.response_size resp));
   domain_switch t vcpu ~target:Privdom.Unt;
+  if Obs.Trace.enabled tr then
+    Obs.Trace.span_end tr ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu))
+      ~ts:(V.rdtsc vcpu) "os_call";
   resp
 
 (* --- service primitives --- *)

@@ -7,13 +7,20 @@ type stats = { mutable appended : int; mutable dropped_full : int; mutable fetch
 type t = {
   mon : Monitor.t;
   region : Layout.region;
-  stats : stats;
+  c_appended : Obs.Metrics.counter;
+  c_dropped : Obs.Metrics.counter;
+  c_fetches : Obs.Metrics.counter;
   mutable head : int;  (** next free byte offset within the region *)
   mutable nlines : int;
   mutable chain : bytes;
 }
 
-let stats t = t.stats
+let stats t =
+  {
+    appended = Obs.Metrics.value t.c_appended;
+    dropped_full = Obs.Metrics.value t.c_dropped;
+    fetches = Obs.Metrics.value t.c_fetches;
+  }
 let capacity_bytes t = Layout.region_size t.region * T.page_size
 let used_bytes t = t.head
 let count t = t.nlines
@@ -36,7 +43,7 @@ let append t vcpu (record : Guest_kernel.Audit.record) =
   let line = Guest_kernel.Audit.to_line record in
   let len = String.length line in
   if t.head + len + 4 > capacity_bytes t then begin
-    t.stats.dropped_full <- t.stats.dropped_full + 1;
+    Obs.Metrics.incr t.c_dropped;
     Idcb.Resp_error "VeilS-LOG: reserved storage full; retrieve logs"
   end
   else begin
@@ -52,7 +59,12 @@ let append t vcpu (record : Guest_kernel.Audit.record) =
     t.chain <- extend_chain t.chain line;
     t.head <- t.head + len + 4;
     t.nlines <- t.nlines + 1;
-    t.stats.appended <- t.stats.appended + 1;
+    Obs.Metrics.incr t.c_appended;
+    (let tr = platform.P.tracer in
+     if Obs.Trace.enabled tr then
+       Obs.Trace.emit tr ~vcpu:vcpu.Sevsnp.Vcpu.id
+         ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
+         ~bucket:"monitor" ~arg:(len + 4) Obs.Trace.Audit_emit);
     Idcb.Resp_ok
   end
 
@@ -65,7 +77,7 @@ let fetch_to_os t vcpu ~dest_gpa ~max =
   let data = P.read platform vcpu (base_gpa t) n in
   Sevsnp.Vcpu.charge vcpu C.Copy (C.copy_cost n);
   P.write platform vcpu dest_gpa data;
-  t.stats.fetches <- t.stats.fetches + 1;
+  Obs.Metrics.incr t.c_fetches;
   Idcb.Resp_count n
 
 let read_all t =
@@ -99,11 +111,14 @@ let handler t _mon vcpu (req : Idcb.request) =
   | _ -> None
 
 let install mon =
+  let m = (Monitor.platform mon).P.metrics in
   let t =
     {
       mon;
       region = (Monitor.layout mon).Layout.log_region;
-      stats = { appended = 0; dropped_full = 0; fetches = 0 };
+      c_appended = Obs.Metrics.counter m "slog.appended";
+      c_dropped = Obs.Metrics.counter m "slog.dropped_full";
+      c_fetches = Obs.Metrics.counter m "slog.fetches";
       head = 0;
       nlines = 0;
       chain = Bytes.make 32 '\000';

@@ -15,7 +15,13 @@ type t = {
   platform : P.t;
   vmsas : (int * int, Sevsnp.Vmsa.t) Hashtbl.t; (* (vcpu_id, vmpl index) -> instance *)
   switch_policy : (T.gpfn, (T.vmpl * T.vmpl) list) Hashtbl.t;
-  stats : stats;
+  (* Counters live in the platform's metrics registry; these are the
+     interned handles. *)
+  c_switches : Obs.Metrics.counter;
+  c_io_requests : Obs.Metrics.counter;
+  c_io_bytes : Obs.Metrics.counter;
+  c_interrupts : Obs.Metrics.counter;
+  c_psc : Obs.Metrics.counter;
   mutable relay_target : T.vmpl option;
   mutable refuse_interrupt_relay : bool;
   mutable interrupt_handler : (Sevsnp.Vcpu.t -> unit) option;
@@ -23,7 +29,15 @@ type t = {
 }
 
 let platform t = t.platform
-let stats t = t.stats
+
+let stats t =
+  {
+    domain_switches = Obs.Metrics.value t.c_switches;
+    io_requests = Obs.Metrics.value t.c_io_requests;
+    io_bytes = Obs.Metrics.value t.c_io_bytes;
+    interrupts_injected = Obs.Metrics.value t.c_interrupts;
+    page_state_changes = Obs.Metrics.value t.c_psc;
+  }
 
 let vmsa_for t ~vcpu_id ~vmpl = Hashtbl.find_opt t.vmsas (vcpu_id, T.vmpl_index vmpl)
 
@@ -56,8 +70,18 @@ let handle_domain_switch t vcpu target_vmpl =
         P.halt t.platform
           (Format.asprintf "no VMSA registered for vcpu %d at %a" vcpu.Sevsnp.Vcpu.id T.pp_vmpl target_vmpl)
     | Some target ->
-        t.stats.domain_switches <- t.stats.domain_switches + 1;
-        P.vmenter t.platform vcpu target
+        Obs.Metrics.incr t.c_switches;
+        P.vmenter t.platform vcpu target;
+        (* Whole relayed switch as one span: from the moment the source
+           instance began its VMGEXIT (pre-charge) to now — exactly the
+           calibrated Cycles.domain_switch extent. *)
+        let tr = t.platform.P.tracer in
+        if Obs.Trace.enabled tr then begin
+          let ts0 = vcpu.Sevsnp.Vcpu.last_exit_ts in
+          Obs.Trace.complete tr ~bucket:"switch" ~arg:(T.vmpl_index target_vmpl)
+            ~vcpu:vcpu.Sevsnp.Vcpu.id ~vmpl:(T.vmpl_index target_vmpl) ~ts:ts0
+            ~dur:(Sevsnp.Vcpu.rdtsc vcpu - ts0) Obs.Trace.Domain_switch
+        end
   end
 
 let handle_create_vcpu t vcpu ~vmsa_gpfn ~target_vmpl =
@@ -94,15 +118,20 @@ let handle_exit t vcpu =
           handle_create_vcpu t vcpu ~vmsa_gpfn ~target_vmpl
       | G.Req_io { write; port = _; len } ->
           ghcb.G.request <- G.Req_none;
-          t.stats.io_requests <- t.stats.io_requests + 1;
-          t.stats.io_bytes <- t.stats.io_bytes + len;
+          Obs.Metrics.incr t.c_io_requests;
+          Obs.Metrics.add t.c_io_bytes len;
           Sevsnp.Vcpu.charge vcpu C.Io (C.io_cost len);
+          (let tr = t.platform.P.tracer in
+           if Obs.Trace.enabled tr then
+             Obs.Trace.emit tr ~vcpu:vcpu.Sevsnp.Vcpu.id
+               ~vmpl:(T.vmpl_index (current_vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
+               ~bucket:"io" ~arg:len Obs.Trace.Io);
           ignore write;
           ghcb.G.response <- 0;
           P.vmenter t.platform vcpu (Sevsnp.Vcpu.current_vmsa vcpu)
       | G.Req_page_state_change { gpfn = _; to_shared = _ } ->
           ghcb.G.request <- G.Req_none;
-          t.stats.page_state_changes <- t.stats.page_state_changes + 1;
+          Obs.Metrics.incr t.c_psc;
           ghcb.G.response <- 0;
           P.vmenter t.platform vcpu (Sevsnp.Vcpu.current_vmsa vcpu)
       | G.Req_set_switch_policy { ghcb_gpfn; allowed } ->
@@ -128,13 +157,17 @@ let handle_exit t vcpu =
           P.halt t.platform reason)
 
 let create platform =
+  let m = platform.P.metrics in
   let t =
     {
       platform;
       vmsas = Hashtbl.create 16;
       switch_policy = Hashtbl.create 8;
-      stats =
-        { domain_switches = 0; io_requests = 0; io_bytes = 0; interrupts_injected = 0; page_state_changes = 0 };
+      c_switches = Obs.Metrics.counter m "hv.domain_switches";
+      c_io_requests = Obs.Metrics.counter m "hv.io_requests";
+      c_io_bytes = Obs.Metrics.counter m "hv.io_bytes";
+      c_interrupts = Obs.Metrics.counter m "hv.interrupts_injected";
+      c_psc = Obs.Metrics.counter m "hv.page_state_changes";
       relay_target = None;
       refuse_interrupt_relay = false;
       interrupt_handler = None;
@@ -164,7 +197,7 @@ let kernel_handler_frame t gpfn = t.kernel_handler_gpfn <- Some gpfn
 let set_refuse_interrupt_relay t b = t.refuse_interrupt_relay <- b
 
 let inject_interrupt t vcpu =
-  t.stats.interrupts_injected <- t.stats.interrupts_injected + 1;
+  Obs.Metrics.incr t.c_interrupts;
   Sevsnp.Vcpu.charge vcpu C.Switch C.interrupt_delivery;
   let interrupted = Sevsnp.Vcpu.current_vmsa vcpu in
   let deliver () = match t.interrupt_handler with Some f -> f vcpu | None -> () in

@@ -20,6 +20,9 @@ type stats = {
   mutable interrupts_injected : int;
   mutable page_state_changes : int;
 }
+(** Snapshot of the hypervisor-side counters.  The live values are
+    registered in the platform's {!Obs.Metrics} registry under
+    ["hv.*"]; {!stats} reads them out into this record. *)
 
 val create : Sevsnp.Platform.t -> t
 (** Attach to the platform (installs the VMGEXIT handler). *)

@@ -28,6 +28,8 @@ type t = {
   vendor : Veil_crypto.Schnorr.keypair;
   modules : (string, Kmodule.loaded) Hashtbl.t;
   mutable next_enclave_id : int;
+  c_syscalls : Obs.Metrics.counter;
+  h_syscall_cycles : Obs.Metrics.histogram;
 }
 
 let platform t = t.platform
@@ -179,6 +181,8 @@ let boot ~platform ~vcpu ~free_frames:(free_lo, free_hi) ~text_frames ~data_fram
       vendor = Veil_crypto.Schnorr.keygen (Veil_crypto.Rng.split rng);
       modules = Hashtbl.create 8;
       next_enclave_id = 1;
+      c_syscalls = Obs.Metrics.counter platform.P.metrics "kernel.syscalls";
+      h_syscall_cycles = Obs.Metrics.histogram platform.P.metrics "kernel.syscall_cycles";
     }
   in
   let text_lo, _ = text_frames in
@@ -841,6 +845,8 @@ let audit_detail (proc : Process.t) args =
 
 let invoke t proc sys args =
   t.syscalls <- t.syscalls + 1;
+  Obs.Metrics.incr t.c_syscalls;
+  let ts0 = Sevsnp.Vcpu.rdtsc t.vcpu in
   charge t C.Kernel C.syscall_base;
   (* Execute-ahead auditing (§6.3): the record is built — and captured
      by the protect hook — *before* the event executes, so the log
@@ -850,7 +856,14 @@ let invoke t proc sys args =
      charge t C.Kernel C.kaudit_format;
      ignore (Audit.emit t.audit ~cycles:(Sevsnp.Vcpu.rdtsc t.vcpu) ~sys ~pid:proc.Process.pid ~detail)
    end);
-  dispatch t proc sys args
+  let ret = dispatch t proc sys args in
+  let dur = Sevsnp.Vcpu.rdtsc t.vcpu - ts0 in
+  Obs.Metrics.observe t.h_syscall_cycles dur;
+  if Obs.Trace.enabled t.platform.P.tracer then
+    Obs.Trace.complete t.platform.P.tracer ~bucket:"kernel" ~arg:(Sysno.number sys)
+      ~vcpu:t.vcpu.Sevsnp.Vcpu.id ~vmpl:(T.vmpl_index (kernel_vmpl t)) ~ts:ts0 ~dur
+      Obs.Trace.Syscall;
+  ret
 
 
 (* Blocking flavor for coroutine-scheduled processes (see Sched):

@@ -1,0 +1,77 @@
+(* Chrome trace_event JSON exporter: pid = vcpu, tid = vmpl, so each
+   VCPU is a trace "process" whose VMPLs are its "threads". *)
+
+let phase_letter = function
+  | Trace.Instant -> "i"
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Complete -> "X"
+
+let buf_ts buf ~freq_hz key cycles =
+  Buffer.add_string buf key;
+  match freq_hz with
+  | None -> Buffer.add_string buf (string_of_int cycles)
+  | Some hz ->
+      (* Chrome wants microseconds. *)
+      Buffer.add_string buf
+        (Printf.sprintf "%.3f" (float_of_int cycles *. 1e6 /. float_of_int hz))
+
+let to_json ?freq_hz t =
+  (* Complete spans are recorded at their end but stamped with their
+     start, so the emission order is not timestamp order; viewers want
+     (and the tests assert) sorted output. *)
+  let evs =
+    List.stable_sort (fun a b -> compare a.Trace.ev_ts b.Trace.ev_ts) (Trace.events t)
+  in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n  "
+  in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  (* Metadata: name every VCPU process and VMPL thread we will use. *)
+  let seen_pids = Hashtbl.create 8 and seen_tids = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let pid = ev.Trace.ev_vcpu and tid = ev.Trace.ev_vmpl in
+      if not (Hashtbl.mem seen_pids pid) then begin
+        Hashtbl.replace seen_pids pid ();
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"vcpu%d\"}}"
+             pid pid)
+      end;
+      if not (Hashtbl.mem seen_tids (pid, tid)) then begin
+        Hashtbl.replace seen_tids (pid, tid) ();
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"vmpl%d\"}}"
+             pid tid tid)
+      end)
+    evs;
+  List.iter
+    (fun ev ->
+      sep ();
+      Buffer.add_string buf "{\"name\":\"";
+      Buffer.add_string buf (Metrics.json_escape (Trace.kind_name ev.Trace.ev_kind));
+      Buffer.add_string buf "\",\"cat\":\"veil\",\"ph\":\"";
+      Buffer.add_string buf (phase_letter ev.Trace.ev_phase);
+      Buffer.add_char buf '"';
+      if ev.Trace.ev_phase = Trace.Instant then Buffer.add_string buf ",\"s\":\"t\"";
+      buf_ts buf ~freq_hz ",\"ts\":" ev.Trace.ev_ts;
+      if ev.Trace.ev_phase = Trace.Complete then buf_ts buf ~freq_hz ",\"dur\":" ev.Trace.ev_dur;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"pid\":%d,\"tid\":%d" ev.Trace.ev_vcpu ev.Trace.ev_vmpl);
+      Buffer.add_string buf ",\"args\":{";
+      if ev.Trace.ev_bucket <> "" then begin
+        Buffer.add_string buf "\"bucket\":\"";
+        Buffer.add_string buf (Metrics.json_escape ev.Trace.ev_bucket);
+        Buffer.add_string buf "\","
+      end;
+      Buffer.add_string buf (Printf.sprintf "\"arg\":%d,\"cycles\":%d}}" ev.Trace.ev_arg ev.Trace.ev_ts))
+    evs;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Chrome [trace_event] exporter.
+
+    Serializes a {!Trace.t} into the JSON Array/Object format that
+    [chrome://tracing] and Perfetto load: one trace "process" per VCPU
+    and one "thread" per VMPL within it, so domain switches read as
+    control bouncing between the Dom_UNT / Dom_SEC / Dom_MON / Dom_ENC
+    rows of a VCPU.
+
+    Phases map directly: [Instant -> "i"], [Begin -> "B"],
+    [End -> "E"], [Complete -> "X"] (with [dur]).  The attribution
+    bucket and the kind-specific [arg] ride along in ["args"]. *)
+
+val to_json : ?freq_hz:int -> Trace.t -> string
+(** Export all buffered events.  Timestamps are emitted in
+    microseconds when [freq_hz] is given (Chrome's native unit,
+    computed as [cycles * 1e6 / freq_hz]); without it, raw cycle
+    values are used — still valid, just unlabeled units. *)

@@ -1,0 +1,181 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+(* Bucket 0 holds value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].  62
+   buckets cover the whole non-negative OCaml int range. *)
+let nbuckets = 63
+
+type histogram = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable mn : int;
+  mutable mx : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_label = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let intern t name make match_ =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match match_ m with
+      | Some h -> h
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already registered as a %s" name (kind_label m)))
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl name m;
+      (match match_ m with Some h -> h | None -> assert false)
+
+let counter t name =
+  intern t name (fun () -> Counter { c = 0 }) (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  intern t name (fun () -> Gauge { g = 0 }) (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  intern t name
+    (fun () -> Histogram { buckets = Array.make nbuckets 0; n = 0; sum = 0; mn = 0; mx = 0 })
+    (function Histogram h -> Some h | _ -> None)
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* index = floor(log2 v) + 1 *)
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      v := !v lsr 1;
+      i := !i + 1
+    done;
+    min !i (nbuckets - 1)
+  end
+
+let bucket_lo i = if i = 0 then 0 else 1 lsl (i - 1)
+
+let observe h v =
+  let v = max 0 v in
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  if h.n = 0 then begin
+    h.mn <- v;
+    h.mx <- v
+  end
+  else begin
+    if v < h.mn then h.mn <- v;
+    if v > h.mx then h.mx <- v
+  end;
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_min h = h.mn
+let hist_max h = h.mx
+
+let percentile h p =
+  if h.n = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int h.n))) in
+    let rank = min rank h.n in
+    let cum = ref 0 and result = ref 0 and found = ref false in
+    for i = 0 to nbuckets - 1 do
+      if not !found then begin
+        cum := !cum + h.buckets.(i);
+        if !cum >= rank then begin
+          found := true;
+          result := bucket_lo i
+        end
+      end
+    done;
+    !result
+  end
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let names t =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl [])
+
+let reset t =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0
+      | Histogram h ->
+          Array.fill h.buckets 0 nbuckets 0;
+          h.n <- 0;
+          h.sum <- 0;
+          h.mn <- 0;
+          h.mx <- 0)
+    t.tbl
+
+let dump t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name c.c)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%-40s %d (gauge)\n" name g.g)
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n" name h.n
+               h.sum h.mn h.mx (percentile h 50.0) (percentile h 95.0) (percentile h 99.0)))
+    (names t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let pick f = List.filter_map (fun n -> f n (Hashtbl.find t.tbl n)) (names t) in
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  let counters =
+    pick (fun n -> function
+      | Counter c -> Some (Printf.sprintf "\"%s\":%d" (json_escape n) c.c)
+      | _ -> None)
+  in
+  let gauges =
+    pick (fun n -> function
+      | Gauge g -> Some (Printf.sprintf "\"%s\":%d" (json_escape n) g.g)
+      | _ -> None)
+  in
+  let histograms =
+    pick (fun n -> function
+      | Histogram h ->
+          Some
+            (Printf.sprintf
+               "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+               (json_escape n) h.n h.sum h.mn h.mx (percentile h 50.0) (percentile h 95.0)
+               (percentile h 99.0))
+      | _ -> None)
+  in
+  obj
+    [
+      "\"counters\":" ^ obj counters;
+      "\"gauges\":" ^ obj gauges;
+      "\"histograms\":" ^ obj histograms;
+    ]

@@ -1,0 +1,75 @@
+(** Unified metrics registry: named counters, gauges, and log₂-bucketed
+    histograms.
+
+    A registry is an instance-scoped name → metric table; every
+    simulated machine owns exactly one (hanging off its
+    [Sevsnp.Platform.t]), so two CVMs booted side by side (migration,
+    the E1 native/Veil comparison) never mix numbers.  Metric handles
+    are interned: asking twice for the same name returns the same
+    storage, so components grab their handles once at creation and
+    update them with plain unboxed int stores — safe on hot paths.
+
+    Histograms bucket observations by log₂: bucket 0 holds value 0,
+    bucket [i >= 1] holds values in [[2^(i-1), 2^i - 1]].  Percentile
+    readout returns the *lower bound* of the bucket containing the
+    requested rank, which makes p50/p95/p99 exact whenever the
+    observed values are powers of two (and a ≤2x under-estimate
+    otherwise — the right bias for cycle costs). *)
+
+type counter
+type gauge
+type histogram
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create.  Raises [Invalid_argument] if [name] is already
+    registered as a different metric kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Record one observation (negative values clamp to 0). *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_min : histogram -> int
+(** 0 when empty. *)
+
+val hist_max : histogram -> int
+
+val percentile : histogram -> float -> int
+(** [percentile h p] for [p] in (0, 100]: the lower bound of the log₂
+    bucket holding the observation of rank [ceil(p/100 * count)].
+    0 when empty. *)
+
+val find : t -> string -> metric option
+
+val names : t -> string list
+(** All registered names, sorted. *)
+
+val reset : t -> unit
+(** Zero every registered metric (registrations persist). *)
+
+val dump : t -> string
+(** Flat text, one metric per line, sorted by name. *)
+
+val to_json : t -> string
+(** One JSON object: [{"counters":{..},"gauges":{..},"histograms":{..}}]
+    with p50/p95/p99 readouts inlined per histogram. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (shared with
+    the trace exporter). *)

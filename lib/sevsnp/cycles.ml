@@ -12,6 +12,16 @@ let bucket_index = function
 
 let buckets = [| Compute; Switch; Copy; Kernel; Monitor; Crypto; Io; Other |]
 
+let bucket_name = function
+  | Compute -> "compute"
+  | Switch -> "switch"
+  | Copy -> "copy"
+  | Kernel -> "kernel"
+  | Monitor -> "monitor"
+  | Crypto -> "crypto"
+  | Io -> "io"
+  | Other -> "other"
+
 type counter = { mutable total : int; by : int array }
 
 let create_counter () = { total = 0; by = Array.make 8 0 }

@@ -21,6 +21,10 @@ type bucket =
   | Io  (** simulated device I/O *)
   | Other
 
+val bucket_name : bucket -> string
+(** Stable lower-case name ("compute", "switch", ...), used for trace
+    attribution and metric labels. *)
+
 type counter
 
 val create_counter : unit -> counter

@@ -9,12 +9,20 @@ type t = {
   mutable exit_handler : (Vcpu.t -> unit) option;
   mutable npf_count : int;
   vmsa_table : (Types.gpfn, Vmsa.t) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Trace.t;
+  c_npf : Obs.Metrics.counter;
+  c_rmpadjust : Obs.Metrics.counter;
+  c_pvalidate : Obs.Metrics.counter;
+  c_vmgexit : Obs.Metrics.counter;
+  c_vmenter : Obs.Metrics.counter;
 }
 
 exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
 
 let create ?(seed = 7) ~npages () =
   let rng = Veil_crypto.Rng.create seed in
+  let metrics = Obs.Metrics.create () in
   {
     mem = Phys_mem.create ~npages;
     rmp = Rmp.create ~npages;
@@ -26,6 +34,13 @@ let create ?(seed = 7) ~npages () =
     exit_handler = None;
     npf_count = 0;
     vmsa_table = Hashtbl.create 16;
+    metrics;
+    tracer = Obs.Trace.create ();
+    c_npf = Obs.Metrics.counter metrics "platform.npf";
+    c_rmpadjust = Obs.Metrics.counter metrics "platform.rmpadjust";
+    c_pvalidate = Obs.Metrics.counter metrics "platform.pvalidate";
+    c_vmgexit = Obs.Metrics.counter metrics "platform.vmgexit";
+    c_vmenter = Obs.Metrics.counter metrics "platform.vmenter";
   }
 
 let halt t reason =
@@ -36,10 +51,19 @@ let check_running t = match t.halted with None -> () | Some r -> raise (Types.Cv
 
 let is_halted t = t.halted
 
-let raise_npf t info =
+let raise_npf_at t vcpu info =
   t.npf_count <- t.npf_count + 1;
+  Obs.Metrics.incr t.c_npf;
+  if Obs.Trace.enabled t.tracer then begin
+    let vc, ts = match vcpu with Some v -> (v.Vcpu.id, Vcpu.rdtsc v) | None -> (-1, 0) in
+    Obs.Trace.emit t.tracer ~vcpu:vc
+      ~vmpl:(Types.vmpl_index info.Types.fault_vmpl)
+      ~ts ~arg:(Types.gpfn_of_gpa info.Types.fault_gpa) Obs.Trace.Npf
+  end;
   t.halted <- Some (Format.asprintf "%a" Types.pp_npf info);
   raise (Types.Npf info)
+
+let raise_npf t info = raise_npf_at t None info
 
 (* --- launch --- *)
 
@@ -77,7 +101,7 @@ let check_page t vcpu gpfn access =
     Rmp.check_guest_access t.rmp ~gpfn ~vmpl:(Vcpu.vmpl vcpu) ~cpl:(Vcpu.cpl vcpu) ~access
   with
   | Ok () -> ()
-  | Error info -> raise_npf t info
+  | Error info -> raise_npf_at t (Some vcpu) info
 
 let check_range t vcpu gpa len access =
   if len > 0 then begin
@@ -161,16 +185,24 @@ let rmpadjust t vcpu ?(bucket = Cycles.Other) ~gpfn ~target ~perms ~vmsa () =
     else 0
   in
   Vcpu.charge vcpu bucket (Cycles.rmpadjust_insn + touch);
+  Obs.Metrics.incr t.c_rmpadjust;
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
+      ~ts:(Vcpu.rdtsc vcpu) ~bucket:(Cycles.bucket_name bucket) ~arg:gpfn Obs.Trace.Rmpadjust;
   (* The page touch: a caller that cannot read the frame faults. *)
   let caller = Vcpu.vmpl vcpu in
   (match Rmp.check_guest_access t.rmp ~gpfn ~vmpl:caller ~cpl:Types.Cpl0 ~access:Types.Read with
   | Ok () -> ()
-  | Error info -> raise_npf t info);
+  | Error info -> raise_npf_at t (Some vcpu) info);
   Rmp.adjust t.rmp ~caller ~gpfn ~target ~perms ~vmsa
 
 let pvalidate t vcpu ?(bucket = Cycles.Other) ~gpfn ~to_private () =
   check_running t;
   Vcpu.charge vcpu bucket Cycles.pvalidate;
+  Obs.Metrics.incr t.c_pvalidate;
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
+      ~ts:(Vcpu.rdtsc vcpu) ~bucket:(Cycles.bucket_name bucket) ~arg:gpfn Obs.Trace.Pvalidate;
   if Vcpu.vmpl vcpu <> Types.Vmpl0 then Error "pvalidate: FAIL_PERMISSION (not VMPL-0)"
   else if gpfn < 0 || gpfn >= Rmp.npages t.rmp then Error "pvalidate: frame out of range"
   else begin
@@ -215,12 +247,22 @@ let dispatch_exit t vcpu =
 
 let vmgexit t vcpu =
   check_running t;
+  vcpu.Vcpu.last_exit_ts <- Vcpu.rdtsc vcpu;
+  Obs.Metrics.incr t.c_vmgexit;
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
+      ~ts:vcpu.Vcpu.last_exit_ts ~bucket:"switch" ~arg:0 Obs.Trace.Vmgexit;
   Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_save + Cycles.ghcb_msr_protocol);
   vcpu.Vcpu.exits <- vcpu.Vcpu.exits + 1;
   dispatch_exit t vcpu
 
 let automatic_exit t vcpu =
   check_running t;
+  vcpu.Vcpu.last_exit_ts <- Vcpu.rdtsc vcpu;
+  Obs.Metrics.incr t.c_vmgexit;
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
+      ~ts:vcpu.Vcpu.last_exit_ts ~bucket:"switch" ~arg:1 Obs.Trace.Vmgexit;
   Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_save);
   vcpu.Vcpu.exits <- vcpu.Vcpu.exits + 1;
   dispatch_exit t vcpu
@@ -228,7 +270,11 @@ let automatic_exit t vcpu =
 let vmenter t vcpu vmsa =
   check_running t;
   Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_restore);
-  vcpu.Vcpu.current <- Some vmsa
+  vcpu.Vcpu.current <- Some vmsa;
+  Obs.Metrics.incr t.c_vmenter;
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index vmsa.Vmsa.vmpl)
+      ~ts:(Vcpu.rdtsc vcpu) ~bucket:"switch" Obs.Trace.Vmenter
 
 let install_vmsa t (vmsa : Vmsa.t) =
   (* Hardware accepts a frame as a VMSA only once RMPADJUST marked it. *)

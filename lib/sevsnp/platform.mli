@@ -19,6 +19,17 @@ type t = {
   mutable exit_handler : (Vcpu.t -> unit) option;  (** installed by the hypervisor *)
   mutable npf_count : int;  (** #NPFs taken (validation experiments) *)
   vmsa_table : (Types.gpfn, Vmsa.t) Hashtbl.t;  (** hardware's view of VMSA frames *)
+  metrics : Obs.Metrics.t;
+      (** this machine's metrics registry; every layer running on the
+          platform (hypervisor, kernel, monitor, slog, ...) folds its
+          counters in here, scoped per machine so side-by-side CVMs
+          (migration, native-vs-Veil comparisons) never mix numbers *)
+  tracer : Obs.Trace.t;  (** this machine's event tracer (off by default) *)
+  c_npf : Obs.Metrics.counter;  (** handle for "platform.npf" *)
+  c_rmpadjust : Obs.Metrics.counter;
+  c_pvalidate : Obs.Metrics.counter;
+  c_vmgexit : Obs.Metrics.counter;  (** world exits, VMGEXIT and automatic *)
+  c_vmenter : Obs.Metrics.counter;
 }
 
 exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }

@@ -14,9 +14,11 @@ let fresh_entry () = { state = Invalid; vmsa = false; touched = false; perms = [
 
 let entry t gpfn =
   if gpfn < 0 || gpfn >= t.npages then invalid_arg (Printf.sprintf "Rmp.entry: frame %d out of range" gpfn);
-  match Hashtbl.find_opt t.entries gpfn with
-  | Some e -> e
-  | None ->
+  (* [find] over [find_opt]: the hit path is allocation-free, and every
+     checked guest access lands here. *)
+  match Hashtbl.find t.entries gpfn with
+  | e -> e
+  | exception Not_found ->
       let e = fresh_entry () in
       Hashtbl.replace t.entries gpfn e;
       e

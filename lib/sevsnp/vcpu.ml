@@ -4,9 +4,12 @@ type t = {
   counter : Cycles.counter;
   mutable exits : int;
   mutable pending_interrupts : int;
+  mutable last_exit_ts : int;
 }
 
-let create ~id = { id; current = None; counter = Cycles.create_counter (); exits = 0; pending_interrupts = 0 }
+let create ~id =
+  { id; current = None; counter = Cycles.create_counter (); exits = 0; pending_interrupts = 0;
+    last_exit_ts = 0 }
 
 let current_vmsa t =
   match t.current with

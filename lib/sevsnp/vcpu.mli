@@ -11,6 +11,9 @@ type t = {
   counter : Cycles.counter;
   mutable exits : int;  (** total world exits taken *)
   mutable pending_interrupts : int;  (** queued external interrupts *)
+  mutable last_exit_ts : int;
+      (** cycle count when the last world exit began (before its switch
+          charges) — lets the hypervisor emit whole domain-switch spans *)
 }
 
 val create : id:int -> t

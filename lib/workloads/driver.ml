@@ -86,8 +86,12 @@ let boot_guest ~npages ~seed mode =
 let snapshot vcpu = Array.map (fun b -> C.read_bucket vcpu.Sevsnp.Vcpu.counter b)
     [| C.Compute; C.Switch; C.Copy; C.Kernel; C.Monitor; C.Crypto; C.Io; C.Other |]
 
-let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) mode (w : Workload.t) =
+let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) ?on_boot mode
+    (w : Workload.t) =
   let guest = boot_guest ~npages ~seed mode in
+  (match on_boot with
+  | Some f -> f (Hypervisor.Hv.platform guest.g_hv)
+  | None -> ());
   let kernel = guest.g_kernel and hv = guest.g_hv and vcpu = guest.g_vcpu in
   let rng = Veil_crypto.Rng.create (seed * 7919) in
   let client_proc = K.spawn kernel in

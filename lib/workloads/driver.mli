@@ -32,9 +32,18 @@ type stats = {
   enclave : Enclave_sdk.Runtime.stats option;
 }
 
-val run : ?scale:int -> ?seed:int -> ?npages:int -> mode -> Workload.t -> stats
+val run :
+  ?scale:int ->
+  ?seed:int ->
+  ?npages:int ->
+  ?on_boot:(Sevsnp.Platform.t -> unit) ->
+  mode ->
+  Workload.t ->
+  stats
 (** Boot a fresh guest, run setup natively, then the workload body in
-    the requested configuration, measuring only the body. *)
+    the requested configuration, measuring only the body.  [on_boot]
+    runs right after boot, before any workload setup — e.g. to enable
+    the platform tracer or grab its metrics registry. *)
 
 val overhead_pct : baseline:stats -> stats -> float
 (** Percentage slowdown versus the baseline run. *)

@@ -1,0 +1,294 @@
+(* Veil-Trace observability tests: ring-buffer semantics, span
+   nesting, histogram percentile exactness, and Chrome trace_event
+   export (parsed with a tiny local JSON reader — no extra deps). *)
+
+module Tr = Obs.Trace
+module M = Obs.Metrics
+
+(* --- ring buffer --- *)
+
+let test_ring_wraparound () =
+  let t = Tr.create ~capacity:16 () in
+  Tr.set_enabled t true;
+  for i = 0 to 39 do
+    Tr.emit t ~arg:i ~vcpu:0 ~vmpl:0 ~ts:i Tr.Npf
+  done;
+  Alcotest.(check int) "emitted counts everything" 40 (Tr.emitted t);
+  Alcotest.(check int) "stored clamps to capacity" 16 (Tr.stored t);
+  let args = List.map (fun e -> e.Tr.ev_arg) (Tr.events t) in
+  Alcotest.(check (list int)) "keeps the newest, oldest first" (List.init 16 (fun i -> 24 + i)) args
+
+let test_disabled_is_noop () =
+  let t = Tr.create ~capacity:16 () in
+  Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:1 Tr.Vmgexit;
+  Tr.span_begin t ~vcpu:0 ~vmpl:0 ~ts:2 "dead";
+  Alcotest.(check bool) "disabled by default" false (Tr.enabled t);
+  Alcotest.(check int) "nothing emitted while disabled" 0 (Tr.emitted t)
+
+let test_clear () =
+  let t = Tr.create ~capacity:16 () in
+  Tr.set_enabled t true;
+  Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:1 Tr.Vmenter;
+  Tr.clear t;
+  Alcotest.(check int) "clear drops events" 0 (Tr.stored t);
+  Alcotest.(check bool) "clear keeps the flag" true (Tr.enabled t)
+
+(* --- span nesting --- *)
+
+let test_span_nesting () =
+  let t = Tr.create ~capacity:64 () in
+  Tr.set_enabled t true;
+  Tr.span_begin t ~vcpu:0 ~vmpl:0 ~ts:10 "outer";
+  Tr.span_begin t ~vcpu:0 ~vmpl:0 ~ts:20 "inner";
+  Tr.span_end t ~vcpu:0 ~vmpl:0 ~ts:30 "inner";
+  Tr.span_end t ~vcpu:0 ~vmpl:0 ~ts:40 "outer";
+  (* interleaved on another VCPU: stacks are per-VCPU *)
+  Tr.span_begin t ~vcpu:1 ~vmpl:0 ~ts:15 "other";
+  Tr.span_end t ~vcpu:1 ~vmpl:0 ~ts:25 "other";
+  Alcotest.(check bool) "proper LIFO nesting" true (Tr.well_nested t);
+  Alcotest.(check int) "a begin/end pair counts once" 1 (Tr.count_kind t (Tr.Span "outer"))
+
+let test_span_misnesting () =
+  let t = Tr.create ~capacity:64 () in
+  Tr.set_enabled t true;
+  Tr.span_begin t ~vcpu:0 ~vmpl:0 ~ts:10 "a";
+  Tr.span_begin t ~vcpu:0 ~vmpl:0 ~ts:20 "b";
+  Tr.span_end t ~vcpu:0 ~vmpl:0 ~ts:30 "a";
+  Alcotest.(check bool) "crossed spans are flagged" false (Tr.well_nested t)
+
+let test_span_open_and_orphan_tolerated () =
+  let t = Tr.create ~capacity:64 () in
+  Tr.set_enabled t true;
+  (* An End whose Begin wrapped out of the ring, then a still-open span *)
+  Tr.span_end t ~vcpu:0 ~vmpl:0 ~ts:5 "evicted";
+  Tr.span_begin t ~vcpu:0 ~vmpl:0 ~ts:10 "open";
+  Alcotest.(check bool) "orphan end / open begin tolerated" true (Tr.well_nested t)
+
+(* --- metrics --- *)
+
+let test_histogram_percentiles () =
+  let m = M.create () in
+  let h = M.histogram m "cycles" in
+  for _ = 1 to 50 do M.observe h 16 done;
+  for _ = 1 to 45 do M.observe h 64 done;
+  for _ = 1 to 5 do M.observe h 1024 done;
+  Alcotest.(check int) "count" 100 (M.hist_count h);
+  Alcotest.(check int) "sum" ((50 * 16) + (45 * 64) + (5 * 1024)) (M.hist_sum h);
+  Alcotest.(check int) "min" 16 (M.hist_min h);
+  Alcotest.(check int) "max" 1024 (M.hist_max h);
+  Alcotest.(check int) "p50 exact on powers of two" 16 (M.percentile h 50.0);
+  Alcotest.(check int) "p95 exact on powers of two" 64 (M.percentile h 95.0);
+  Alcotest.(check int) "p99 exact on powers of two" 1024 (M.percentile h 99.0)
+
+let test_counter_intern () =
+  let m = M.create () in
+  let a = M.counter m "x" and b = M.counter m "x" in
+  M.incr a;
+  M.add b 4;
+  Alcotest.(check int) "same name, same storage" 5 (M.value a);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: \"x\" is already registered as a counter") (fun () ->
+      ignore (M.gauge m "x"))
+
+let test_reset () =
+  let m = M.create () in
+  let c = M.counter m "c" and g = M.gauge m "g" and h = M.histogram m "h" in
+  M.incr c;
+  M.set g 7;
+  M.observe h 32;
+  M.reset m;
+  Alcotest.(check int) "counter zeroed" 0 (M.value c);
+  Alcotest.(check int) "gauge zeroed" 0 (M.gauge_value g);
+  Alcotest.(check int) "histogram zeroed" 0 (M.hist_count h);
+  Alcotest.(check (list string)) "registrations survive" [ "c"; "g"; "h" ] (M.names m)
+
+(* --- minimal JSON reader (enough to validate exporter output) --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'u' ->
+              (* good enough for our ASCII escapes *)
+              advance (); advance (); advance ();
+              Buffer.add_char b '?'
+          | c -> Buffer.add_char b c);
+          advance ();
+          go ()
+      | '\255' -> fail "unterminated string"
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            if peek () = ',' then begin advance (); members () end else expect '}'
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); List [] end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            items := parse_value () :: !items;
+            skip_ws ();
+            if peek () = ',' then begin advance (); elements () end else expect ']'
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> pos := !pos + 4; Bool true
+    | 'f' -> pos := !pos + 5; Bool false
+    | 'n' -> pos := !pos + 4; Null
+    | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+        do
+          advance ()
+        done;
+        if !pos = start then fail "unexpected character";
+        Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | Obj fields -> (try Some (List.assoc name fields) with Not_found -> None)
+  | _ -> None
+
+let num_exn name j =
+  match field name j with Some (Num f) -> int_of_float f | _ -> failwith ("missing number " ^ name)
+
+let str_exn name j =
+  match field name j with Some (Str s) -> s | _ -> failwith ("missing string " ^ name)
+
+(* --- Chrome exporter --- *)
+
+let test_chrome_export () =
+  let t = Tr.create ~capacity:256 () in
+  Tr.set_enabled t true;
+  (* Two VCPUs, events deliberately emitted with a Complete span whose
+     start predates already-emitted instants — the exporter must sort. *)
+  Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:100 ~arg:0 Tr.Vmgexit;
+  Tr.emit t ~vcpu:1 ~vmpl:0 ~ts:150 ~arg:1 Tr.Vmgexit;
+  Tr.emit t ~vcpu:0 ~vmpl:2 ~ts:900 Tr.Vmenter;
+  Tr.complete t ~bucket:"switch" ~arg:2 ~vcpu:0 ~vmpl:2 ~ts:200 ~dur:700 Tr.Domain_switch;
+  Tr.complete t ~bucket:"kernel" ~arg:39 ~vcpu:1 ~vmpl:3 ~ts:300 ~dur:50 Tr.Syscall;
+  Tr.span_begin t ~bucket:"monitor" ~vcpu:0 ~vmpl:0 ~ts:1000 "os_call";
+  Tr.span_end t ~vcpu:0 ~vmpl:0 ~ts:1100 "os_call";
+  let json = parse_json (Obs.Chrome_trace.to_json t) in
+  let evs = match field "traceEvents" json with Some (List l) -> l | _ -> failwith "no traceEvents" in
+  let is_meta e = str_exn "ph" e = "M" in
+  let data = List.filter (fun e -> not (is_meta e)) evs in
+  Alcotest.(check int) "all seven events exported" 7 (List.length data);
+  (* per-VCPU timestamps must be monotone non-decreasing *)
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let pid = num_exn "pid" e and ts = num_exn "ts" e in
+      let prev = try Hashtbl.find last pid with Not_found -> min_int in
+      Alcotest.(check bool)
+        (Printf.sprintf "vcpu %d ts monotonic (%d >= %d)" pid ts prev)
+        true (ts >= prev);
+      Hashtbl.replace last pid ts)
+    data;
+  (* Complete spans carry their duration *)
+  let durs =
+    List.filter_map (fun e -> if str_exn "ph" e = "X" then Some (num_exn "dur" e) else None) data
+  in
+  Alcotest.(check (list int)) "complete spans keep durations" [ 700; 50 ] durs;
+  (* metadata names each vcpu process *)
+  let pnames =
+    List.filter_map
+      (fun e ->
+        if is_meta e && str_exn "name" e = "process_name" then
+          match field "args" e with Some a -> Some (str_exn "name" a) | None -> None
+        else None)
+      evs
+  in
+  Alcotest.(check (list string)) "vcpu processes named" [ "vcpu0"; "vcpu1" ] (List.sort compare pnames)
+
+let test_metrics_json_parses () =
+  let m = M.create () in
+  M.incr (M.counter m "a.b");
+  M.set (M.gauge m "g\"q") 3;
+  M.observe (M.histogram m "h") 128;
+  match parse_json (M.to_json m) with
+  | Obj _ as j ->
+      (match field "counters" j with
+      | Some c -> Alcotest.(check int) "counter round-trips" 1 (num_exn "a.b" c)
+      | None -> Alcotest.fail "no counters object")
+  | _ -> Alcotest.fail "metrics JSON is not an object"
+
+let suite =
+  [
+    Alcotest.test_case "ring wraparound keeps newest" `Quick test_ring_wraparound;
+    Alcotest.test_case "disabled tracer is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "span nesting well-formed" `Quick test_span_nesting;
+    Alcotest.test_case "span misnesting detected" `Quick test_span_misnesting;
+    Alcotest.test_case "orphan/open spans tolerated" `Quick test_span_open_and_orphan_tolerated;
+    Alcotest.test_case "histogram percentiles exact" `Quick test_histogram_percentiles;
+    Alcotest.test_case "counter interning" `Quick test_counter_intern;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "chrome export valid + monotonic" `Quick test_chrome_export;
+    Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+  ]

@@ -18,4 +18,5 @@ let () =
       ("kernel-semantics", T_kernel2.suite);
       ("scheduler", T_sched.suite);
       ("facade", T_facade.suite);
+      ("obs", T_obs.suite);
     ]
