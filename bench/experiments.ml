@@ -46,10 +46,21 @@ let stats_json (experiment, (s : D.stats)) =
     s.D.switch_cycles s.D.copy_cycles s.D.monitor_cycles s.D.crypto_cycles s.D.io_cycles
     s.D.syscalls s.D.vm_exits s.D.domain_switches s.D.audit_records s.D.log_appends
 
+(* Micro-benchmark results (bench/micro.ml) ride along in the same
+   JSON document as ns-per-run estimates. *)
+let micro_recorded : (string * float) list ref = ref []
+
+let record_micro ~name ~ns_per_run =
+  if !json_mode then micro_recorded := (name, ns_per_run) :: !micro_recorded
+
+let micro_json (name, ns) =
+  Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%.1f}" (Obs.Metrics.json_escape name) ns
+
 let emit_json () =
   if !json_mode then
-    Printf.printf "\n{\"veil_bench\":[%s]}\n"
+    Printf.printf "\n{\"veil_bench\":[%s],\"veil_micro\":[%s]}\n"
       (String.concat "," (List.rev_map stats_json !recorded))
+      (String.concat "," (List.rev_map micro_json !micro_recorded))
 
 (* --- E1: initialization time (§9.1) --- *)
 
@@ -407,7 +418,7 @@ let ablate ?(scale = 1) () =
   (match (Kern.hooks sys4.Veil_core.Boot.kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:1 with
   | Ok () -> ()
   | Error e -> failwith e);
-  let worker = List.nth sys4.Veil_core.Boot.platform.P.vcpus 1 in
+  let worker = List.nth (P.vcpus sys4.Veil_core.Boot.platform) 1 in
   let rt4 =
     match
       Enclave_sdk.Runtime.create sys4 ~binary:(Bytes.make 4096 'E')

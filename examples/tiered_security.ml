@@ -88,7 +88,7 @@ let () =
   (match (Kern.hooks kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:1 with
   | Ok () -> ()
   | Error e -> failwith e);
-  let vcpu1 = List.nth sys.V.Boot.platform.Sevsnp.Platform.vcpus 1 in
+  let vcpu1 = List.nth (Sevsnp.Platform.vcpus sys.V.Boot.platform) 1 in
   Rt.run_on stage2 vcpu1 (fun rt ->
       Printf.printf "   thread on vcpu1 at %s sees the shared buffer: %s\n"
         (V.Privdom.to_string (V.Privdom.of_vmpl (Sevsnp.Vcpu.vmpl vcpu1)))

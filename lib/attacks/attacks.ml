@@ -487,6 +487,7 @@ let atk_validation_pt =
           Sevsnp.Pagetable.read_u64 = P.read_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
           write_u64 = P.write_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
           alloc_frame = (fun () -> K.alloc_frame sys.Veil_core.Boot.kernel);
+          invalidate = (fun () -> P.tlb_shootdown sys.Veil_core.Boot.platform);
         }
       in
       let va = 0x7000_0000 in
@@ -519,6 +520,7 @@ let atk_validation_module =
               Sevsnp.Pagetable.read_u64 = P.read_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
               write_u64 = P.write_u64 sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
               alloc_frame = (fun () -> K.alloc_frame kernel);
+              invalidate = (fun () -> P.tlb_shootdown sys.Veil_core.Boot.platform);
             }
           in
           let va = 0x7100_0000 in
@@ -528,6 +530,45 @@ let atk_validation_module =
             (Bytes.of_string "\xcc\xcc\xcc\xcc");
           Breached "module text overwritten despite VeilS-KCI")
 
-let validation_attacks () = [ atk_validation_pt; atk_validation_module ]
+let atk_stale_tlb =
+  mk "validation-stale-tlb"
+    "warm a translation in the VCPU TLB, have VeilMon revoke the frame's Dom_UNT \
+     permissions, then replay the access hoping the cached translation survives"
+    (fun () ->
+      let sys = fresh () in
+      let platform = sys.Veil_core.Boot.platform in
+      let vcpu = sys.Veil_core.Boot.vcpu in
+      let kernel = sys.Veil_core.Boot.kernel in
+      (* the OS maps one of its own frames and reads it — legitimate,
+         and it loads the translation + RMP snapshot into the TLB *)
+      let frame = K.alloc_frame kernel in
+      let proc = K.spawn kernel in
+      let io =
+        {
+          Sevsnp.Pagetable.read_u64 = P.read_u64 platform vcpu;
+          write_u64 = P.write_u64 platform vcpu;
+          alloc_frame = (fun () -> K.alloc_frame kernel);
+          invalidate = (fun () -> P.tlb_shootdown platform);
+        }
+      in
+      let va = 0x7200_0000 in
+      Sevsnp.Pagetable.map io ~root:proc.Guest_kernel.Process.pt_root va
+        { Sevsnp.Pagetable.pte_gpfn = frame; pte_flags = Sevsnp.Pagetable.kernel_rw };
+      ignore (P.read_via_pt platform vcpu ~root:proc.Guest_kernel.Process.pt_root va 8);
+      (* VeilMon pulls the frame out from under the OS *)
+      Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon vcpu ~target:Veil_core.Privdom.Mon;
+      (match
+         Veil_core.Monitor.mon_rmpadjust sys.Veil_core.Boot.mon vcpu ~gpfn:frame
+           ~target:Veil_core.Privdom.Unt ~perms:Sevsnp.Perm.none
+       with
+      | Ok () -> ()
+      | Error e -> failwith ("attack setup: revoke failed: " ^ e));
+      Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon vcpu ~target:Veil_core.Privdom.Unt;
+      (* replay: generation bump + instance-switch flush mean the warm
+         entry must not be honoured *)
+      ignore (P.read_via_pt platform vcpu ~root:proc.Guest_kernel.Process.pt_root va 8);
+      Breached "stale TLB entry let the OS read a revoked frame")
+
+let validation_attacks () = [ atk_validation_pt; atk_validation_module; atk_stale_tlb ]
 
 let all () = framework_attacks () @ enclave_attacks () @ validation_attacks ()

@@ -149,6 +149,7 @@ let svc_pt_io t vcpu : Pt.io =
       (fun () ->
         charge vcpu C.Monitor 400;
         Monitor.alloc_svc_frame t.mon);
+    invalidate = (fun () -> P.tlb_shootdown platform);
   }
 
 let finalize t vcpu (d : Ed.t) : Idcb.response =
@@ -541,6 +542,16 @@ let write_mem ?(bucket = C.Compute) t vcpu enclave ~va data =
   let platform = Monitor.platform t.mon in
   charge vcpu bucket (C.copy_cost (Bytes.length data));
   P.write_via_pt platform vcpu ~root:enclave.e_root va data
+
+let read_mem_into ?(bucket = C.Compute) t vcpu enclave ~va buf pos len =
+  let platform = Monitor.platform t.mon in
+  charge vcpu bucket (C.copy_cost len);
+  P.read_into_via_pt platform vcpu ~root:enclave.e_root va buf pos len
+
+let write_mem_sub ?(bucket = C.Compute) t vcpu enclave ~va data pos len =
+  let platform = Monitor.platform t.mon in
+  charge vcpu bucket (C.copy_cost len);
+  P.write_sub_via_pt platform vcpu ~root:enclave.e_root va data pos len
 
 (* --- service registration --- *)
 

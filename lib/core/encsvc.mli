@@ -86,6 +86,18 @@ val read_mem :
 val write_mem :
   ?bucket:Sevsnp.Cycles.bucket -> t -> Sevsnp.Vcpu.t -> enclave -> va:Sevsnp.Types.va -> bytes -> unit
 
+val read_mem_into :
+  ?bucket:Sevsnp.Cycles.bucket ->
+  t -> Sevsnp.Vcpu.t -> enclave -> va:Sevsnp.Types.va -> bytes -> int -> int -> unit
+(** {!read_mem} into a caller-provided buffer — the SDK's ocall arena
+    path uses this with a preallocated scratch buffer so crossing the
+    arena allocates nothing per call. *)
+
+val write_mem_sub :
+  ?bucket:Sevsnp.Cycles.bucket ->
+  t -> Sevsnp.Vcpu.t -> enclave -> va:Sevsnp.Types.va -> bytes -> int -> int -> unit
+(** {!write_mem} of a slice of the given buffer. *)
+
 val set_measurement : t -> enclave -> bytes -> unit
 (** Trusted-side override used by enclave migration: a migrated
     enclave keeps its *original* launch measurement (its current page

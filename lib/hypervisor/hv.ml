@@ -95,9 +95,7 @@ let handle_create_vcpu t vcpu ~vmsa_gpfn ~target_vmpl =
       else begin
         register_vmsa t vmsa;
         (* An instance for a not-yet-running VCPU boots it (AP/hotplug). *)
-        let target_vcpu =
-          List.find_opt (fun v -> v.Sevsnp.Vcpu.id = vmsa.Sevsnp.Vmsa.vcpu_id) t.platform.P.vcpus
-        in
+        let target_vcpu = P.vcpu_by_id t.platform vmsa.Sevsnp.Vmsa.vcpu_id in
         (match target_vcpu with
         | Some v when v.Sevsnp.Vcpu.current = None -> P.vmenter t.platform v vmsa
         | _ -> ());
@@ -183,7 +181,7 @@ let launch_cvm t ~entry_name ~boot_image =
   (* Firmware creates the boot VMSA at the top guest frame, at VMPL-0. *)
   let vmsa_gpfn = Sevsnp.Phys_mem.npages t.platform.P.mem - 1 in
   Sevsnp.Rmp.validate t.platform.P.rmp vmsa_gpfn;
-  (Sevsnp.Rmp.entry t.platform.P.rmp vmsa_gpfn).Sevsnp.Rmp.vmsa <- true;
+  Sevsnp.Rmp.set_vmsa t.platform.P.rmp vmsa_gpfn true;
   let vmsa = Sevsnp.Vmsa.create ~vcpu_id:vcpu.Sevsnp.Vcpu.id ~vmpl:T.Vmpl0 ~backing_gpfn:vmsa_gpfn in
   (match P.install_vmsa t.platform vmsa with Ok () -> () | Error e -> failwith e);
   register_vmsa t vmsa;

@@ -118,6 +118,7 @@ let pt_io t : Pt.io =
       (fun () ->
         charge t C.Kernel 400;
         alloc_frame t);
+    invalidate = (fun () -> P.tlb_shootdown t.platform);
   }
 
 let flags_of_prot (p : Ktypes.prot) : Pt.flags =
@@ -263,7 +264,7 @@ let write_span t frames data =
       let n = min T.page_size (Bytes.length data - off) in
       if n > 0 then begin
         charge t C.Copy (C.copy_cost n);
-        P.write t.platform t.vcpu (T.gpa_of_gpfn frame) (Bytes.sub data off n)
+        P.write_sub t.platform t.vcpu (T.gpa_of_gpfn frame) data off n
       end)
     frames
 

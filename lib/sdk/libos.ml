@@ -127,13 +127,16 @@ let fwrite t f data =
 let fill_rbuf t f =
   match f.backing with
   | Mem b ->
-      let all = Buffer.to_bytes b in
-      let n = min t.stdio_buffer (Bytes.length all - f.fpos) in
+      (* Blit just the window we need — copying the whole file per
+         refill made every read O(file size). *)
+      let n = min t.stdio_buffer (Buffer.length b - f.fpos) in
       if n <= 0 then Bytes.empty
       else begin
         charge_compute t (C.copy_cost n);
         t.saved <- t.saved + 1;
-        Bytes.sub all f.fpos n
+        let out = Bytes.create n in
+        Buffer.blit b f.fpos out 0 n;
+        out
       end
   | Host fd -> (
       match Libc.pread t.rt fd ~len:t.stdio_buffer ~pos:f.fpos with

@@ -26,6 +26,7 @@ type t = {
   veil_fd : int;
   arena_va : T.va;
   arena_bytes : int;
+  arena_scratch : bytes;  (** preallocated bounce buffer — ocall arena crossings allocate nothing *)
   kernel_ghcb : T.gpa;
   stats : stats;
   mutable is_inside : bool;
@@ -82,6 +83,7 @@ let create sys ?(heap_pages = 16) ?(stack_pages = 4) ~binary proc =
               veil_fd;
               arena_va;
               arena_bytes = List.length desc.Ed.shared * T.page_size;
+              arena_scratch = Bytes.create (List.length desc.Ed.shared * T.page_size);
               kernel_ghcb = (Sevsnp.Vcpu.current_vmsa vcpu).Sevsnp.Vmsa.ghcb_gpa;
               stats =
                 {
@@ -172,12 +174,11 @@ let arena_touch t len write =
   if t.arena_va <> 0 && len > 0 then begin
     let n = min len t.arena_bytes in
     if write then
-      Veil_core.Encsvc.write_mem ~bucket:C.Copy t.sys.Veil_core.Boot.enc (vcpu t) t.enclave
-        ~va:t.arena_va (Bytes.create n)
+      Veil_core.Encsvc.write_mem_sub ~bucket:C.Copy t.sys.Veil_core.Boot.enc (vcpu t) t.enclave
+        ~va:t.arena_va t.arena_scratch 0 n
     else
-      ignore
-        (Veil_core.Encsvc.read_mem ~bucket:C.Copy t.sys.Veil_core.Boot.enc (vcpu t) t.enclave
-           ~va:t.arena_va ~len:n);
+      Veil_core.Encsvc.read_mem_into ~bucket:C.Copy t.sys.Veil_core.Boot.enc (vcpu t) t.enclave
+        ~va:t.arena_va t.arena_scratch 0 n;
     let marshal_extra = C.deep_copy_cost len - C.copy_cost n in
     Sevsnp.Vcpu.charge (vcpu t) C.Copy marshal_extra;
     t.stats.redirect_cycles <- t.stats.redirect_cycles + C.copy_cost n + marshal_extra

@@ -42,6 +42,7 @@ type io = {
   read_u64 : Types.gpa -> int;
   write_u64 : Types.gpa -> int -> unit;
   alloc_frame : unit -> Types.gpfn;
+  invalidate : unit -> unit;
 }
 
 let levels = 3
@@ -75,7 +76,9 @@ let rec descend io ~create table level va =
 
 let map io ~root va pte =
   match descend io ~create:true root (levels - 1) va with
-  | Some leaf -> io.write_u64 (entry_gpa leaf (index ~level:0 va)) (encode pte)
+  | Some leaf ->
+      io.write_u64 (entry_gpa leaf (index ~level:0 va)) (encode pte);
+      io.invalidate ()
   | None -> assert false
 
 let unmap io ~root va =
@@ -86,6 +89,7 @@ let unmap io ~root va =
       if decode (io.read_u64 gpa) = None then false
       else begin
         io.write_u64 gpa 0;
+        io.invalidate ();
         true
       end
 
@@ -98,6 +102,7 @@ let protect io ~root va flags =
       | None -> false
       | Some { pte_gpfn; _ } ->
           io.write_u64 gpa (encode { pte_gpfn; pte_flags = flags });
+          io.invalidate ();
           true)
 
 let walk ~read_u64 ~root va =

@@ -27,6 +27,11 @@ type io = {
   read_u64 : Types.gpa -> int;
   write_u64 : Types.gpa -> int -> unit;
   alloc_frame : unit -> Types.gpfn;  (** zeroed frame for a new table *)
+  invalidate : unit -> unit;
+      (** TLB shootdown: called after any leaf edit ({!map}, a
+          successful {!unmap} / {!protect}) so cached translations of
+          the edited mapping die.  Wire to {!Platform.tlb_shootdown}
+          (or a no-op for tables never consulted through a TLB). *)
 }
 
 val levels : int

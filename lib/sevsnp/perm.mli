@@ -24,6 +24,16 @@ val allows : t -> Types.access -> Types.cpl -> bool
 (** [allows t access cpl]: does [t] permit [access]?  [Execute] is
     checked against [user_exec] or [super_exec] depending on [cpl]. *)
 
+val to_bits : t -> int
+(** Pack into a 4-bit vector (read=1, write=2, user_exec=4,
+    super_exec=8) — the RMP's dense per-VMPL storage format. *)
+
+val of_bits : int -> t
+
+val bits_allow : int -> Types.access -> Types.cpl -> bool
+(** {!allows} on the packed form; allocation-free, used by the
+    checked-access hot path. *)
+
 val subset : t -> t -> bool
 (** [subset a b]: every right in [a] is also in [b]. *)
 

@@ -1,82 +1,154 @@
-type t = { npages : int; frames : (int, bytes) Hashtbl.t }
+(* Chunked arena: guest-physical space is carved into 64-page (256 KiB)
+   chunks materialized on first write, preserving the old sparse
+   lazy-zero-fill semantics while making the common access a single
+   array load + blit instead of a Hashtbl probe per page.  A per-page
+   touched byte keeps [page_is_materialized]'s write-tracking
+   semantics. *)
+
+let chunk_page_bits = 6
+let chunk_pages = 1 lsl chunk_page_bits
+let chunk_shift = Types.page_shift + chunk_page_bits
+let chunk_bytes = 1 lsl chunk_shift
+
+type t = { npages : int; nbytes : int; chunks : bytes array; touched : Bytes.t }
 
 let create ~npages =
   if npages <= 0 then invalid_arg "Phys_mem.create";
-  { npages; frames = Hashtbl.create 1024 }
+  let nchunks = (npages + chunk_pages - 1) / chunk_pages in
+  {
+    npages;
+    nbytes = npages * Types.page_size;
+    chunks = Array.make nchunks Bytes.empty;
+    touched = Bytes.make npages '\000';
+  }
 
 let npages t = t.npages
-let bytes_size t = t.npages * Types.page_size
+let bytes_size t = t.nbytes
 
-let valid_gpa t gpa = gpa >= 0 && gpa < bytes_size t
-
-let frame t gpfn =
-  match Hashtbl.find_opt t.frames gpfn with
-  | Some f -> f
-  | None ->
-      let f = Bytes.make Types.page_size '\000' in
-      Hashtbl.replace t.frames gpfn f;
-      f
+let valid_gpa t gpa = gpa >= 0 && gpa < t.nbytes
 
 let check_range t gpa len =
-  if len < 0 || gpa < 0 || gpa + len > bytes_size t then
+  if len < 0 || gpa < 0 || gpa + len > t.nbytes then
     invalid_arg (Printf.sprintf "Phys_mem: access 0x%x+%d out of range" gpa len)
+
+(* materialize the chunk holding [gpa] *)
+let chunk_rw t gpa =
+  let ci = gpa lsr chunk_shift in
+  let c = Array.unsafe_get t.chunks ci in
+  if Bytes.length c <> 0 then c
+  else begin
+    let c = Bytes.make chunk_bytes '\000' in
+    Array.unsafe_set t.chunks ci c;
+    c
+  end
+
+let mark_written t gpa len =
+  if len > 0 then begin
+    let first = Types.gpfn_of_gpa gpa and last = Types.gpfn_of_gpa (gpa + len - 1) in
+    if first = last then Bytes.set t.touched first '\001'
+    else Bytes.fill t.touched first (last - first + 1) '\001'
+  end
+
+let read_into t gpa buf pos len =
+  check_range t gpa len;
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then invalid_arg "Phys_mem.read_into";
+  let p = ref 0 in
+  while !p < len do
+    let a = gpa + !p in
+    let off = a land (chunk_bytes - 1) in
+    let n = min (len - !p) (chunk_bytes - off) in
+    let c = Array.unsafe_get t.chunks (a lsr chunk_shift) in
+    if Bytes.length c = 0 then Bytes.fill buf (pos + !p) n '\000'
+    else Bytes.blit c off buf (pos + !p) n;
+    p := !p + n
+  done
 
 let read t gpa len =
   check_range t gpa len;
   let out = Bytes.create len in
-  let pos = ref 0 in
-  while !pos < len do
-    let a = gpa + !pos in
-    let off = Types.page_offset a in
-    let n = min (len - !pos) (Types.page_size - off) in
-    (match Hashtbl.find_opt t.frames (Types.gpfn_of_gpa a) with
-    | Some f -> Bytes.blit f off out !pos n
-    | None -> Bytes.fill out !pos n '\000');
-    pos := !pos + n
-  done;
+  read_into t gpa out 0 len;
   out
 
-let write t gpa data =
-  let len = Bytes.length data in
+let write_sub t gpa data pos len =
   check_range t gpa len;
-  let pos = ref 0 in
-  while !pos < len do
-    let a = gpa + !pos in
-    let off = Types.page_offset a in
-    let n = min (len - !pos) (Types.page_size - off) in
-    Bytes.blit data !pos (frame t (Types.gpfn_of_gpa a)) off n;
-    pos := !pos + n
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then invalid_arg "Phys_mem.write_sub";
+  mark_written t gpa len;
+  let p = ref 0 in
+  while !p < len do
+    let a = gpa + !p in
+    let off = a land (chunk_bytes - 1) in
+    let n = min (len - !p) (chunk_bytes - off) in
+    Bytes.blit data (pos + !p) (chunk_rw t a) off n;
+    p := !p + n
   done
+
+let write t gpa data = write_sub t gpa data 0 (Bytes.length data)
 
 let read_byte t gpa =
   check_range t gpa 1;
-  match Hashtbl.find_opt t.frames (Types.gpfn_of_gpa gpa) with
-  | Some f -> Char.code (Bytes.get f (Types.page_offset gpa))
-  | None -> 0
+  let c = Array.unsafe_get t.chunks (gpa lsr chunk_shift) in
+  if Bytes.length c = 0 then 0 else Char.code (Bytes.unsafe_get c (gpa land (chunk_bytes - 1)))
 
 let write_byte t gpa v =
   check_range t gpa 1;
-  Bytes.set (frame t (Types.gpfn_of_gpa gpa)) (Types.page_offset gpa) (Char.chr (v land 0xff))
+  Bytes.set t.touched (Types.gpfn_of_gpa gpa) '\001';
+  Bytes.unsafe_set (chunk_rw t gpa) (gpa land (chunk_bytes - 1)) (Char.chr (v land 0xff))
 
+(* The u64 accessors compose bytes by hand rather than via
+   [Bytes.get_int64_le]: an 8-load spill is still a handful of ns and,
+   unlike an intermediate [Int64], allocates nothing — the TLB-hit
+   read path's zero-allocation contract depends on it. *)
 let read_u64 t gpa =
-  let b = read t gpa 8 in
-  let v = ref 0 in
-  for i = 7 downto 0 do
-    v := (!v lsl 8) lor Char.code (Bytes.get b i)
-  done;
-  !v land max_int
+  check_range t gpa 8;
+  let off = gpa land (chunk_bytes - 1) in
+  if off <= chunk_bytes - 8 then begin
+    let c = Array.unsafe_get t.chunks (gpa lsr chunk_shift) in
+    if Bytes.length c = 0 then 0
+    else
+      (Char.code (Bytes.unsafe_get c off)
+       lor (Char.code (Bytes.unsafe_get c (off + 1)) lsl 8)
+       lor (Char.code (Bytes.unsafe_get c (off + 2)) lsl 16)
+       lor (Char.code (Bytes.unsafe_get c (off + 3)) lsl 24)
+       lor (Char.code (Bytes.unsafe_get c (off + 4)) lsl 32)
+       lor (Char.code (Bytes.unsafe_get c (off + 5)) lsl 40)
+       lor (Char.code (Bytes.unsafe_get c (off + 6)) lsl 48)
+       lor (Char.code (Bytes.unsafe_get c (off + 7)) lsl 56))
+      land max_int
+  end
+  else begin
+    (* straddles a chunk boundary *)
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor read_byte t (gpa + i)
+    done;
+    !v land max_int
+  end
 
 let write_u64 t gpa v =
-  let b = Bytes.create 8 in
-  for i = 0 to 7 do
-    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
-  done;
-  write t gpa b
+  check_range t gpa 8;
+  mark_written t gpa 8;
+  let off = gpa land (chunk_bytes - 1) in
+  if off <= chunk_bytes - 8 then begin
+    let c = chunk_rw t gpa in
+    Bytes.unsafe_set c off (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set c (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set c (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set c (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff));
+    Bytes.unsafe_set c (off + 4) (Char.unsafe_chr ((v lsr 32) land 0xff));
+    Bytes.unsafe_set c (off + 5) (Char.unsafe_chr ((v lsr 40) land 0xff));
+    Bytes.unsafe_set c (off + 6) (Char.unsafe_chr ((v lsr 48) land 0xff));
+    Bytes.unsafe_set c (off + 7) (Char.unsafe_chr ((v lsr 56) land 0xff))
+  end
+  else
+    for i = 0 to 7 do
+      write_byte t (gpa + i) ((v lsr (8 * i)) land 0xff)
+    done
 
 let zero_page t gpfn =
   if gpfn < 0 || gpfn >= t.npages then invalid_arg "Phys_mem.zero_page";
-  match Hashtbl.find_opt t.frames gpfn with
-  | Some f -> Bytes.fill f 0 Types.page_size '\000'
-  | None -> ()
+  let gpa = Types.gpa_of_gpfn gpfn in
+  let c = Array.unsafe_get t.chunks (gpa lsr chunk_shift) in
+  if Bytes.length c <> 0 then Bytes.fill c (gpa land (chunk_bytes - 1)) Types.page_size '\000'
 
-let page_is_materialized t gpfn = Hashtbl.mem t.frames gpfn
+let page_is_materialized t gpfn =
+  gpfn >= 0 && gpfn < t.npages && Bytes.get t.touched gpfn <> '\000'

@@ -1,9 +1,11 @@
 (** Guest-physical memory.
 
-    Sparse: page frames are materialized on first touch so that a 2 GB
-    guest costs nothing until pages are used.  This module performs no
-    permission checking — that is {!Rmp} / {!Platform} territory; it is
-    the raw encrypted DRAM of the CVM. *)
+    Sparse: the address space is carved into 256 KiB chunks
+    materialized on first write, so that a 2 GB guest costs little
+    until pages are used while keeping accesses a flat array load plus
+    a blit.  This module performs no permission checking — that is
+    {!Rmp} / {!Platform} territory; it is the raw encrypted DRAM of
+    the CVM. *)
 
 type t
 
@@ -20,17 +22,25 @@ val read : t -> Types.gpa -> int -> bytes
 
 val write : t -> Types.gpa -> bytes -> unit
 
+val read_into : t -> Types.gpa -> bytes -> int -> int -> unit
+(** [read_into t gpa buf pos len] copies into a caller-provided buffer
+    — the allocation-free form of {!read}. *)
+
+val write_sub : t -> Types.gpa -> bytes -> int -> int -> unit
+(** [write_sub t gpa data pos len] writes a slice of [data] without
+    the [Bytes.sub] copy. *)
+
 val read_byte : t -> Types.gpa -> int
 val write_byte : t -> Types.gpa -> int -> unit
 
 val read_u64 : t -> Types.gpa -> int
 (** Little-endian 8-byte load truncated to OCaml's 63-bit int (the
-    simulator never uses the top bit). *)
+    simulator never uses the top bit).  Allocation-free. *)
 
 val write_u64 : t -> Types.gpa -> int -> unit
 
 val zero_page : t -> Types.gpfn -> unit
 
 val page_is_materialized : t -> Types.gpfn -> bool
-(** True when the frame has been touched (used by tests and by the
+(** True when the frame has been written to (used by tests and by the
     boot-cost model to distinguish touched pages). *)

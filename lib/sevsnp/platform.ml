@@ -1,7 +1,8 @@
 type t = {
   mem : Phys_mem.t;
   rmp : Rmp.t;
-  mutable vcpus : Vcpu.t list;
+  mutable vcpus_rev : Vcpu.t list;
+  mutable nvcpus : int;
   ghcbs : (Types.gpfn, Ghcb.t) Hashtbl.t;
   attestation : Attestation.t;
   rng : Veil_crypto.Rng.t;
@@ -16,6 +17,9 @@ type t = {
   c_pvalidate : Obs.Metrics.counter;
   c_vmgexit : Obs.Metrics.counter;
   c_vmenter : Obs.Metrics.counter;
+  c_tlb_hit : Obs.Metrics.counter;
+  c_tlb_miss : Obs.Metrics.counter;
+  c_tlb_flush : Obs.Metrics.counter;
 }
 
 exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
@@ -26,7 +30,8 @@ let create ?(seed = 7) ~npages () =
   {
     mem = Phys_mem.create ~npages;
     rmp = Rmp.create ~npages;
-    vcpus = [];
+    vcpus_rev = [];
+    nvcpus = 0;
     ghcbs = Hashtbl.create 8;
     attestation = Attestation.create (Veil_crypto.Rng.split rng);
     rng;
@@ -41,7 +46,17 @@ let create ?(seed = 7) ~npages () =
     c_pvalidate = Obs.Metrics.counter metrics "platform.pvalidate";
     c_vmgexit = Obs.Metrics.counter metrics "platform.vmgexit";
     c_vmenter = Obs.Metrics.counter metrics "platform.vmenter";
+    c_tlb_hit = Obs.Metrics.counter metrics "tlb.hit";
+    c_tlb_miss = Obs.Metrics.counter metrics "tlb.miss";
+    c_tlb_flush = Obs.Metrics.counter metrics "tlb.flush";
   }
+
+(* Machine-wide TLB shootdown: invalidate every VCPU's cached
+   translations (page-table edit, RMP mutation outside the Rmp module's
+   own bumps). *)
+let tlb_shootdown t =
+  incr (Rmp.generation t.rmp);
+  Obs.Metrics.incr t.c_tlb_flush
 
 let halt t reason =
   if t.halted = None then t.halted <- Some reason;
@@ -82,17 +97,21 @@ let launch_load t ~entry_name segments =
     segments;
   Attestation.record_launch t.attestation ~measurement:(Veil_crypto.Measurement.digest m)
 
-let add_boot_vcpu t =
-  assert (t.vcpus = []);
-  let v = Vcpu.create ~id:0 in
-  t.vcpus <- [ v ];
+let add_vcpu t =
+  let v = Vcpu.create ~id:t.nvcpus ~tlb_gen:(Rmp.generation t.rmp) in
+  t.vcpus_rev <- v :: t.vcpus_rev;
+  t.nvcpus <- t.nvcpus + 1;
   v
 
-let add_vcpu t =
-  let id = List.length t.vcpus in
-  let v = Vcpu.create ~id in
-  t.vcpus <- t.vcpus @ [ v ];
-  v
+let add_boot_vcpu t =
+  assert (t.vcpus_rev = []);
+  add_vcpu t
+
+let vcpu_count t = t.nvcpus
+
+let vcpus t = List.rev t.vcpus_rev
+
+let vcpu_by_id t id = List.find_opt (fun v -> v.Vcpu.id = id) t.vcpus_rev
 
 (* --- checked guest access --- *)
 
@@ -116,10 +135,20 @@ let read t vcpu gpa len =
   check_range t vcpu gpa len Types.Read;
   Phys_mem.read t.mem gpa len
 
+let read_into t vcpu gpa buf pos len =
+  check_running t;
+  check_range t vcpu gpa len Types.Read;
+  Phys_mem.read_into t.mem gpa buf pos len
+
 let write t vcpu gpa data =
   check_running t;
   check_range t vcpu gpa (Bytes.length data) Types.Write;
   Phys_mem.write t.mem gpa data
+
+let write_sub t vcpu gpa data pos len =
+  check_running t;
+  check_range t vcpu gpa len Types.Write;
+  Phys_mem.write_sub t.mem gpa data pos len
 
 let read_u64 t vcpu gpa =
   check_running t;
@@ -145,6 +174,45 @@ let pt_access_ok (vcpu : Vcpu.t) (pte : Pagetable.pte) access =
   (not (user && not f.Pagetable.user))
   && (match access with Types.Write -> f.Pagetable.writable | Types.Read -> true | Types.Execute -> not f.Pagetable.nx)
 
+(* Slow translation path: full table walk, flag check, RMP check —
+   then install the result (translation + permission snapshot) in the
+   VCPU's TLB.  Faults here are the authoritative ones; the TLB can
+   only *allow* faster, never differently, because any state change
+   that could flip a decision bumps the generation. *)
+let translate_slow t vcpu ~root a access =
+  Obs.Metrics.incr t.c_tlb_miss;
+  let off = Types.page_offset a in
+  match translate t ~root (a - off) with
+  | None -> raise (Guest_page_fault { fault_va = a; fault_access = access })
+  | Some pte ->
+      if not (pt_access_ok vcpu pte access) then raise (Guest_page_fault { fault_va = a; fault_access = access });
+      let gpfn = pte.Pagetable.pte_gpfn in
+      check_page t vcpu gpfn access;
+      let tlb = vcpu.Vcpu.tlb in
+      let vapage = (a - off) lsr Types.page_shift in
+      Tlb.fill tlb (Tlb.probe tlb ~vapage ~root) ~vapage ~root ~gpfn
+        ~flags:(Tlb.pack_flags pte.Pagetable.pte_flags)
+        ~rmp:(Rmp.tlb_snapshot t.rmp gpfn ~vmpl:(Vcpu.vmpl vcpu));
+      gpfn
+
+(* Translate one address with the TLB in front.  A hit evaluates the
+   cached flags and RMP snapshot under the caller's *current* CPL/VMPL
+   and access; anything the cached state does not cleanly permit falls
+   back to the slow path, which re-derives the authoritative fault. *)
+let tlb_translate t vcpu ~root a access =
+  let vapage = a lsr Types.page_shift in
+  let tlb = vcpu.Vcpu.tlb in
+  let e = Tlb.probe tlb ~vapage ~root in
+  if
+    Tlb.is_hit tlb e ~vapage ~root
+    && Tlb.pt_allows e.Tlb.e_flags access (Vcpu.cpl vcpu)
+    && Tlb.rmp_allows e.Tlb.e_rmp access (Vcpu.cpl vcpu) (Vcpu.vmpl vcpu)
+  then begin
+    Obs.Metrics.incr t.c_tlb_hit;
+    e.Tlb.e_gpfn
+  end
+  else translate_slow t vcpu ~root a access
+
 let via_pt t vcpu ~root va len access k =
   check_running t;
   let pos = ref 0 in
@@ -152,36 +220,69 @@ let via_pt t vcpu ~root va len access k =
     let a = va + !pos in
     let off = Types.page_offset a in
     let n = min (len - !pos) (Types.page_size - off) in
-    (match translate t ~root (a - off) with
-    | None -> raise (Guest_page_fault { fault_va = a; fault_access = access })
-    | Some pte ->
-        if not (pt_access_ok vcpu pte access) then raise (Guest_page_fault { fault_va = a; fault_access = access });
-        check_page t vcpu pte.Pagetable.pte_gpfn access;
-        k ~gpa:(Types.gpa_of_gpfn pte.Pagetable.pte_gpfn + off) ~pos:!pos ~len:n);
+    let gpfn = tlb_translate t vcpu ~root a access in
+    k ~gpa:(Types.gpa_of_gpfn gpfn + off) ~pos:!pos ~len:n;
     pos := !pos + n
   done
 
 let read_via_pt t vcpu ~root va len =
   let out = Bytes.create len in
   via_pt t vcpu ~root va len Types.Read (fun ~gpa ~pos ~len ->
-      Bytes.blit (Phys_mem.read t.mem gpa len) 0 out pos len);
+      Phys_mem.read_into t.mem gpa out pos len);
   out
+
+let read_into_via_pt t vcpu ~root va buf pos len =
+  via_pt t vcpu ~root va len Types.Read (fun ~gpa ~pos:p ~len ->
+      Phys_mem.read_into t.mem gpa buf (pos + p) len)
 
 let write_via_pt t vcpu ~root va data =
   via_pt t vcpu ~root va (Bytes.length data) Types.Write (fun ~gpa ~pos ~len ->
-      Phys_mem.write t.mem gpa (Bytes.sub data pos len))
+      Phys_mem.write_sub t.mem gpa data pos len)
+
+let write_sub_via_pt t vcpu ~root va data pos len =
+  via_pt t vcpu ~root va len Types.Write (fun ~gpa ~pos:p ~len ->
+      Phys_mem.write_sub t.mem gpa data (pos + p) len)
+
+let read_u64_via_pt t vcpu ~root va =
+  check_running t;
+  if Types.page_offset va <= Types.page_size - 8 then begin
+    let gpfn = tlb_translate t vcpu ~root va Types.Read in
+    Phys_mem.read_u64 t.mem (Types.gpa_of_gpfn gpfn + Types.page_offset va)
+  end
+  else begin
+    (* page-straddling load: translate both pages byte by byte *)
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      let a = va + i in
+      let gpfn = tlb_translate t vcpu ~root a Types.Read in
+      v := (!v lsl 8) lor Phys_mem.read_byte t.mem (Types.gpa_of_gpfn gpfn + Types.page_offset a)
+    done;
+    !v land max_int
+  end
+
+let write_u64_via_pt t vcpu ~root va v =
+  check_running t;
+  if Types.page_offset va <= Types.page_size - 8 then begin
+    let gpfn = tlb_translate t vcpu ~root va Types.Write in
+    Phys_mem.write_u64 t.mem (Types.gpa_of_gpfn gpfn + Types.page_offset va) v
+  end
+  else
+    for i = 0 to 7 do
+      let a = va + i in
+      let gpfn = tlb_translate t vcpu ~root a Types.Write in
+      Phys_mem.write_byte t.mem (Types.gpa_of_gpfn gpfn + Types.page_offset a) ((v lsr (8 * i)) land 0xff)
+    done
+
+let check_exec_via_pt t vcpu ~root va =
+  check_running t;
+  ignore (tlb_translate t vcpu ~root va Types.Execute)
 
 (* --- instructions --- *)
 
 let rmpadjust t vcpu ?(bucket = Cycles.Other) ~gpfn ~target ~perms ~vmsa () =
   check_running t;
   let touch =
-    if gpfn >= 0 && gpfn < Rmp.npages t.rmp then begin
-      let e = Rmp.entry t.rmp gpfn in
-      let cold = not e.Rmp.touched in
-      e.Rmp.touched <- true;
-      if cold then Cycles.rmpadjust_page_touch else 0
-    end
+    if gpfn >= 0 && gpfn < Rmp.npages t.rmp && Rmp.touch t.rmp gpfn then Cycles.rmpadjust_page_touch
     else 0
   in
   Vcpu.charge vcpu bucket (Cycles.rmpadjust_insn + touch);
@@ -194,7 +295,10 @@ let rmpadjust t vcpu ?(bucket = Cycles.Other) ~gpfn ~target ~perms ~vmsa () =
   (match Rmp.check_guest_access t.rmp ~gpfn ~vmpl:caller ~cpl:Types.Cpl0 ~access:Types.Read with
   | Ok () -> ()
   | Error info -> raise_npf_at t (Some vcpu) info);
-  Rmp.adjust t.rmp ~caller ~gpfn ~target ~perms ~vmsa
+  let r = Rmp.adjust t.rmp ~caller ~gpfn ~target ~perms ~vmsa in
+  (* Rmp.adjust bumped the generation; account the flush. *)
+  if r = Ok () then Obs.Metrics.incr t.c_tlb_flush;
+  r
 
 let pvalidate t vcpu ?(bucket = Cycles.Other) ~gpfn ~to_private () =
   check_running t;
@@ -207,6 +311,8 @@ let pvalidate t vcpu ?(bucket = Cycles.Other) ~gpfn ~to_private () =
   else if gpfn < 0 || gpfn >= Rmp.npages t.rmp then Error "pvalidate: frame out of range"
   else begin
     if to_private then Rmp.validate t.rmp gpfn else Rmp.unvalidate t.rmp gpfn;
+    (* state change bumped the generation; account the flush *)
+    Obs.Metrics.incr t.c_tlb_flush;
     Ok ()
   end
 
@@ -270,6 +376,13 @@ let automatic_exit t vcpu =
 let vmenter t vcpu vmsa =
   check_running t;
   Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_restore);
+  (* Instance switch (the VMPL/domain switch of the paper) flushes this
+     CPU's TLB; re-entering the same instance (same ASID) keeps it. *)
+  (match vcpu.Vcpu.current with
+  | Some prev when prev == vmsa -> ()
+  | _ ->
+      Tlb.flush vcpu.Vcpu.tlb;
+      Obs.Metrics.incr t.c_tlb_flush);
   vcpu.Vcpu.current <- Some vmsa;
   Obs.Metrics.incr t.c_vmenter;
   if Obs.Trace.enabled t.tracer then

@@ -11,7 +11,8 @@
 type t = {
   mem : Phys_mem.t;
   rmp : Rmp.t;
-  mutable vcpus : Vcpu.t list;
+  mutable vcpus_rev : Vcpu.t list;  (** newest first; use {!vcpus} / {!vcpu_by_id} *)
+  mutable nvcpus : int;
   ghcbs : (Types.gpfn, Ghcb.t) Hashtbl.t;
   attestation : Attestation.t;
   rng : Veil_crypto.Rng.t;
@@ -30,6 +31,11 @@ type t = {
   c_pvalidate : Obs.Metrics.counter;
   c_vmgexit : Obs.Metrics.counter;  (** world exits, VMGEXIT and automatic *)
   c_vmenter : Obs.Metrics.counter;
+  c_tlb_hit : Obs.Metrics.counter;  (** "tlb.hit": translations served from a VCPU TLB *)
+  c_tlb_miss : Obs.Metrics.counter;  (** "tlb.miss": full walk + RMP check taken *)
+  c_tlb_flush : Obs.Metrics.counter;
+      (** "tlb.flush": invalidation events — page-table shootdowns,
+          RMP-mutating instructions, VCPU instance switches *)
 }
 
 exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
@@ -59,10 +65,31 @@ val add_boot_vcpu : t -> Vcpu.t
 val add_vcpu : t -> Vcpu.t
 (** Hot-plug: allocate the next VCPU id (not yet running). *)
 
+val vcpus : t -> Vcpu.t list
+(** All VCPUs in creation (id) order. *)
+
+val vcpu_count : t -> int
+
+val vcpu_by_id : t -> int -> Vcpu.t option
+
+val tlb_shootdown : t -> unit
+(** Bump the machine-wide TLB generation, invalidating every VCPU's
+    cached translations.  {!Pagetable.io}[.invalidate] should point
+    here for any table the MMU (and hence the TLB) can consult. *)
+
 (* Checked guest memory access *)
 
 val read : t -> Vcpu.t -> Types.gpa -> int -> bytes
 val write : t -> Vcpu.t -> Types.gpa -> bytes -> unit
+
+val read_into : t -> Vcpu.t -> Types.gpa -> bytes -> int -> int -> unit
+(** [read_into t vcpu gpa buf pos len]: {!read} into a caller buffer —
+    nothing allocated on the permitted path. *)
+
+val write_sub : t -> Vcpu.t -> Types.gpa -> bytes -> int -> int -> unit
+(** [write_sub t vcpu gpa data pos len]: checked write of a slice of
+    [data] without the [Bytes.sub] copy. *)
+
 val read_u64 : t -> Vcpu.t -> Types.gpa -> int
 val write_u64 : t -> Vcpu.t -> Types.gpa -> int -> unit
 val check_exec : t -> Vcpu.t -> Types.gpa -> unit
@@ -73,6 +100,23 @@ val read_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> int -> bytes
     {!Guest_page_fault} on translation failure. *)
 
 val write_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> bytes -> unit
+
+val read_into_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> bytes -> int -> int -> unit
+(** {!read_via_pt} into a caller buffer. *)
+
+val write_sub_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> bytes -> int -> int -> unit
+(** {!write_via_pt} of a slice of the given buffer. *)
+
+val read_u64_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> int
+(** Translated u64 load.  On a TLB hit this is allocation-free: probe,
+    cached permission evaluation, direct arena load. *)
+
+val write_u64_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> int -> unit
+
+val check_exec_via_pt : t -> Vcpu.t -> root:Types.gpfn -> Types.va -> unit
+(** Instruction-fetch check through the translation path (faults like
+    {!read_via_pt} but with [Execute] semantics — shared pages and NX
+    mappings reject it). *)
 
 val translate : t -> root:Types.gpfn -> Types.va -> Pagetable.pte option
 (** Raw MMU walk (no VMPL checks — hardware walker). *)

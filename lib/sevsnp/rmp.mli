@@ -5,7 +5,11 @@
     [RMPADJUST] manipulates.  The RMP is hardware state: guest software
     only reaches it through {!Platform.rmpadjust} /
     {!Platform.pvalidate}, the hypervisor through the [hv_*]
-    operations (standing in for RMPUPDATE). *)
+    operations (standing in for RMPUPDATE).
+
+    Storage is dense — a metadata byte per frame plus packed
+    per-VMPL permission nibbles — so {!check_guest_access} is array
+    loads and bit tests with no allocation on the permitted path. *)
 
 type page_state =
   | Invalid  (** not validated; any guest access faults *)
@@ -13,11 +17,14 @@ type page_state =
   | Shared  (** unencrypted, host-visible (GHCBs, bounce buffers) *)
 
 type entry = {
-  mutable state : page_state;
-  mutable vmsa : bool;
-  mutable touched : bool;  (** frame contents already pulled into cache by a prior RMPADJUST *)
-  perms : Perm.t array;  (** indexed by VMPL; [perms.(0)] is pinned to [Perm.all] *)
+  state : page_state;
+  vmsa : bool;
+  touched : bool;  (** frame contents already pulled into cache by a prior RMPADJUST *)
+  perms : Perm.t array;  (** indexed by VMPL *)
 }
+(** Immutable snapshot of one frame's RMP state (see {!iter_entries}).
+    Mutation goes through {!validate} / {!adjust} / {!set_vmsa} so the
+    TLB generation can never be bypassed. *)
 
 type t
 
@@ -25,13 +32,23 @@ val create : npages:int -> t
 
 val npages : t -> int
 
-val entry : t -> Types.gpfn -> entry
-(** The (lazily materialized) entry; out-of-range frames raise
-    [Invalid_argument]. *)
+val generation : t -> int ref
+(** The machine-wide TLB generation counter.  Every mutation in this
+    module bumps it; {!Platform} bumps it for page-table edits
+    (shootdowns).  Software TLBs ({!Tlb}) stamp entries with it, so
+    incrementing invalidates every cached translation. *)
 
 val state : t -> Types.gpfn -> page_state
 val perms_of : t -> Types.gpfn -> Types.vmpl -> Perm.t
 val is_vmsa : t -> Types.gpfn -> bool
+
+val set_vmsa : t -> Types.gpfn -> bool -> unit
+(** Hypervisor-side (RMPUPDATE-style) VMSA-attribute flip used at
+    launch; guest software goes through {!adjust}. *)
+
+val touch : t -> Types.gpfn -> bool
+(** Record the RMPADJUST page-touch; true when the frame was cold
+    (first touch, which costs extra cycles architecturally). *)
 
 val validate : t -> Types.gpfn -> unit
 (** PVALIDATE effect: [Invalid] or [Shared] frame becomes [Private]
@@ -52,8 +69,16 @@ val check_guest_access :
     frames are never writable from guest software except by VMPL-0
     (initialization). *)
 
+val tlb_snapshot : t -> Types.gpfn -> vmpl:Types.vmpl -> int
+(** Packed permission snapshot a TLB entry caches alongside the
+    translation: bits 0-3 the [vmpl] permission nibble, bit 4 shared,
+    bit 5 VMSA.  Evaluated on hits by {!Tlb.rmp_allows}; stays
+    coherent because every RMP mutation bumps {!generation}. *)
+
 val host_can_access : t -> Types.gpfn -> bool
 (** The host may only touch [Shared] frames. *)
 
 val iter_entries : t -> (Types.gpfn -> entry -> unit) -> unit
-(** Iterate over materialized entries only. *)
+(** Iterate (in frame order) over frames whose RMP state differs from
+    the reset state, presenting each as an immutable {!entry}
+    snapshot. *)

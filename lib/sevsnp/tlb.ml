@@ -1,0 +1,80 @@
+(* Per-VCPU software TLB: a direct-mapped array of translations keyed
+   by (VA page, page-table root), each carrying the leaf flags and the
+   RMP permission snapshot ({!Rmp.tlb_snapshot}) so a hit needs no
+   table walk and no RMP lookup.
+
+   Coherence is by stamping: an entry is valid only while
+   [e_stamp = !gen + epoch].  [gen] is the machine-wide generation
+   (bumped by every RMP mutation and page-table shootdown); [epoch] is
+   this VCPU's private counter (bumped on instance/VMPL switches — the
+   paper's VMPL-switch TLB flush).  Both only grow, so the sum
+   strictly increases on any bump and every cached entry goes stale at
+   once.  Permission *evaluation* happens at probe time against the
+   caller's current CPL/VMPL, so ring transitions need no flush. *)
+
+let slot_bits = 9
+let slot_count = 1 lsl slot_bits
+
+type entry = {
+  mutable e_vapage : int;  (* VA page number; -1 = never filled *)
+  mutable e_root : int;
+  mutable e_stamp : int;
+  mutable e_gpfn : int;
+  mutable e_flags : int;  (* bit 0 writable, bit 1 user, bit 2 nx *)
+  mutable e_rmp : int;  (* Rmp.tlb_snapshot bits *)
+}
+
+type t = { slots : entry array; gen : int ref; mutable epoch : int }
+
+let create ~gen =
+  {
+    slots =
+      Array.init slot_count (fun _ ->
+          { e_vapage = -1; e_root = 0; e_stamp = 0; e_gpfn = 0; e_flags = 0; e_rmp = 0 });
+    gen;
+    epoch = 0;
+  }
+
+let flush t = t.epoch <- t.epoch + 1
+
+let index ~vapage ~root = (vapage lxor (root * 0x9E3779B1)) land (slot_count - 1)
+
+let probe t ~vapage ~root = Array.unsafe_get t.slots (index ~vapage ~root)
+
+let is_hit t e ~vapage ~root =
+  e.e_vapage = vapage && e.e_root = root && e.e_stamp = !(t.gen) + t.epoch
+
+let fill t e ~vapage ~root ~gpfn ~flags ~rmp =
+  e.e_vapage <- vapage;
+  e.e_root <- root;
+  e.e_gpfn <- gpfn;
+  e.e_flags <- flags;
+  e.e_rmp <- rmp;
+  e.e_stamp <- !(t.gen) + t.epoch
+
+(* flag packing for [e_flags] *)
+let f_writable = 1
+let f_user = 2
+let f_nx = 4
+
+let pack_flags (f : Pagetable.flags) =
+  (if f.Pagetable.writable then f_writable else 0)
+  lor (if f.Pagetable.user then f_user else 0)
+  lor (if f.Pagetable.nx then f_nx else 0)
+
+let pt_allows flags access cpl =
+  (not (cpl = Types.Cpl3 && flags land f_user = 0))
+  &&
+  match (access : Types.access) with
+  | Types.Write -> flags land f_writable <> 0
+  | Types.Read -> true
+  | Types.Execute -> flags land f_nx = 0
+
+let rmp_allows bits access cpl vmpl =
+  if bits land 16 <> 0 then (match (access : Types.access) with Types.Execute -> false | _ -> true)
+  else if
+    bits land 32 <> 0
+    && (match (access : Types.access) with Types.Write -> true | _ -> false)
+    && vmpl <> Types.Vmpl0
+  then false
+  else Perm.bits_allow (bits land 0xF) access cpl

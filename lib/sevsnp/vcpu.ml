@@ -2,14 +2,15 @@ type t = {
   id : int;
   mutable current : Vmsa.t option;
   counter : Cycles.counter;
+  tlb : Tlb.t;
   mutable exits : int;
   mutable pending_interrupts : int;
   mutable last_exit_ts : int;
 }
 
-let create ~id =
-  { id; current = None; counter = Cycles.create_counter (); exits = 0; pending_interrupts = 0;
-    last_exit_ts = 0 }
+let create ~id ~tlb_gen =
+  { id; current = None; counter = Cycles.create_counter (); tlb = Tlb.create ~gen:tlb_gen;
+    exits = 0; pending_interrupts = 0; last_exit_ts = 0 }
 
 let current_vmsa t =
   match t.current with

@@ -9,6 +9,7 @@ type t = {
   id : int;
   mutable current : Vmsa.t option;  (** the instance currently on the CPU *)
   counter : Cycles.counter;
+  tlb : Tlb.t;  (** this CPU's translation cache, flushed on instance switches *)
   mutable exits : int;  (** total world exits taken *)
   mutable pending_interrupts : int;  (** queued external interrupts *)
   mutable last_exit_ts : int;
@@ -16,7 +17,9 @@ type t = {
           charges) — lets the hypervisor emit whole domain-switch spans *)
 }
 
-val create : id:int -> t
+val create : id:int -> tlb_gen:int ref -> t
+(** [tlb_gen] is the machine-wide TLB generation this CPU's TLB stamps
+    against ({!Rmp.generation}); {!Platform} supplies it. *)
 
 val vmpl : t -> Types.vmpl
 (** VMPL of the running instance.  Raises [Failure] if none. *)

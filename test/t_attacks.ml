@@ -13,7 +13,8 @@ let to_cases attacks = List.map (fun a -> (A.name a, `Quick, check_blocked a)) a
 let test_counts () =
   Alcotest.(check bool) "Table 1 coverage" true (List.length (A.framework_attacks ()) >= 8);
   Alcotest.(check bool) "Table 2 coverage" true (List.length (A.enclave_attacks ()) >= 9);
-  Alcotest.(check int) "§8.3 validation attacks" 2 (List.length (A.validation_attacks ()))
+  Alcotest.(check int) "§8.3 validation attacks + stale-TLB replay" 3
+    (List.length (A.validation_attacks ()))
 
 let test_validation_halts_with_npf () =
   (* §8.3: both validation attacks end in continuous #NPF (a halted

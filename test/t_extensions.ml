@@ -88,7 +88,7 @@ let test_run_on_hotplugged_vcpu () =
   (match (Kern.hooks kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:1 with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
-  let vcpu1 = List.nth sys.V.Boot.platform.Sevsnp.Platform.vcpus 1 in
+  let vcpu1 = List.nth (Sevsnp.Platform.vcpus sys.V.Boot.platform) 1 in
   let rt = mk_rt sys in
   let secret = Bytes.of_string "written by thread 0" in
   Rt.run rt (fun rt -> Rt.write_data rt ~va:(Rt.heap_base rt) secret);

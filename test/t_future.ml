@@ -112,7 +112,7 @@ let hotplug sys id =
   (match (Kern.hooks sys.V.Boot.kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:id with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
-  List.nth sys.V.Boot.platform.Sevsnp.Platform.vcpus id
+  List.nth (Sevsnp.Platform.vcpus sys.V.Boot.platform) id
 
 let test_exitless_basic () =
   let sys = boot 58 in

@@ -134,7 +134,7 @@ let test_vcpu_hotplug () =
   match (Guest_kernel.Kernel.hooks kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:1 with
   | Error e -> Alcotest.fail e
   | Ok () ->
-      let fresh = List.nth sys.Veil_core.Boot.platform.P.vcpus 1 in
+      let fresh = List.nth (P.vcpus sys.Veil_core.Boot.platform) 1 in
       Alcotest.(check bool) "new vcpu entered" true (fresh.Sevsnp.Vcpu.current <> None);
       Alcotest.(check bool) "boots at Dom_UNT (§5.3)" true
         (T.equal_vmpl (Sevsnp.Vcpu.vmpl fresh) T.Vmpl3);

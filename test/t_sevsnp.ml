@@ -139,6 +139,8 @@ let mk_io mem next =
         let f = !next in
         incr next;
         f);
+    (* raw tables never consulted through a VCPU TLB *)
+    invalidate = (fun () -> ());
   }
 
 let test_pagetable_map_walk () =
@@ -234,7 +236,7 @@ let test_platform_pvalidate_restriction () =
   | Error e -> Alcotest.fail e);
   (* create and enter a vmpl3 instance, then pvalidate must fail *)
   Sevsnp.Rmp.validate p.P.rmp 50;
-  (Sevsnp.Rmp.entry p.P.rmp 50).Sevsnp.Rmp.vmsa <- true;
+  Sevsnp.Rmp.set_vmsa p.P.rmp 50 true;
   let vmsa3 = Sevsnp.Vmsa.create ~vcpu_id:0 ~vmpl:T.Vmpl3 ~backing_gpfn:50 in
   (match P.install_vmsa p vmsa3 with Ok () -> () | Error e -> Alcotest.fail e);
   ignore hv;
@@ -267,6 +269,116 @@ let test_platform_host_access () =
   match P.host_read p (31 * T.page_size) 4 with
   | Ok b -> Alcotest.(check bytes) "host rw on shared" (Bytes.of_string "host") b
   | Error e -> Alcotest.fail e
+
+(* --- TLB coherence ---
+
+   A translation warmed into a VCPU's software TLB must not outlive
+   the page-table or RMP state that produced it: every invalidation
+   rule (unmap, protect, RMPADJUST, PVALIDATE, domain switch) gets a
+   warm-then-revoke-then-fault regression test. *)
+
+let data_gpfn = 10
+let tlb_root = 8
+let tlb_va = 0x300 * T.page_size
+
+(* Page tables live in platform memory and invalidate through the
+   platform, exactly like the guest kernel's [pt_io]. *)
+let mk_tlb_env () =
+  let p, _hv, vcpu = mk_platform () in
+  let next = ref 40 in
+  let io =
+    {
+      Pt.read_u64 = Sevsnp.Phys_mem.read_u64 p.P.mem;
+      write_u64 = Sevsnp.Phys_mem.write_u64 p.P.mem;
+      alloc_frame =
+        (fun () ->
+          let f = !next in
+          incr next;
+          f);
+      invalidate = (fun () -> P.tlb_shootdown p);
+    }
+  in
+  Rmp.validate p.P.rmp data_gpfn;
+  (p, vcpu, io)
+
+(* Put a VMPL-1 instance on the same VCPU and enter it. *)
+let enter_vmpl1 p vcpu =
+  Rmp.validate p.P.rmp 50;
+  Rmp.set_vmsa p.P.rmp 50 true;
+  let vmsa1 = Sevsnp.Vmsa.create ~vcpu_id:0 ~vmpl:T.Vmpl1 ~backing_gpfn:50 in
+  (match P.install_vmsa p vmsa1 with Ok () -> () | Error e -> Alcotest.fail e);
+  P.vmenter p vcpu vmsa1
+
+let test_tlb_stale_unmap () =
+  let p, vcpu, io = mk_tlb_env () in
+  Pt.map io ~root:tlb_root tlb_va { Pt.pte_gpfn = data_gpfn; pte_flags = Pt.user_rw };
+  ignore (P.read_via_pt p vcpu ~root:tlb_root tlb_va 8);
+  Alcotest.(check bool) "warm read hit nothing" true (P.is_halted p = None);
+  Alcotest.(check bool) "unmap" true (Pt.unmap io ~root:tlb_root tlb_va);
+  try
+    ignore (P.read_via_pt p vcpu ~root:tlb_root tlb_va 8);
+    Alcotest.fail "stale TLB: read succeeded after unmap"
+  with P.Guest_page_fault { fault_va; _ } -> Alcotest.(check int) "faulting va" tlb_va fault_va
+
+let test_tlb_stale_protect () =
+  let p, vcpu, io = mk_tlb_env () in
+  Pt.map io ~root:tlb_root tlb_va { Pt.pte_gpfn = data_gpfn; pte_flags = Pt.user_rw };
+  P.write_via_pt p vcpu ~root:tlb_root tlb_va (Bytes.make 8 'w');
+  Alcotest.(check bool) "protect to read-only" true (Pt.protect io ~root:tlb_root tlb_va Pt.user_ro);
+  (try
+     P.write_via_pt p vcpu ~root:tlb_root tlb_va (Bytes.make 8 'x');
+     Alcotest.fail "stale TLB: write succeeded after protect-to-RO"
+   with P.Guest_page_fault { fault_access; _ } -> Alcotest.(check bool) "write fault" true (fault_access = T.Write));
+  (* reads still fine — and must see the first write, not the second *)
+  Alcotest.(check bytes) "read survives" (Bytes.make 8 'w') (P.read_via_pt p vcpu ~root:tlb_root tlb_va 8)
+
+let test_tlb_stale_rmpadjust () =
+  let p, vcpu, io = mk_tlb_env () in
+  Pt.map io ~root:tlb_root tlb_va { Pt.pte_gpfn = data_gpfn; pte_flags = Pt.user_rw };
+  (* grant VMPL1, enter a VMPL1 instance, warm the translation there *)
+  (match Rmp.adjust p.P.rmp ~caller:T.Vmpl0 ~gpfn:data_gpfn ~target:T.Vmpl1 ~perms:Perm.rw ~vmsa:false with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  enter_vmpl1 p vcpu;
+  ignore (P.read_via_pt p vcpu ~root:tlb_root tlb_va 8);
+  (* monitor revokes the grant: the cached RMP snapshot must die with it *)
+  (match Rmp.adjust p.P.rmp ~caller:T.Vmpl0 ~gpfn:data_gpfn ~target:T.Vmpl1 ~perms:Perm.none ~vmsa:false with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  try
+    ignore (P.read_via_pt p vcpu ~root:tlb_root tlb_va 8);
+    Alcotest.fail "stale TLB: read succeeded after RMPADJUST revoked perms"
+  with T.Npf info ->
+    Alcotest.(check bool) "npf at vmpl1" true (T.equal_vmpl info.T.fault_vmpl T.Vmpl1)
+
+let test_tlb_stale_pvalidate () =
+  let p, vcpu, io = mk_tlb_env () in
+  let xflags = { Pt.present = true; writable = true; user = false; nx = false } in
+  Pt.map io ~root:tlb_root tlb_va { Pt.pte_gpfn = data_gpfn; pte_flags = xflags };
+  (* warm with an instruction fetch: private page, VMPL0 may execute *)
+  P.check_exec_via_pt p vcpu ~root:tlb_root tlb_va;
+  (* guest gives the page back to the host *)
+  (match P.pvalidate p vcpu ~gpfn:data_gpfn ~to_private:false () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  try
+    P.check_exec_via_pt p vcpu ~root:tlb_root tlb_va;
+    Alcotest.fail "stale TLB: executed from a now-shared page"
+  with T.Npf info -> Alcotest.(check bool) "exec fault" true (info.T.fault_access = T.Execute)
+
+let test_tlb_stale_domain_switch () =
+  let p, vcpu, io = mk_tlb_env () in
+  Pt.map io ~root:tlb_root tlb_va { Pt.pte_gpfn = data_gpfn; pte_flags = Pt.user_rw };
+  (* freshly validated pages are VMPL0-only; warm the TLB at VMPL0 *)
+  ignore (P.read_via_pt p vcpu ~root:tlb_root tlb_va 8);
+  (* the instance switch must flush — otherwise VMPL1 would ride the
+     snapshot taken under VMPL0's permission nibble *)
+  enter_vmpl1 p vcpu;
+  try
+    ignore (P.read_via_pt p vcpu ~root:tlb_root tlb_va 8);
+    Alcotest.fail "stale TLB: VMPL1 read through a VMPL0-warmed entry"
+  with T.Npf info ->
+    Alcotest.(check bool) "npf at vmpl1" true (T.equal_vmpl info.T.fault_vmpl T.Vmpl1)
 
 let test_attestation_report () =
   let p, _hv, vcpu = mk_platform () in
@@ -309,6 +421,11 @@ let suite =
     ("platform pvalidate vmpl0-only", `Quick, test_platform_pvalidate_restriction);
     ("platform ghcb registration", `Quick, test_platform_ghcb);
     ("platform host access policy", `Quick, test_platform_host_access);
+    ("tlb stale after unmap", `Quick, test_tlb_stale_unmap);
+    ("tlb stale after protect", `Quick, test_tlb_stale_protect);
+    ("tlb stale after rmpadjust", `Quick, test_tlb_stale_rmpadjust);
+    ("tlb stale after pvalidate", `Quick, test_tlb_stale_pvalidate);
+    ("tlb flushed on domain switch", `Quick, test_tlb_stale_domain_switch);
     ("attestation report", `Quick, test_attestation_report);
     ("cycle model anchors", `Quick, test_cycles_anchors);
   ]
