@@ -136,67 +136,23 @@ let e3 ?(scale = 1) () =
 
 (* --- E4: enclave system call costs (Fig. 4 / Table 3) --- *)
 
-type syscall_bench = { sb_name : string; sb_paper : float; sb_run : W.Env.t -> unit }
-
-let syscall_benches : syscall_bench list =
-  let b name paper run = { sb_name = name; sb_paper = paper; sb_run = run } in
-  [
-    b "open" 5.8 (fun env ->
-        let fd = W.Env.open_ env "/tmp/bench.txt" ~flags:W.Env.o_rdwr ~mode:0o644 in
-        W.Env.close env fd);
-    b "read" 4.2 (fun env ->
-        let fd = W.Env.open_ env "/srv/bench-10k.dat" ~flags:W.Env.o_rdonly ~mode:0 in
-        ignore (W.Env.read env fd 10240);
-        W.Env.close env fd);
-    b "write" 4.3 (fun env ->
-        let fd = W.Env.open_ env "/tmp/bench-out.dat" ~flags:(W.Env.o_creat lor W.Env.o_wronly) ~mode:0o644 in
-        ignore (W.Env.write env fd (Bytes.create 10240));
-        W.Env.close env fd);
-    b "mmap" 4.6 (fun env -> ignore (W.Env.mmap_anon env ~len:10240));
-    b "munmap" 7.1 (fun env ->
-        let va = W.Env.mmap_anon env ~len:10240 in
-        W.Env.munmap env ~va ~len:10240);
-    b "socket" 5.2 (fun env ->
-        let fd = W.Env.socket env in
-        W.Env.close env fd);
-    b "printf" 3.3 (fun env -> W.Env.console env "Hello World!\n");
-  ]
-
 let e4 ?(iterations = 400) () =
   header "E4  Enclave system call redirection cost (Fig. 4, Table 3)"
     "popular syscalls are 3.3x - 7.1x slower from an enclave";
-  let bench_of sb =
-    W.Workload.make ~name:sb.sb_name
-      ~setup:(fun ctx ->
-        let fd =
-          W.Env.open_ ctx.W.Workload.client "/srv/bench-10k.dat"
-            ~flags:(W.Env.o_creat lor W.Env.o_wronly) ~mode:0o644
-        in
-        ignore (W.Env.write ctx.W.Workload.client fd (Bytes.create 10240));
-        W.Env.close ctx.W.Workload.client fd;
-        let fd2 =
-          W.Env.open_ ctx.W.Workload.client "/tmp/bench.txt" ~flags:(W.Env.o_creat lor W.Env.o_wronly)
-            ~mode:0o644
-        in
-        W.Env.close ctx.W.Workload.client fd2)
-      (fun ctx ->
-        for _ = 1 to iterations do
-          sb.sb_run ctx.W.Workload.env
-        done)
-  in
   Printf.printf "%-8s %12s %12s %9s %14s\n" "syscall" "native cyc" "enclave cyc" "slowdown" "paper-range";
   List.iter
     (fun sb ->
-      let w = bench_of sb in
+      let w = W.Syscall_bench.workload_of ~iterations sb in
       let native = D.run ~npages:4096 D.Native w in
       let enc = D.run ~npages:4096 D.Enclave w in
       (* subtract enclave creation by measuring per-iteration deltas on
          large iteration counts; creation is amortized *)
       let per_native = native.D.cycles / iterations in
       let per_enc = enc.D.cycles / iterations in
-      Printf.printf "%-8s %12d %12d %8.1fx   (3.3x - 7.1x)\n" sb.sb_name per_native per_enc
+      Printf.printf "%-8s %12d %12d %8.1fx   (3.3x - 7.1x)\n" sb.W.Syscall_bench.sb_name
+        per_native per_enc
         (float_of_int per_enc /. float_of_int per_native))
-    syscall_benches
+    W.Syscall_bench.all
 
 (* --- E5: shielded real-world programs (Fig. 5 / Table 4) --- *)
 

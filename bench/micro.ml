@@ -175,15 +175,28 @@ let alloc_check () =
       (Sevsnp.Platform.read_u64_via_pt platform vcpu ~root:proc.Guest_kernel.Process.pt_root
          mem_va)
   in
+  (* Veil-Prof contract: with the profiler disabled, the instrumented
+     syscall path (kernel.invoke push/pop + causal-id sites) must cost
+     one predicted branch and zero allocation.  sched_yield is the
+     no-op syscall: everything measured is instrumentation overhead. *)
+  let kernel = sys.Veil_core.Boot.kernel in
+  let sy () =
+    ignore (Guest_kernel.Kernel.invoke kernel proc Guest_kernel.Sysno.Sched_yield [])
+  in
   let tr = platform.Sevsnp.Platform.tracer in
+  let prof = platform.Sevsnp.Platform.profiler in
   let was_on = Obs.Trace.enabled tr in
+  let prof_was_on = Obs.Profiler.enabled prof in
   Obs.Trace.set_enabled tr false;
+  Obs.Profiler.set_enabled prof false;
   let w_off = words_per_op wr and r_off = words_per_op rd and x_off = words_per_op ex in
   let t_off = words_per_op tl in
+  let s_off = words_per_op sy in
   Obs.Trace.set_enabled tr true;
   let w_on = words_per_op wr and r_on = words_per_op rd and x_on = words_per_op ex in
   let t_on = words_per_op tl in
   Obs.Trace.set_enabled tr was_on;
+  Obs.Profiler.set_enabled prof prof_was_on;
   print_endline (String.make 78 '-');
   print_endline "Veil-Trace allocation check (minor words per checked platform access)";
   print_endline (String.make 78 '-');
@@ -191,15 +204,16 @@ let alloc_check () =
   Printf.printf "  write_u64      : tracing off %.4f w/op, on %.4f w/op\n" w_off w_on;
   Printf.printf "  read_u64       : tracing off %.4f w/op, on %.4f w/op\n" r_off r_on;
   Printf.printf "  tlb-hit u64 read: tracing off %.4f w/op, on %.4f w/op\n" t_off t_on;
+  Printf.printf "  sched_yield syscall (profiler off): %.4f w/op\n" s_off;
   if
     x_off = 0.0 && x_on = 0.0 && w_off = 0.0 && w_on = 0.0 && r_off = 0.0 && r_on = 0.0
-    && t_off = 0.0 && t_on = 0.0
+    && t_off = 0.0 && t_on = 0.0 && s_off = 0.0
   then
     print_endline
-      "  PASS: checked physical access and the TLB-hit translated path allocate\n\
-      \        nothing, with tracing off or on"
+      "  PASS: checked physical access, the TLB-hit translated path, and the\n\
+      \        profiler-disabled syscall path allocate nothing"
   else begin
-    print_endline "  FAIL: the memory hot path allocates";
+    print_endline "  FAIL: an instrumented hot path allocates";
     exit 1
   end
 

@@ -253,7 +253,9 @@ let quickstart_scenario sys =
 let arm_observability (platform : Sevsnp.Platform.t) =
   Obs.Metrics.reset platform.Sevsnp.Platform.metrics;
   Obs.Trace.clear platform.Sevsnp.Platform.tracer;
-  Obs.Trace.set_enabled platform.Sevsnp.Platform.tracer true
+  Obs.Trace.set_enabled platform.Sevsnp.Platform.tracer true;
+  Obs.Profiler.reset platform.Sevsnp.Platform.profiler;
+  Obs.Profiler.set_enabled platform.Sevsnp.Platform.profiler true
 
 let counter_value m name =
   match Obs.Metrics.find m name with Some (Obs.Metrics.Counter c) -> Obs.Metrics.value c | _ -> 0
@@ -280,59 +282,81 @@ let out_arg =
   let doc = "Write the Chrome trace-event JSON here (open in chrome://tracing or Perfetto)." in
   Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let folded_arg =
+  let doc = "Also write the profiler's folded-stack flamegraph text here (flamegraph.pl input)." in
+  Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+
+let workload_pos_arg =
+  let doc =
+    "What to run: \"quickstart\" (boot + one pass over every protected service) or an \
+     evaluation workload name (gzip, sqlite, ...)."
+  in
+  Arg.(value & pos 0 string "quickstart" & info [] ~docv:"WORKLOAD" ~doc)
+
+let mode_opt_arg =
+  let modes =
+    [ ("native", Workloads.Driver.Native); ("veil", Workloads.Driver.Veil_background);
+      ("enclave", Workloads.Driver.Enclave); ("kaudit", Workloads.Driver.Kaudit);
+      ("veils-log", Workloads.Driver.Veils_log) ]
+  in
+  let doc = "Measurement mode for workload runs." in
+  Arg.(value & opt (enum modes) Workloads.Driver.Veil_background & info [ "mode" ] ~docv:"MODE" ~doc)
+
+(* Boot, arm the tracer+profiler, run the chosen scenario, return the
+   platform with both disarmed — shared by [trace] and [profile]. *)
+let run_instrumented workload mode npages seed =
+  let platform =
+    match workload with
+    | "quickstart" ->
+        let sys = Veil_core.Boot.boot_veil ~npages ~seed () in
+        let platform = sys.Veil_core.Boot.platform in
+        arm_observability platform;
+        quickstart_scenario sys;
+        platform
+    | name -> (
+        match Workloads.Registry.find name with
+        | None ->
+            Printf.printf "unknown workload %S; known: quickstart, %s\n" name
+              (String.concat ", "
+                 (List.map (fun w -> w.Workloads.Workload.name) (Workloads.Registry.all ())));
+            exit 1
+        | Some w ->
+            let captured = ref None in
+            let on_boot p =
+              captured := Some p;
+              arm_observability p
+            in
+            ignore (Workloads.Driver.run ~seed ~npages ~on_boot mode w);
+            Option.get !captured)
+  in
+  Obs.Trace.set_enabled platform.Sevsnp.Platform.tracer false;
+  Obs.Profiler.set_enabled platform.Sevsnp.Platform.profiler false;
+  platform
+
+let write_file_or_die path contents =
+  match open_out path with
+  | oc ->
+      output_string oc contents;
+      close_out oc
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      exit 1
+
+let write_folded platform path =
+  let prof = platform.Sevsnp.Platform.profiler in
+  let paths = Obs.Profiler.paths prof in
+  write_file_or_die path (Obs.Folded.render paths);
+  Printf.printf "wrote %s (%d stacks, %d self-cycles attributed)\n" path (List.length paths)
+    (Obs.Profiler.total_self prof)
+
 let trace_cmd =
-  let workload_arg =
-    let doc =
-      "What to trace: \"quickstart\" (boot + one pass over every protected service) or an \
-       evaluation workload name (gzip, sqlite, ...)."
-    in
-    Arg.(value & pos 0 string "quickstart" & info [] ~docv:"WORKLOAD" ~doc)
-  in
-  let mode_arg =
-    let modes =
-      [ ("native", Workloads.Driver.Native); ("veil", Workloads.Driver.Veil_background);
-        ("enclave", Workloads.Driver.Enclave); ("kaudit", Workloads.Driver.Kaudit);
-        ("veils-log", Workloads.Driver.Veils_log) ]
-    in
-    let doc = "Measurement mode for workload traces." in
-    Arg.(value & opt (enum modes) Workloads.Driver.Veil_background & info [ "mode" ] ~docv:"MODE" ~doc)
-  in
-  let run workload mode out npages seed =
-    let platform =
-      match workload with
-      | "quickstart" ->
-          let sys = Veil_core.Boot.boot_veil ~npages ~seed () in
-          let platform = sys.Veil_core.Boot.platform in
-          arm_observability platform;
-          quickstart_scenario sys;
-          platform
-      | name -> (
-          match Workloads.Registry.find name with
-          | None ->
-              Printf.printf "unknown workload %S; known: quickstart, %s\n" name
-                (String.concat ", "
-                   (List.map (fun w -> w.Workloads.Workload.name) (Workloads.Registry.all ())));
-              exit 1
-          | Some w ->
-              let captured = ref None in
-              let on_boot p =
-                captured := Some p;
-                arm_observability p
-              in
-              ignore (Workloads.Driver.run ~seed ~npages ~on_boot mode w);
-              Option.get !captured)
-    in
+  let run workload mode out folded npages seed =
+    let platform = run_instrumented workload mode npages seed in
     let tr = platform.Sevsnp.Platform.tracer in
-    Obs.Trace.set_enabled tr false;
-    (match open_out out with
-    | oc ->
-        output_string oc (Obs.Chrome_trace.to_json tr);
-        close_out oc
-    | exception Sys_error msg ->
-        Printf.eprintf "cannot write trace: %s\n" msg;
-        exit 1);
+    write_file_or_die out (Obs.Chrome_trace.to_json tr);
     Printf.printf "wrote %s (timestamps/durations in guest cycles @ %d Hz)\n" out
       Sevsnp.Cycles.freq_hz;
+    Option.iter (write_folded platform) folded;
     trace_summary platform;
     if not (Obs.Trace.well_nested tr) then begin
       print_endline "warning: begin/end spans are not well nested";
@@ -343,8 +367,46 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:
          "Record a cycle-timestamped event trace of a run and export it as Chrome trace-event \
-          JSON.")
-    Term.(const run $ workload_arg $ mode_arg $ out_arg $ npages_arg $ seed_arg)
+          JSON (labeled per-VMPL process tracks; --folded adds flamegraph text).")
+    Term.(const run $ workload_pos_arg $ mode_opt_arg $ out_arg $ folded_arg $ npages_arg $ seed_arg)
+
+(* --- profile: Veil-Prof cycle attribution --- *)
+
+let profile_cmd =
+  let prof_out_arg =
+    let doc = "Write the attribution ledger here (\"-\" = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run workload mode out folded npages seed =
+    let platform = run_instrumented workload mode npages seed in
+    let prof = platform.Sevsnp.Platform.profiler in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "Veil-Prof attribution ledger (self cycles by VMPL and bucket)\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-4s %-16s %14s %10s\n" "vmpl" "bucket" "self-cycles" "hits");
+    List.iter
+      (fun ((vmpl, bucket), (self, hits)) ->
+        Buffer.add_string buf (Printf.sprintf "  %-4d %-16s %14d %10d\n" vmpl bucket self hits))
+      (Obs.Profiler.ledger prof);
+    Buffer.add_string buf
+      (Printf.sprintf "  total attributed: %d cycles across %d stacks\n"
+         (Obs.Profiler.total_self prof)
+         (List.length (Obs.Profiler.paths prof)));
+    if out = "-" then print_string (Buffer.contents buf)
+    else begin
+      write_file_or_die out (Buffer.contents buf);
+      Printf.printf "wrote %s\n" out
+    end;
+    Option.iter (write_folded platform) folded
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a scenario under the Veil-Prof cycle-attribution profiler and print the \
+          (VMPL, bucket) ledger; --folded FILE emits flamegraph folded-stack text.")
+    Term.(const run $ workload_pos_arg $ mode_opt_arg $ prof_out_arg $ folded_arg $ npages_arg
+          $ seed_arg)
 
 let metrics_cmd =
   let json_arg =
@@ -448,11 +510,202 @@ let sql_cmd =
        ~doc:"Execute statements on the B-tree-backed mini SQL engine inside a fresh guest.")
     Term.(const run $ stmts_arg $ npages_arg $ seed_arg)
 
+(* --- report: regenerate the paper tables from profiler attribution
+   and diff them against EXPERIMENTS.md --- *)
+
+(* Cells like "6,210", "42,384", "7135" → int (digits only). *)
+let int_of_cell s =
+  let b = Buffer.create 8 in
+  String.iter (fun c -> if c >= '0' && c <= '9' then Buffer.add_char b c) s;
+  if Buffer.length b = 0 then invalid_arg (Printf.sprintf "no digits in cell %S" s)
+  else int_of_string (Buffer.contents b)
+
+(* Cells like "0.72%", "~0.3%", "1.5k", "6.8×" → float (digits + dot). *)
+let float_of_cell s =
+  let b = Buffer.create 8 in
+  String.iter (fun c -> if (c >= '0' && c <= '9') || c = '.' then Buffer.add_char b c) s;
+  if Buffer.length b = 0 then invalid_arg (Printf.sprintf "no number in cell %S" s)
+  else float_of_string (Buffer.contents b)
+
+let starts_with pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+(* Lines of the "## <name>..." section, up to the next "## ". *)
+let md_section md name =
+  let rec skip = function
+    | [] -> []
+    | l :: rest -> if starts_with ("## " ^ name) l then take rest [] else skip rest
+  and take lines acc =
+    match lines with
+    | [] -> List.rev acc
+    | l :: rest -> if starts_with "## " l then List.rev acc else take rest (l :: acc)
+  in
+  skip (String.split_on_char '\n' md)
+
+let row_cells line =
+  String.split_on_char '|' line |> List.map String.trim |> List.filter (fun c -> c <> "")
+
+(* Table rows are keyed by the first word of their first cell,
+   lowercased with '-' stripped ("read (10 KB)" -> "read",
+   "7-Zip" -> "7zip"). *)
+let row_key cell =
+  let first = match String.split_on_char ' ' cell with w :: _ -> w | [] -> "" in
+  String.lowercase_ascii (String.concat "" (String.split_on_char '-' first))
+
+let find_row section key =
+  List.find_map
+    (fun l ->
+      match row_cells l with
+      | first :: _ when starts_with "|" (String.trim l) && row_key first = key ->
+          Some (row_cells l)
+      | _ -> None)
+    section
+
+let report_cmd =
+  let check_arg =
+    let doc = "Exit non-zero if any regenerated value drifts from EXPERIMENTS.md." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let experiments_arg =
+    let doc = "Path to the EXPERIMENTS.md to diff against." in
+    Arg.(value & opt string "EXPERIMENTS.md" & info [ "experiments" ] ~docv:"FILE" ~doc)
+  in
+  let run check exp_path =
+    let md =
+      match open_in exp_path with
+      | ic ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot read %s: %s\n" exp_path msg;
+          exit 1
+    in
+    let drifts = ref 0 in
+    let verdict ok =
+      if ok then "ok"
+      else begin
+        incr drifts;
+        "DRIFT"
+      end
+    in
+    let check_int label measured expected =
+      Printf.printf "  %-28s measured %10d   expected %10d   %s\n" label measured expected
+        (verdict (measured = expected))
+    in
+    let check_float label measured expected ~tol =
+      Printf.printf "  %-28s measured %10.2f   expected %10.2f   %s\n" label measured expected
+        (verdict (Float.abs (measured -. expected) <= tol))
+    in
+    let cell cells i label =
+      match List.nth_opt cells i with
+      | Some c -> c
+      | None -> failwith (Printf.sprintf "EXPERIMENTS.md: missing cell %d in %s row" i label)
+    in
+    let need section key =
+      match find_row section key with
+      | Some cells -> cells
+      | None -> failwith (Printf.sprintf "EXPERIMENTS.md: no table row for %S" key)
+    in
+
+    (* E2 — domain-switch legs, regenerated from Veil-Prof attribution.
+       Expected values come from the calibration-anchors row
+       "7135 = 550+2450+200+935+550+2450" (same leg order). *)
+    print_endline "E2  domain-switch breakdown (profiler attribution vs anchors)";
+    let anchors = md_section md "Cycle-model" in
+    let anchor_cells = need anchors "domain" in
+    let total_exp, legs_exp =
+      match String.split_on_char '=' (cell anchor_cells 1 "domain switch") with
+      | [ tot; sum ] ->
+          (int_of_cell tot, List.map int_of_cell (String.split_on_char '+' sum))
+      | _ -> failwith "EXPERIMENTS.md: anchors row is not \"total = a+b+...\""
+    in
+    let sys = Veil_core.Boot.boot_veil ~npages:2048 ~seed:3 () in
+    let platform = sys.Veil_core.Boot.platform in
+    let prof = platform.Sevsnp.Platform.profiler in
+    Obs.Profiler.reset prof;
+    Obs.Profiler.set_enabled prof true;
+    let vcpu = sys.Veil_core.Boot.vcpu in
+    let switches = 2000 in
+    for _ = 1 to switches / 2 do
+      Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon vcpu ~target:Veil_core.Privdom.Mon;
+      Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon vcpu ~target:Veil_core.Privdom.Unt
+    done;
+    Obs.Profiler.set_enabled prof false;
+    let legs =
+      [ "vmgexit"; "vmsa_save"; "ghcb_protocol"; "hv_relay"; "vmenter"; "vmsa_restore" ]
+    in
+    if List.length legs_exp <> List.length legs then
+      failwith "EXPERIMENTS.md: anchors row leg count changed";
+    let measured_total = ref 0 in
+    List.iter2
+      (fun leg exp ->
+        let m = Obs.Profiler.bucket_self prof leg / switches in
+        measured_total := !measured_total + m;
+        check_int (Printf.sprintf "switch leg %s" leg) m exp)
+      legs legs_exp;
+    check_int "switch total" !measured_total total_exp;
+
+    (* E4 — per-syscall redirection table, re-run from the shared
+       Syscall_bench definitions (same driver parameters as bench e4). *)
+    print_endline "E4  enclave syscall redirection (Table 3)";
+    let e4 = md_section md "E4" in
+    let iterations = 400 in
+    List.iter
+      (fun sb ->
+        let name = sb.Workloads.Syscall_bench.sb_name in
+        let cells = need e4 name in
+        let w = Workloads.Syscall_bench.workload_of ~iterations sb in
+        let native = Workloads.Driver.run ~npages:4096 Workloads.Driver.Native w in
+        let enc = Workloads.Driver.run ~npages:4096 Workloads.Driver.Enclave w in
+        let per_native = native.Workloads.Driver.cycles / iterations in
+        let per_enc = enc.Workloads.Driver.cycles / iterations in
+        check_int (name ^ " native cyc") per_native (int_of_cell (cell cells 1 name));
+        check_int (name ^ " enclave cyc") per_enc (int_of_cell (cell cells 2 name));
+        check_float (name ^ " slowdown") ~tol:0.05
+          (float_of_int per_enc /. float_of_int per_native)
+          (float_of_cell (cell cells 3 name)))
+      Workloads.Syscall_bench.all;
+
+    (* E6 — audit overhead table (same runs as bench e6 at scale 1). *)
+    print_endline "E6  protected system auditing (Table 5)";
+    let e6 = md_section md "E6" in
+    List.iter
+      (fun w ->
+        let name = w.Workloads.Workload.name in
+        let cells = need e6 name in
+        let base = Workloads.Driver.run ~scale:1 Workloads.Driver.Veil_background w in
+        let ka = Workloads.Driver.run ~scale:1 Workloads.Driver.Kaudit w in
+        let vl = Workloads.Driver.run ~scale:1 Workloads.Driver.Veils_log w in
+        check_float (name ^ " kaudit %") ~tol:0.005
+          (Workloads.Driver.overhead_pct ~baseline:base ka)
+          (float_of_cell (cell cells 1 name));
+        check_float (name ^ " veils-log %") ~tol:0.005
+          (Workloads.Driver.overhead_pct ~baseline:base vl)
+          (float_of_cell (cell cells 3 name));
+        check_float (name ^ " logs/s (k)") ~tol:0.05
+          (Workloads.Driver.rate_per_second vl vl.Workloads.Driver.audit_records /. 1000.0)
+          (float_of_cell (cell cells 5 name)))
+      (Workloads.Registry.audit_programs ());
+
+    if !drifts = 0 then Printf.printf "all regenerated values match %s\n" exp_path
+    else Printf.printf "%d value(s) drifted from %s\n" !drifts exp_path;
+    if check && !drifts > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Regenerate the paper's E2/E4/E6 tables (domain-switch legs from Veil-Prof \
+          attribution, syscall-redirection and audit-overhead runs) and diff them against \
+          EXPERIMENTS.md; --check fails on any drift.")
+    Term.(const run $ check_arg $ experiments_arg)
+
 let main =
   let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in
   Cmd.group
     (Cmd.info "veilctl" ~version:Veil_core.Veil.version ~doc)
-    [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; metrics_cmd; migrate_cmd;
-      sql_cmd ]
+    [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; profile_cmd; report_cmd;
+      metrics_cmd; migrate_cmd; sql_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -455,6 +455,11 @@ let pt_sync t vcpu ~pid:_ ~va ~npages ~prot : Idcb.response =
 
 let enter t vcpu enclave =
   let platform = Monitor.platform t.mon in
+  let prof = platform.P.profiler in
+  let prof_on = Obs.Profiler.enabled prof in
+  if prof_on then
+    Obs.Profiler.push prof ~vcpu:vcpu.Sevsnp.Vcpu.id
+      ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu) "enclave_enter";
   (* Scheduling (§6.2/§7): the Dom_ENC instance is shared by all
      enclaves on this VCPU, so its enclave-specific state is
      synchronized before entry (protected tables, user GHCB). *)
@@ -476,10 +481,18 @@ let enter t vcpu enclave =
   if Obs.Trace.enabled platform.P.tracer then
     Obs.Trace.emit platform.P.tracer ~vcpu:vcpu.Sevsnp.Vcpu.id
       ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
-      ~bucket:"monitor" ~arg:enclave.e_id Obs.Trace.Enclave_enter
+      ~bucket:"monitor" ~arg:enclave.e_id
+      ~id:(Obs.Profiler.id prof ~vcpu:vcpu.Sevsnp.Vcpu.id) Obs.Trace.Enclave_enter;
+  if prof_on then
+    Obs.Profiler.pop prof ~vcpu:vcpu.Sevsnp.Vcpu.id ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
 
 let exit_enclave t vcpu _enclave ~restore_ghcb =
   let platform = Monitor.platform t.mon in
+  let prof = platform.P.profiler in
+  let prof_on = Obs.Profiler.enabled prof in
+  if prof_on then
+    Obs.Profiler.push prof ~vcpu:vcpu.Sevsnp.Vcpu.id
+      ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu) "enclave_exit";
   (match P.ghcb_of_vcpu platform vcpu with
   | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl3 }
   | None -> P.halt platform "enclave exit without GHCB");
@@ -494,7 +507,10 @@ let exit_enclave t vcpu _enclave ~restore_ghcb =
   if Obs.Trace.enabled platform.P.tracer then
     Obs.Trace.emit platform.P.tracer ~vcpu:vcpu.Sevsnp.Vcpu.id
       ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
-      ~bucket:"monitor" Obs.Trace.Enclave_exit
+      ~bucket:"monitor" ~id:(Obs.Profiler.id prof ~vcpu:vcpu.Sevsnp.Vcpu.id)
+      Obs.Trace.Enclave_exit;
+  if prof_on then
+    Obs.Profiler.pop prof ~vcpu:vcpu.Sevsnp.Vcpu.id ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
 
 let change_perms t vcpu enclave ~va ~npages ~prot =
   let platform = Monitor.platform t.mon in

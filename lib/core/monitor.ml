@@ -258,8 +258,16 @@ let domain_switch t vcpu ~target =
     | Some g -> g
     | None -> P.halt t.platform "domain switch without a GHCB"
   in
+  (* One frame per relayed switch: its children are the exit legs, the
+     host relay, and the entry legs — the paper's six-leg breakdown. *)
+  let prof = t.platform.P.profiler in
+  let prof_on = Obs.Profiler.enabled prof in
+  if prof_on then
+    Obs.Profiler.push prof ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu)
+      "domain_switch";
   ghcb.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = Privdom.vmpl target };
-  P.vmgexit t.platform vcpu
+  P.vmgexit t.platform vcpu;
+  if prof_on then Obs.Profiler.pop prof ~vcpu:vcpu.V.id ~ts:(V.rdtsc vcpu)
 
 (* --- sanitization (§8.1) --- *)
 
@@ -327,10 +335,20 @@ let dispatch t vcpu req =
 let os_call t vcpu (req : Idcb.request) : Idcb.response =
   t.stats.os_calls <- t.stats.os_calls + 1;
   Obs.Metrics.incr t.c_os_calls;
+  (* An IDCB request is a request origin: mint a causal id if this VCPU
+     is not already carrying one (e.g. an os_call issued from inside a
+     traced syscall keeps the syscall's id). *)
+  let prof = t.platform.P.profiler in
+  let prof_on = Obs.Profiler.enabled prof in
+  let minted = prof_on && Obs.Profiler.id prof ~vcpu:vcpu.V.id = 0 in
+  if minted then Obs.Profiler.set_id prof ~vcpu:vcpu.V.id (Obs.Profiler.mint prof);
+  if prof_on then
+    Obs.Profiler.push prof ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu)
+      "os_call";
   let tr = t.platform.P.tracer in
   if Obs.Trace.enabled tr then
-    Obs.Trace.span_begin tr ~bucket:"monitor" ~vcpu:vcpu.V.id
-      ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) "os_call";
+    Obs.Trace.span_begin tr ~bucket:"monitor" ~id:(Obs.Profiler.id prof ~vcpu:vcpu.V.id)
+      ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) "os_call";
   let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
   (* OS writes the request into the IDCB. *)
   charge_on vcpu C.Copy (C.copy_cost (Idcb.request_size req));
@@ -353,6 +371,10 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
   if Obs.Trace.enabled tr then
     Obs.Trace.span_end tr ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu))
       ~ts:(V.rdtsc vcpu) "os_call";
+  if prof_on then begin
+    Obs.Profiler.pop prof ~vcpu:vcpu.V.id ~ts:(V.rdtsc vcpu);
+    if minted then Obs.Profiler.set_id prof ~vcpu:vcpu.V.id 0
+  end;
   resp
 
 (* --- service primitives --- *)

@@ -48,6 +48,11 @@ let append t vcpu (record : Guest_kernel.Audit.record) =
   end
   else begin
     let platform = Monitor.platform t.mon in
+    let prof = platform.P.profiler in
+    let prof_on = Obs.Profiler.enabled prof in
+    if prof_on then
+      Obs.Profiler.push prof ~vcpu:vcpu.Sevsnp.Vcpu.id
+        ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu) "slog_append";
     (* Length-prefixed append into the protected region (Dom_SEC rw). *)
     let framed = Bytes.create (4 + len) in
     Bytes.set_int32_le framed 0 (Int32.of_int len);
@@ -64,7 +69,10 @@ let append t vcpu (record : Guest_kernel.Audit.record) =
      if Obs.Trace.enabled tr then
        Obs.Trace.emit tr ~vcpu:vcpu.Sevsnp.Vcpu.id
          ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
-         ~bucket:"monitor" ~arg:(len + 4) Obs.Trace.Audit_emit);
+         ~bucket:"monitor" ~arg:(len + 4)
+         ~id:(Obs.Profiler.id prof ~vcpu:vcpu.Sevsnp.Vcpu.id) Obs.Trace.Audit_emit);
+    if prof_on then
+      Obs.Profiler.pop prof ~vcpu:vcpu.Sevsnp.Vcpu.id ~ts:(Sevsnp.Vcpu.rdtsc vcpu);
     Idcb.Resp_ok
   end
 

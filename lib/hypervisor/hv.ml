@@ -60,6 +60,12 @@ let handle_domain_switch t vcpu target_vmpl =
   let ghcb_gpfn = T.gpfn_of_gpa vmsa.Sevsnp.Vmsa.ghcb_gpa in
   let from = vmsa.Sevsnp.Vmsa.vmpl in
   Sevsnp.Vcpu.charge vcpu C.Switch C.hv_switch_logic;
+  (* The host relay leg, billed while the source instance's clock still
+     runs (VMENTER has not happened yet). *)
+  let prof = t.platform.P.profiler in
+  if Obs.Profiler.enabled prof then
+    Obs.Profiler.leaf prof ~vcpu:vcpu.Sevsnp.Vcpu.id ~vmpl:(T.vmpl_index from)
+      ~dur:C.hv_switch_logic "hv_relay";
   if not (policy_allows t ~ghcb_gpfn ~a:from ~b:target_vmpl) then
     P.halt t.platform
       (Format.asprintf "domain switch %a -> %a via GHCB frame %d violates installed policy" T.pp_vmpl from
@@ -79,6 +85,7 @@ let handle_domain_switch t vcpu target_vmpl =
         if Obs.Trace.enabled tr then begin
           let ts0 = vcpu.Sevsnp.Vcpu.last_exit_ts in
           Obs.Trace.complete tr ~bucket:"switch" ~arg:(T.vmpl_index target_vmpl)
+            ~id:(Obs.Profiler.id prof ~vcpu:vcpu.Sevsnp.Vcpu.id)
             ~vcpu:vcpu.Sevsnp.Vcpu.id ~vmpl:(T.vmpl_index target_vmpl) ~ts:ts0
             ~dur:(Sevsnp.Vcpu.rdtsc vcpu - ts0) Obs.Trace.Domain_switch
         end

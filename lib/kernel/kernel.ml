@@ -847,7 +847,16 @@ let audit_detail (proc : Process.t) args =
 let invoke t proc sys args =
   t.syscalls <- t.syscalls + 1;
   Obs.Metrics.incr t.c_syscalls;
+  let prof = t.platform.P.profiler in
+  let prof_on = Obs.Profiler.enabled prof in
+  let vcpu_id = t.vcpu.Sevsnp.Vcpu.id in
+  (* Syscall entry is a request origin: mint a causal id if none is
+     riding this VCPU (an enclave ocall arrives with one already). *)
+  let minted = prof_on && Obs.Profiler.id prof ~vcpu:vcpu_id = 0 in
+  if minted then Obs.Profiler.set_id prof ~vcpu:vcpu_id (Obs.Profiler.mint prof);
   let ts0 = Sevsnp.Vcpu.rdtsc t.vcpu in
+  if prof_on then
+    Obs.Profiler.push prof ~vcpu:vcpu_id ~vmpl:(T.vmpl_index (kernel_vmpl t)) ~ts:ts0 "syscall";
   charge t C.Kernel C.syscall_base;
   (* Execute-ahead auditing (§6.3): the record is built — and captured
      by the protect hook — *before* the event executes, so the log
@@ -855,6 +864,9 @@ let invoke t proc sys args =
   (if Audit.matches t.audit sys then begin
      let detail = audit_detail proc args in
      charge t C.Kernel C.kaudit_format;
+     if prof_on then
+       Obs.Profiler.leaf prof ~vcpu:vcpu_id ~vmpl:(T.vmpl_index (kernel_vmpl t))
+         ~dur:C.kaudit_format "kaudit_format";
      ignore (Audit.emit t.audit ~cycles:(Sevsnp.Vcpu.rdtsc t.vcpu) ~sys ~pid:proc.Process.pid ~detail)
    end);
   let ret = dispatch t proc sys args in
@@ -862,8 +874,13 @@ let invoke t proc sys args =
   Obs.Metrics.observe t.h_syscall_cycles dur;
   if Obs.Trace.enabled t.platform.P.tracer then
     Obs.Trace.complete t.platform.P.tracer ~bucket:"kernel" ~arg:(Sysno.number sys)
+      ~id:(Obs.Profiler.id prof ~vcpu:vcpu_id)
       ~vcpu:t.vcpu.Sevsnp.Vcpu.id ~vmpl:(T.vmpl_index (kernel_vmpl t)) ~ts:ts0 ~dur
       Obs.Trace.Syscall;
+  if prof_on then begin
+    Obs.Profiler.pop prof ~vcpu:vcpu_id ~ts:(Sevsnp.Vcpu.rdtsc t.vcpu);
+    if minted then Obs.Profiler.set_id prof ~vcpu:vcpu_id 0
+  end;
   ret
 
 

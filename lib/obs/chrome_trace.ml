@@ -1,5 +1,7 @@
-(* Chrome trace_event JSON exporter: pid = vcpu, tid = vmpl, so each
-   VCPU is a trace "process" whose VMPLs are its "threads". *)
+(* Chrome trace_event JSON exporter: pid = vmpl, tid = vcpu, so each
+   privilege level (VeilOS, VeilMon, enclaves, ...) is a trace
+   "process" whose VCPUs are its "threads" — Perfetto then groups
+   tracks by privilege domain, which is how the paper reads. *)
 
 let phase_letter = function
   | Trace.Instant -> "i"
@@ -30,17 +32,17 @@ let to_json ?freq_hz t =
     Buffer.add_string buf "\n  "
   in
   Buffer.add_string buf "{\"traceEvents\":[";
-  (* Metadata: name every VCPU process and VMPL thread we will use. *)
+  (* Metadata: name every VMPL process and VCPU thread we will use. *)
   let seen_pids = Hashtbl.create 8 and seen_tids = Hashtbl.create 8 in
   List.iter
     (fun ev ->
-      let pid = ev.Trace.ev_vcpu and tid = ev.Trace.ev_vmpl in
+      let pid = ev.Trace.ev_vmpl and tid = ev.Trace.ev_vcpu in
       if not (Hashtbl.mem seen_pids pid) then begin
         Hashtbl.replace seen_pids pid ();
         sep ();
         Buffer.add_string buf
           (Printf.sprintf
-             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"vcpu%d\"}}"
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"vmpl%d\"}}"
              pid pid)
       end;
       if not (Hashtbl.mem seen_tids (pid, tid)) then begin
@@ -48,7 +50,7 @@ let to_json ?freq_hz t =
         sep ();
         Buffer.add_string buf
           (Printf.sprintf
-             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"vmpl%d\"}}"
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"vcpu%d\"}}"
              pid tid tid)
       end)
     evs;
@@ -64,13 +66,15 @@ let to_json ?freq_hz t =
       buf_ts buf ~freq_hz ",\"ts\":" ev.Trace.ev_ts;
       if ev.Trace.ev_phase = Trace.Complete then buf_ts buf ~freq_hz ",\"dur\":" ev.Trace.ev_dur;
       Buffer.add_string buf
-        (Printf.sprintf ",\"pid\":%d,\"tid\":%d" ev.Trace.ev_vcpu ev.Trace.ev_vmpl);
+        (Printf.sprintf ",\"pid\":%d,\"tid\":%d" ev.Trace.ev_vmpl ev.Trace.ev_vcpu);
       Buffer.add_string buf ",\"args\":{";
       if ev.Trace.ev_bucket <> "" then begin
         Buffer.add_string buf "\"bucket\":\"";
         Buffer.add_string buf (Metrics.json_escape ev.Trace.ev_bucket);
         Buffer.add_string buf "\","
       end;
+      if ev.Trace.ev_id <> 0 then
+        Buffer.add_string buf (Printf.sprintf "\"id\":%d," ev.Trace.ev_id);
       Buffer.add_string buf (Printf.sprintf "\"arg\":%d,\"cycles\":%d}}" ev.Trace.ev_arg ev.Trace.ev_ts))
     evs;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";

@@ -1,14 +1,16 @@
 (** Chrome [trace_event] exporter.
 
     Serializes a {!Trace.t} into the JSON Array/Object format that
-    [chrome://tracing] and Perfetto load: one trace "process" per VCPU
-    and one "thread" per VMPL within it, so domain switches read as
-    control bouncing between the Dom_UNT / Dom_SEC / Dom_MON / Dom_ENC
-    rows of a VCPU.
+    [chrome://tracing] and Perfetto load: one trace "process" per VMPL
+    (privilege domain) and one "thread" per VCPU within it, each named
+    by [process_name]/[thread_name] metadata records, so domain
+    switches read as control bouncing between the vmpl0..vmpl3 process
+    groups.
 
     Phases map directly: [Instant -> "i"], [Begin -> "B"],
     [End -> "E"], [Complete -> "X"] (with [dur]).  The attribution
-    bucket and the kind-specific [arg] ride along in ["args"]. *)
+    bucket, the kind-specific [arg], and the causal trace id (when
+    nonzero) ride along in ["args"]. *)
 
 val to_json : ?freq_hz:int -> Trace.t -> string
 (** Export all buffered events.  Timestamps are emitted in

@@ -1,0 +1,49 @@
+(* Folded-stack flamegraph text: one "path weight" line per distinct
+   ancestry, the format flamegraph.pl / speedscope / inferno ingest.
+   Paths are ";"-separated, rooted at a process name ("veil"), then the
+   VMPL segment, then the frame ancestry. *)
+
+let render ?(root = "veil") paths =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun ((path : string), weight) ->
+      Buffer.add_string b root;
+      Buffer.add_char b ';';
+      Buffer.add_string b path;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int weight);
+      Buffer.add_char b '\n')
+    paths;
+  Buffer.contents b
+
+let parse text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match String.rindex_opt line ' ' with
+           | None -> None
+           | Some i -> (
+               let path = String.sub line 0 i in
+               match int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) with
+               | None -> None
+               | Some w -> Some (path, w)))
+
+(* Sum weights per (vmpl, leaf-bucket) — the folded-side view of the
+   profiler ledger.  Expects paths of the form root;vmplN;...;leaf. *)
+let leaf_totals lines =
+  let tbl : (int * string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (path, w) ->
+      match String.split_on_char ';' path with
+      | _root :: vm :: rest when String.length vm > 4 && String.sub vm 0 4 = "vmpl" -> (
+          match int_of_string_opt (String.sub vm 4 (String.length vm - 4)) with
+          | None -> ()
+          | Some vmpl ->
+              let leaf = match List.rev rest with l :: _ -> l | [] -> vm in
+              let key = (vmpl, leaf) in
+              Hashtbl.replace tbl key (w + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+      | _ -> ())
+    lines;
+  Hashtbl.fold (fun key w acc -> (key, w) :: acc) tbl [] |> List.sort compare

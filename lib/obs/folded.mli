@@ -1,0 +1,16 @@
+(** Folded-stack flamegraph text, the format consumed by flamegraph.pl,
+    speedscope, and inferno: one ["path weight"] line per distinct
+    ancestry, path segments joined with [";"]. *)
+
+val render : ?root:string -> (string * int) list -> string
+(** Render {!Profiler.paths} output, prefixing each path with
+    [root] (default ["veil"]):
+    ["veil;vmpl0;domain_switch;vmgexit 550000\n..."]. *)
+
+val parse : string -> (string * int) list
+(** Inverse of {!render} (paths keep their root segment); blank and
+    malformed lines are skipped. *)
+
+val leaf_totals : (string * int) list -> ((int * string) * int) list
+(** Sum parsed weights per (VMPL, leaf bucket) — comparable against
+    {!Profiler.ledger} self totals. *)

@@ -86,8 +86,11 @@ let hist_sum h = h.sum
 let hist_min h = h.mn
 let hist_max h = h.mx
 
+let mean h = if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
+
 let percentile h p =
   if h.n = 0 then 0
+  else if p >= 100.0 then h.mx (* the true observed max, not a bucket lower bound *)
   else begin
     let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int h.n))) in
     let rank = min rank h.n in
@@ -131,8 +134,9 @@ let dump t =
       | Gauge g -> Buffer.add_string buf (Printf.sprintf "%-40s %d (gauge)\n" name g.g)
       | Histogram h ->
           Buffer.add_string buf
-            (Printf.sprintf "%-40s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n" name h.n
-               h.sum h.mn h.mx (percentile h 50.0) (percentile h 95.0) (percentile h 99.0)))
+            (Printf.sprintf "%-40s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p95=%d p99=%d\n"
+               name h.n h.sum h.mn h.mx (mean h) (percentile h 50.0) (percentile h 95.0)
+               (percentile h 99.0)))
     (names t);
   Buffer.contents buf
 
@@ -168,8 +172,8 @@ let to_json t =
       | Histogram h ->
           Some
             (Printf.sprintf
-               "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
-               (json_escape n) h.n h.sum h.mn h.mx (percentile h 50.0) (percentile h 95.0)
+               "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%g,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+               (json_escape n) h.n h.sum h.mn h.mx (mean h) (percentile h 50.0) (percentile h 95.0)
                (percentile h 99.0))
       | _ -> None)
   in

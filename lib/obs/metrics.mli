@@ -50,10 +50,14 @@ val hist_min : histogram -> int
 
 val hist_max : histogram -> int
 
+val mean : histogram -> float
+(** Exact arithmetic mean ([sum / count]); 0.0 when empty. *)
+
 val percentile : histogram -> float -> int
-(** [percentile h p] for [p] in (0, 100]: the lower bound of the log₂
+(** [percentile h p] for [p] in (0, 100): the lower bound of the log₂
     bucket holding the observation of rank [ceil(p/100 * count)].
-    0 when empty. *)
+    [p >= 100] returns the true observed max ({!hist_max}), not a
+    bucket bound.  0 when empty. *)
 
 val find : t -> string -> metric option
 
@@ -68,7 +72,7 @@ val dump : t -> string
 
 val to_json : t -> string
 (** One JSON object: [{"counters":{..},"gauges":{..},"histograms":{..}}]
-    with p50/p95/p99 readouts inlined per histogram. *)
+    with mean/p50/p95/p99 readouts inlined per histogram. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON string literal (shared with

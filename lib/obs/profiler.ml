@@ -1,0 +1,188 @@
+(* Veil-Prof — cycle-attribution profiler over the simulated clock.
+
+   Each VCPU owns a preallocated stack of open frames.  Pushing a frame
+   records the cycle counter at entry; popping computes the frame's
+   *total* (cycles between push and pop on that VCPU's clock) and its
+   *self* time (total minus cycles already attributed to child frames
+   and leaves), then credits self into two aggregate tables: a ledger
+   keyed by (VMPL, bucket name) and a folded-path table keyed by the
+   full ancestry string ("vmpl0;os_call;domain_switch;vmgexit").
+
+   Every mutating entry point is a no-op behind a single [t.on] test and
+   allocates nothing while disabled, mirroring the Veil-Trace contract:
+   instrumented hot paths guard calls with [if Profiler.enabled p] so
+   the disabled cost is one branch.  While enabled, push/pop/leaf reuse
+   the preallocated frame records and only the aggregate tables allocate
+   (once per distinct key plus the folded-path strings). *)
+
+type frame = {
+  mutable f_name : string;
+  mutable f_vmpl : int;
+  mutable f_start : int;
+  mutable f_child : int;  (* cycles already credited to children *)
+}
+
+type vstack = {
+  frames : frame array;
+  mutable depth : int;
+  mutable overflow : int;  (* pushes refused at max depth, still pop-paired *)
+  mutable cur_id : int;  (* causal trace id riding this VCPU; 0 = none *)
+}
+
+type cell = { mutable self : int; mutable hits : int }
+
+type t = {
+  mutable on : bool;
+  max_depth : int;
+  mutable stacks : vstack option array;  (* index = VCPU id, grown on demand *)
+  ledger : (int * string, cell) Hashtbl.t;  (* (vmpl, bucket) -> self cycles *)
+  path_tbl : (string, cell) Hashtbl.t;  (* folded ancestry -> self cycles *)
+  mutable next_id : int;
+}
+
+let create ?(max_depth = 64) () =
+  { on = false;
+    max_depth = max 4 max_depth;
+    stacks = Array.make 4 None;
+    ledger = Hashtbl.create 64;
+    path_tbl = Hashtbl.create 256;
+    next_id = 0 }
+
+let set_enabled t b = t.on <- b
+let enabled t = t.on
+
+let reset t =
+  Hashtbl.reset t.ledger;
+  Hashtbl.reset t.path_tbl;
+  t.next_id <- 0;
+  Array.iter
+    (function
+      | None -> ()
+      | Some s ->
+          s.depth <- 0;
+          s.overflow <- 0;
+          s.cur_id <- 0)
+    t.stacks
+
+let fresh_frame _ = { f_name = ""; f_vmpl = 0; f_start = 0; f_child = 0 }
+
+let stack t vcpu =
+  let vcpu = if vcpu < 0 then 0 else vcpu in
+  if vcpu >= Array.length t.stacks then begin
+    let grown = Array.make (max (vcpu + 1) (2 * Array.length t.stacks)) None in
+    Array.blit t.stacks 0 grown 0 (Array.length t.stacks);
+    t.stacks <- grown
+  end;
+  match t.stacks.(vcpu) with
+  | Some s -> s
+  | None ->
+      let s =
+        { frames = Array.init t.max_depth fresh_frame; depth = 0; overflow = 0; cur_id = 0 }
+      in
+      t.stacks.(vcpu) <- Some s;
+      s
+
+let cell_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+      let c = { self = 0; hits = 0 } in
+      Hashtbl.replace tbl key c;
+      c
+
+(* Credit [self] cycles to bucket [name] emitted at [vmpl], under the
+   ancestry currently open on [s] (frames 0..depth-1).  The folded path
+   roots at the *recorded frame's own* VMPL — not the root frame's — so
+   summing folded leaves per (VMPL, bucket) reproduces the ledger
+   exactly even when a request migrates across privilege levels. *)
+let record t s ~vmpl ~name ~self =
+  let self = if self < 0 then 0 else self in
+  let lc = cell_of t.ledger (vmpl, name) in
+  lc.self <- lc.self + self;
+  lc.hits <- lc.hits + 1;
+  let b = Buffer.create 64 in
+  Buffer.add_string b "vmpl";
+  Buffer.add_string b (string_of_int vmpl);
+  for i = 0 to s.depth - 1 do
+    Buffer.add_char b ';';
+    Buffer.add_string b s.frames.(i).f_name
+  done;
+  Buffer.add_char b ';';
+  Buffer.add_string b name;
+  let pc = cell_of t.path_tbl (Buffer.contents b) in
+  pc.self <- pc.self + self;
+  pc.hits <- pc.hits + 1
+
+let push t ~vcpu ~vmpl ~ts name =
+  if t.on then begin
+    let s = stack t vcpu in
+    if s.depth >= t.max_depth then s.overflow <- s.overflow + 1
+    else begin
+      let f = s.frames.(s.depth) in
+      f.f_name <- name;
+      f.f_vmpl <- vmpl;
+      f.f_start <- ts;
+      f.f_child <- 0;
+      s.depth <- s.depth + 1
+    end
+  end
+
+let pop t ~vcpu ~ts =
+  if t.on then begin
+    let s = stack t vcpu in
+    if s.overflow > 0 then s.overflow <- s.overflow - 1
+    else if s.depth > 0 then begin
+      (* A pop on an empty stack is tolerated: the matching push may
+         predate [set_enabled true] or a [reset]. *)
+      s.depth <- s.depth - 1;
+      let f = s.frames.(s.depth) in
+      let total = ts - f.f_start in
+      let total = if total < 0 then 0 else total in
+      record t s ~vmpl:f.f_vmpl ~name:f.f_name ~self:(total - f.f_child);
+      if s.depth > 0 then begin
+        let parent = s.frames.(s.depth - 1) in
+        parent.f_child <- parent.f_child + total
+      end
+    end
+  end
+
+let leaf t ~vcpu ~vmpl ~dur name =
+  if t.on then begin
+    let dur = if dur < 0 then 0 else dur in
+    let s = stack t vcpu in
+    record t s ~vmpl ~name ~self:dur;
+    if s.depth > 0 then begin
+      let parent = s.frames.(s.depth - 1) in
+      parent.f_child <- parent.f_child + dur
+    end
+  end
+
+let mint t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let set_id t ~vcpu id = if t.on then (stack t vcpu).cur_id <- id
+
+let id t ~vcpu =
+  if (not t.on) || vcpu < 0 || vcpu >= Array.length t.stacks then 0
+  else match t.stacks.(vcpu) with Some s -> s.cur_id | None -> 0
+
+let open_frames t ~vcpu =
+  if vcpu < 0 || vcpu >= Array.length t.stacks then 0
+  else match t.stacks.(vcpu) with Some s -> s.depth | None -> 0
+
+let ledger t =
+  Hashtbl.fold (fun key c acc -> (key, (c.self, c.hits)) :: acc) t.ledger []
+  |> List.sort compare
+
+let paths t =
+  Hashtbl.fold (fun path c acc -> ((path, c.self) : string * int) :: acc) t.path_tbl []
+  |> List.sort compare
+
+let bucket_self t name =
+  Hashtbl.fold (fun (_, n) c acc -> if n = name then acc + c.self else acc) t.ledger 0
+
+let bucket_hits t name =
+  Hashtbl.fold (fun (_, n) c acc -> if n = name then acc + c.hits else acc) t.ledger 0
+
+let total_self t = Hashtbl.fold (fun _ c acc -> acc + c.self) t.ledger 0

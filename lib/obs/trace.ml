@@ -23,11 +23,12 @@ type event = {
   ev_dur : int;
   ev_bucket : string;
   ev_arg : int;
+  ev_id : int;
 }
 
 let dummy =
   { ev_kind = Vmgexit; ev_phase = Instant; ev_vcpu = -1; ev_vmpl = -1; ev_ts = 0; ev_dur = 0;
-    ev_bucket = ""; ev_arg = 0 }
+    ev_bucket = ""; ev_arg = 0; ev_id = 0 }
 
 type t = {
   mutable on : bool;
@@ -55,29 +56,29 @@ let push t ev =
   t.buf.(t.total mod t.cap) <- ev;
   t.total <- t.total + 1
 
-let emit t ?(phase = Instant) ?(dur = 0) ?(bucket = "") ?(arg = 0) ~vcpu ~vmpl ~ts kind =
+let emit t ?(phase = Instant) ?(dur = 0) ?(bucket = "") ?(arg = 0) ?(id = 0) ~vcpu ~vmpl ~ts kind =
   if t.on then
     push t
       { ev_kind = kind; ev_phase = phase; ev_vcpu = vcpu; ev_vmpl = vmpl; ev_ts = ts; ev_dur = dur;
-        ev_bucket = bucket; ev_arg = arg }
+        ev_bucket = bucket; ev_arg = arg; ev_id = id }
 
-let complete t ?(bucket = "") ?(arg = 0) ~vcpu ~vmpl ~ts ~dur kind =
+let complete t ?(bucket = "") ?(arg = 0) ?(id = 0) ~vcpu ~vmpl ~ts ~dur kind =
   if t.on then
     push t
       { ev_kind = kind; ev_phase = Complete; ev_vcpu = vcpu; ev_vmpl = vmpl; ev_ts = ts;
-        ev_dur = dur; ev_bucket = bucket; ev_arg = arg }
+        ev_dur = dur; ev_bucket = bucket; ev_arg = arg; ev_id = id }
 
-let span_begin t ?(bucket = "") ~vcpu ~vmpl ~ts name =
+let span_begin t ?(bucket = "") ?(id = 0) ~vcpu ~vmpl ~ts name =
   if t.on then
     push t
       { ev_kind = Span name; ev_phase = Begin; ev_vcpu = vcpu; ev_vmpl = vmpl; ev_ts = ts;
-        ev_dur = 0; ev_bucket = bucket; ev_arg = 0 }
+        ev_dur = 0; ev_bucket = bucket; ev_arg = 0; ev_id = id }
 
 let span_end t ~vcpu ~vmpl ~ts name =
   if t.on then
     push t
       { ev_kind = Span name; ev_phase = End; ev_vcpu = vcpu; ev_vmpl = vmpl; ev_ts = ts; ev_dur = 0;
-        ev_bucket = ""; ev_arg = 0 }
+        ev_bucket = ""; ev_arg = 0; ev_id = 0 }
 
 let events t =
   let n = stored t in

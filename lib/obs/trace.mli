@@ -43,6 +43,8 @@ type event = {
   ev_dur : int;  (** cycles covered; 0 unless [ev_phase = Complete] *)
   ev_bucket : string;  (** attribution bucket name; [""] = none *)
   ev_arg : int;  (** kind-specific detail (gpfn, sysno, bytes, ...) *)
+  ev_id : int;  (** causal trace id linking events of one logical request
+                    across world switches ({!Profiler.mint}); 0 = none *)
 }
 
 type t
@@ -66,18 +68,19 @@ val stored : t -> int
 (** Events currently held: [min (emitted t) (capacity t)]. *)
 
 val emit :
-  t -> ?phase:phase -> ?dur:int -> ?bucket:string -> ?arg:int ->
+  t -> ?phase:phase -> ?dur:int -> ?bucket:string -> ?arg:int -> ?id:int ->
   vcpu:int -> vmpl:int -> ts:int -> kind -> unit
 (** Record one event.  No-op while disabled.  Hot paths should guard
     the call with {!enabled} so that even the optional-argument boxing
     is skipped. *)
 
 val complete :
-  t -> ?bucket:string -> ?arg:int ->
+  t -> ?bucket:string -> ?arg:int -> ?id:int ->
   vcpu:int -> vmpl:int -> ts:int -> dur:int -> kind -> unit
 (** A span known only at its end: [ts] is the start, [dur] its extent. *)
 
-val span_begin : t -> ?bucket:string -> vcpu:int -> vmpl:int -> ts:int -> string -> unit
+val span_begin :
+  t -> ?bucket:string -> ?id:int -> vcpu:int -> vmpl:int -> ts:int -> string -> unit
 val span_end : t -> vcpu:int -> vmpl:int -> ts:int -> string -> unit
 (** Open/close a named software span.  Pairs nest per-VCPU (LIFO). *)
 

@@ -133,15 +133,27 @@ let leave t =
   t.stats.enclave_exits <- t.stats.enclave_exits + 1;
   t.is_inside <- false
 
+let profiler t = t.sys.Veil_core.Boot.platform.Sevsnp.Platform.profiler
+
 let run t body =
   if t.killed then raise (Enclave_killed "enclave was killed");
+  (* An ecall is a request origin: the causal id minted here rides the
+     VCPU through every ocall, world switch, and audit append the body
+     performs. *)
+  let prof = profiler t in
+  let vc = (vcpu t).Sevsnp.Vcpu.id in
+  let minted = Obs.Profiler.enabled prof && Obs.Profiler.id prof ~vcpu:vc = 0 in
+  if minted then Obs.Profiler.set_id prof ~vcpu:vc (Obs.Profiler.mint prof);
+  let finish () = if minted then Obs.Profiler.set_id prof ~vcpu:vc 0 in
   enter t;
   match body t with
   | result ->
       leave t;
+      finish ();
       result
   | exception e ->
       if t.is_inside then leave t;
+      finish ();
       raise e
 
 let maybe_tick t =
@@ -202,6 +214,13 @@ let ocall t sys args =
       ignore e;
       K.RErr K.EINVAL
   | Ok () ->
+      let prof = profiler t in
+      let prof_on = Obs.Profiler.enabled prof in
+      let vc = (vcpu t).Sevsnp.Vcpu.id in
+      if prof_on then
+        Obs.Profiler.push prof ~vcpu:vc
+          ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl (vcpu t)))
+          ~ts:(Sevsnp.Vcpu.rdtsc (vcpu t)) "ocall";
       (* Deep-copy arguments into the untrusted arena (§6.2). *)
       let in_bytes = Spec.copy_in_bytes spec args in
       let sanitize_cost = 800 + (60 * List.length args) in
@@ -219,9 +238,13 @@ let ocall t sys args =
       t.stats.redirect_bytes <- t.stats.redirect_bytes + out_bytes;
       arena_touch t out_bytes false;
       let lo, hi = enclave_range t in
-      (match Sanitizer.iago_check spec ret ~enclave_lo:lo ~enclave_hi:hi with
-      | Ok () -> ret
-      | Error _ -> K.RErr K.EFAULT)
+      let result =
+        match Sanitizer.iago_check spec ret ~enclave_lo:lo ~enclave_hi:hi with
+        | Ok () -> ret
+        | Error _ -> K.RErr K.EFAULT
+      in
+      if prof_on then Obs.Profiler.pop prof ~vcpu:vc ~ts:(Sevsnp.Vcpu.rdtsc (vcpu t));
+      result
 
 (* §10 batching: one exit amortized over the whole batch. *)
 let ocall_batch t calls =

@@ -12,6 +12,7 @@ type t = {
   vmsa_table : (Types.gpfn, Vmsa.t) Hashtbl.t;
   metrics : Obs.Metrics.t;
   tracer : Obs.Trace.t;
+  profiler : Obs.Profiler.t;
   c_npf : Obs.Metrics.counter;
   c_rmpadjust : Obs.Metrics.counter;
   c_pvalidate : Obs.Metrics.counter;
@@ -41,6 +42,7 @@ let create ?(seed = 7) ~npages () =
     vmsa_table = Hashtbl.create 16;
     metrics;
     tracer = Obs.Trace.create ();
+    profiler = Obs.Profiler.create ();
     c_npf = Obs.Metrics.counter metrics "platform.npf";
     c_rmpadjust = Obs.Metrics.counter metrics "platform.rmpadjust";
     c_pvalidate = Obs.Metrics.counter metrics "platform.pvalidate";
@@ -75,6 +77,14 @@ let raise_npf_at t vcpu info =
       ~vmpl:(Types.vmpl_index info.Types.fault_vmpl)
       ~ts ~arg:(Types.gpfn_of_gpa info.Types.fault_gpa) Obs.Trace.Npf
   end;
+  (if Obs.Profiler.enabled t.profiler then
+     match vcpu with
+     | Some v ->
+         (* #NPF halts the CVM; a zero-cycle leaf marks where under the
+            current attribution stack the fault landed. *)
+         Obs.Profiler.leaf t.profiler ~vcpu:v.Vcpu.id
+           ~vmpl:(Types.vmpl_index info.Types.fault_vmpl) ~dur:0 "npf"
+     | None -> ());
   t.halted <- Some (Format.asprintf "%a" Types.pp_npf info);
   raise (Types.Npf info)
 
@@ -289,7 +299,11 @@ let rmpadjust t vcpu ?(bucket = Cycles.Other) ~gpfn ~target ~perms ~vmsa () =
   Obs.Metrics.incr t.c_rmpadjust;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
-      ~ts:(Vcpu.rdtsc vcpu) ~bucket:(Cycles.bucket_name bucket) ~arg:gpfn Obs.Trace.Rmpadjust;
+      ~ts:(Vcpu.rdtsc vcpu) ~bucket:(Cycles.bucket_name bucket) ~arg:gpfn
+      ~id:(Obs.Profiler.id t.profiler ~vcpu:vcpu.Vcpu.id) Obs.Trace.Rmpadjust;
+  if Obs.Profiler.enabled t.profiler then
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
+      ~dur:(Cycles.rmpadjust_insn + touch) "rmpadjust";
   (* The page touch: a caller that cannot read the frame faults. *)
   let caller = Vcpu.vmpl vcpu in
   (match Rmp.check_guest_access t.rmp ~gpfn ~vmpl:caller ~cpl:Types.Cpl0 ~access:Types.Read with
@@ -306,7 +320,11 @@ let pvalidate t vcpu ?(bucket = Cycles.Other) ~gpfn ~to_private () =
   Obs.Metrics.incr t.c_pvalidate;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
-      ~ts:(Vcpu.rdtsc vcpu) ~bucket:(Cycles.bucket_name bucket) ~arg:gpfn Obs.Trace.Pvalidate;
+      ~ts:(Vcpu.rdtsc vcpu) ~bucket:(Cycles.bucket_name bucket) ~arg:gpfn
+      ~id:(Obs.Profiler.id t.profiler ~vcpu:vcpu.Vcpu.id) Obs.Trace.Pvalidate;
+  if Obs.Profiler.enabled t.profiler then
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
+      ~dur:Cycles.pvalidate "pvalidate";
   if Vcpu.vmpl vcpu <> Types.Vmpl0 then Error "pvalidate: FAIL_PERMISSION (not VMPL-0)"
   else if gpfn < 0 || gpfn >= Rmp.npages t.rmp then Error "pvalidate: frame out of range"
   else begin
@@ -357,8 +375,17 @@ let vmgexit t vcpu =
   Obs.Metrics.incr t.c_vmgexit;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
-      ~ts:vcpu.Vcpu.last_exit_ts ~bucket:"switch" ~arg:0 Obs.Trace.Vmgexit;
+      ~ts:vcpu.Vcpu.last_exit_ts ~bucket:"switch" ~arg:0
+      ~id:(Obs.Profiler.id t.profiler ~vcpu:vcpu.Vcpu.id) Obs.Trace.Vmgexit;
   Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_save + Cycles.ghcb_msr_protocol);
+  (* The combined exit charge, attributed leg by leg (paper §9.1). *)
+  if Obs.Profiler.enabled t.profiler then begin
+    let vmpl = Types.vmpl_index (Vcpu.vmpl vcpu) in
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl ~dur:Cycles.automatic_exit "vmgexit";
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl ~dur:Cycles.vmsa_save "vmsa_save";
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl ~dur:Cycles.ghcb_msr_protocol
+      "ghcb_protocol"
+  end;
   vcpu.Vcpu.exits <- vcpu.Vcpu.exits + 1;
   dispatch_exit t vcpu
 
@@ -368,14 +395,27 @@ let automatic_exit t vcpu =
   Obs.Metrics.incr t.c_vmgexit;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
-      ~ts:vcpu.Vcpu.last_exit_ts ~bucket:"switch" ~arg:1 Obs.Trace.Vmgexit;
+      ~ts:vcpu.Vcpu.last_exit_ts ~bucket:"switch" ~arg:1
+      ~id:(Obs.Profiler.id t.profiler ~vcpu:vcpu.Vcpu.id) Obs.Trace.Vmgexit;
   Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_save);
+  (* Same exit leg as VMGEXIT, minus the GHCB MSR protocol. *)
+  if Obs.Profiler.enabled t.profiler then begin
+    let vmpl = Types.vmpl_index (Vcpu.vmpl vcpu) in
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl ~dur:Cycles.automatic_exit "vmgexit";
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl ~dur:Cycles.vmsa_save "vmsa_save"
+  end;
   vcpu.Vcpu.exits <- vcpu.Vcpu.exits + 1;
   dispatch_exit t vcpu
 
 let vmenter t vcpu vmsa =
   check_running t;
   Vcpu.charge vcpu Cycles.Switch (Cycles.automatic_exit + Cycles.vmsa_restore);
+  if Obs.Profiler.enabled t.profiler then begin
+    (* Entry legs, attributed to the instance being entered. *)
+    let vmpl = Types.vmpl_index vmsa.Vmsa.vmpl in
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl ~dur:Cycles.automatic_exit "vmenter";
+    Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl ~dur:Cycles.vmsa_restore "vmsa_restore"
+  end;
   (* Instance switch (the VMPL/domain switch of the paper) flushes this
      CPU's TLB; re-entering the same instance (same ASID) keeps it. *)
   (match vcpu.Vcpu.current with
@@ -387,7 +427,8 @@ let vmenter t vcpu vmsa =
   Obs.Metrics.incr t.c_vmenter;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index vmsa.Vmsa.vmpl)
-      ~ts:(Vcpu.rdtsc vcpu) ~bucket:"switch" Obs.Trace.Vmenter
+      ~ts:(Vcpu.rdtsc vcpu) ~bucket:"switch"
+      ~id:(Obs.Profiler.id t.profiler ~vcpu:vcpu.Vcpu.id) Obs.Trace.Vmenter
 
 let install_vmsa t (vmsa : Vmsa.t) =
   (* Hardware accepts a frame as a VMSA only once RMPADJUST marked it. *)

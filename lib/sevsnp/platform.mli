@@ -26,6 +26,12 @@ type t = {
           counters in here, scoped per machine so side-by-side CVMs
           (migration, native-vs-Veil comparisons) never mix numbers *)
   tracer : Obs.Trace.t;  (** this machine's event tracer (off by default) *)
+  profiler : Obs.Profiler.t;
+      (** this machine's cycle-attribution profiler (off by default);
+          the platform charges the hardware legs — VMGEXIT, VMSA
+          save/restore, GHCB protocol, RMPADJUST, PVALIDATE — as
+          profiler leaves, and upper layers (hypervisor, kernel,
+          monitor, SDK) open the surrounding frames *)
   c_npf : Obs.Metrics.counter;  (** handle for "platform.npf" *)
   c_rmpadjust : Obs.Metrics.counter;
   c_pvalidate : Obs.Metrics.counter;

@@ -1,0 +1,48 @@
+(* The E4 per-syscall redirection benches (Fig. 4 / Table 3), shared
+   between `bench e4` and `veilctl report` so both regenerate the same
+   table from identical workloads. *)
+
+type t = { sb_name : string; sb_paper : float; sb_run : Env.t -> unit }
+
+let all : t list =
+  let b name paper run = { sb_name = name; sb_paper = paper; sb_run = run } in
+  [
+    b "open" 5.8 (fun env ->
+        let fd = Env.open_ env "/tmp/bench.txt" ~flags:Env.o_rdwr ~mode:0o644 in
+        Env.close env fd);
+    b "read" 4.2 (fun env ->
+        let fd = Env.open_ env "/srv/bench-10k.dat" ~flags:Env.o_rdonly ~mode:0 in
+        ignore (Env.read env fd 10240);
+        Env.close env fd);
+    b "write" 4.3 (fun env ->
+        let fd = Env.open_ env "/tmp/bench-out.dat" ~flags:(Env.o_creat lor Env.o_wronly) ~mode:0o644 in
+        ignore (Env.write env fd (Bytes.create 10240));
+        Env.close env fd);
+    b "mmap" 4.6 (fun env -> ignore (Env.mmap_anon env ~len:10240));
+    b "munmap" 7.1 (fun env ->
+        let va = Env.mmap_anon env ~len:10240 in
+        Env.munmap env ~va ~len:10240);
+    b "socket" 5.2 (fun env ->
+        let fd = Env.socket env in
+        Env.close env fd);
+    b "printf" 3.3 (fun env -> Env.console env "Hello World!\n");
+  ]
+
+let workload_of ?(iterations = 400) sb =
+  Workload.make ~name:sb.sb_name
+    ~setup:(fun ctx ->
+      let fd =
+        Env.open_ ctx.Workload.client "/srv/bench-10k.dat"
+          ~flags:(Env.o_creat lor Env.o_wronly) ~mode:0o644
+      in
+      ignore (Env.write ctx.Workload.client fd (Bytes.create 10240));
+      Env.close ctx.Workload.client fd;
+      let fd2 =
+        Env.open_ ctx.Workload.client "/tmp/bench.txt" ~flags:(Env.o_creat lor Env.o_wronly)
+          ~mode:0o644
+      in
+      Env.close ctx.Workload.client fd2)
+    (fun ctx ->
+      for _ = 1 to iterations do
+        sb.sb_run ctx.Workload.env
+      done)

@@ -1,0 +1,16 @@
+(** The E4 per-syscall redirection benches (Fig. 4 / Table 3): one
+    entry per popular syscall, shared between [bench e4] and
+    [veilctl report] so both regenerate the table from the exact same
+    workloads (deterministic given the same driver parameters). *)
+
+type t = {
+  sb_name : string;  (** table row name ("open", "read", ...) *)
+  sb_paper : float;  (** paper-reported enclave/native slowdown *)
+  sb_run : Env.t -> unit;  (** one iteration of the measured operation *)
+}
+
+val all : t list
+
+val workload_of : ?iterations:int -> t -> Workload.t
+(** Wrap one bench as a driver workload: setup creates the backing
+    files, the body runs [iterations] (default 400) operations. *)

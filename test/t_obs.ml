@@ -1,9 +1,12 @@
-(* Veil-Trace observability tests: ring-buffer semantics, span
-   nesting, histogram percentile exactness, and Chrome trace_event
-   export (parsed with a tiny local JSON reader — no extra deps). *)
+(* Veil-Trace/Veil-Prof observability tests: ring-buffer semantics,
+   span nesting, histogram percentile exactness, Chrome trace_event
+   export (parsed with a tiny local JSON reader — no extra deps), and
+   the cycle-attribution profiler's self/total accounting. *)
 
 module Tr = Obs.Trace
 module M = Obs.Metrics
+module P = Obs.Profiler
+module F = Obs.Folded
 
 (* --- ring buffer --- *)
 
@@ -32,6 +35,31 @@ let test_clear () =
   Tr.clear t;
   Alcotest.(check int) "clear drops events" 0 (Tr.stored t);
   Alcotest.(check bool) "clear keeps the flag" true (Tr.enabled t)
+
+(* Spans must survive the ring evicting their Begin records: emit
+   enough nested spans to wrap a small ring, then close them all. *)
+let test_ring_wraparound_spans () =
+  let t = Tr.create ~capacity:16 () in
+  Tr.set_enabled t true;
+  for i = 0 to 19 do
+    Tr.span_begin t ~vcpu:0 ~vmpl:0 ~ts:i (Printf.sprintf "s%d" i)
+  done;
+  for i = 19 downto 0 do
+    Tr.span_end t ~vcpu:0 ~vmpl:0 ~ts:(40 - i) (Printf.sprintf "s%d" i)
+  done;
+  Alcotest.(check int) "all begins and ends counted" 40 (Tr.emitted t);
+  Alcotest.(check int) "ring holds the newest 16" 16 (Tr.stored t);
+  (* every surviving record is an End whose Begin wrapped out *)
+  let kinds =
+    List.map
+      (fun e ->
+        match (e.Tr.ev_kind, e.Tr.ev_phase) with Tr.Span n, Tr.End -> n | _ -> "?")
+      (Tr.events t)
+  in
+  Alcotest.(check (list string)) "oldest-first ends, begins evicted"
+    (List.init 16 (fun i -> Printf.sprintf "s%d" (15 - i)))
+    kinds;
+  Alcotest.(check bool) "orphan ends keep the trace well-nested" true (Tr.well_nested t)
 
 (* --- span nesting --- *)
 
@@ -78,7 +106,10 @@ let test_histogram_percentiles () =
   Alcotest.(check int) "max" 1024 (M.hist_max h);
   Alcotest.(check int) "p50 exact on powers of two" 16 (M.percentile h 50.0);
   Alcotest.(check int) "p95 exact on powers of two" 64 (M.percentile h 95.0);
-  Alcotest.(check int) "p99 exact on powers of two" 1024 (M.percentile h 99.0)
+  Alcotest.(check int) "p99 exact on powers of two" 1024 (M.percentile h 99.0);
+  Alcotest.(check (float 1e-9)) "mean is exact (sum/count)"
+    (float_of_int ((50 * 16) + (45 * 64) + (5 * 1024)) /. 100.0)
+    (M.mean h)
 
 let test_counter_intern () =
   let m = M.create () in
@@ -220,6 +251,29 @@ let num_exn name j =
 let str_exn name j =
   match field name j with Some (Str s) -> s | _ -> failwith ("missing string " ^ name)
 
+let test_histogram_p100_true_max () =
+  let m = M.create () in
+  let h = M.histogram m "h" in
+  M.observe h 3;
+  M.observe h 1000;
+  (* 1000 lands in the [512, 1024) bucket — p100 must report the true
+     observed max, not the bucket bound. *)
+  Alcotest.(check int) "p100 is the observed max" 1000 (M.percentile h 100.0);
+  Alcotest.(check (float 1e-9)) "mean of {3, 1000}" 501.5 (M.mean h);
+  (match field "histograms" (parse_json (M.to_json m)) with
+  | Some hs -> (
+      match field "h" hs with
+      | Some hj ->
+          Alcotest.(check int) "json mean" 501 (num_exn "mean" hj);
+          Alcotest.(check int) "json max" 1000 (num_exn "max" hj)
+      | None -> Alcotest.fail "histogram h missing from JSON")
+  | None -> Alcotest.fail "no histograms object");
+  let dumped = M.dump m in
+  let rec contains i =
+    i + 5 <= String.length dumped && (String.sub dumped i 5 = "mean=" || contains (i + 1))
+  in
+  Alcotest.(check bool) "dump shows the mean" true (contains 0)
+
 (* --- Chrome exporter --- *)
 
 let test_chrome_export () =
@@ -227,7 +281,7 @@ let test_chrome_export () =
   Tr.set_enabled t true;
   (* Two VCPUs, events deliberately emitted with a Complete span whose
      start predates already-emitted instants — the exporter must sort. *)
-  Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:100 ~arg:0 Tr.Vmgexit;
+  Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:100 ~arg:0 ~id:7 Tr.Vmgexit;
   Tr.emit t ~vcpu:1 ~vmpl:0 ~ts:150 ~arg:1 Tr.Vmgexit;
   Tr.emit t ~vcpu:0 ~vmpl:2 ~ts:900 Tr.Vmenter;
   Tr.complete t ~bucket:"switch" ~arg:2 ~vcpu:0 ~vmpl:2 ~ts:200 ~dur:700 Tr.Domain_switch;
@@ -239,32 +293,46 @@ let test_chrome_export () =
   let is_meta e = str_exn "ph" e = "M" in
   let data = List.filter (fun e -> not (is_meta e)) evs in
   Alcotest.(check int) "all seven events exported" 7 (List.length data);
-  (* per-VCPU timestamps must be monotone non-decreasing *)
+  (* per-track (pid = VMPL) timestamps must be monotone non-decreasing *)
   let last = Hashtbl.create 4 in
   List.iter
     (fun e ->
       let pid = num_exn "pid" e and ts = num_exn "ts" e in
       let prev = try Hashtbl.find last pid with Not_found -> min_int in
       Alcotest.(check bool)
-        (Printf.sprintf "vcpu %d ts monotonic (%d >= %d)" pid ts prev)
+        (Printf.sprintf "vmpl %d ts monotonic (%d >= %d)" pid ts prev)
         true (ts >= prev);
       Hashtbl.replace last pid ts)
     data;
+  (* causal trace ids ride into the args object; id=0 is omitted *)
+  let ids =
+    List.filter_map
+      (fun e ->
+        match field "args" e with
+        | Some a -> (match field "id" a with Some (Num f) -> Some (int_of_float f) | _ -> None)
+        | None -> None)
+      data
+  in
+  Alcotest.(check (list int)) "only the tagged event carries its id" [ 7 ] ids;
   (* Complete spans carry their duration *)
   let durs =
     List.filter_map (fun e -> if str_exn "ph" e = "X" then Some (num_exn "dur" e) else None) data
   in
   Alcotest.(check (list int)) "complete spans keep durations" [ 700; 50 ] durs;
-  (* metadata names each vcpu process *)
-  let pnames =
+  (* metadata: one named process per VMPL, one named thread per VCPU *)
+  let meta_names which =
     List.filter_map
       (fun e ->
-        if is_meta e && str_exn "name" e = "process_name" then
+        if is_meta e && str_exn "name" e = which then
           match field "args" e with Some a -> Some (str_exn "name" a) | None -> None
         else None)
       evs
   in
-  Alcotest.(check (list string)) "vcpu processes named" [ "vcpu0"; "vcpu1" ] (List.sort compare pnames)
+  Alcotest.(check (list string)) "one process per vmpl" [ "vmpl0"; "vmpl2"; "vmpl3" ]
+    (List.sort compare (meta_names "process_name"));
+  Alcotest.(check (list string)) "threads named per (vmpl, vcpu) pair"
+    [ "vcpu0"; "vcpu0"; "vcpu1"; "vcpu1" ]
+    (List.sort compare (meta_names "thread_name"))
 
 let test_metrics_json_parses () =
   let m = M.create () in
@@ -278,17 +346,145 @@ let test_metrics_json_parses () =
       | None -> Alcotest.fail "no counters object")
   | _ -> Alcotest.fail "metrics JSON is not an object"
 
+(* --- Veil-Prof: cycle attribution --- *)
+
+let test_profiler_empty () =
+  let p = P.create () in
+  P.set_enabled p true;
+  Alcotest.(check int) "no attribution" 0 (P.total_self p);
+  Alcotest.(check bool) "empty ledger" true (P.ledger p = []);
+  Alcotest.(check bool) "empty paths" true (P.paths p = []);
+  Alcotest.(check int) "no open frames" 0 (P.open_frames p ~vcpu:0)
+
+let test_profiler_self_total () =
+  let p = P.create () in
+  P.set_enabled p true;
+  (* a spans [1000, 2000], b nests at [1200, 1700]: both get 500 self *)
+  P.push p ~vcpu:0 ~vmpl:0 ~ts:1000 "a";
+  P.push p ~vcpu:0 ~vmpl:0 ~ts:1200 "b";
+  P.pop p ~vcpu:0 ~ts:1700;
+  P.pop p ~vcpu:0 ~ts:2000;
+  Alcotest.(check bool) "self = total - child time"
+    true
+    (P.ledger p = [ ((0, "a"), (500, 1)); ((0, "b"), (500, 1)) ]);
+  Alcotest.(check bool) "paths carry the ancestry"
+    true
+    (P.paths p = [ ("vmpl0;a", 500); ("vmpl0;a;b", 500) ]);
+  Alcotest.(check int) "total self covers the outer span" 1000 (P.total_self p)
+
+let test_profiler_leaf_and_cross_vmpl () =
+  let p = P.create () in
+  P.set_enabled p true;
+  P.push p ~vcpu:0 ~vmpl:0 ~ts:0 "syscall";
+  (* fixed-cost leg attributed to another vmpl under the same stack *)
+  P.leaf p ~vcpu:0 ~vmpl:1 ~dur:300 "vmgexit";
+  P.pop p ~vcpu:0 ~ts:1000;
+  Alcotest.(check int) "leaf credited" 300 (P.bucket_self p "vmgexit");
+  Alcotest.(check int) "enclosing frame loses the leaf time" 700 (P.bucket_self p "syscall");
+  Alcotest.(check bool) "leaf rooted at its own vmpl" true
+    (List.mem_assoc "vmpl1;syscall;vmgexit" (P.paths p))
+
+let test_profiler_unclosed_frame () =
+  let p = P.create () in
+  P.set_enabled p true;
+  P.push p ~vcpu:0 ~vmpl:0 ~ts:10 "open_frame";
+  Alcotest.(check int) "work-in-progress visible" 1 (P.open_frames p ~vcpu:0);
+  Alcotest.(check bool) "not yet in the ledger" true (P.ledger p = []);
+  P.pop p ~vcpu:0 ~ts:60;
+  Alcotest.(check bool) "credited once closed" true
+    (P.ledger p = [ ((0, "open_frame"), (50, 1)) ]);
+  (* a stray pop with nothing open must be tolerated *)
+  P.pop p ~vcpu:0 ~ts:70;
+  Alcotest.(check int) "stray pop tolerated" 50 (P.total_self p)
+
+let test_profiler_disabled_noop () =
+  let p = P.create () in
+  P.push p ~vcpu:0 ~vmpl:0 ~ts:0 "dead";
+  P.leaf p ~vcpu:0 ~vmpl:0 ~dur:100 "dead_leaf";
+  P.pop p ~vcpu:0 ~ts:10;
+  P.set_id p ~vcpu:0 5;
+  Alcotest.(check bool) "disabled by default" false (P.enabled p);
+  Alcotest.(check int) "nothing recorded" 0 (P.total_self p);
+  Alcotest.(check int) "no causal id" 0 (P.id p ~vcpu:0);
+  (* the disabled mutators must also allocate nothing (the bench
+     alloc-check enforces the same on the full syscall path) *)
+  let n = 10_000 in
+  let before = Gc.minor_words () in
+  for i = 1 to n do
+    P.push p ~vcpu:0 ~vmpl:0 ~ts:i "dead";
+    P.leaf p ~vcpu:0 ~vmpl:0 ~dur:1 "dead_leaf";
+    ignore (P.id p ~vcpu:0);
+    P.pop p ~vcpu:0 ~ts:(i + 1)
+  done;
+  let words = (Gc.minor_words () -. before) /. float_of_int n in
+  Alcotest.(check (float 0.0)) "disabled profiler allocates 0.0 words/op" 0.0 words
+
+let test_profiler_causal_ids () =
+  let p = P.create () in
+  P.set_enabled p true;
+  let a = P.mint p and b = P.mint p in
+  Alcotest.(check bool) "ids are fresh and nonzero" true (a = 1 && b = 2);
+  P.set_id p ~vcpu:2 a;
+  Alcotest.(check int) "id rides its vcpu" a (P.id p ~vcpu:2);
+  Alcotest.(check int) "other vcpus unaffected" 0 (P.id p ~vcpu:0);
+  P.set_id p ~vcpu:2 0;
+  Alcotest.(check int) "cleared" 0 (P.id p ~vcpu:2);
+  P.reset p;
+  Alcotest.(check int) "reset restarts the generator" 1 (P.mint p)
+
+let test_profiler_depth_overflow () =
+  let p = P.create ~max_depth:4 () in
+  P.set_enabled p true;
+  for i = 0 to 9 do
+    P.push p ~vcpu:0 ~vmpl:0 ~ts:(i * 10) (Printf.sprintf "f%d" i)
+  done;
+  for i = 9 downto 0 do
+    P.pop p ~vcpu:0 ~ts:(200 - i)
+  done;
+  Alcotest.(check int) "all pops matched" 0 (P.open_frames p ~vcpu:0);
+  (* only the frames that fit the stack were credited *)
+  Alcotest.(check int) "dropped frames are not credited" 4
+    (List.length (P.ledger p))
+
+let test_folded_roundtrip () =
+  let p = P.create () in
+  P.set_enabled p true;
+  P.push p ~vcpu:0 ~vmpl:0 ~ts:0 "syscall";
+  P.push p ~vcpu:0 ~vmpl:1 ~ts:100 "os_call";
+  P.leaf p ~vcpu:0 ~vmpl:1 ~dur:550 "vmgexit";
+  P.pop p ~vcpu:0 ~ts:800;
+  P.pop p ~vcpu:0 ~ts:1000;
+  (* a second vcpu contributes to the same buckets *)
+  P.push p ~vcpu:1 ~vmpl:1 ~ts:0 "os_call";
+  P.pop p ~vcpu:1 ~ts:40;
+  let folded = F.render (P.paths p) in
+  Alcotest.(check bool) "folded text is rooted" true
+    (String.length folded > 5 && String.sub folded 0 5 = "veil;");
+  let totals = F.leaf_totals (F.parse folded) in
+  let ledger_totals = List.map (fun (k, (self, _)) -> (k, self)) (P.ledger p) in
+  Alcotest.(check bool) "folded leaf totals equal the ledger" true (totals = ledger_totals)
+
 let suite =
   [
     Alcotest.test_case "ring wraparound keeps newest" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring wraparound across open spans" `Quick test_ring_wraparound_spans;
     Alcotest.test_case "disabled tracer is a no-op" `Quick test_disabled_is_noop;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "span nesting well-formed" `Quick test_span_nesting;
     Alcotest.test_case "span misnesting detected" `Quick test_span_misnesting;
     Alcotest.test_case "orphan/open spans tolerated" `Quick test_span_open_and_orphan_tolerated;
     Alcotest.test_case "histogram percentiles exact" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram p100 and mean" `Quick test_histogram_p100_true_max;
     Alcotest.test_case "counter interning" `Quick test_counter_intern;
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "chrome export valid + monotonic" `Quick test_chrome_export;
     Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+    Alcotest.test_case "profiler empty" `Quick test_profiler_empty;
+    Alcotest.test_case "profiler self/total accounting" `Quick test_profiler_self_total;
+    Alcotest.test_case "profiler leaves + cross-vmpl" `Quick test_profiler_leaf_and_cross_vmpl;
+    Alcotest.test_case "profiler unclosed frames" `Quick test_profiler_unclosed_frame;
+    Alcotest.test_case "profiler disabled is free" `Quick test_profiler_disabled_noop;
+    Alcotest.test_case "profiler causal ids" `Quick test_profiler_causal_ids;
+    Alcotest.test_case "profiler depth overflow" `Quick test_profiler_depth_overflow;
+    Alcotest.test_case "folded stacks round-trip" `Quick test_folded_roundtrip;
   ]
