@@ -28,6 +28,11 @@ let seconds c = C.seconds_of_cycles c
    tables) with the full per-bucket cycle breakdown of each run. *)
 
 let json_mode = ref false
+
+(* Guest RNG seed for every Driver.run; overridable with --seed so a
+   failing table can be reproduced (and chaos runs can diversify the
+   guest side).  97 is the driver's historical default. *)
+let seed = ref 97
 let recorded : (string * D.stats) list ref = ref []
 
 let record ~experiment (s : D.stats) =
@@ -58,7 +63,7 @@ let micro_json (name, ns) =
 
 let emit_json () =
   if !json_mode then
-    Printf.printf "\n{\"veil_bench\":[%s],\"veil_micro\":[%s]}\n"
+    Printf.printf "\n{\"seed\":%d,\"veil_bench\":[%s],\"veil_micro\":[%s]}\n" !seed
       (String.concat "," (List.rev_map stats_json !recorded))
       (String.concat "," (List.rev_map micro_json !micro_recorded))
 
@@ -128,8 +133,8 @@ let e3 ?(scale = 1) () =
   Printf.printf "%-12s %14s %14s %10s\n" "program" "native cycles" "veil cycles" "overhead";
   List.iter
     (fun w ->
-      let native = record ~experiment:"e3" (D.run ~scale D.Native w) in
-      let veil = record ~experiment:"e3" (D.run ~scale D.Veil_background w) in
+      let native = record ~experiment:"e3" (D.run ~scale ~seed:!seed D.Native w) in
+      let veil = record ~experiment:"e3" (D.run ~scale ~seed:!seed D.Veil_background w) in
       Printf.printf "%-12s %14d %14d %9.2f%%   (paper: <2%%)\n" w.W.Workload.name native.D.cycles
         veil.D.cycles (D.overhead_pct ~baseline:native veil))
     (W.Registry.background_programs ())
@@ -143,8 +148,8 @@ let e4 ?(iterations = 400) () =
   List.iter
     (fun sb ->
       let w = W.Syscall_bench.workload_of ~iterations sb in
-      let native = D.run ~npages:4096 D.Native w in
-      let enc = D.run ~npages:4096 D.Enclave w in
+      let native = D.run ~npages:4096 ~seed:!seed D.Native w in
+      let enc = D.run ~npages:4096 ~seed:!seed D.Enclave w in
       (* subtract enclave creation by measuring per-iteration deltas on
          large iteration counts; creation is amortized *)
       let per_native = native.D.cycles / iterations in
@@ -165,8 +170,8 @@ let e5 ?(scale = 1) () =
     "exit/s pp" "redirect" "exit";
   List.iter
     (fun w ->
-      let native = record ~experiment:"e5" (D.run ~scale D.Native w) in
-      let enc = record ~experiment:"e5" (D.run ~scale D.Enclave w) in
+      let native = record ~experiment:"e5" (D.run ~scale ~seed:!seed D.Native w) in
+      let enc = record ~experiment:"e5" (D.run ~scale ~seed:!seed D.Enclave w) in
       let st = Option.get enc.D.enclave in
       let exits =
         st.Enclave_sdk.Runtime.enclave_exits + st.Enclave_sdk.Runtime.interrupts_while_inside
@@ -206,9 +211,9 @@ let e6 ?(scale = 1) () =
     "logs/s" "paper";
   List.iter
     (fun w ->
-      let base = record ~experiment:"e6" (D.run ~scale D.Veil_background w) in
-      let ka = record ~experiment:"e6" (D.run ~scale D.Kaudit w) in
-      let vl = record ~experiment:"e6" (D.run ~scale D.Veils_log w) in
+      let base = record ~experiment:"e6" (D.run ~scale ~seed:!seed D.Veil_background w) in
+      let ka = record ~experiment:"e6" (D.run ~scale ~seed:!seed D.Kaudit w) in
+      let vl = record ~experiment:"e6" (D.run ~scale ~seed:!seed D.Veils_log w) in
       let pk, pv, pr = try List.assoc w.W.Workload.name paper with Not_found -> (0., 0., 0.) in
       Printf.printf "%-10s | %7.2f%% %7.2f%% | %7.2f%% %7.2f%% | %8.1fk %8.1fk\n" w.W.Workload.name
         (D.overhead_pct ~baseline:base ka)
@@ -318,8 +323,8 @@ let ablate ?(scale = 1) () =
   Printf.printf "    %-10s %9s %9s %9s %9s\n" "program" "7135cyc" "3600cyc" "1100cyc" "150cyc";
   List.iter
     (fun w ->
-      let native = record ~experiment:"ablate" (D.run ~scale D.Native w) in
-      let enc = record ~experiment:"ablate" (D.run ~scale D.Enclave w) in
+      let native = record ~experiment:"ablate" (D.run ~scale ~seed:!seed D.Native w) in
+      let enc = record ~experiment:"ablate" (D.run ~scale ~seed:!seed D.Enclave w) in
       let st = Option.get enc.D.enclave in
       let switches = st.Enclave_sdk.Runtime.enclave_exits + st.Enclave_sdk.Runtime.enclave_entries in
       let recompute per_switch =

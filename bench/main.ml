@@ -4,14 +4,32 @@
    id (e1..e11, ablate, micro) or no argument for everything. *)
 
 let usage () =
-  print_endline "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablate|micro|all] [--json]";
+  print_endline
+    "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablate|micro|all] [--json] [--seed N]";
   print_endline "       (no argument = all; scale via VEIL_BENCH_SCALE, default 1;";
-  print_endline "        --json additionally prints every recorded run as one JSON document)"
+  print_endline "        --json additionally prints every recorded run as one JSON document;";
+  print_endline "        --seed sets the guest RNG seed for every run, default 97)"
 
 let scale =
   match Sys.getenv_opt "VEIL_BENCH_SCALE" with Some s -> int_of_string s | None -> 1
 
-let args = List.filter (fun a -> a <> "--json") (List.tl (Array.to_list Sys.argv))
+let args =
+  let rec strip = function
+    | "--seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some s -> Experiments.seed := s
+        | None ->
+            prerr_endline ("bench: --seed expects an integer, got " ^ v);
+            exit 2);
+        strip rest
+    | "--seed" :: [] ->
+        prerr_endline "bench: --seed expects an integer";
+        exit 2
+    | "--json" :: rest -> strip rest
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  strip (List.tl (Array.to_list Sys.argv))
 
 let () = Experiments.json_mode := Array.exists (( = ) "--json") Sys.argv
 

@@ -183,6 +183,17 @@ let alloc_check () =
   let sy () =
     ignore (Guest_kernel.Kernel.invoke kernel proc Guest_kernel.Sysno.Sched_yield [])
   in
+  (* Veil-Chaos contract: a disarmed platform pays one [match] on the
+     world-exit path and nothing else; an armed plan whose sites are
+     all probability-0 must allocate exactly as much as disarmed
+     (zero-probability fire consumes no PRNG draw and allocates
+     nothing).  Measured on the chaos-checked path — the full
+     OS→VeilMon→OS domain-switch round trip. *)
+  let mon = sys.Veil_core.Boot.mon in
+  let ds () =
+    Veil_core.Monitor.domain_switch mon vcpu ~target:Veil_core.Privdom.Mon;
+    Veil_core.Monitor.domain_switch mon vcpu ~target:Veil_core.Privdom.Unt
+  in
   let tr = platform.Sevsnp.Platform.tracer in
   let prof = platform.Sevsnp.Platform.profiler in
   let was_on = Obs.Trace.enabled tr in
@@ -192,6 +203,11 @@ let alloc_check () =
   let w_off = words_per_op wr and r_off = words_per_op rd and x_off = words_per_op ex in
   let t_off = words_per_op tl in
   let s_off = words_per_op sy in
+  Sevsnp.Platform.disarm_chaos platform;
+  let d_disarmed = words_per_op ds in
+  Sevsnp.Platform.arm_chaos platform (Chaos.Fault_plan.create ~seed:1 ());
+  let d_armed = words_per_op ds in
+  Sevsnp.Platform.disarm_chaos platform;
   Obs.Trace.set_enabled tr true;
   let w_on = words_per_op wr and r_on = words_per_op rd and x_on = words_per_op ex in
   let t_on = words_per_op tl in
@@ -205,13 +221,16 @@ let alloc_check () =
   Printf.printf "  read_u64       : tracing off %.4f w/op, on %.4f w/op\n" r_off r_on;
   Printf.printf "  tlb-hit u64 read: tracing off %.4f w/op, on %.4f w/op\n" t_off t_on;
   Printf.printf "  sched_yield syscall (profiler off): %.4f w/op\n" s_off;
+  Printf.printf "  domain-switch roundtrip: chaos disarmed %.4f w/op, armed zero-prob %.4f w/op\n"
+    d_disarmed d_armed;
   if
     x_off = 0.0 && x_on = 0.0 && w_off = 0.0 && w_on = 0.0 && r_off = 0.0 && r_on = 0.0
-    && t_off = 0.0 && t_on = 0.0 && s_off = 0.0
+    && t_off = 0.0 && t_on = 0.0 && s_off = 0.0 && d_armed = d_disarmed
   then
     print_endline
       "  PASS: checked physical access, the TLB-hit translated path, and the\n\
-      \        profiler-disabled syscall path allocate nothing"
+      \        profiler-disabled syscall path allocate nothing; an armed\n\
+      \        zero-probability chaos plan costs the same as disarmed"
   else begin
     print_endline "  FAIL: an instrumented hot path allocates";
     exit 1

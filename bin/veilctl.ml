@@ -701,11 +701,91 @@ let report_cmd =
           EXPERIMENTS.md; --check fails on any drift.")
     Term.(const run $ check_arg $ experiments_arg)
 
+(* --- chaos (ISSUE 4): deterministic hypervisor fault injection --- *)
+
+let chaos_cmd =
+  let trials_arg =
+    let doc = "Rounds of (all workloads + attack sweep) per run." in
+    Arg.(value & opt int 3 & info [ "k"; "trials" ] ~docv:"K" ~doc)
+  in
+  let sites_arg =
+    let doc =
+      "Comma-separated injection sites to arm (default: all 12).  Site names: relay_drop, \
+       relay_dup, relay_reorder, relay_refuse, vmgexit_delay, vmgexit_refuse, spurious_exit, \
+       rmpadjust_fail, pvalidate_fail, spurious_npf, ghcb_corrupt, shared_bitflip."
+    in
+    Arg.(value & opt (some string) None & info [ "sites" ] ~docv:"SITES" ~doc)
+  in
+  let workloads_arg =
+    let doc = "Comma-separated workloads to run (boot,syscall,enclave,slog; default: all)." in
+    Arg.(value & opt (some string) None & info [ "w"; "workloads" ] ~docv:"WORKLOADS" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the machine-readable report (effective seed, per-site hit counts)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let parse_csv ~what ~of_name s =
+    List.map
+      (fun n ->
+        match of_name (String.trim n) with
+        | Some v -> v
+        | None ->
+            Printf.eprintf "unknown %s: %s\n" what n;
+            exit 2)
+      (String.split_on_char ',' s)
+  in
+  let run seed trials sites workloads json =
+    let sites =
+      Option.map
+        (parse_csv ~what:"injection site" ~of_name:Chaos.Fault_plan.site_of_name)
+        sites
+    in
+    let workloads =
+      match workloads with
+      | None -> Chaos_driver.all_workloads
+      | Some s -> parse_csv ~what:"workload" ~of_name:Chaos_driver.workload_of_name s
+    in
+    let r = Chaos_driver.run ?sites ~trials ~workloads ~seed () in
+    if json then print_endline (Chaos_driver.report_json r)
+    else begin
+      Printf.printf "veil-chaos: seed %d, %d trial(s) x %d workload(s) + %d attacks\n" seed
+        trials (List.length workloads) r.Chaos_driver.rp_attacks_run;
+      List.iter
+        (fun t ->
+          Printf.printf "  %-8s seed=%-10d steps=%-6d hits=%-4d %s\n"
+            (Chaos_driver.workload_name t.Chaos_driver.tr_workload)
+            t.Chaos_driver.tr_seed t.Chaos_driver.tr_steps
+            (Chaos.Fault_plan.total_hits t.Chaos_driver.tr_plan)
+            (Chaos_driver.outcome_to_string t.Chaos_driver.tr_outcome))
+        r.Chaos_driver.rp_trials;
+      Printf.printf "  site hits:";
+      List.iter (fun (n, h) -> if h > 0 then Printf.printf " %s=%d" n h) r.Chaos_driver.rp_site_hits;
+      print_newline ();
+      List.iter
+        (fun (n, o) -> Printf.printf "  BREACHED under chaos: %s (%s)\n" n o)
+        r.Chaos_driver.rp_breached;
+      Printf.printf "  replay identity: %s\n" (if r.Chaos_driver.rp_replay_ok then "OK" else "FAILED");
+      Printf.printf "%s\n" (if r.Chaos_driver.rp_ok then "chaos: all invariants held" else "chaos: INVARIANT VIOLATION")
+    end;
+    if not r.Chaos_driver.rp_ok then begin
+      Printf.eprintf "chaos: invariant violation — replay with: veilctl chaos --seed %d --trials %d\n"
+        seed trials;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run boot/syscall/enclave/slog workloads and the full attack suite under \
+          seed-deterministic hypervisor fault injection, asserting no breach, no silent \
+          corruption and no hang.  A failing plan is reproduced exactly from the printed seed.")
+    Term.(const run $ seed_arg $ trials_arg $ sites_arg $ workloads_arg $ json_arg)
+
 let main =
   let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in
   Cmd.group
     (Cmd.info "veilctl" ~version:Veil_core.Veil.version ~doc)
     [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; profile_cmd; report_cmd;
-      metrics_cmd; migrate_cmd; sql_cmd ]
+      metrics_cmd; migrate_cmd; sql_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

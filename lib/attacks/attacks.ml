@@ -350,10 +350,17 @@ let atk_refuse_relay =
     (fun () ->
       let sys = fresh () in
       let rt = make_enclave sys in
+      let kernel = sys.Veil_core.Boot.kernel in
       Hypervisor.Hv.set_refuse_interrupt_relay sys.Veil_core.Boot.hv true;
+      let j0 = Guest_kernel.Kernel.jiffies kernel in
       Enclave_sdk.Runtime.run rt (fun _ ->
           Hypervisor.Hv.inject_interrupt sys.Veil_core.Boot.hv sys.Veil_core.Boot.vcpu);
-      Breached "kernel handler executed inside Dom_ENC")
+      (* the ISR never running is a (hypervisor-caused) denial of
+         service, not a breach — e.g. a chaos plan dropped the relay
+         before the refusal was even seen *)
+      if Guest_kernel.Kernel.jiffies kernel = j0 then
+        Blocked_error "interrupt never delivered at Dom_ENC (relay refused or dropped)"
+      else Breached "kernel handler executed inside Dom_ENC")
 
 let atk_cross_enclave =
   mk "malicious-enclave-cross-read"

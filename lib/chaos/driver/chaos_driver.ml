@@ -1,0 +1,360 @@
+module FP = Chaos.Fault_plan
+module T = Sevsnp.Types
+module K = Guest_kernel.Kernel
+module Kt = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+module B = Veil_core.Boot
+module A = Veil_attacks.Attacks
+module Rt = Enclave_sdk.Runtime
+
+type workload_kind = Wl_boot | Wl_syscall | Wl_enclave | Wl_slog
+
+let all_workloads = [ Wl_boot; Wl_syscall; Wl_enclave; Wl_slog ]
+
+let workload_name = function
+  | Wl_boot -> "boot"
+  | Wl_syscall -> "syscall"
+  | Wl_enclave -> "enclave"
+  | Wl_slog -> "slog"
+
+let workload_of_name = function
+  | "boot" -> Some Wl_boot
+  | "syscall" -> Some Wl_syscall
+  | "enclave" -> Some Wl_enclave
+  | "slog" -> Some Wl_slog
+  | _ -> None
+
+type outcome =
+  | Passed
+  | Degraded of string
+  | Halted of string
+  | Watchdog of string
+  | Corrupt of string
+  | Crashed of string
+
+let outcome_ok = function Passed | Degraded _ | Halted _ -> true | _ -> false
+
+let outcome_to_string = function
+  | Passed -> "passed"
+  | Degraded e -> "degraded: " ^ e
+  | Halted e -> "halted: " ^ e
+  | Watchdog e -> "watchdog: " ^ e
+  | Corrupt e -> "CORRUPT: " ^ e
+  | Crashed e -> "CRASHED: " ^ e
+
+type trial = {
+  tr_workload : workload_kind;
+  tr_seed : int;
+  tr_outcome : outcome;
+  tr_steps : int;
+  tr_hits : (string * int) list;
+  tr_plan : FP.t;
+}
+
+(* One integer drives everything: a trial's plan seed is a fixed mix of
+   the top-level seed, the trial round and the workload slot, so any
+   failing plan is reproduced from the numbers the driver prints. *)
+let derive_seed ~seed ~trial ~which =
+  (((seed * 1_000_003) + (trial * 8191) + (which * 127)) land 0x3FFF_FFFF) lor 1
+
+(* Per-site default probabilities.  Sites consulted once per world exit
+   fire rarely (the guest takes thousands of exits per trial); sites
+   consulted only on interrupt relays fire often (there are few).  All
+   are far below the point where the guest's 6-attempt retry budgets
+   could plausibly exhaust (p^7 per operation). *)
+let default_prob = function
+  | FP.Relay_drop | FP.Relay_dup | FP.Relay_reorder | FP.Relay_refuse -> 0.05
+  | FP.Vmgexit_delay | FP.Vmgexit_refuse | FP.Spurious_exit -> 0.01
+  | FP.Rmpadjust_fail | FP.Pvalidate_fail -> 0.02
+  | FP.Spurious_npf | FP.Ghcb_corrupt -> 0.01
+  | FP.Shared_bitflip -> 0.005
+
+(* Watchdog budget: a trial (boot sweep + workload, or the whole attack
+   sweep) takes well under 100k world exits; a protocol livelock would
+   spin past this in no time. *)
+let trial_max_steps = 2_000_000
+
+let make_plan ?(sites = FP.all_sites) ~seed () =
+  let plan = FP.create ~max_steps:trial_max_steps ~seed () in
+  List.iter (fun s -> FP.set_site plan s ~prob:(default_prob s) ()) sites;
+  plan
+
+(* Arm the plan on every guest booted inside [f] (workload drivers and
+   attacks boot their own guests through [Boot.boot_veil]). *)
+let with_plan plan f =
+  let saved = !B.default_chaos in
+  B.default_chaos := (fun () -> Some plan);
+  Fun.protect ~finally:(fun () -> B.default_chaos := saved) f
+
+let watchdog_prefix = "chaos watchdog"
+
+let is_watchdog r =
+  String.length r >= String.length watchdog_prefix
+  && String.sub r 0 (String.length watchdog_prefix) = watchdog_prefix
+
+exception Fail of outcome
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Fail (Corrupt m))) fmt
+
+let classify f =
+  try f () with
+  | Fail o -> o
+  | T.Cvm_halted r when is_watchdog r -> Watchdog r
+  | T.Cvm_halted r -> Halted r
+  | T.Npf info -> Halted (Fmt.str "#NPF: %a" T.pp_npf info)
+  | Rt.Enclave_killed e -> Degraded ("enclave killed: " ^ e)
+  | Stack_overflow -> Watchdog "stack overflow (unbounded retry loop)"
+  | e -> Crashed (Printexc.to_string e)
+
+(* Guest boot parameters are FIXED per workload (same image, same
+   layout every trial): all trial-to-trial variation comes from the
+   fault plan, which is what makes seed replay byte-identical. *)
+let trial_npages = 2048
+
+(* --- boot: the §5.1 modified boot flow, then one sanity syscall --- *)
+
+let run_boot () =
+  let sys = B.boot_veil ~npages:trial_npages ~seed:31 () in
+  let kernel = sys.B.kernel in
+  let proc = K.spawn kernel in
+  match K.invoke kernel proc S.Getpid [] with
+  | Kt.RInt pid when pid > 0 -> Passed
+  | Kt.RErr e -> Degraded ("getpid refused: " ^ Kt.errno_to_string e)
+  | _ -> Corrupt "getpid returned a non-pid value"
+
+(* --- syscall bench: file round-trips + interrupt relays --- *)
+
+let run_syscall ~seed () =
+  let sys = B.boot_veil ~npages:trial_npages ~seed:31 () in
+  let kernel = sys.B.kernel and hv = sys.B.hv and vcpu = sys.B.vcpu in
+  let proc = K.spawn kernel in
+  let payload = Veil_crypto.Rng.bytes (Veil_crypto.Rng.create (seed lxor 0xF11E)) 512 in
+  let degraded = ref None in
+  let note e = if !degraded = None then degraded := Some e in
+  for i = 0 to 19 do
+    let path = Printf.sprintf "/tmp/chaos%d" i in
+    (match K.invoke kernel proc S.Open [ Kt.Str path; Kt.Int 0x42; Kt.Int 0o644 ] with
+    | Kt.RInt fd -> (
+        (match K.invoke kernel proc S.Write [ Kt.Int fd; Kt.Buf payload ] with
+        | Kt.RInt n when n = Bytes.length payload -> ()
+        | Kt.RInt n -> corrupt "short write (%d of %d) with no error" n (Bytes.length payload)
+        | Kt.RErr e -> note ("write refused: " ^ Kt.errno_to_string e)
+        | _ -> corrupt "write returned a non-count value");
+        ignore (K.invoke kernel proc S.Close [ Kt.Int fd ]);
+        match K.invoke kernel proc S.Open [ Kt.Str path; Kt.Int 0; Kt.Int 0 ] with
+        | Kt.RInt fd -> (
+            (match K.invoke kernel proc S.Read [ Kt.Int fd; Kt.Int (Bytes.length payload) ] with
+            | Kt.RBuf got ->
+                if not (Bytes.equal got payload) then
+                  corrupt "file %s read back different bytes than written" path
+            | Kt.RErr e -> note ("read refused: " ^ Kt.errno_to_string e)
+            | _ -> corrupt "read returned a non-buffer value");
+            ignore (K.invoke kernel proc S.Close [ Kt.Int fd ]))
+        | Kt.RErr e -> note ("reopen refused: " ^ Kt.errno_to_string e)
+        | _ -> corrupt "open returned a non-fd value")
+    | Kt.RErr e -> note ("open refused: " ^ Kt.errno_to_string e)
+    | _ -> corrupt "open returned a non-fd value");
+    (* Exercise the relay sites: the timer tick the OS would get.
+       Drops/dups/reorders are legal hypervisor behaviour — the
+       invariant is only that delivery never corrupts guest state. *)
+    Hypervisor.Hv.inject_interrupt hv vcpu;
+    (* And a tick landing while the monitor runs: the one case where
+       the hypervisor must relay across domains, so relay_refuse is
+       actually consulted (refusal at Vmpl0 is survivable — the
+       monitor owns the handler frame). *)
+    Veil_core.Monitor.domain_switch sys.B.mon vcpu ~target:Veil_core.Privdom.Mon;
+    Hypervisor.Hv.inject_interrupt hv vcpu;
+    Veil_core.Monitor.domain_switch sys.B.mon vcpu ~target:Veil_core.Privdom.Unt
+  done;
+  match !degraded with None -> Passed | Some e -> Degraded e
+
+(* --- enclave: create, attest, heap round-trip, ocall, destroy --- *)
+
+let run_enclave ~seed () =
+  let sys = B.boot_veil ~npages:trial_npages ~seed:31 () in
+  let proc = K.spawn sys.B.kernel in
+  let binary = Veil_crypto.Rng.bytes (Veil_crypto.Rng.create (seed lxor 0xE9C)) 8192 in
+  match Rt.create sys ~binary proc with
+  | Error e -> Degraded ("enclave create refused: " ^ e)
+  | Ok rt ->
+      let expected =
+        Veil_core.Encsvc.measure_expected ~binary ~npages_heap:16 ~npages_stack:4
+          ~base_va:Guest_kernel.Process.enclave_base
+      in
+      if not (Bytes.equal (Rt.measurement rt) expected) then
+        Corrupt "enclave launch measurement diverged from the remote computation"
+      else begin
+        let inner =
+          Rt.run rt (fun rt ->
+              match Rt.malloc rt 256 with
+              | None -> Degraded "enclave malloc refused"
+              | Some va ->
+                  let data = Bytes.init 256 (fun i -> Char.chr ((i * 7 + seed) land 0xFF)) in
+                  Rt.write_data rt ~va data;
+                  Rt.compute rt 50_000;
+                  let got = Rt.read_data rt ~va ~len:256 in
+                  if not (Bytes.equal got data) then
+                    Corrupt "enclave heap read back different bytes than written"
+                  else begin
+                    match Rt.ocall rt S.Getpid [] with
+                    | Kt.RInt _ -> Passed
+                    | Kt.RErr e -> Degraded ("ocall refused: " ^ Kt.errno_to_string e)
+                    | _ -> Corrupt "getpid ocall returned a non-pid value"
+                  end)
+        in
+        match inner with
+        | Passed -> (
+            match Rt.destroy rt with
+            | Ok () -> Passed
+            | Error e -> Degraded ("enclave destroy: " ^ e))
+        | o -> o
+      end
+
+(* --- slog: execute-ahead capture, chain verify, degraded recovery --- *)
+
+let run_slog () =
+  let sys = B.boot_veil ~npages:trial_npages ~log_frames:1 ~seed:23 () in
+  let kernel = sys.B.kernel in
+  Guest_kernel.Audit.set_rules (K.audit kernel) [ S.Open ];
+  let proc = K.spawn kernel in
+  for i = 0 to 59 do
+    ignore
+      (K.invoke kernel proc S.Open
+         [ Kt.Str (Printf.sprintf "/tmp/l%d" i); Kt.Int 0x42; Kt.Int 0o644 ])
+  done;
+  let slog = sys.B.slog in
+  let verify () =
+    Veil_core.Slog.verify_chain ~lines:(Veil_core.Slog.read_all slog)
+      ~digest:(Veil_core.Slog.chain_digest slog)
+  in
+  if not (verify ()) then Corrupt "audit hash chain does not verify"
+  else if Veil_core.Slog.degraded slog then begin
+    (* The region filled: retrieval + clear must recover the buffered
+       records into a fresh, verifying chain. *)
+    Veil_core.Slog.clear slog;
+    if Veil_core.Slog.pending_count slog <> 0 then
+      Corrupt "degraded-mode retry buffer did not drain on clear"
+    else if not (verify ()) then Corrupt "recovered records break the hash chain"
+    else Degraded "log region filled; records buffered and recovered"
+  end
+  else Passed
+
+let run_workload ?sites ~seed kind =
+  let plan = make_plan ?sites ~seed () in
+  let body =
+    match kind with
+    | Wl_boot -> run_boot
+    | Wl_syscall -> run_syscall ~seed
+    | Wl_enclave -> run_enclave ~seed
+    | Wl_slog -> run_slog
+  in
+  let outcome = with_plan plan (fun () -> classify body) in
+  {
+    tr_workload = kind;
+    tr_seed = seed;
+    tr_outcome = outcome;
+    tr_steps = FP.steps plan;
+    tr_hits = List.map (fun s -> (FP.site_name s, FP.hits plan s)) FP.all_sites;
+    tr_plan = plan;
+  }
+
+(* --- invariant (1): every attack stays blocked under any plan --- *)
+
+let attacks_under_chaos ?sites ~seed () =
+  let plan = make_plan ?sites ~seed () in
+  with_plan plan (fun () ->
+      let atks = A.all () in
+      let breached =
+        List.filter_map
+          (fun a ->
+            let o =
+              (* A chaos-induced halt/#NPF during an attack is an
+                 explicit stop, not a breach. *)
+              try A.run a with
+              | T.Cvm_halted r -> A.Blocked_error ("CVM halted: " ^ r)
+              | T.Npf info -> A.Blocked_npf info
+            in
+            if A.is_blocked o then None else Some (A.name a, A.outcome_to_string o))
+          atks
+      in
+      (breached, List.length atks))
+
+type report = {
+  rp_seed : int;
+  rp_trials : trial list;
+  rp_attacks_run : int;
+  rp_breached : (string * string) list;
+  rp_site_hits : (string * int) list;
+  rp_replay_ok : bool;
+  rp_ok : bool;
+}
+
+let run ?sites ?(trials = 3) ?(workloads = all_workloads) ?(check_replay = true) ~seed () =
+  let all_trials = ref [] and breached = ref [] and attacks_run = ref 0 in
+  for k = 0 to trials - 1 do
+    List.iteri
+      (fun widx w ->
+        let s = derive_seed ~seed ~trial:k ~which:widx in
+        all_trials := run_workload ?sites ~seed:s w :: !all_trials)
+      workloads;
+    let b, n = attacks_under_chaos ?sites ~seed:(derive_seed ~seed ~trial:k ~which:99) () in
+    breached := b @ !breached;
+    attacks_run := !attacks_run + n
+  done;
+  let trials_done = List.rev !all_trials in
+  let replay_ok =
+    (not check_replay)
+    ||
+    match trials_done with
+    | [] -> true
+    | t0 :: _ ->
+        let again = run_workload ?sites ~seed:t0.tr_seed t0.tr_workload in
+        FP.journal_equal t0.tr_plan again.tr_plan
+  in
+  let site_hits =
+    List.map
+      (fun s ->
+        ( FP.site_name s,
+          List.fold_left (fun acc t -> acc + FP.hits t.tr_plan s) 0 trials_done ))
+      FP.all_sites
+  in
+  {
+    rp_seed = seed;
+    rp_trials = trials_done;
+    rp_attacks_run = !attacks_run;
+    rp_breached = !breached;
+    rp_site_hits = site_hits;
+    rp_replay_ok = replay_ok;
+    rp_ok =
+      List.for_all (fun t -> outcome_ok t.tr_outcome) trials_done
+      && !breached = [] && replay_ok;
+  }
+
+let report_json r =
+  let b = Buffer.create 1024 in
+  let esc = Obs.Metrics.json_escape in
+  Buffer.add_string b (Printf.sprintf "{\"seed\":%d,\"ok\":%b,\"replay_ok\":%b," r.rp_seed r.rp_ok r.rp_replay_ok);
+  Buffer.add_string b (Printf.sprintf "\"attacks_run\":%d,\"breached\":[" r.rp_attacks_run);
+  List.iteri
+    (fun i (n, o) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"attack\":\"%s\",\"outcome\":\"%s\"}" (esc n) (esc o)))
+    r.rp_breached;
+  Buffer.add_string b "],\"site_hits\":{";
+  List.iteri
+    (fun i (n, h) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (esc n) h))
+    r.rp_site_hits;
+  Buffer.add_string b "},\"trials\":[";
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"workload\":\"%s\",\"seed\":%d,\"outcome\":\"%s\",\"steps\":%d,\"hits\":%d}"
+           (workload_name t.tr_workload) t.tr_seed
+           (esc (outcome_to_string t.tr_outcome))
+           t.tr_steps (FP.total_hits t.tr_plan)))
+    r.rp_trials;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -29,8 +29,24 @@ type native_system = {
   n_boot_cycles : int;
 }
 
-val boot_veil : ?npages:int -> ?log_frames:int -> ?seed:int -> ?activate_kci:bool -> unit -> veil_system
-(** Defaults: [npages = 8192] (32 MB guest), KCI activated. *)
+val boot_veil :
+  ?npages:int ->
+  ?log_frames:int ->
+  ?seed:int ->
+  ?activate_kci:bool ->
+  ?chaos:Chaos.Fault_plan.t ->
+  unit ->
+  veil_system
+(** Defaults: [npages = 8192] (32 MB guest), KCI activated.  [?chaos]
+    arms a Veil-Chaos fault plan on the platform right after creation
+    (so the boot sweep itself runs under injection); when absent,
+    {!default_chaos} is consulted. *)
+
+val default_chaos : (unit -> Chaos.Fault_plan.t option) ref
+(** Called by [boot_veil] when no explicit [?chaos] was given; the
+    chaos driver installs its per-trial plan here so existing
+    workloads run under fault injection without plumbing changes.
+    Defaults to [fun () -> None] (chaos disarmed). *)
 
 val boot_native : ?npages:int -> ?seed:int -> unit -> native_system
 

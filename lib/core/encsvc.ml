@@ -42,6 +42,10 @@ type t = {
   scheduled : (int, int) Hashtbl.t;  (** vcpu id -> enclave id its Dom_ENC VMSA holds *)
   c_entries : Obs.Metrics.counter;
   c_exits : Obs.Metrics.counter;
+  g_degraded : Obs.Metrics.gauge;
+      (** 1 after a persistent (retry-exhausted) RMPADJUST failure left
+          an operation partially applied; the request still gets an
+          explicit error instead of crashing the service *)
 }
 
 let stats t = t.stats
@@ -116,6 +120,47 @@ let measure_expected ~binary ~npages_heap ~npages_stack ~base_va =
 (* --- finalize (§6.2 initialization) --- *)
 
 exception Reject of string
+
+(* Graceful degradation: [Monitor.mon_rmpadjust] already absorbs
+   architecturally transient failures with bounded retry, so an [Error]
+   reaching us is persistent.  Rather than crashing the whole service
+   ([failwith]), flag the degraded state in the metrics registry and
+   answer the request with an explicit error. *)
+exception Degrade of string
+
+let must = function Ok () -> () | Error e -> raise (Degrade e)
+
+let degrade t e =
+  Obs.Metrics.set t.g_degraded 1;
+  Idcb.Resp_error ("VeilS-ENC: degraded: " ^ e)
+
+let degraded t = Obs.Metrics.gauge_value t.g_degraded <> 0
+
+(* Verified enclave-GHCB domain switch: under hypervisor fault
+   injection a relayed switch may be refused (the GHCB comes back with
+   an out-of-protocol response and no instance change), so re-request
+   with cycle-accounted backoff and halt explicitly if the refusal
+   persists.  The non-faulting path adds one VMPL comparison. *)
+let switch_retries = 6
+
+let ghcb_switch t vcpu ~target_vmpl ~what =
+  let platform = Monitor.platform t.mon in
+  let rec go attempt =
+    (match P.ghcb_of_vcpu platform vcpu with
+    | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl }
+    | None -> P.halt platform (what ^ " without GHCB"));
+    P.vmgexit platform vcpu;
+    if not (T.equal_vmpl (Sevsnp.Vcpu.vmpl vcpu) target_vmpl) then
+      if attempt >= switch_retries then
+        P.halt platform
+          (Printf.sprintf "%s: enclave domain switch refused by hypervisor for %d attempts" what
+             (attempt + 1))
+      else begin
+        charge vcpu C.Switch (500 * (1 lsl min attempt 6));
+        go (attempt + 1)
+      end
+  in
+  go 0
 
 (* Synchronize a VCPU's Dom_ENC instance with this enclave (§7's
    sketch of multi-threaded support: "VeilMon must create a VMSA for
@@ -258,44 +303,46 @@ let finalize t vcpu (d : Ed.t) : Idcb.response =
 let destroy t vcpu (d : Ed.t) : Idcb.response =
   match Hashtbl.find_opt t.enclaves d.Ed.enclave_id with
   | None -> Idcb.Resp_error "VeilS-ENC: unknown enclave"
-  | Some enclave ->
-      let platform = Monitor.platform t.mon in
-      let zero = Bytes.make T.page_size '\000' in
-      Hashtbl.iter
-        (fun _va (pg : epage) ->
-          match pg.frame with
-          | None -> ()
-          | Some frame ->
-              (* Scrub before returning memory to the OS. *)
-              charge vcpu C.Copy (C.copy_cost T.page_size);
-              P.write platform vcpu (T.gpa_of_gpfn frame) zero;
-              (match Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Unt ~perms:Sevsnp.Perm.all with
-              | Ok () -> ()
-              | Error e -> failwith e);
-              (match Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Enc ~perms:Sevsnp.Perm.none with
-              | Ok () -> ()
-              | Error e -> failwith e);
-              Hashtbl.remove t.frames_in_use frame)
-        enclave.e_pages;
-      List.iter
-        (fun (_, frame) ->
-          match Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Enc ~perms:Sevsnp.Perm.none with
-          | Ok () -> ()
-          | Error e -> failwith e)
-        d.Ed.shared;
-      Monitor.remove_protected_frames t.mon (Ed.frames d);
-      (* reclaim the protected page-table clone *)
-      let table_frames =
-        Sevsnp.Pagetable.table_frames ~read_u64:(P.raw_pt_read platform) ~root:enclave.e_root
-      in
-      List.iter (Monitor.free_svc_frame t.mon) table_frames;
-      enclave.e_destroyed <- true;
-      Hashtbl.remove t.enclaves d.Ed.enclave_id;
-      Hashtbl.iter
-        (fun vcpu_id eid -> if eid = enclave.e_id then Hashtbl.remove t.scheduled vcpu_id)
-        (Hashtbl.copy t.scheduled);
-      t.stats.destroyed <- t.stats.destroyed + 1;
-      Idcb.Resp_ok
+  | Some enclave -> (
+      try
+        let platform = Monitor.platform t.mon in
+        let zero = Bytes.make T.page_size '\000' in
+        Hashtbl.iter
+          (fun _va (pg : epage) ->
+            match pg.frame with
+            | None -> ()
+            | Some frame ->
+                (* Scrub before returning memory to the OS. *)
+                charge vcpu C.Copy (C.copy_cost T.page_size);
+                P.write platform vcpu (T.gpa_of_gpfn frame) zero;
+                must
+                  (Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Unt
+                     ~perms:Sevsnp.Perm.all);
+                must
+                  (Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Enc
+                     ~perms:Sevsnp.Perm.none);
+                Hashtbl.remove t.frames_in_use frame)
+          enclave.e_pages;
+        List.iter
+          (fun (_, frame) ->
+            must
+              (Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Enc
+                 ~perms:Sevsnp.Perm.none))
+          d.Ed.shared;
+        Monitor.remove_protected_frames t.mon (Ed.frames d);
+        (* reclaim the protected page-table clone *)
+        let table_frames =
+          Sevsnp.Pagetable.table_frames ~read_u64:(P.raw_pt_read platform) ~root:enclave.e_root
+        in
+        List.iter (Monitor.free_svc_frame t.mon) table_frames;
+        enclave.e_destroyed <- true;
+        Hashtbl.remove t.enclaves d.Ed.enclave_id;
+        Hashtbl.iter
+          (fun vcpu_id eid -> if eid = enclave.e_id then Hashtbl.remove t.scheduled vcpu_id)
+          (Hashtbl.copy t.scheduled);
+        t.stats.destroyed <- t.stats.destroyed + 1;
+        Idcb.Resp_ok
+      with Degrade e -> degrade t e)
 
 (* --- demand paging (§6.2) --- *)
 
@@ -318,7 +365,8 @@ let evict t vcpu ~enclave_id ~va : Idcb.response =
   | Some enclave -> (
       match Hashtbl.find_opt enclave.e_pages va with
       | None -> Idcb.Resp_error "VeilS-ENC: no enclave page at this address"
-      | Some ({ frame = Some frame; _ } as pg) ->
+      | Some ({ frame = Some frame; _ } as pg) -> (
+          try
           let platform = Monitor.platform t.mon in
           let plaintext = P.read platform vcpu (T.gpa_of_gpfn frame) T.page_size in
           enclave.e_ctr <- enclave.e_ctr + 1;
@@ -333,18 +381,15 @@ let evict t vcpu ~enclave_id ~va : Idcb.response =
           P.write platform vcpu (T.gpa_of_gpfn frame) ciphertext;
           let io = svc_pt_io t vcpu in
           ignore (Pt.unmap io ~root:enclave.e_root va);
-          (match Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Unt ~perms:Sevsnp.Perm.all with
-          | Ok () -> ()
-          | Error e -> failwith e);
-          (match Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Enc ~perms:Sevsnp.Perm.none with
-          | Ok () -> ()
-          | Error e -> failwith e);
+          must (Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Unt ~perms:Sevsnp.Perm.all);
+          must (Monitor.mon_rmpadjust t.mon vcpu ~gpfn:frame ~target:Privdom.Enc ~perms:Sevsnp.Perm.none);
           Monitor.remove_protected_frames t.mon [ frame ];
           Hashtbl.remove t.frames_in_use frame;
           pg.frame <- None;
           Hashtbl.replace enclave.e_evicted va (h, ctr);
           t.stats.evictions <- t.stats.evictions + 1;
           Idcb.Resp_ok
+          with Degrade e -> degrade t e)
       | Some { frame = None; _ } -> Idcb.Resp_error "VeilS-ENC: page already evicted")
 
 let restore t vcpu ~enclave_id ~va ~gpfn : Idcb.response =
@@ -366,26 +411,25 @@ let restore t vcpu ~enclave_id ~va ~gpfn : Idcb.response =
             if not (Bytes.equal h expected_hash) then
               Idcb.Resp_error "VeilS-ENC: page integrity/freshness verification failed"
             else begin
-              (* Take the frame away from the OS, install plaintext,
-                 remap in the protected tables. *)
-              (match Monitor.mon_rmpadjust t.mon vcpu ~gpfn ~target:Privdom.Unt ~perms:Sevsnp.Perm.none with
-              | Ok () -> ()
-              | Error e -> failwith e);
-              (match
-                 Monitor.mon_rmpadjust t.mon vcpu ~gpfn ~target:Privdom.Enc ~perms:(perms_of_prot pg.prot)
-               with
-              | Ok () -> ()
-              | Error e -> failwith e);
-              charge vcpu C.Copy (C.copy_cost T.page_size);
-              P.write platform vcpu (T.gpa_of_gpfn gpfn) plaintext;
-              let io = svc_pt_io t vcpu in
-              Pt.map io ~root:enclave.e_root va { Pt.pte_gpfn = gpfn; pte_flags = flags_of_prot pg.prot };
-              pg.frame <- Some gpfn;
-              Hashtbl.remove enclave.e_evicted va;
-              Hashtbl.replace t.frames_in_use gpfn enclave_id;
-              Monitor.add_protected_frames t.mon ~owner:Privdom.Enc [ gpfn ];
-              t.stats.restores <- t.stats.restores + 1;
-              Idcb.Resp_ok
+              try
+                (* Take the frame away from the OS, install plaintext,
+                   remap in the protected tables. *)
+                must
+                  (Monitor.mon_rmpadjust t.mon vcpu ~gpfn ~target:Privdom.Unt ~perms:Sevsnp.Perm.none);
+                must
+                  (Monitor.mon_rmpadjust t.mon vcpu ~gpfn ~target:Privdom.Enc
+                     ~perms:(perms_of_prot pg.prot));
+                charge vcpu C.Copy (C.copy_cost T.page_size);
+                P.write platform vcpu (T.gpa_of_gpfn gpfn) plaintext;
+                let io = svc_pt_io t vcpu in
+                Pt.map io ~root:enclave.e_root va { Pt.pte_gpfn = gpfn; pte_flags = flags_of_prot pg.prot };
+                pg.frame <- Some gpfn;
+                Hashtbl.remove enclave.e_evicted va;
+                Hashtbl.replace t.frames_in_use gpfn enclave_id;
+                Monitor.add_protected_frames t.mon ~owner:Privdom.Enc [ gpfn ];
+                t.stats.restores <- t.stats.restores + 1;
+                Idcb.Resp_ok
+              with Degrade e -> degrade t e
             end
           end
       | Some { frame = Some _; _ }, _ -> Idcb.Resp_error "VeilS-ENC: page is resident"
@@ -403,12 +447,8 @@ let set_measurement _t enclave m =
   enclave.e_desc.Ed.measurement <- Some m
 
 let share_region t vcpu ~owner ~peer ~va ~npages =
-  let platform = Monitor.platform t.mon in
   (* Dom_ENC -> Dom_SEC through the enclave GHCB, like change_perms. *)
-  (match P.ghcb_of_vcpu platform vcpu with
-  | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl1 }
-  | None -> P.halt platform "share_region without GHCB");
-  P.vmgexit platform vcpu;
+  ghcb_switch t vcpu ~target_vmpl:T.Vmpl1 ~what:"share_region";
   let result = ref (Ok ()) in
   let io = svc_pt_io t vcpu in
   (try
@@ -426,10 +466,7 @@ let share_region t vcpu ~owner ~peer ~va ~npages =
      done;
      peer.e_shared_in <- (owner.e_id, va, npages) :: peer.e_shared_in
    with Reject e -> result := Error e);
-  (match P.ghcb_of_vcpu platform vcpu with
-  | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl2 }
-  | None -> P.halt platform "share_region return without GHCB");
-  P.vmgexit platform vcpu;
+  ghcb_switch t vcpu ~target_vmpl:T.Vmpl2 ~what:"share_region return";
   !result
 
 (* --- permission-change synchronization (§6.2) --- *)
@@ -472,10 +509,7 @@ let enter t vcpu enclave =
   (match P.set_ghcb platform vcpu (T.gpa_of_gpfn enclave.e_desc.Ed.ghcb_gpfn) with
   | Ok () -> ()
   | Error e -> P.halt platform ("enclave GHCB scheduling: " ^ e));
-  (match P.ghcb_of_vcpu platform vcpu with
-  | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl2 }
-  | None -> P.halt platform "enclave entry without GHCB");
-  P.vmgexit platform vcpu;
+  ghcb_switch t vcpu ~target_vmpl:T.Vmpl2 ~what:"enclave entry";
   t.stats.entries <- t.stats.entries + 1;
   Obs.Metrics.incr t.c_entries;
   if Obs.Trace.enabled platform.P.tracer then
@@ -493,10 +527,7 @@ let exit_enclave t vcpu _enclave ~restore_ghcb =
   if prof_on then
     Obs.Profiler.push prof ~vcpu:vcpu.Sevsnp.Vcpu.id
       ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu) "enclave_exit";
-  (match P.ghcb_of_vcpu platform vcpu with
-  | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl3 }
-  | None -> P.halt platform "enclave exit without GHCB");
-  P.vmgexit platform vcpu;
+  ghcb_switch t vcpu ~target_vmpl:T.Vmpl3 ~what:"enclave exit";
   (* Back in Dom_UNT: the kernel restores its own GHCB MSR. *)
   charge vcpu C.Kernel 150;
   (match P.set_ghcb platform vcpu restore_ghcb with
@@ -513,12 +544,8 @@ let exit_enclave t vcpu _enclave ~restore_ghcb =
     Obs.Profiler.pop prof ~vcpu:vcpu.Sevsnp.Vcpu.id ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
 
 let change_perms t vcpu enclave ~va ~npages ~prot =
-  let platform = Monitor.platform t.mon in
   (* Dom_ENC -> Dom_SEC through the enclave GHCB (policy-permitted). *)
-  (match P.ghcb_of_vcpu platform vcpu with
-  | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl1 }
-  | None -> P.halt platform "perm change without GHCB");
-  P.vmgexit platform vcpu;
+  ghcb_switch t vcpu ~target_vmpl:T.Vmpl1 ~what:"perm change";
   let result = ref (Ok ()) in
   let io = svc_pt_io t vcpu in
   (try
@@ -541,10 +568,7 @@ let change_perms t vcpu enclave ~va ~npages ~prot =
      done
    with Reject e -> result := Error e);
   (* Back to the enclave. *)
-  (match P.ghcb_of_vcpu platform vcpu with
-  | Some g -> g.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = T.Vmpl2 }
-  | None -> P.halt platform "perm change return without GHCB");
-  P.vmgexit platform vcpu;
+  ghcb_switch t vcpu ~target_vmpl:T.Vmpl2 ~what:"perm change return";
   !result
 
 (* --- memory access through the protected tables --- *)
@@ -598,6 +622,7 @@ let install mon =
       scheduled = Hashtbl.create 8;
       c_entries = Obs.Metrics.counter (Monitor.platform mon).P.metrics "encsvc.entries";
       c_exits = Obs.Metrics.counter (Monitor.platform mon).P.metrics "encsvc.exits";
+      g_degraded = Obs.Metrics.gauge (Monitor.platform mon).P.metrics "encsvc.degraded";
     }
   in
   Monitor.register_service mon ~name:"veils-enc" ~target:Privdom.Sec (fun m vcpu req ->

@@ -27,6 +27,12 @@ val install : Monitor.t -> t
 val stats : t -> stats
 val monitor : t -> Monitor.t
 
+val degraded : t -> bool
+(** True once a persistent (retry-exhausted) RMPADJUST failure left a
+    destroy/evict/restore partially applied.  The affected request got
+    an explicit [Resp_error] rather than crashing the service; mirrored
+    by the ["encsvc.degraded"] registry gauge. *)
+
 val find : t -> int -> enclave option
 val enclave_id : enclave -> int
 val measurement : enclave -> bytes

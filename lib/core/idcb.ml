@@ -33,9 +33,12 @@ type t = {
   vcpu_id : int;
   mutable request : request;
   mutable response : response;
+  mutable seq : int;
+      (* OS-side monotonic request sequence number; the monitor refuses
+         to re-execute an already-served sequence (replayed relay) *)
 }
 
-let create ~gpfn ~vcpu_id = { gpfn; vcpu_id; request = R_none; response = Resp_none }
+let create ~gpfn ~vcpu_id = { gpfn; vcpu_id; request = R_none; response = Resp_none; seq = 0 }
 
 let request_size = function
   | R_none -> 0

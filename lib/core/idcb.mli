@@ -46,6 +46,10 @@ type t = {
   vcpu_id : int;
   mutable request : request;
   mutable response : response;
+  mutable seq : int;
+      (** monotonic request sequence number, bumped by the OS before
+          each {!Monitor.os_call}; the monitor serves each sequence at
+          most once (replayed-relay detection) *)
 }
 
 val create : gpfn:Sevsnp.Types.gpfn -> vcpu_id:int -> t

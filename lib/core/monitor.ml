@@ -34,8 +34,15 @@ and t = {
   mutable vmsa_cursor : T.gpfn;
   mutable kernel_entry : int;
   mutable initialized : bool;
+  served : (int, int * Idcb.response) Hashtbl.t;
+      (** vcpu_id -> (last served seq, its response): replayed-relay
+          suppression for os_call requests *)
   c_os_calls : Obs.Metrics.counter;
   c_sanitizer_rejections : Obs.Metrics.counter;
+  c_insn_retries : Obs.Metrics.counter;
+  c_switch_retries : Obs.Metrics.counter;
+  c_ghcb_sanitized : Obs.Metrics.counter;
+  c_replays : Obs.Metrics.counter;
 }
 
 let platform t = t.platform
@@ -74,8 +81,13 @@ let create ~hv ~layout ~boot_vcpu =
     vmsa_cursor = layout.Layout.vmsa_region.Layout.lo;
     kernel_entry = 0;
     initialized = false;
+    served = Hashtbl.create 8;
     c_os_calls = Obs.Metrics.counter platform.P.metrics "monitor.os_calls";
     c_sanitizer_rejections = Obs.Metrics.counter platform.P.metrics "monitor.sanitizer_rejections";
+    c_insn_retries = Obs.Metrics.counter platform.P.metrics "monitor.insn_retries";
+    c_switch_retries = Obs.Metrics.counter platform.P.metrics "monitor.switch_retries";
+    c_ghcb_sanitized = Obs.Metrics.counter platform.P.metrics "monitor.ghcb_sanitized";
+    c_replays = Obs.Metrics.counter platform.P.metrics "monitor.replays_suppressed";
   }
 
 (* --- protected-region registry --- *)
@@ -138,20 +150,77 @@ let mon_ghcb t =
   | Some g -> g
   | None -> failwith "monitor GHCB not initialized"
 
+(* --- hardened hypervisor protocols (Veil-Chaos) ---
+
+   The hypervisor is untrusted *and* unreliable: RMPADJUST/PVALIDATE
+   may transiently fail (architectural FAIL_INUSE, e.g. an in-flight
+   host-side operation on the frame), GHCB responses may be garbled or
+   refused, relayed switches may simply not happen.  Every protocol
+   below retries a bounded number of times with an exponentially
+   growing, cycle-accounted backoff, then fails *explicitly* — the CVM
+   never consumes an out-of-protocol value and never hangs.  The
+   non-faulting path charges nothing extra (one comparison per op), so
+   calibrated benchmark numbers are unchanged. *)
+
+let max_retries = 6
+
+let backoff_cycles attempt = 500 * (1 lsl min attempt 6)
+
+let transient_suffix = "(transient)"
+
+let is_transient e =
+  let n = String.length transient_suffix and l = String.length e in
+  l >= n && String.sub e (l - n) n = transient_suffix
+
+let retry_insn t vcpu what f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as r -> r
+    | Error e when is_transient e ->
+        if attempt >= max_retries then
+          Error (Printf.sprintf "%s: transient hypervisor failure persisted for %d attempts: %s" what (max_retries + 1) e)
+        else begin
+          Obs.Metrics.incr t.c_insn_retries;
+          charge_on vcpu C.Monitor (backoff_cycles attempt);
+          go (attempt + 1)
+        end
+    | Error _ as r -> r
+  in
+  go 0
+
+(* GHCB response sanitization: the only in-protocol hypercall answers
+   are 0 (ok) and 1 (refused).  Anything else — corruption, a chaos
+   "declined to service" marker — is discarded and the hypercall is
+   re-issued (all monitor hypercalls are idempotent); a hypervisor
+   that keeps answering garbage gets an explicit halt, not trust. *)
 let hypercall t vcpu req =
   let g = mon_ghcb t in
-  g.Sevsnp.Ghcb.request <- req;
-  P.vmgexit t.platform vcpu
+  let rec go attempt =
+    g.Sevsnp.Ghcb.request <- req;
+    P.vmgexit t.platform vcpu;
+    let resp = g.Sevsnp.Ghcb.response in
+    if resp = 0 || resp = 1 then resp
+    else if attempt >= max_retries then
+      P.halt t.platform
+        (Printf.sprintf "GHCB sanitizer: out-of-protocol hypercall response %#x persisted for %d attempts" resp (max_retries + 1))
+    else begin
+      Obs.Metrics.incr t.c_ghcb_sanitized;
+      charge_on vcpu C.Monitor (backoff_cycles attempt);
+      go (attempt + 1)
+    end
+  in
+  go 0
 
 let create_replica t vcpu ~vcpu_id ~(dom : Privdom.t) ~rip =
   let frame = alloc_vmsa_frame t in
   charge_on vcpu C.Monitor 2000 (* VMSA preparation: stack, GDT/IDT, page tables (§5.2) *);
   (match
-     P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn:frame ~target:(Privdom.vmpl dom)
-       ~perms:Sevsnp.Perm.none ~vmsa:true ()
+     retry_insn t vcpu "replica VMSA rmpadjust" (fun () ->
+         P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn:frame ~target:(Privdom.vmpl dom)
+           ~perms:Sevsnp.Perm.none ~vmsa:true ())
    with
   | Ok () -> ()
-  | Error e -> failwith ("replica VMSA rmpadjust: " ^ e));
+  | Error e -> P.halt t.platform ("replica VMSA rmpadjust: " ^ e));
   let vmsa = Sevsnp.Vmsa.create ~vcpu_id ~vmpl:(Privdom.vmpl dom) ~backing_gpfn:frame in
   vmsa.Sevsnp.Vmsa.cpl <- Privdom.cpl dom;
   vmsa.Sevsnp.Vmsa.rip <- rip;
@@ -161,7 +230,12 @@ let create_replica t vcpu ~vcpu_id ~(dom : Privdom.t) ~rip =
   (match P.install_vmsa t.platform vmsa with Ok () -> () | Error e -> failwith e);
   Hashtbl.replace t.replicas (vcpu_id, dom) vmsa;
   (* Ask the hypervisor to register (and, for fresh VCPUs, launch) it. *)
-  hypercall t vcpu (Sevsnp.Ghcb.Req_create_vcpu { vmsa_gpfn = frame; target_vmpl = Privdom.vmpl dom });
+  (match
+     hypercall t vcpu
+       (Sevsnp.Ghcb.Req_create_vcpu { vmsa_gpfn = frame; target_vmpl = Privdom.vmpl dom })
+   with
+  | 0 -> ()
+  | _ -> P.halt t.platform "hypervisor refused to register a replica VCPU instance");
   vmsa
 
 let create_all_replicas t vcpu ~vcpu_id =
@@ -178,11 +252,18 @@ let create_all_replicas t vcpu ~vcpu_id =
 let grant_region t vcpu (r : Layout.region) ~target ~perms =
   for gpfn = r.Layout.lo to r.Layout.hi - 1 do
     match
-      P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn ~target ~perms ~vmsa:false ()
+      retry_insn t vcpu "boot sweep" (fun () ->
+          P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn ~target ~perms ~vmsa:false ())
     with
     | Ok () -> ()
-    | Error e -> failwith ("boot sweep: " ^ e)
+    | Error e -> P.halt t.platform ("boot sweep: " ^ e)
   done
+
+(* PVALIDATE with the same bounded-retry treatment; used by the boot
+   sweeps and delegation. *)
+let mon_pvalidate t vcpu ~gpfn ~to_private =
+  retry_insn t vcpu "pvalidate" (fun () ->
+      P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn ~to_private ())
 
 let initialize t ~kernel_entry =
   if t.initialized then failwith "VeilMon already initialized";
@@ -193,9 +274,9 @@ let initialize t ~kernel_entry =
         by VeilMon under Veil — same cost, cancels in the E1 delta). *)
   for gpfn = 0 to l.Layout.total_frames - 1 do
     if not (Sevsnp.Rmp.is_vmsa t.platform.P.rmp gpfn) then
-      match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn ~to_private:true () with
+      match mon_pvalidate t vcpu ~gpfn ~to_private:true with
       | Ok () -> ()
-      | Error e -> failwith ("boot validate: " ^ e)
+      | Error e -> P.halt t.platform ("boot validate: " ^ e)
   done;
   (* 2. Protection sweep: grant the OS its memory, give Dom_SEC read
         access for service scans, keep Dom_MON/Dom_SEC regions dark. *)
@@ -219,9 +300,9 @@ let initialize t ~kernel_entry =
   add_protected_range t ~owner:Privdom.Sec l.Layout.log_region.Layout.lo l.Layout.log_region.Layout.hi;
   (* 4. Monitor GHCB (shared page) for hypercalls. *)
   let ghcb_frame = alloc_mon_frame t in
-  (match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn:ghcb_frame ~to_private:false () with
+  (match mon_pvalidate t vcpu ~gpfn:ghcb_frame ~to_private:false with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e -> P.halt t.platform ("monitor ghcb share: " ^ e));
   t.mon_ghcb_gpa <- T.gpa_of_gpfn ghcb_frame;
   (match P.set_ghcb t.platform vcpu t.mon_ghcb_gpa with Ok () -> () | Error e -> failwith e);
   (* 5. Per-VCPU IDCB (in OS-accessible memory, §5.2). *)
@@ -234,16 +315,18 @@ let initialize t ~kernel_entry =
      create one itself (PVALIDATE is delegated, and delegation needs a
      GHCB — VeilMon breaks the cycle at boot). *)
   let kernel_ghcb_frame = l.Layout.idcb_region.Layout.hi - 1 in
-  (match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn:kernel_ghcb_frame ~to_private:false () with
+  (match mon_pvalidate t vcpu ~gpfn:kernel_ghcb_frame ~to_private:false with
   | Ok () -> ()
-  | Error e -> failwith ("kernel ghcb share: " ^ e));
+  | Error e -> P.halt t.platform ("kernel ghcb share: " ^ e));
   (match P.register_ghcb t.platform (T.gpa_of_gpfn kernel_ghcb_frame) with
   | Ok _ -> ()
   | Error e -> failwith ("kernel ghcb: " ^ e));
   (vmsa_of t ~vcpu_id:vcpu.V.id ~dom:Privdom.Unt).Sevsnp.Vmsa.ghcb_gpa <-
     T.gpa_of_gpfn kernel_ghcb_frame;
   (* 7. Interrupt relay policy: deliver external interrupts to the OS. *)
-  hypercall t vcpu (Sevsnp.Ghcb.Req_relay_interrupts_to T.Vmpl3);
+  (match hypercall t vcpu (Sevsnp.Ghcb.Req_relay_interrupts_to T.Vmpl3) with
+  | 0 -> ()
+  | _ -> P.halt t.platform "hypervisor refused the interrupt relay policy");
   Hypervisor.Hv.kernel_handler_frame t.hv l.Layout.kernel_text.Layout.lo;
   (* 8. Charge the launch-measurement hashing of the boot image. *)
   let image_bytes = Layout.region_size l.Layout.mon_image + Layout.region_size l.Layout.kernel_text in
@@ -265,8 +348,27 @@ let domain_switch t vcpu ~target =
   if prof_on then
     Obs.Profiler.push prof ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu)
       "domain_switch";
-  ghcb.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl = Privdom.vmpl target };
-  P.vmgexit t.platform vcpu;
+  let target_vmpl = Privdom.vmpl target in
+  (* The relay is a *request* to an untrusted hypervisor: verify the
+     switch actually landed in the target instance before executing a
+     single further instruction that assumes it.  A refused relay is
+     retried with backoff; a hypervisor that keeps refusing earns an
+     explicit halt (never a silent wrong-domain execution or a spin). *)
+  let rec attempt n =
+    ghcb.Sevsnp.Ghcb.request <- Sevsnp.Ghcb.Req_domain_switch { target_vmpl };
+    P.vmgexit t.platform vcpu;
+    if not (T.equal_vmpl (V.vmpl vcpu) target_vmpl) then begin
+      if n >= max_retries then
+        P.halt t.platform
+          (Printf.sprintf "domain switch refused by hypervisor for %d attempts" (max_retries + 1))
+      else begin
+        Obs.Metrics.incr t.c_switch_retries;
+        charge_on vcpu C.Switch (backoff_cycles n);
+        attempt (n + 1)
+      end
+    end
+  in
+  attempt 0;
   if prof_on then Obs.Profiler.pop prof ~vcpu:vcpu.V.id ~ts:(V.rdtsc vcpu)
 
 (* --- sanitization (§8.1) --- *)
@@ -296,7 +398,7 @@ let handle_delegation t vcpu (req : Idcb.request) : Idcb.response option =
   match req with
   | Idcb.R_pvalidate { gpfn; to_private } -> (
       t.stats.delegated_pvalidates <- t.stats.delegated_pvalidates + 1;
-      match P.pvalidate t.platform vcpu ~bucket:C.Monitor ~gpfn ~to_private () with
+      match mon_pvalidate t vcpu ~gpfn ~to_private with
       | Ok () -> Some Idcb.Resp_ok
       | Error e -> Some (Idcb.Resp_error e))
   | Idcb.R_vcpu_boot { vcpu_id } ->
@@ -332,6 +434,30 @@ let dispatch t vcpu req =
       in
       try_services t.services
 
+(* Trusted-domain service of whatever request the IDCB currently
+   carries.  Runs the sanitizer and dispatch at most once per IDCB
+   sequence number: a duplicated or replayed hypervisor relay of an
+   already-served request gets the cached response back instead of a
+   second (possibly state-mutating) execution. *)
+let serve_pending t vcpu =
+  let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
+  let seq = idcb.Idcb.seq in
+  match Hashtbl.find_opt t.served vcpu.V.id with
+  | Some (s, cached) when s = seq ->
+      Obs.Metrics.incr t.c_replays;
+      cached
+  | _ ->
+      let resp =
+        match sanitize t vcpu idcb.Idcb.request with
+        | Error e ->
+            t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
+            Obs.Metrics.incr t.c_sanitizer_rejections;
+            Idcb.Resp_error e
+        | Ok () -> dispatch t vcpu idcb.Idcb.request
+      in
+      Hashtbl.replace t.served vcpu.V.id (seq, resp);
+      resp
+
 let os_call t vcpu (req : Idcb.request) : Idcb.response =
   t.stats.os_calls <- t.stats.os_calls + 1;
   Obs.Metrics.incr t.c_os_calls;
@@ -350,20 +476,15 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
     Obs.Trace.span_begin tr ~bucket:"monitor" ~id:(Obs.Profiler.id prof ~vcpu:vcpu.V.id)
       ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) "os_call";
   let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
-  (* OS writes the request into the IDCB. *)
+  (* OS writes the request into the IDCB, stamped with the next
+     sequence number — the monitor serves each sequence at most once. *)
   charge_on vcpu C.Copy (C.copy_cost (Idcb.request_size req));
+  idcb.Idcb.seq <- idcb.Idcb.seq + 1;
   idcb.Idcb.request <- req;
   let target = classify_target req in
   domain_switch t vcpu ~target;
-  (* Now running in the trusted domain: sanitize, then serve. *)
-  let resp =
-    match sanitize t vcpu idcb.Idcb.request with
-    | Error e ->
-        t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
-        Obs.Metrics.incr t.c_sanitizer_rejections;
-        Idcb.Resp_error e
-    | Ok () -> dispatch t vcpu idcb.Idcb.request
-  in
+  (* Now running in the trusted domain: dedup, sanitize, then serve. *)
+  let resp = serve_pending t vcpu in
   idcb.Idcb.response <- resp;
   idcb.Idcb.request <- Idcb.R_none;
   charge_on vcpu C.Copy (C.copy_cost (Idcb.response_size resp));
@@ -380,17 +501,23 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
 (* --- service primitives --- *)
 
 let mon_rmpadjust t vcpu ~gpfn ~target ~perms =
-  P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn ~target:(Privdom.vmpl target) ~perms ~vmsa:false ()
+  retry_insn t vcpu "rmpadjust" (fun () ->
+      P.rmpadjust t.platform vcpu ~bucket:C.Monitor ~gpfn ~target:(Privdom.vmpl target) ~perms
+        ~vmsa:false ())
 
 let set_enclave_ghcb_policy t vcpu ~ghcb_gpfn =
   (* Must be issued from Dom_MON (the hypervisor only honors VMPL-0). *)
   let here = Privdom.of_vmpl (V.vmpl vcpu) in
   let allowed = [ (T.Vmpl3, T.Vmpl2); (T.Vmpl2, T.Vmpl1) ] in
-  if Privdom.equal here Privdom.Mon then
-    hypercall t vcpu (Sevsnp.Ghcb.Req_set_switch_policy { ghcb_gpfn; allowed })
+  let install () =
+    match hypercall t vcpu (Sevsnp.Ghcb.Req_set_switch_policy { ghcb_gpfn; allowed }) with
+    | 0 -> ()
+    | _ -> P.halt t.platform "hypervisor refused the enclave GHCB switch policy"
+  in
+  if Privdom.equal here Privdom.Mon then install ()
   else begin
     domain_switch t vcpu ~target:Privdom.Mon;
-    hypercall t vcpu (Sevsnp.Ghcb.Req_set_switch_policy { ghcb_gpfn; allowed });
+    install ();
     domain_switch t vcpu ~target:here
   end
 

@@ -54,14 +54,26 @@ val register_service : t -> name:string -> target:Privdom.t -> handler -> unit
     at Dom_SEC; delegated VMPL-0 work at Dom_MON). *)
 
 val os_call : t -> Sevsnp.Vcpu.t -> Idcb.request -> Idcb.response
-(** The full §5.2 path: the OS writes the IDCB, requests a
-    hypervisor-relayed switch to the serving domain, the request is
-    sanitized and dispatched, and the VCPU switches back.  Charges
-    both switch costs and the IDCB copies. *)
+(** The full §5.2 path: the OS stamps the IDCB with the next request
+    sequence number, requests a hypervisor-relayed switch to the
+    serving domain, the request is sanitized and dispatched (at most
+    once per sequence — see {!serve_pending}), and the VCPU switches
+    back.  Charges both switch costs and the IDCB copies. *)
+
+val serve_pending : t -> Sevsnp.Vcpu.t -> Idcb.response
+(** Trusted-domain service of the request currently in the VCPU's
+    IDCB.  Each IDCB sequence number is served at most once: a
+    duplicated/replayed relay returns the cached response (counted
+    under ["monitor.replays_suppressed"]) instead of re-executing a
+    state-mutating request. *)
 
 val domain_switch : t -> Sevsnp.Vcpu.t -> target:Privdom.t -> unit
 (** Raw hypervisor-relayed switch (used by services and the enclave
-    runtime); current instance's GHCB must permit it. *)
+    runtime); current instance's GHCB must permit it.  The switch is
+    verified: if the hypervisor did not actually enter the target
+    instance it is re-requested with cycle-accounted backoff
+    (["monitor.switch_retries"]), and a persistent refusal halts the
+    CVM explicitly. *)
 
 (* Monitor-side primitives for services *)
 
@@ -72,6 +84,14 @@ val mon_rmpadjust :
   target:Privdom.t ->
   perms:Sevsnp.Perm.t ->
   (unit, string) result
+(** RMPADJUST with bounded retry: architecturally transient failures
+    (FAIL_INUSE) are re-attempted up to a fixed budget with
+    exponential cycle-accounted backoff (["monitor.insn_retries"])
+    before surfacing an explicit [Error]. *)
+
+val mon_pvalidate :
+  t -> Sevsnp.Vcpu.t -> gpfn:Sevsnp.Types.gpfn -> to_private:bool -> (unit, string) result
+(** PVALIDATE with the same bounded-retry treatment. *)
 
 val alloc_mon_frame : t -> Sevsnp.Types.gpfn
 (** Bump-allocate from the Dom_MON heap. *)

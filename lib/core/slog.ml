@@ -10,10 +10,19 @@ type t = {
   c_appended : Obs.Metrics.counter;
   c_dropped : Obs.Metrics.counter;
   c_fetches : Obs.Metrics.counter;
+  c_buffered : Obs.Metrics.counter;
+  g_degraded : Obs.Metrics.gauge;
+  pending : string Queue.t;
+      (** graceful degradation: lines that arrived while the region was
+          full wait here (bounded) and are flushed by {!clear} *)
   mutable head : int;  (** next free byte offset within the region *)
   mutable nlines : int;
   mutable chain : bytes;
 }
+
+(* Bounded buffered-retry queue: past this the service sheds records
+   (still explicitly — the caller sees the error response). *)
+let pending_cap = 256
 
 let stats t =
   {
@@ -39,11 +48,36 @@ let verify_chain ~lines ~digest =
 
 let base_gpa t = T.gpa_of_gpfn t.region.Layout.lo
 
+(* Raw framed append of an already-in-chain-order line; the caller has
+   checked capacity and holds Dom_SEC write access to the region. *)
+let write_line t vcpu line =
+  let platform = Monitor.platform t.mon in
+  let len = String.length line in
+  let framed = Bytes.create (4 + len) in
+  Bytes.set_int32_le framed 0 (Int32.of_int len);
+  Bytes.blit_string line 0 framed 4 len;
+  Sevsnp.Vcpu.charge vcpu C.Copy (C.copy_cost (len + 4));
+  Sevsnp.Vcpu.charge vcpu C.Monitor 350 (* bookkeeping *);
+  P.write platform vcpu (base_gpa t + t.head) framed;
+  Sevsnp.Vcpu.charge vcpu C.Crypto (C.hash_cost len);
+  t.chain <- extend_chain t.chain line;
+  t.head <- t.head + len + 4;
+  t.nlines <- t.nlines + 1;
+  Obs.Metrics.incr t.c_appended
+
 let append t vcpu (record : Guest_kernel.Audit.record) =
   let line = Guest_kernel.Audit.to_line record in
   let len = String.length line in
   if t.head + len + 4 > capacity_bytes t then begin
     Obs.Metrics.incr t.c_dropped;
+    (* Degraded, not dead: park the record in the bounded retry buffer
+       (flushed on the next {!clear}), surface the state via the
+       metrics registry, and answer with an explicit error. *)
+    if Queue.length t.pending < pending_cap then begin
+      Queue.push line t.pending;
+      Obs.Metrics.incr t.c_buffered;
+      Obs.Metrics.set t.g_degraded 1
+    end;
     Idcb.Resp_error "VeilS-LOG: reserved storage full; retrieve logs"
   end
   else begin
@@ -54,17 +88,7 @@ let append t vcpu (record : Guest_kernel.Audit.record) =
       Obs.Profiler.push prof ~vcpu:vcpu.Sevsnp.Vcpu.id
         ~vmpl:(T.vmpl_index (Sevsnp.Vcpu.vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu) "slog_append";
     (* Length-prefixed append into the protected region (Dom_SEC rw). *)
-    let framed = Bytes.create (4 + len) in
-    Bytes.set_int32_le framed 0 (Int32.of_int len);
-    Bytes.blit_string line 0 framed 4 len;
-    Sevsnp.Vcpu.charge vcpu C.Copy (C.copy_cost (len + 4));
-    Sevsnp.Vcpu.charge vcpu C.Monitor 350 (* bookkeeping *);
-    P.write platform vcpu (base_gpa t + t.head) framed;
-    Sevsnp.Vcpu.charge vcpu C.Crypto (C.hash_cost len);
-    t.chain <- extend_chain t.chain line;
-    t.head <- t.head + len + 4;
-    t.nlines <- t.nlines + 1;
-    Obs.Metrics.incr t.c_appended;
+    write_line t vcpu line;
     (let tr = platform.P.tracer in
      if Obs.Trace.enabled tr then
        Obs.Trace.emit tr ~vcpu:vcpu.Sevsnp.Vcpu.id
@@ -107,10 +131,34 @@ let read_all t =
   if need_switch then Monitor.domain_switch t.mon vcpu ~target:here;
   lines
 
+let degraded t = Obs.Metrics.gauge_value t.g_degraded <> 0
+let pending_count t = Queue.length t.pending
+
+(* Buffered retry: drain the degraded-mode queue into the (just
+   retrieved and cleared) region, oldest first. *)
+let flush_pending t =
+  if not (Queue.is_empty t.pending) then begin
+    let vcpu = Monitor.boot_vcpu t.mon in
+    let here = Privdom.of_vmpl (Sevsnp.Vcpu.vmpl vcpu) in
+    let need_switch =
+      not (Privdom.more_privileged here Privdom.Enc || Privdom.equal here Privdom.Sec)
+    in
+    if need_switch then Monitor.domain_switch t.mon vcpu ~target:Privdom.Sec;
+    while
+      (not (Queue.is_empty t.pending))
+      && t.head + String.length (Queue.peek t.pending) + 4 <= capacity_bytes t
+    do
+      write_line t vcpu (Queue.pop t.pending)
+    done;
+    if need_switch then Monitor.domain_switch t.mon vcpu ~target:here
+  end;
+  if Queue.is_empty t.pending then Obs.Metrics.set t.g_degraded 0
+
 let clear t =
   t.head <- 0;
   t.nlines <- 0;
-  t.chain <- Bytes.make 32 '\000'
+  t.chain <- Bytes.make 32 '\000';
+  flush_pending t
 
 let handler t _mon vcpu (req : Idcb.request) =
   match req with
@@ -127,6 +175,9 @@ let install mon =
       c_appended = Obs.Metrics.counter m "slog.appended";
       c_dropped = Obs.Metrics.counter m "slog.dropped_full";
       c_fetches = Obs.Metrics.counter m "slog.fetches";
+      c_buffered = Obs.Metrics.counter m "slog.buffered_retries";
+      g_degraded = Obs.Metrics.gauge m "slog.degraded";
+      pending = Queue.create ();
       head = 0;
       nlines = 0;
       chain = Bytes.make 32 '\000';

@@ -34,4 +34,15 @@ val verify_chain : lines:string list -> digest:bytes -> bool
 (** Remote-side check that [lines] reproduce [digest]. *)
 
 val clear : t -> unit
-(** Remote-user-initiated reset after retrieval (§6.3). *)
+(** Remote-user-initiated reset after retrieval (§6.3).  Also drains
+    the degraded-mode pending buffer into the freshly-cleared region
+    (oldest first), leaving ["slog.degraded"] at 0 when it empties. *)
+
+val degraded : t -> bool
+(** True while the service is in graceful-degradation mode: the region
+    filled up, so appends are being parked in a bounded retry buffer
+    (and answered with an explicit error) instead of crashing.
+    Mirrored by the ["slog.degraded"] registry gauge. *)
+
+val pending_count : t -> int
+(** Records currently parked in the degraded-mode retry buffer. *)

@@ -22,10 +22,14 @@ type t = {
   c_io_bytes : Obs.Metrics.counter;
   c_interrupts : Obs.Metrics.counter;
   c_psc : Obs.Metrics.counter;
+  c_relay_refused : Obs.Metrics.counter;
+  c_relay_dropped : Obs.Metrics.counter;
+  c_relay_coalesced : Obs.Metrics.counter;
   mutable relay_target : T.vmpl option;
   mutable refuse_interrupt_relay : bool;
   mutable interrupt_handler : (Sevsnp.Vcpu.t -> unit) option;
   mutable kernel_handler_gpfn : T.gpfn option;
+  mutable deferred_irq : bool;  (* chaos relay_reorder holds one interrupt back *)
 }
 
 let platform t = t.platform
@@ -109,7 +113,7 @@ let handle_create_vcpu t vcpu ~vmsa_gpfn ~target_vmpl =
         match ghcb with Some g -> g.G.response <- 0 | None -> ()
       end
 
-let handle_exit t vcpu =
+let service_exit t vcpu =
   match P.ghcb_of_vcpu t.platform vcpu with
   | None -> P.halt t.platform "non-automatic exit without a GHCB"
   | Some ghcb -> (
@@ -161,6 +165,64 @@ let handle_exit t vcpu =
           ghcb.G.request <- G.Req_none;
           P.halt t.platform reason)
 
+(* Veil-Chaos responses are deliberately out of the {0, 1} GHCB
+   protocol range so the guest-side sanitizer can tell "the hypervisor
+   misbehaved" from any legitimate answer. *)
+let chaos_refused_response = 0x5245 (* "RE" *)
+let chaos_corrupt_response = 0x6000
+
+let handle_exit t vcpu =
+  match t.platform.P.chaos with
+  | None -> service_exit t vcpu
+  | Some plan ->
+      (* pre-service: scheduling delay and exits the guest never asked
+         for — pure cycle charges against the interrupted instance *)
+      if Chaos.Fault_plan.fire plan Chaos.Fault_plan.Vmgexit_delay then begin
+        Sevsnp.Vcpu.charge vcpu C.Switch (1_000 + Chaos.Fault_plan.draw plan 15_000);
+        P.chaos_mark t.platform (Some vcpu) "vmgexit_delay"
+      end;
+      if Chaos.Fault_plan.fire plan Chaos.Fault_plan.Spurious_exit then begin
+        Sevsnp.Vcpu.charge vcpu C.Switch (C.automatic_exit + C.vmsa_save + C.vmsa_restore);
+        P.chaos_mark t.platform (Some vcpu) "spurious_exit"
+      end;
+      (* Fetch the GHCB only if a GHCB-touching site can ever fire:
+         the lookup allocates, and an armed all-zero plan must cost
+         exactly what a disarmed platform does. *)
+      let ghcb =
+        if
+          Chaos.Fault_plan.site_enabled plan Chaos.Fault_plan.Vmgexit_refuse
+          || Chaos.Fault_plan.site_enabled plan Chaos.Fault_plan.Ghcb_corrupt
+        then P.ghcb_of_vcpu t.platform vcpu
+        else None
+      in
+      let refused =
+        match ghcb with
+        | Some g -> (
+            match g.G.request with
+            | G.Req_none | G.Req_halt _ -> false
+            | _ -> Chaos.Fault_plan.fire plan Chaos.Fault_plan.Vmgexit_refuse)
+        | None -> false
+      in
+      (match ghcb with
+      | Some g when refused ->
+          (* decline to service: clear the mailbox, answer out of
+             protocol, resume the guest where it was *)
+          g.G.request <- G.Req_none;
+          g.G.response <- chaos_refused_response;
+          P.chaos_mark t.platform (Some vcpu) "vmgexit_refuse";
+          P.vmenter t.platform vcpu (Sevsnp.Vcpu.current_vmsa vcpu)
+      | _ -> service_exit t vcpu);
+      (* post-service: scribble the hypervisor-writable GHCB fields
+         (response, exit_info) — never guest-owned state *)
+      (match ghcb with
+      | Some g when Chaos.Fault_plan.fire plan Chaos.Fault_plan.Ghcb_corrupt ->
+          g.G.response <- chaos_corrupt_response lor Chaos.Fault_plan.draw plan 0x1000;
+          g.G.exit_info <- Chaos.Fault_plan.draw plan 0x10000;
+          P.chaos_mark t.platform (Some vcpu) "ghcb_corrupt"
+      | _ -> ());
+      if Chaos.Fault_plan.fire plan Chaos.Fault_plan.Shared_bitflip then
+        P.chaos_flip_shared t.platform plan
+
 let create platform =
   let m = platform.P.metrics in
   let t =
@@ -173,10 +235,14 @@ let create platform =
       c_io_bytes = Obs.Metrics.counter m "hv.io_bytes";
       c_interrupts = Obs.Metrics.counter m "hv.interrupts_injected";
       c_psc = Obs.Metrics.counter m "hv.page_state_changes";
+      c_relay_refused = Obs.Metrics.counter m "hv.relay.refused";
+      c_relay_dropped = Obs.Metrics.counter m "hv.relay.dropped";
+      c_relay_coalesced = Obs.Metrics.counter m "hv.relay.coalesced";
       relay_target = None;
       refuse_interrupt_relay = false;
       interrupt_handler = None;
       kernel_handler_gpfn = None;
+      deferred_irq = false;
     }
   in
   platform.P.exit_handler <- Some (handle_exit t);
@@ -201,14 +267,35 @@ let kernel_handler_frame t gpfn = t.kernel_handler_gpfn <- Some gpfn
 
 let set_refuse_interrupt_relay t b = t.refuse_interrupt_relay <- b
 
-let inject_interrupt t vcpu =
-  Obs.Metrics.incr t.c_interrupts;
+(* Instant relay events: satellite requirement that every refused /
+   dropped / coalesced relay is visible in Perfetto. *)
+let relay_event t vcpu name =
+  let tr = t.platform.P.tracer in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.emit tr ~phase:Obs.Trace.Instant ~bucket:"switch" ~vcpu:vcpu.Sevsnp.Vcpu.id
+      ~vmpl:(T.vmpl_index (current_vmpl vcpu)) ~ts:(Sevsnp.Vcpu.rdtsc vcpu)
+      (Obs.Trace.Span name)
+
+(* One delivery attempt, past drop/coalesce filtering: charge the
+   delivery, relay across domains per [relay_target], honor refusal. *)
+let deliver_one t vcpu =
   Sevsnp.Vcpu.charge vcpu C.Switch C.interrupt_delivery;
   let interrupted = Sevsnp.Vcpu.current_vmsa vcpu in
   let deliver () = match t.interrupt_handler with Some f -> f vcpu | None -> () in
   match t.relay_target with
   | Some target when not (T.equal_vmpl interrupted.Sevsnp.Vmsa.vmpl target) ->
-      if t.refuse_interrupt_relay then begin
+      let refused =
+        t.refuse_interrupt_relay
+        ||
+        match t.platform.P.chaos with
+        | Some plan when Chaos.Fault_plan.fire plan Chaos.Fault_plan.Relay_refuse ->
+            P.chaos_mark t.platform (Some vcpu) "relay_refuse";
+            true
+        | _ -> false
+      in
+      if refused then begin
+        Obs.Metrics.incr t.c_relay_refused;
+        relay_event t vcpu "hv.relay_refused";
         (* Force handling in the interrupted domain: fetching the
            kernel's handler there violates VMPL permissions. *)
         match t.kernel_handler_gpfn with
@@ -225,6 +312,50 @@ let inject_interrupt t vcpu =
         P.vmenter t.platform vcpu interrupted
       end
   | _ -> deliver ()
+
+let deliver_acked t vcpu =
+  vcpu.Sevsnp.Vcpu.pending_interrupts <- 1;
+  deliver_one t vcpu;
+  (* the handler returned: the guest has acked the vector *)
+  vcpu.Sevsnp.Vcpu.pending_interrupts <- 0
+
+let inject_interrupt t vcpu =
+  Obs.Metrics.incr t.c_interrupts;
+  if vcpu.Sevsnp.Vcpu.pending_interrupts > 0 then begin
+    (* same vector already posted and not yet acked (e.g. injected
+       again from inside the handler): hardware coalesces *)
+    Obs.Metrics.incr t.c_relay_coalesced;
+    relay_event t vcpu "hv.relay_coalesced"
+  end
+  else
+    match t.platform.P.chaos with
+    | None -> deliver_acked t vcpu
+    | Some plan ->
+        if Chaos.Fault_plan.fire plan Chaos.Fault_plan.Relay_drop then begin
+          Obs.Metrics.incr t.c_relay_dropped;
+          relay_event t vcpu "hv.relay_dropped";
+          P.chaos_mark t.platform (Some vcpu) "relay_drop"
+        end
+        else if
+          Chaos.Fault_plan.fire plan Chaos.Fault_plan.Relay_reorder && not t.deferred_irq
+        then begin
+          (* hold this interrupt back; it will be delivered after the
+             next one, i.e. out of order *)
+          t.deferred_irq <- true;
+          P.chaos_mark t.platform (Some vcpu) "relay_reorder"
+        end
+        else begin
+          deliver_acked t vcpu;
+          if t.deferred_irq then begin
+            t.deferred_irq <- false;
+            (* the held-back older interrupt arrives after its younger peer *)
+            deliver_acked t vcpu
+          end;
+          if Chaos.Fault_plan.fire plan Chaos.Fault_plan.Relay_dup then begin
+            P.chaos_mark t.platform (Some vcpu) "relay_dup";
+            deliver_acked t vcpu
+          end
+        end
 
 let try_tamper_vmsa t ~vcpu_id ~vmpl =
   match vmsa_for t ~vcpu_id ~vmpl with

@@ -44,7 +44,14 @@ val inject_interrupt : t -> Sevsnp.Vcpu.t -> unit
     instance is not the relay target, the hypervisor re-enters the
     relay-target instance first (§6.2); with {!set_refuse_interrupt_relay}
     it instead forces handling in the interrupted domain, which halts
-    the CVM when that domain cannot execute the kernel's handler. *)
+    the CVM when that domain cannot execute the kernel's handler.
+    A second injection on the same VCPU before the guest's handler
+    returns (acks) is coalesced, like a fixed-vector APIC — counted
+    under ["hv.relay.coalesced"].  Refused relays count under
+    ["hv.relay.refused"]; an armed chaos plan can additionally drop,
+    duplicate, reorder (["hv.relay.dropped"], ["chaos.relay_dup"],
+    ["chaos.relay_reorder"]) or refuse individual relays.  Every
+    drop/refuse/coalesce emits an instant trace event. *)
 
 val set_interrupt_handler : t -> (Sevsnp.Vcpu.t -> unit) -> unit
 (** Guest kernel's interrupt service routine (simulation hook; runs

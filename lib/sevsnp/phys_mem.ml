@@ -94,6 +94,12 @@ let write_byte t gpa v =
   Bytes.set t.touched (Types.gpfn_of_gpa gpa) '\001';
   Bytes.unsafe_set (chunk_rw t gpa) (gpa land (chunk_bytes - 1)) (Char.chr (v land 0xff))
 
+(* Fault-injection support (Veil-Chaos): DRAM disturbance in a single
+   bit.  The caller (Platform) is responsible for restricting this to
+   Shared frames — private-page integrity is SNP's hardware guarantee
+   and is never subject to injection. *)
+let flip_bit t gpa bit = write_byte t gpa (read_byte t gpa lxor (1 lsl (bit land 7)))
+
 (* The u64 accessors compose bytes by hand rather than via
    [Bytes.get_int64_le]: an 8-load spill is still a handful of ns and,
    unlike an intermediate [Int64], allocates nothing — the TLB-hit

@@ -33,6 +33,11 @@ val write_sub : t -> Types.gpa -> bytes -> int -> int -> unit
 val read_byte : t -> Types.gpa -> int
 val write_byte : t -> Types.gpa -> int -> unit
 
+val flip_bit : t -> Types.gpa -> int -> unit
+(** [flip_bit t gpa bit] XORs one bit ([bit land 7]) of the addressed
+    byte — Veil-Chaos's shared-page disturbance primitive.  Callers
+    must only aim it at [Shared] frames. *)
+
 val read_u64 : t -> Types.gpa -> int
 (** Little-endian 8-byte load truncated to OCaml's 63-bit int (the
     simulator never uses the top bit).  Allocation-free. *)

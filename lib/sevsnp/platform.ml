@@ -13,6 +13,7 @@ type t = {
   metrics : Obs.Metrics.t;
   tracer : Obs.Trace.t;
   profiler : Obs.Profiler.t;
+  mutable chaos : Chaos.Fault_plan.t option;
   c_npf : Obs.Metrics.counter;
   c_rmpadjust : Obs.Metrics.counter;
   c_pvalidate : Obs.Metrics.counter;
@@ -43,6 +44,7 @@ let create ?(seed = 7) ~npages () =
     metrics;
     tracer = Obs.Trace.create ();
     profiler = Obs.Profiler.create ();
+    chaos = None;
     c_npf = Obs.Metrics.counter metrics "platform.npf";
     c_rmpadjust = Obs.Metrics.counter metrics "platform.rmpadjust";
     c_pvalidate = Obs.Metrics.counter metrics "platform.pvalidate";
@@ -63,6 +65,60 @@ let tlb_shootdown t =
 let halt t reason =
   if t.halted = None then t.halted <- Some reason;
   raise (Types.Cvm_halted reason)
+
+(* --- Veil-Chaos fault injection --- *)
+
+let arm_chaos t plan = t.chaos <- Some plan
+let disarm_chaos t = t.chaos <- None
+
+(* Mark an injection: a lazily-interned chaos.* counter (the registry
+   only grows chaos entries on machines that actually saw faults) plus
+   an instant trace event so chaos runs render in Perfetto. *)
+let chaos_mark t vcpu name =
+  Obs.Metrics.incr (Obs.Metrics.counter t.metrics ("chaos." ^ name));
+  if Obs.Trace.enabled t.tracer then begin
+    let vc, ts, vmpl =
+      match vcpu with
+      | Some v -> (v.Vcpu.id, Vcpu.rdtsc v, Types.vmpl_index (Vcpu.vmpl v))
+      | None -> (-1, 0, -1)
+    in
+    Obs.Trace.emit t.tracer ~phase:Obs.Trace.Instant ~bucket:"chaos" ~vcpu:vc ~vmpl ~ts
+      (Obs.Trace.Span ("chaos." ^ name))
+  end
+
+(* Flip one bit in a uniformly-drawn Shared frame — the DRAM/host
+   disturbance of the fault model.  Private (encrypted, integrity-
+   protected) frames are structurally out of reach: only frames the
+   RMP maps as [Shared] are candidates.  O(npages) scans are fine
+   here; injections are rare events. *)
+let chaos_flip_shared t plan =
+  let n = Rmp.npages t.rmp in
+  let nshared = ref 0 in
+  for g = 0 to n - 1 do
+    if Rmp.state t.rmp g = Rmp.Shared then incr nshared
+  done;
+  if !nshared > 0 then begin
+    let k = Chaos.Fault_plan.draw plan !nshared in
+    let target = ref (-1) in
+    let seen = ref 0 in
+    (try
+       for g = 0 to n - 1 do
+         if Rmp.state t.rmp g = Rmp.Shared then begin
+           if !seen = k then begin
+             target := g;
+             raise Exit
+           end;
+           incr seen
+         end
+       done
+     with Exit -> ());
+    if !target >= 0 then begin
+      assert (Rmp.state t.rmp !target = Rmp.Shared);
+      let gpa = Types.gpa_of_gpfn !target + Chaos.Fault_plan.draw plan Types.page_size in
+      Phys_mem.flip_bit t.mem gpa (Chaos.Fault_plan.draw plan 8);
+      chaos_mark t None "shared_bitflip"
+    end
+  end
 
 let check_running t = match t.halted with None -> () | Some r -> raise (Types.Cvm_halted r)
 
@@ -309,10 +365,23 @@ let rmpadjust t vcpu ?(bucket = Cycles.Other) ~gpfn ~target ~perms ~vmsa () =
   (match Rmp.check_guest_access t.rmp ~gpfn ~vmpl:caller ~cpl:Types.Cpl0 ~access:Types.Read with
   | Ok () -> ()
   | Error info -> raise_npf_at t (Some vcpu) info);
-  let r = Rmp.adjust t.rmp ~caller ~gpfn ~target ~perms ~vmsa in
-  (* Rmp.adjust bumped the generation; account the flush. *)
-  if r = Ok () then Obs.Metrics.incr t.c_tlb_flush;
-  r
+  (match t.chaos with
+  | Some plan when Chaos.Fault_plan.fire plan Chaos.Fault_plan.Spurious_npf ->
+      (* a *resumable* #NPF: the host swapped the backing frame out and
+         in again, so the guest pays an exit and hardware re-executes
+         the instruction — extra cycles, then the op completes *)
+      Vcpu.charge vcpu Cycles.Switch Cycles.npf_exit;
+      chaos_mark t (Some vcpu) "spurious_npf"
+  | _ -> ());
+  match t.chaos with
+  | Some plan when Chaos.Fault_plan.fire plan Chaos.Fault_plan.Rmpadjust_fail ->
+      chaos_mark t (Some vcpu) "rmpadjust_fail";
+      Error "RMPADJUST: FAIL_INUSE (transient)"
+  | _ ->
+      let r = Rmp.adjust t.rmp ~caller ~gpfn ~target ~perms ~vmsa in
+      (* Rmp.adjust bumped the generation; account the flush. *)
+      if r = Ok () then Obs.Metrics.incr t.c_tlb_flush;
+      r
 
 let pvalidate t vcpu ?(bucket = Cycles.Other) ~gpfn ~to_private () =
   check_running t;
@@ -325,6 +394,11 @@ let pvalidate t vcpu ?(bucket = Cycles.Other) ~gpfn ~to_private () =
   if Obs.Profiler.enabled t.profiler then
     Obs.Profiler.leaf t.profiler ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
       ~dur:Cycles.pvalidate "pvalidate";
+  match t.chaos with
+  | Some plan when Chaos.Fault_plan.fire plan Chaos.Fault_plan.Pvalidate_fail ->
+      chaos_mark t (Some vcpu) "pvalidate_fail";
+      Error "PVALIDATE: FAIL_INUSE (transient)"
+  | _ ->
   if Vcpu.vmpl vcpu <> Types.Vmpl0 then Error "pvalidate: FAIL_PERMISSION (not VMPL-0)"
   else if gpfn < 0 || gpfn >= Rmp.npages t.rmp then Error "pvalidate: frame out of range"
   else begin
@@ -369,8 +443,20 @@ let dispatch_exit t vcpu =
   | Some h -> h vcpu
   | None -> halt t "VM exit with no hypervisor attached"
 
+(* Chaos watchdog: every world exit spends one unit of the plan's step
+   budget.  A retry protocol that stops converging (livelock) exhausts
+   it and the CVM halts with an explicit reason instead of hanging —
+   invariant (2) of the chaos driver. *)
+let chaos_step t =
+  match t.chaos with
+  | None -> ()
+  | Some plan ->
+      if not (Chaos.Fault_plan.step plan) then
+        halt t "chaos watchdog: step budget exceeded"
+
 let vmgexit t vcpu =
   check_running t;
+  chaos_step t;
   vcpu.Vcpu.last_exit_ts <- Vcpu.rdtsc vcpu;
   Obs.Metrics.incr t.c_vmgexit;
   if Obs.Trace.enabled t.tracer then
@@ -391,6 +477,7 @@ let vmgexit t vcpu =
 
 let automatic_exit t vcpu =
   check_running t;
+  chaos_step t;
   vcpu.Vcpu.last_exit_ts <- Vcpu.rdtsc vcpu;
   Obs.Metrics.incr t.c_vmgexit;
   if Obs.Trace.enabled t.tracer then

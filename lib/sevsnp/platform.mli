@@ -32,6 +32,10 @@ type t = {
           save/restore, GHCB protocol, RMPADJUST, PVALIDATE — as
           profiler leaves, and upper layers (hypervisor, kernel,
           monitor, SDK) open the surrounding frames *)
+  mutable chaos : Chaos.Fault_plan.t option;
+      (** armed Veil-Chaos fault plan, [None] in normal operation; the
+          platform's instruction/exit paths and the hypervisor consult
+          it at each injection site (§ DESIGN.md "Fault model") *)
   c_npf : Obs.Metrics.counter;  (** handle for "platform.npf" *)
   c_rmpadjust : Obs.Metrics.counter;
   c_pvalidate : Obs.Metrics.counter;
@@ -56,6 +60,25 @@ val halt : t -> string -> 'a
 val check_running : t -> unit
 
 val is_halted : t -> string option
+
+(* Veil-Chaos fault injection *)
+
+val arm_chaos : t -> Chaos.Fault_plan.t -> unit
+(** Arm a fault plan on this machine.  While no plan is armed every
+    injection site costs its hot path exactly one [None] check. *)
+
+val disarm_chaos : t -> unit
+
+val chaos_mark : t -> Vcpu.t option -> string -> unit
+(** Record one injection: bumps the lazily-interned ["chaos." ^ name]
+    counter and emits an instant trace event (bucket ["chaos"]) so
+    chaos runs render in Perfetto.  Used by every layer that injects
+    (platform, hypervisor). *)
+
+val chaos_flip_shared : t -> Chaos.Fault_plan.t -> unit
+(** Flip one uniformly-drawn bit in one uniformly-drawn [Shared]
+    frame.  Private frames are never candidates (SNP integrity
+    protection); a machine with no shared frames is a no-op. *)
 
 (* Launch *)
 

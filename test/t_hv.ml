@@ -80,6 +80,50 @@ let test_interrupt_relay_from_enclave () =
       Alcotest.(check int) "kernel ISR ran during relay" (j0 + 1)
         (Guest_kernel.Kernel.jiffies sys.Veil_core.Boot.kernel)
 
+let test_interrupt_coalesced_before_ack () =
+  let sys = boot () in
+  let hv = sys.Veil_core.Boot.hv in
+  let kernel = sys.Veil_core.Boot.kernel in
+  let vcpu = sys.Veil_core.Boot.vcpu in
+  let m = sys.Veil_core.Boot.platform.P.metrics in
+  (* The duplicate arrives while the first delivery is still unacked
+     (the ISR has not returned): real APICs coalesce the vector. *)
+  Hv.set_interrupt_handler hv (fun v ->
+      Hv.inject_interrupt hv v;
+      Guest_kernel.Kernel.handle_interrupt kernel v);
+  let j0 = Guest_kernel.Kernel.jiffies kernel in
+  Hv.inject_interrupt hv vcpu;
+  Alcotest.(check int) "ISR ran exactly once" (j0 + 1) (Guest_kernel.Kernel.jiffies kernel);
+  Alcotest.(check int) "duplicate coalesced" 1
+    (Obs.Metrics.value (Obs.Metrics.counter m "hv.relay.coalesced"));
+  (* After the ack, injection delivers again. *)
+  Hv.set_interrupt_handler hv (Guest_kernel.Kernel.handle_interrupt kernel);
+  Hv.inject_interrupt hv vcpu;
+  Alcotest.(check int) "next interrupt delivers" (j0 + 2) (Guest_kernel.Kernel.jiffies kernel)
+
+let test_relay_refused_mid_switch () =
+  let sys = boot () in
+  let hv = sys.Veil_core.Boot.hv in
+  let kernel = sys.Veil_core.Boot.kernel in
+  let vcpu = sys.Veil_core.Boot.vcpu in
+  let m = sys.Veil_core.Boot.platform.P.metrics in
+  (* Park the VCPU mid domain switch (running at Dom_MON, relay target
+     Dom_UNT), then have the hypervisor refuse the relay. *)
+  Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon vcpu ~target:Veil_core.Privdom.Mon;
+  Hv.set_refuse_interrupt_relay hv true;
+  let j0 = Guest_kernel.Kernel.jiffies kernel in
+  Hv.inject_interrupt hv vcpu;
+  (* VMPL-0 may execute kernel text, so the refusal is survivable here
+     — but the ISR never ran and the refusal was counted. *)
+  Alcotest.(check int) "ISR did not run" j0 (Guest_kernel.Kernel.jiffies kernel);
+  Alcotest.(check int) "refusal counted" 1
+    (Obs.Metrics.value (Obs.Metrics.counter m "hv.relay.refused"));
+  Alcotest.(check bool) "CVM not halted" true (P.is_halted sys.Veil_core.Boot.platform = None);
+  Hv.set_refuse_interrupt_relay hv false;
+  Veil_core.Monitor.domain_switch sys.Veil_core.Boot.mon vcpu ~target:Veil_core.Privdom.Unt;
+  Hv.inject_interrupt hv vcpu;
+  Alcotest.(check int) "relay works again" (j0 + 1) (Guest_kernel.Kernel.jiffies kernel)
+
 let test_policy_blocks_errant_switch () =
   let sys = boot () in
   let proc = Guest_kernel.Kernel.spawn sys.Veil_core.Boot.kernel in
@@ -154,6 +198,8 @@ let suite =
     ("switches counted", `Quick, test_switch_counts);
     ("interrupt relayed to kernel", `Quick, test_interrupt_relay_to_kernel);
     ("interrupt relayed out of enclave", `Quick, test_interrupt_relay_from_enclave);
+    ("duplicate interrupt before ack coalesces", `Quick, test_interrupt_coalesced_before_ack);
+    ("relay refusal mid domain switch", `Quick, test_relay_refused_mid_switch);
     ("GHCB policy blocks errant switch", `Quick, test_policy_blocks_errant_switch);
     ("policy config requires VMPL-0", `Quick, test_policy_config_requires_vmpl0);
     ("host cannot read private memory", `Quick, test_host_cannot_read_private);

@@ -19,4 +19,5 @@ let () =
       ("scheduler", T_sched.suite);
       ("facade", T_facade.suite);
       ("obs", T_obs.suite);
+      ("chaos", T_chaos.suite);
     ]
