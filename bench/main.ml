@@ -5,10 +5,12 @@
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablate|micro|all] [--json] [--seed N]";
+    "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|escale|ablate|micro|all] [--json] [--seed N]";
   print_endline "       (no argument = all; scale via VEIL_BENCH_SCALE, default 1;";
   print_endline "        --json additionally prints every recorded run as one JSON document;";
-  print_endline "        --seed sets the guest RNG seed for every run, default 97)"
+  print_endline "        --seed sets the guest RNG seed for every run, default 97;";
+  print_endline "        escale: VEIL_ESCALE_VCPUS=1,2,4,8 picks the VCPU counts,";
+  print_endline "        VEIL_ESCALE_JOURNAL=path dumps the interleaver schedule journals)"
 
 let scale =
   match Sys.getenv_opt "VEIL_BENCH_SCALE" with Some s -> int_of_string s | None -> 1
@@ -45,6 +47,7 @@ let all () =
   Experiments.e9 ();
   Experiments.e10 ();
   Experiments.e11 ();
+  Experiments.escale ();
   Experiments.ablate ~scale ();
   Micro.run ()
 
@@ -61,6 +64,7 @@ let () =
   | "e9" -> Experiments.e9 ()
   | "e10" -> Experiments.e10 ()
   | "e11" -> Experiments.e11 ()
+  | "escale" -> Experiments.escale ()
   | "ablate" -> Experiments.ablate ~scale ()
   | "micro" -> Micro.run ()
   | "all" -> all ()

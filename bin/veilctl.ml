@@ -724,6 +724,14 @@ let chaos_cmd =
     let doc = "Print the machine-readable report (effective seed, per-site hit counts)." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let vcpus_arg =
+    let doc =
+      "Run the syscall workload on N VCPUs (1-8) under the deterministic SMP interleaver, so AP \
+       bring-up crosses the fault-injected monitor protocols too.  1 (the default) keeps the \
+       pre-SMP schedule byte-for-byte."
+    in
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc)
+  in
   let parse_csv ~what ~of_name s =
     List.map
       (fun n ->
@@ -734,7 +742,11 @@ let chaos_cmd =
             exit 2)
       (String.split_on_char ',' s)
   in
-  let run seed trials sites workloads json =
+  let run seed trials sites workloads json vcpus =
+    if vcpus < 1 || vcpus > 8 then begin
+      Printf.eprintf "chaos: --vcpus must be in 1..8 (got %d)\n" vcpus;
+      exit 2
+    end;
     let sites =
       Option.map
         (parse_csv ~what:"injection site" ~of_name:Chaos.Fault_plan.site_of_name)
@@ -745,7 +757,7 @@ let chaos_cmd =
       | None -> Chaos_driver.all_workloads
       | Some s -> parse_csv ~what:"workload" ~of_name:Chaos_driver.workload_of_name s
     in
-    let r = Chaos_driver.run ?sites ~trials ~workloads ~seed () in
+    let r = Chaos_driver.run ?sites ~trials ~workloads ~vcpus ~seed () in
     if json then print_endline (Chaos_driver.report_json r)
     else begin
       Printf.printf "veil-chaos: seed %d, %d trial(s) x %d workload(s) + %d attacks\n" seed
@@ -768,8 +780,9 @@ let chaos_cmd =
       Printf.printf "%s\n" (if r.Chaos_driver.rp_ok then "chaos: all invariants held" else "chaos: INVARIANT VIOLATION")
     end;
     if not r.Chaos_driver.rp_ok then begin
-      Printf.eprintf "chaos: invariant violation — replay with: veilctl chaos --seed %d --trials %d\n"
-        seed trials;
+      Printf.eprintf
+        "chaos: invariant violation — replay with: veilctl chaos --seed %d --trials %d --vcpus %d\n"
+        seed trials vcpus;
       exit 1
     end
   in
@@ -779,7 +792,7 @@ let chaos_cmd =
          "Run boot/syscall/enclave/slog workloads and the full attack suite under \
           seed-deterministic hypervisor fault injection, asserting no breach, no silent \
           corruption and no hang.  A failing plan is reproduced exactly from the printed seed.")
-    Term.(const run $ seed_arg $ trials_arg $ sites_arg $ workloads_arg $ json_arg)
+    Term.(const run $ seed_arg $ trials_arg $ sites_arg $ workloads_arg $ json_arg $ vcpus_arg)
 
 let main =
   let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in

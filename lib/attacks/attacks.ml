@@ -188,6 +188,48 @@ let atk_pvalidate_protected =
       | Veil_core.Idcb.Resp_error e -> Blocked_sanitizer e
       | _ -> Breached "delegated PVALIDATE touched a trusted region")
 
+let atk_ap_start_tampered_vmsa =
+  mk "ap-start-tampered-vmsa"
+    "malicious hypervisor tampers with an AP's VMSA replicas during SMP bring-up (§5, Veil-SMP)"
+    (fun () ->
+      let sys = fresh () in
+      (* The OS requests the AP start through the monitor (§5):
+         VeilMon hot-plugs the VCPU and creates/validates its
+         per-domain replicas and IDCB.  A refusal (possible under
+         chaos) still means no tampered AP ran. *)
+      match (K.hooks sys.Veil_core.Boot.kernel).Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:1 with
+      | Error e -> Blocked_error ("AP bring-up refused: " ^ e)
+      | Ok () -> (
+          (* Before the AP executes guest code, the hypervisor tries
+             to overwrite each replica's saved state through host
+             memory; SNP keeps every VMSA in a private frame. *)
+          let tampered =
+            List.filter_map
+              (fun vmpl ->
+                match Hypervisor.Hv.try_tamper_vmsa sys.Veil_core.Boot.hv ~vcpu_id:1 ~vmpl with
+                | Ok () -> Some (Format.asprintf "%a" T.pp_vmpl vmpl)
+                | Error _ -> None)
+              [ T.Vmpl0; T.Vmpl1; T.Vmpl2; T.Vmpl3 ]
+          in
+          match tampered with
+          | d :: _ -> Breached ("host overwrote the AP's " ^ d ^ " VMSA replica")
+          | [] ->
+              (* Nor can a forged frame be substituted as the AP's
+                 instance: without the RMP VMSA attribute the hardware
+                 rejects it at VMRUN registration. *)
+              let frame = K.alloc_frame sys.Veil_core.Boot.kernel in
+              P.write sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu (T.gpa_of_gpfn frame)
+                (Bytes.make 64 '\x41');
+              let ghcb = K.ghcb sys.Veil_core.Boot.kernel in
+              ghcb.Sevsnp.Ghcb.request <-
+                Sevsnp.Ghcb.Req_create_vcpu { vmsa_gpfn = frame; target_vmpl = T.Vmpl3 };
+              P.vmgexit sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu;
+              if ghcb.Sevsnp.Ghcb.response = 0 then
+                Breached "hypervisor swapped a forged VMSA into the AP"
+              else
+                Blocked_error
+                  "AP replicas unwritable from the host; forged AP VMSA refused (no RMP VMSA attribute)"))
+
 let framework_attacks () =
   [
     atk_boot_image;
@@ -199,6 +241,7 @@ let framework_attacks () =
     atk_write_protected_pt;
     atk_spawn_vcpu_rmpadjust;
     atk_spawn_vcpu_hypercall;
+    atk_ap_start_tampered_vmsa;
     atk_idcb_trusted;
     atk_malicious_pointer;
     atk_pvalidate_protected;

@@ -6,6 +6,7 @@ module S = Guest_kernel.Sysno
 module B = Veil_core.Boot
 module A = Veil_attacks.Attacks
 module Rt = Enclave_sdk.Runtime
+module Smp = Veil_core.Smp
 
 type workload_kind = Wl_boot | Wl_syscall | Wl_enclave | Wl_slog
 
@@ -124,16 +125,14 @@ let run_boot () =
 
 (* --- syscall bench: file round-trips + interrupt relays --- *)
 
-let run_syscall ~seed () =
+let run_syscall ~seed ~vcpus () =
   let sys = B.boot_veil ~npages:trial_npages ~seed:31 () in
   let kernel = sys.B.kernel and hv = sys.B.hv and vcpu = sys.B.vcpu in
-  let proc = K.spawn kernel in
   let payload = Veil_crypto.Rng.bytes (Veil_crypto.Rng.create (seed lxor 0xF11E)) 512 in
   let degraded = ref None in
   let note e = if !degraded = None then degraded := Some e in
-  for i = 0 to 19 do
-    let path = Printf.sprintf "/tmp/chaos%d" i in
-    (match K.invoke kernel proc S.Open [ Kt.Str path; Kt.Int 0x42; Kt.Int 0o644 ] with
+  let round_trip proc path =
+    match K.invoke kernel proc S.Open [ Kt.Str path; Kt.Int 0x42; Kt.Int 0o644 ] with
     | Kt.RInt fd -> (
         (match K.invoke kernel proc S.Write [ Kt.Int fd; Kt.Buf payload ] with
         | Kt.RInt n when n = Bytes.length payload -> ()
@@ -153,7 +152,13 @@ let run_syscall ~seed () =
         | Kt.RErr e -> note ("reopen refused: " ^ Kt.errno_to_string e)
         | _ -> corrupt "open returned a non-fd value")
     | Kt.RErr e -> note ("open refused: " ^ Kt.errno_to_string e)
-    | _ -> corrupt "open returned a non-fd value");
+    | _ -> corrupt "open returned a non-fd value"
+  in
+  (* With --vcpus > 1, the same file round-trips run as per-VCPU
+     workers under the deterministic interleaver: AP bring-up itself
+     crosses the fault-injected monitor protocols, and every worker's
+     syscalls now interleave with the others' mid-protocol. *)
+  let relay () =
     (* Exercise the relay sites: the timer tick the OS would get.
        Drops/dups/reorders are legal hypervisor behaviour — the
        invariant is only that delivery never corrupts guest state. *)
@@ -165,7 +170,35 @@ let run_syscall ~seed () =
     Veil_core.Monitor.domain_switch sys.B.mon vcpu ~target:Veil_core.Privdom.Mon;
     Hypervisor.Hv.inject_interrupt hv vcpu;
     Veil_core.Monitor.domain_switch sys.B.mon vcpu ~target:Veil_core.Privdom.Unt
-  done;
+  in
+  if vcpus > 1 then begin
+    let smp =
+      try Smp.bring_up ~policy:(Hypervisor.Hv.Interleave.Seeded seed) sys ~nvcpus:vcpus ()
+      with Failure e -> raise (Fail (Degraded e))
+    in
+    for w = 0 to vcpus - 1 do
+      Smp.spawn ~vcpu:w smp
+        ~name:(Printf.sprintf "chaos-sys-%d" w)
+        (fun () ->
+          let proc = K.spawn kernel in
+          for i = 0 to (19 / vcpus) + 1 do
+            round_trip proc (Printf.sprintf "/tmp/chaos%d-%d" w i);
+            Guest_kernel.Sched.yield ()
+          done)
+    done;
+    Smp.run smp;
+    for _ = 0 to 19 do
+      relay ()
+    done
+  end
+  else begin
+    (* single-VCPU: the pre-SMP schedule, byte-for-byte *)
+    let proc = K.spawn kernel in
+    for i = 0 to 19 do
+      round_trip proc (Printf.sprintf "/tmp/chaos%d" i);
+      relay ()
+    done
+  end;
   match !degraded with None -> Passed | Some e -> Degraded e
 
 (* --- enclave: create, attest, heap round-trip, ocall, destroy --- *)
@@ -239,12 +272,12 @@ let run_slog () =
   end
   else Passed
 
-let run_workload ?sites ~seed kind =
+let run_workload ?sites ?(vcpus = 1) ~seed kind =
   let plan = make_plan ?sites ~seed () in
   let body =
     match kind with
     | Wl_boot -> run_boot
-    | Wl_syscall -> run_syscall ~seed
+    | Wl_syscall -> run_syscall ~seed ~vcpus
     | Wl_enclave -> run_enclave ~seed
     | Wl_slog -> run_slog
   in
@@ -289,13 +322,14 @@ type report = {
   rp_ok : bool;
 }
 
-let run ?sites ?(trials = 3) ?(workloads = all_workloads) ?(check_replay = true) ~seed () =
+let run ?sites ?(trials = 3) ?(workloads = all_workloads) ?(check_replay = true) ?(vcpus = 1)
+    ~seed () =
   let all_trials = ref [] and breached = ref [] and attacks_run = ref 0 in
   for k = 0 to trials - 1 do
     List.iteri
       (fun widx w ->
         let s = derive_seed ~seed ~trial:k ~which:widx in
-        all_trials := run_workload ?sites ~seed:s w :: !all_trials)
+        all_trials := run_workload ?sites ~vcpus ~seed:s w :: !all_trials)
       workloads;
     let b, n = attacks_under_chaos ?sites ~seed:(derive_seed ~seed ~trial:k ~which:99) () in
     breached := b @ !breached;
@@ -308,7 +342,7 @@ let run ?sites ?(trials = 3) ?(workloads = all_workloads) ?(check_replay = true)
     match trials_done with
     | [] -> true
     | t0 :: _ ->
-        let again = run_workload ?sites ~seed:t0.tr_seed t0.tr_workload in
+        let again = run_workload ?sites ~vcpus ~seed:t0.tr_seed t0.tr_workload in
         FP.journal_equal t0.tr_plan again.tr_plan
   in
   let site_hits =

@@ -56,8 +56,12 @@ val make_plan : ?sites:Chaos.Fault_plan.site list -> seed:int -> unit -> Chaos.F
     driver's default per-site probabilities, watchdog budget set. *)
 
 val run_workload :
-  ?sites:Chaos.Fault_plan.site list -> seed:int -> workload_kind -> trial
-(** One workload under one fault plan seeded with exactly [seed]. *)
+  ?sites:Chaos.Fault_plan.site list -> ?vcpus:int -> seed:int -> workload_kind -> trial
+(** One workload under one fault plan seeded with exactly [seed].
+    [vcpus] (default 1) runs the syscall workload as per-VCPU workers
+    under the deterministic SMP interleaver — AP bring-up then crosses
+    the fault-injected monitor protocols too.  [vcpus = 1] keeps the
+    pre-SMP schedule byte-for-byte. *)
 
 val attacks_under_chaos :
   ?sites:Chaos.Fault_plan.site list -> seed:int -> unit -> (string * string) list * int
@@ -80,13 +84,15 @@ val run :
   ?trials:int ->
   ?workloads:workload_kind list ->
   ?check_replay:bool ->
+  ?vcpus:int ->
   seed:int ->
   unit ->
   report
 (** The [veilctl chaos] engine: [trials] (default 3) rounds of every
     selected workload plus the attack sweep, one derived plan each,
     followed (when [check_replay], the default) by a replay-identity
-    check of the first trial. *)
+    check of the first trial.  [vcpus] is forwarded to
+    {!run_workload}. *)
 
 val report_json : report -> string
 (** One JSON object with the effective seed, per-trial outcomes,

@@ -92,6 +92,11 @@ let create ?(max_steps = 1_000_000_000) ?(journal_cap = 65536) ~seed () =
   let mixed = (seed * 0x9E3779B1) lxor (seed lsr 16) lxor 0x6A09E667 in
   {
     seed;
+    (* [lor 1] is load-bearing, not belt-and-braces: xorshift fixes 0,
+       and seeds solving [mixed land max_int = 0] exist (e.g.
+       0x396b1b8a8b9b10bc) — without it the armed plan would silently
+       never fire.  Covered by the adversarial-seed regression in
+       t_chaos.ml; do not "simplify" away. *)
     state = (mixed land max_int) lor 1;
     prob = Array.make nsites 0;
     max_hits = Array.make nsites (-1);

@@ -41,8 +41,12 @@ let image_segment ~seed ~which (r : Layout.region) =
 
 let region_pair (r : Layout.region) = (r.Layout.lo, r.Layout.hi)
 
-let install_hooks mon (kernel : K.t) vcpu =
-  let call req = Monitor.os_call mon vcpu req in
+let install_hooks mon (kernel : K.t) _vcpu =
+  (* Veil-SMP: hook calls come from whichever VCPU the kernel is
+     currently executing on, not the boot VCPU the hooks were
+     installed under — otherwise an AP's monitor requests would use
+     VCPU 0's IDCB and VMSA replicas. *)
+  let call req = Monitor.os_call mon (K.vcpu kernel) req in
   let lift_unit = function
     | Idcb.Resp_ok -> Ok ()
     | Idcb.Resp_error e -> Error e

@@ -28,7 +28,10 @@ let standard ?log_frames ~npages () =
   let mon_heap = take (max 64 (npages / 64)) in
   let svc_region = take (max 64 (npages / 64)) in
   let log_region = take log_frames in
-  let idcb_region = take 8 in
+  (* 16 frames: the low 8 hold per-VCPU IDCBs (lo + vcpu_id), the high
+     8 hold per-VCPU kernel GHCBs (hi - 1 - vcpu_id) — Veil-SMP supports
+     up to 8 VCPUs with no frame shared between the two uses. *)
+  let idcb_region = take 16 in
   let vmsa_frames = 64 in
   if !cursor + vmsa_frames >= npages then invalid_arg "Layout.standard: memory too small for layout";
   let kernel_free = { lo = !cursor; hi = npages - vmsa_frames } in

@@ -403,13 +403,32 @@ let handle_delegation t vcpu (req : Idcb.request) : Idcb.response option =
       | Error e -> Some (Idcb.Resp_error e))
   | Idcb.R_vcpu_boot { vcpu_id } ->
       t.stats.delegated_vcpu_boots <- t.stats.delegated_vcpu_boots + 1;
-      let fresh = P.add_vcpu t.platform in
-      if fresh.V.id <> vcpu_id then Some (Idcb.Resp_error "unexpected vcpu id")
+      (* §5 AP bring-up, hardened: the id is OS-provided data.  It must
+         fit the per-VCPU IDCB + kernel-GHCB slots carved out of
+         [idcb_region] (8 of each) and name the next hardware VCPU —
+         both checked *before* anything is hot-plugged. *)
+      let max_vcpus = Layout.region_size t.layout.Layout.idcb_region / 2 in
+      if vcpu_id < 1 || vcpu_id >= max_vcpus then Some (Idcb.Resp_error "vcpu id out of range")
+      else if vcpu_id <> P.vcpu_count t.platform then Some (Idcb.Resp_error "unexpected vcpu id")
       else begin
+        let fresh = P.add_vcpu t.platform in
+        assert (fresh.V.id = vcpu_id);
         Hashtbl.replace t.idcbs vcpu_id
           (Idcb.create ~gpfn:(t.layout.Layout.idcb_region.Layout.lo + vcpu_id) ~vcpu_id);
+        (* Dom_UNT replica first: the hypervisor enters the fresh VCPU
+           on it (APs boot at VMPL-3, §5.3), then the other domains. *)
         create_all_replicas t vcpu ~vcpu_id;
         ignore (create_replica t vcpu ~vcpu_id ~dom:Privdom.Mon ~rip:0);
+        (* Per-AP kernel GHCB, provisioned exactly like the boot
+           VCPU's: the Dom_UNT kernel cannot PVALIDATE one itself. *)
+        let ghcb_frame = t.layout.Layout.idcb_region.Layout.hi - 1 - vcpu_id in
+        (match mon_pvalidate t vcpu ~gpfn:ghcb_frame ~to_private:false with
+        | Ok () -> ()
+        | Error e -> P.halt t.platform ("ap kernel ghcb share: " ^ e));
+        (match P.register_ghcb t.platform (T.gpa_of_gpfn ghcb_frame) with
+        | Ok _ -> ()
+        | Error e -> failwith ("ap kernel ghcb: " ^ e));
+        (vmsa_of t ~vcpu_id ~dom:Privdom.Unt).Sevsnp.Vmsa.ghcb_gpa <- T.gpa_of_gpfn ghcb_frame;
         Some Idcb.Resp_ok
       end
   | _ -> None

@@ -1,0 +1,48 @@
+(** Veil-SMP: multi-VCPU guest execution.
+
+    {!bring_up} boots application processors *through the monitor*:
+    for each AP the boot VCPU issues the §5 [R_vcpu_boot] delegation,
+    and VeilMon hot-plugs the VCPU, creates/validates its per-domain
+    VMSA replicas and IDCB, provisions its kernel GHCB and has the
+    hypervisor enter it at Dom_UNT.
+
+    {!run} then drives the guest with the host's deterministic
+    interleaver ({!Hypervisor.Hv.Interleave}): one runnable VCPU is
+    picked per step, the kernel is retargeted at it
+    ({!Guest_kernel.Kernel.set_vcpu}) and at most one coroutine from
+    its runqueue is stepped — with deterministic work stealing when
+    its own queue has nothing runnable.  Same policy + seed + VCPU
+    count produce the identical schedule (see {!journal}). *)
+
+type t
+
+val bring_up :
+  ?policy:Hypervisor.Hv.Interleave.policy -> Boot.veil_system -> nvcpus:int -> unit -> t
+(** Boot APs [1 .. nvcpus-1] via the monitor (the boot VCPU is id 0)
+    and set up the per-VCPU runqueues and the interleaver.  Default
+    policy is [Round_robin].  Raises [Failure] if the monitor refuses
+    a bring-up. *)
+
+val spawn : ?vcpu:int -> t -> name:string -> (unit -> unit) -> unit
+(** Register a coroutine; [vcpu] pins its home runqueue (default:
+    round-robin assignment). *)
+
+val run : t -> unit
+(** Interleave until every coroutine finished.  Raises
+    {!Guest_kernel.Sched.Deadlock} when all live coroutines are
+    blocked.  Always restores the kernel's current VCPU to the boot
+    VCPU on exit. *)
+
+val sched : t -> Guest_kernel.Sched.t
+val nvcpus : t -> int
+
+val vcpu : t -> int -> Sevsnp.Vcpu.t
+(** The hardware VCPU with the given id. *)
+
+val journal : t -> string
+(** The interleaver's schedule journal: one digit per step. *)
+
+val schedule_steps : t -> int
+
+val steals : t -> int
+(** Cross-runqueue task migrations performed so far. *)

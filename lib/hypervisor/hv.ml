@@ -357,6 +357,78 @@ let inject_interrupt t vcpu =
           end
         end
 
+(* --- Veil-SMP: deterministic VCPU interleaving --------------------- *)
+
+(* The host scheduler decides which runnable VCPU gets the next
+   timeslice.  For the simulation this must be *deterministic*: the
+   same seed and the same VCPU count must yield the identical
+   schedule, so chaos replay-identity and the E-scale reproducibility
+   check keep holding with SMP guests.  Two policies:
+
+   - [Round_robin]: cursor walks 0..n-1, skipping non-runnable VCPUs.
+   - [Seeded]: an xorshift stream (same 63-bit generator family as
+     {!Chaos.Fault_plan}) picks the starting VCPU each step; the scan
+     to the first runnable VCPU from there is deterministic too.
+
+   Every choice is appended to a journal (one digit per step) so two
+   runs can be compared byte-for-byte and a diverging schedule can be
+   uploaded as a CI artifact. *)
+module Interleave = struct
+  type policy = Round_robin | Seeded of int
+
+  type sched = {
+    nvcpus : int;
+    policy : policy;
+    mutable state : int;
+    mutable cursor : int;
+    mutable steps : int;
+    journal : Buffer.t;
+  }
+
+  let create ?(policy = Round_robin) ~nvcpus () =
+    if nvcpus < 1 then invalid_arg "Hv.Interleave.create: nvcpus must be >= 1";
+    let state =
+      match policy with
+      | Round_robin -> 1
+      | Seeded seed ->
+          (* Same avalanche + force-odd trick as the chaos PRNG: the
+             all-zero fixpoint is unreachable for every seed. *)
+          let mixed = (seed * 0x9E3779B1) lxor (seed lsr 16) lxor 0x6A09E667 in
+          (mixed land max_int) lor 1
+    in
+    { nvcpus; policy; state; cursor = 0; steps = 0; journal = Buffer.create 256 }
+
+  (* 63-bit xorshift (13/7/17), kept inside [max_int]. *)
+  let next_raw t =
+    let s = t.state in
+    let s = s lxor (s lsl 13) land max_int in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) land max_int in
+    t.state <- s;
+    s
+
+  let next t ~runnable =
+    let start =
+      match t.policy with Round_robin -> t.cursor | Seeded _ -> next_raw t mod t.nvcpus
+    in
+    let rec scan k =
+      if k >= t.nvcpus then None
+      else
+        let v = (start + k) mod t.nvcpus in
+        if runnable v then Some v else scan (k + 1)
+    in
+    match scan 0 with
+    | Some v ->
+        t.cursor <- (v + 1) mod t.nvcpus;
+        t.steps <- t.steps + 1;
+        Buffer.add_string t.journal (string_of_int v);
+        Some v
+    | None -> None
+
+  let journal t = Buffer.contents t.journal
+  let steps t = t.steps
+end
+
 let try_tamper_vmsa t ~vcpu_id ~vmpl =
   match vmsa_for t ~vcpu_id ~vmpl with
   | None -> Error "no such VMSA"

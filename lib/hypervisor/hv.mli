@@ -61,6 +61,34 @@ val kernel_handler_frame : t -> Sevsnp.Types.gpfn -> unit
 (** Tell the simulated interrupt path which frame holds the kernel's
     handler text (used to evaluate the refuse-relay attack). *)
 
+(** Deterministic VCPU interleaving (Veil-SMP).  The host scheduler
+    picks which runnable VCPU gets the next timeslice; same policy +
+    same VCPU count (+ same seed, for [Seeded]) produce the identical
+    schedule, recorded step-by-step in a journal for byte-for-byte
+    replay comparison. *)
+module Interleave : sig
+  type policy =
+    | Round_robin  (** cursor walks 0..n-1, skipping idle VCPUs *)
+    | Seeded of int
+        (** an xorshift stream (chaos-PRNG family) picks the start
+            VCPU each step; the scan to the first runnable one from
+            there is deterministic too *)
+
+  type sched
+
+  val create : ?policy:policy -> nvcpus:int -> unit -> sched
+  (** Default policy is [Round_robin]. *)
+
+  val next : sched -> runnable:(int -> bool) -> int option
+  (** Pick the next VCPU to step; [None] when no VCPU is runnable.
+      Appends the choice to the journal. *)
+
+  val journal : sched -> string
+  (** One digit per step: the chosen VCPU id. *)
+
+  val steps : sched -> int
+end
+
 (* Adversarial controls (§8) *)
 
 val set_refuse_interrupt_relay : t -> bool -> unit

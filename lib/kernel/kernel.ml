@@ -5,7 +5,7 @@ module Pt = Sevsnp.Pagetable
 
 type t = {
   platform : P.t;
-  vcpu : Sevsnp.Vcpu.t;
+  mutable vcpu : Sevsnp.Vcpu.t;
   fs : Fs.t;
   net : Net.t;
   audit : Audit.t;
@@ -34,6 +34,13 @@ type t = {
 
 let platform t = t.platform
 let vcpu t = t.vcpu
+
+(* Veil-SMP: the kernel executes on whichever VCPU the interleaver
+   picked; every subsequent charge/causal-id/monitor call is
+   attributed to it.  The new VCPU must already be running a Dom_UNT
+   instance (AP bring-up through the monitor does that). *)
+let set_vcpu t v = t.vcpu <- v
+
 let kernel_vmpl t = Sevsnp.Vcpu.vmpl t.vcpu
 let fs t = t.fs
 let audit t = t.audit
@@ -142,7 +149,10 @@ let unmap_user_pages t (proc : Process.t) ~va ~npages =
     charge t C.Kernel 300;
     ignore (Pt.unmap io ~root:proc.Process.pt_root page_va)
   done;
-  charge t C.Kernel 500 (* TLB shootdown *)
+  (* Distributed TLB shootdown: local flush on the initiating VCPU
+     (500 cycles, the pre-SMP flat constant) plus one IPI send/ack per
+     remote VCPU and the handler cost on each remote (Veil-SMP). *)
+  P.tlb_shootdown_distributed t.platform ~initiator:t.vcpu
 
 let write_user t (proc : Process.t) ~va data =
   charge t C.Copy (C.copy_cost (Bytes.length data));
@@ -466,6 +476,8 @@ let sys_open t proc path flags mode =
 let file_size t path = match Fs.size_of t.fs path with Ok n -> n | Error _ -> 0
 
 let sys_read t proc fd len =
+  if len < 0 then Ktypes.RErr Ktypes.EINVAL
+  else
   lift (Process.find_fd proc fd) (fun f ->
       match f.Fd.kind with
       | Fd.File fs_state ->
@@ -810,12 +822,18 @@ let dispatch t (proc : Process.t) (sys : Sysno.t) (args : Ktypes.arg list) : Kty
   | Sysno.Gettimeofday, [] | Sysno.Clock_gettime, [] ->
       RInt (Sevsnp.Vcpu.rdtsc t.vcpu * 5 / 12) (* ns at 2.4 GHz *)
   | Sysno.Nanosleep, [ Int ns ] ->
-      charge t C.Other (ns * 12 / 5);
-      RInt 0
+      if ns < 0 then RErr EINVAL
+      else begin
+        charge t C.Other (ns * 12 / 5);
+        RInt 0
+      end
   | Sysno.Sched_yield, [] -> RInt 0
   | Sysno.Getrandom, [ Int len ] ->
-      charge t C.Kernel (200 + (len * 3));
-      RBuf (Veil_crypto.Rng.bytes t.rng len)
+      if len < 0 then RErr EINVAL
+      else begin
+        charge t C.Kernel (200 + (len * 3));
+        RBuf (Veil_crypto.Rng.bytes t.rng len)
+      end
   | Sysno.Fork, [] | Sysno.Vfork, [] | Sysno.Clone, [] ->
       charge t C.Kernel 45_000;
       let child = spawn t in

@@ -31,6 +31,12 @@ val finish_boot : t -> unit
 
 val platform : t -> Sevsnp.Platform.t
 val vcpu : t -> Sevsnp.Vcpu.t
+
+(** Veil-SMP: retarget the kernel at the VCPU the interleaver picked;
+    every subsequent charge, causal id and monitor call is attributed
+    to it.  The VCPU must already be running a Dom_UNT instance (AP
+    bring-up through the monitor arranges that). *)
+val set_vcpu : t -> Sevsnp.Vcpu.t -> unit
 val kernel_vmpl : t -> Sevsnp.Types.vmpl
 val fs : t -> Fs.t
 val audit : t -> Audit.t

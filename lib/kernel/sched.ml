@@ -5,20 +5,47 @@ type status =
   | Blocked of (unit -> bool) * (unit, unit) Effect.Deep.continuation
   | Fresh of (unit -> unit)
 
-type task = { name : string; mutable status : status option (* None = finished *) }
+type task = { name : string; mutable status : status option (* None = finished *); mutable home : int }
 
 type t = {
-  mutable tasks : task list;
+  mutable tasks : task list;  (* every task in spawn order (legacy [run] path) *)
+  queues : task list array;  (* per-VCPU runqueues, spawn order within a queue *)
   on_context_switch : unit -> unit;
+  on_blocked_poll : unit -> unit;
   mutable switches : int;
+  mutable steals : int;
+  mutable spawned : int;
 }
 
 exception Deadlock of string list
 
-let create ?(on_context_switch = fun () -> ()) () =
-  { tasks = []; on_context_switch; switches = 0 }
+let create ?(nvcpus = 1) ?(on_context_switch = fun () -> ()) ?(on_blocked_poll = fun () -> ())
+    () =
+  if nvcpus < 1 then invalid_arg "Sched.create: nvcpus must be >= 1";
+  {
+    tasks = [];
+    queues = Array.make nvcpus [];
+    on_context_switch;
+    on_blocked_poll;
+    switches = 0;
+    steals = 0;
+    spawned = 0;
+  }
 
-let spawn t ~name body = t.tasks <- t.tasks @ [ { name; status = Some (Fresh body) } ]
+let nvcpus t = Array.length t.queues
+
+let spawn ?vcpu t ~name body =
+  let home =
+    match vcpu with
+    | Some v ->
+        if v < 0 || v >= nvcpus t then invalid_arg "Sched.spawn: vcpu out of range";
+        v
+    | None -> t.spawned mod nvcpus t
+  in
+  let task = { name; status = Some (Fresh body); home } in
+  t.spawned <- t.spawned + 1;
+  t.tasks <- t.tasks @ [ task ];
+  t.queues.(home) <- t.queues.(home) @ [ task ]
 
 let yield () = Effect.perform Yield
 
@@ -27,6 +54,7 @@ let block_until pred = if not (pred ()) then Effect.perform (Block pred)
 let live t = List.length (List.filter (fun task -> task.status <> None) t.tasks)
 
 let context_switches t = t.switches
+let steals t = t.steals
 
 (* Run one step of a task; its effects suspend it back into [status]. *)
 let step t task =
@@ -69,10 +97,17 @@ let step t task =
         Effect.Deep.continue k ()
       end
 
-let runnable task =
+(* A blocked coroutine's predicate is real work each time the
+   scheduler considers it: a poll that comes back false costs
+   [on_blocked_poll] (the pre-SMP scheduler re-polled for free, which
+   let blocked-heavy schedules spin without accruing any cycles). *)
+let runnable t task =
   match task.status with
   | Some (Fresh _) | Some (Runnable _) -> true
-  | Some (Blocked (pred, _)) -> pred ()
+  | Some (Blocked (pred, _)) ->
+      let ready = pred () in
+      if not ready then t.on_blocked_poll ();
+      ready
   | None -> false
 
 let run t =
@@ -85,9 +120,53 @@ let run t =
     progress := false;
     List.iter
       (fun task ->
-        if runnable task then begin
+        if runnable t task then begin
           progress := true;
           step t task
         end)
       t.tasks
   done
+
+(* --- per-VCPU stepping (Veil-SMP) --- *)
+
+let find_runnable t q = List.find_opt (fun task -> runnable t task) q
+
+let queue_live t vid = List.exists (fun task -> task.status <> None) t.queues.(vid)
+
+let live_names t =
+  List.filter_map (fun task -> if task.status <> None then Some task.name else None) t.tasks
+
+let step_vcpu t vid =
+  let n = nvcpus t in
+  if vid < 0 || vid >= n then invalid_arg "Sched.step_vcpu: vcpu out of range";
+  (* Rotate: the stepped task re-enters at the tail (if still live), so
+     tasks sharing a queue round-robin instead of the head task
+     monopolizing its VCPU; finished tasks fall out of the queue. *)
+  let run_on task =
+    t.queues.(vid) <- List.filter (fun x -> x != task) t.queues.(vid);
+    step t task;
+    if task.status <> None then t.queues.(vid) <- t.queues.(vid) @ [ task ]
+  in
+  match find_runnable t t.queues.(vid) with
+  | Some task ->
+      run_on task;
+      true
+  | None ->
+      (* Work stealing: scan the other queues in deterministic order
+         (vid+1, vid+2, ... mod n) and migrate the first runnable task
+         onto this VCPU's queue before stepping it. *)
+      let rec scan k =
+        if k >= n then false
+        else begin
+          let q = (vid + k) mod n in
+          match find_runnable t t.queues.(q) with
+          | Some task ->
+              t.queues.(q) <- List.filter (fun x -> x != task) t.queues.(q);
+              task.home <- vid;
+              t.steals <- t.steals + 1;
+              run_on task;
+              true
+          | None -> scan (k + 1)
+        end
+      in
+      scan 1

@@ -7,25 +7,52 @@
     server and its load generator execute as genuinely interleaved
     processes instead of hand-written callback turns.
 
+    With [nvcpus > 1] (Veil-SMP) each coroutine lives on a per-VCPU
+    runqueue and an external driver steps one VCPU at a time with
+    {!step_vcpu}; a VCPU whose queue has nothing runnable steals the
+    first runnable task from another queue (deterministic scan order,
+    so schedules replay exactly).
+
     The scheduler is kernel policy, not hardware: it consumes no
-    simulated cycles itself beyond the context-switch charge the
-    caller supplies. *)
+    simulated cycles itself beyond the charges the caller supplies via
+    the [create] callbacks. *)
 
 type t
 
-val create : ?on_context_switch:(unit -> unit) -> unit -> t
-(** [on_context_switch] is invoked at every switch between coroutines
-    (charge scheduling costs there). *)
+val create :
+  ?nvcpus:int -> ?on_context_switch:(unit -> unit) -> ?on_blocked_poll:(unit -> unit) -> unit -> t
+(** [nvcpus] (default 1) sets the number of runqueues.
+    [on_context_switch] is invoked at every switch between coroutines
+    (charge scheduling costs there).  [on_blocked_poll] is invoked
+    every time a blocked coroutine's predicate is polled and comes
+    back false — charge the poll cost there; the pre-SMP scheduler
+    re-polled for free, which let blocked-heavy schedules spin without
+    accruing cycles. *)
 
-val spawn : t -> name:string -> (unit -> unit) -> unit
-(** Register a coroutine; it starts on the next {!run}. *)
+val spawn : ?vcpu:int -> t -> name:string -> (unit -> unit) -> unit
+(** Register a coroutine; it starts on the next {!run}/{!step_vcpu}.
+    [vcpu] pins its home runqueue (default: round-robin over
+    queues). *)
 
 exception Deadlock of string list
 (** Raised by {!run} when every live coroutine is blocked (the list
     names them). *)
 
 val run : t -> unit
-(** Round-robin until every coroutine has finished. *)
+(** Round-robin over every task (ignoring runqueue homes) until every
+    coroutine has finished — the single-VCPU path. *)
+
+val step_vcpu : t -> int -> bool
+(** [step_vcpu t vid] steps at most one runnable task from VCPU
+    [vid]'s queue; if the queue has nothing runnable, steals the first
+    runnable task from another queue (scanning vid+1, vid+2, ... mod
+    nvcpus).  Returns [false] when no task anywhere could run.  The
+    SMP driver loop lives above the kernel (see [Veil_core.Smp]). *)
+
+val queue_live : t -> int -> bool
+(** Does VCPU [vid]'s queue hold any unfinished task? *)
+
+val nvcpus : t -> int
 
 (* Called from inside coroutines: *)
 
@@ -33,7 +60,14 @@ val yield : unit -> unit
 (** Give up the processor voluntarily. *)
 
 val block_until : (unit -> bool) -> unit
-(** Suspend until the predicate holds (re-checked each round). *)
+(** Suspend until the predicate holds (re-checked each round; each
+    false re-check fires [on_blocked_poll]). *)
 
 val live : t -> int
 val context_switches : t -> int
+
+val live_names : t -> string list
+(** Names of every unfinished coroutine (for deadlock reports). *)
+
+val steals : t -> int
+(** Cross-queue task migrations performed by {!step_vcpu}. *)

@@ -11,10 +11,9 @@
 
     Histograms bucket observations by log₂: bucket 0 holds value 0,
     bucket [i >= 1] holds values in [[2^(i-1), 2^i - 1]].  Percentile
-    readout returns the *lower bound* of the bucket containing the
-    requested rank, which makes p50/p95/p99 exact whenever the
-    observed values are powers of two (and a ≤2x under-estimate
-    otherwise — the right bias for cycle costs). *)
+    readout returns the *upper bound* of the bucket containing the
+    requested rank, clamped to the observed maximum — a conservative
+    (at-most) latency estimate; see DESIGN.md §9b. *)
 
 type counter
 type gauge
@@ -54,10 +53,13 @@ val mean : histogram -> float
 (** Exact arithmetic mean ([sum / count]); 0.0 when empty. *)
 
 val percentile : histogram -> float -> int
-(** [percentile h p] for [p] in (0, 100): the lower bound of the log₂
-    bucket holding the observation of rank [ceil(p/100 * count)].
-    [p >= 100] returns the true observed max ({!hist_max}), not a
-    bucket bound.  0 when empty. *)
+(** [percentile h p] for [p] in (0, 100): the *upper* bound of the
+    log₂ bucket holding the observation of rank
+    [ceil(p/100 * count)], clamped to the observed max — a
+    conservative latency estimate (the rank-th sample is at most this
+    value).  The pre-SMP lower-bound answer under-reported by up to
+    2x; see DESIGN.md §9b.  [p >= 100] returns the true observed max
+    ({!hist_max}).  0 when empty. *)
 
 val find : t -> string -> metric option
 

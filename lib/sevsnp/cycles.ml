@@ -69,6 +69,17 @@ let pvalidate = 800
 let npf_exit = 2200
 let interrupt_delivery = 1500
 
+(* TLB shootdown: the initiating VCPU always pays the local INVLPG
+   sweep; each *remote* VCPU costs the initiator one IPI (ICR write +
+   delivery) plus the spin waiting for that VCPU's acknowledgement,
+   and costs the remote VCPU the flush-handler ISR.  On one VCPU the
+   distributed protocol degenerates to exactly [tlb_local_flush] —
+   the flat constant the kernel charged before Veil-SMP. *)
+let tlb_local_flush = 500
+let ipi_send = 800
+let ipi_ack = 700
+let ipi_handler = 1200
+
 let syscall_base = 1800
 
 let copy_cost n = 3 * n

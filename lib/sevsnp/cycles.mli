@@ -73,6 +73,22 @@ val pvalidate : int
 val npf_exit : int
 val interrupt_delivery : int
 
+val tlb_local_flush : int
+(** Local INVLPG sweep the initiator of a TLB shootdown always pays
+    (the pre-SMP flat shootdown constant: 500 cycles). *)
+
+val ipi_send : int
+(** ICR write + interrupt delivery for one shootdown IPI, charged to
+    the initiating VCPU per remote target. *)
+
+val ipi_ack : int
+(** Spin-wait for one remote VCPU's shootdown acknowledgement, charged
+    to the initiating VCPU per remote target. *)
+
+val ipi_handler : int
+(** Flush-handler ISR on the remote VCPU receiving a shootdown IPI,
+    charged to that VCPU. *)
+
 (* Software event costs *)
 
 val syscall_base : int

@@ -1,0 +1,32 @@
+(* Inter-processor interrupts for the multi-VCPU guest.
+
+   The simulator has no asynchronous cross-VCPU execution — VCPUs are
+   stepped one at a time by a deterministic interleaver — so an IPI is
+   modelled as a synchronous remote procedure with a cycle-true cost
+   split: the sender pays [Cycles.ipi_send] (ICR write + delivery) and
+   [Cycles.ipi_ack] (spinning until the target acknowledges); the
+   target pays [Cycles.ipi_handler] for running the ISR.  Delivery is
+   immediate and in program order, which keeps every schedule (and
+   therefore every chaos journal) seed-deterministic. *)
+
+type kind =
+  | Tlb_flush  (** remote TLB shootdown: the handler flushes the target's TLB epoch *)
+  | Reschedule  (** kick a remote VCPU so its scheduler re-picks a task *)
+
+let kind_name = function Tlb_flush -> "tlb_flush" | Reschedule -> "reschedule"
+
+(* Cost charged to the initiator for one remote target (send + spin
+   for the ack). *)
+let initiator_cost = Cycles.ipi_send + Cycles.ipi_ack
+
+(* [send ~initiator ~target kind] delivers one IPI synchronously.
+   Charges both sides in the Kernel bucket (shootdowns and resched
+   kicks are OS work on either end) and, for [Tlb_flush], bumps the
+   target's private TLB epoch so any warm translation goes stale. *)
+let send ~initiator ~target kind =
+  assert (initiator.Vcpu.id <> target.Vcpu.id);
+  Vcpu.charge initiator Cycles.Kernel initiator_cost;
+  Vcpu.charge target Cycles.Kernel Cycles.ipi_handler;
+  match kind with
+  | Tlb_flush -> Tlb.flush target.Vcpu.tlb
+  | Reschedule -> ()

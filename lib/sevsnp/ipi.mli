@@ -1,0 +1,24 @@
+(** Inter-processor interrupts (Veil-SMP).
+
+    IPIs are synchronous in the simulator: the interleaver steps one
+    VCPU at a time, so a shootdown "round trip" completes inside the
+    sender's step.  What the model preserves is the *cost* split — the
+    initiator pays send + ack-wait per remote target, the target pays
+    the handler — and the architectural effect (a [Tlb_flush] IPI
+    invalidates the target's software TLB epoch). *)
+
+type kind =
+  | Tlb_flush  (** remote TLB shootdown; flushes the target's TLB *)
+  | Reschedule  (** kick a remote VCPU's scheduler *)
+
+val kind_name : kind -> string
+
+val initiator_cost : int
+(** [Cycles.ipi_send + Cycles.ipi_ack]: what one remote target costs
+    the initiating VCPU. *)
+
+val send : initiator:Vcpu.t -> target:Vcpu.t -> kind -> unit
+(** Deliver one IPI.  Charges [initiator_cost] to the initiator and
+    [Cycles.ipi_handler] to the target (both in the Kernel bucket);
+    [Tlb_flush] additionally flushes the target's TLB.  Raises
+    [Assert_failure] if initiator and target are the same VCPU. *)

@@ -28,7 +28,10 @@ let bytes_size t = t.nbytes
 let valid_gpa t gpa = gpa >= 0 && gpa < t.nbytes
 
 let check_range t gpa len =
-  if len < 0 || gpa < 0 || gpa + len > t.nbytes then
+  (* [gpa > t.nbytes - len], not [gpa + len > t.nbytes]: the sum can
+     overflow for a huge attacker-supplied gpa and slip past the check
+     straight into an [unsafe_get]. *)
+  if len < 0 || gpa < 0 || gpa > t.nbytes - len then
     invalid_arg (Printf.sprintf "Phys_mem: access 0x%x+%d out of range" gpa len)
 
 (* materialize the chunk holding [gpa] *)

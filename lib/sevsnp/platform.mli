@@ -46,6 +46,9 @@ type t = {
   c_tlb_flush : Obs.Metrics.counter;
       (** "tlb.flush": invalidation events — page-table shootdowns,
           RMP-mutating instructions, VCPU instance switches *)
+  c_ipi : Obs.Metrics.counter;
+      (** "platform.ipi": shootdown/reschedule IPIs delivered to remote
+          VCPUs (Veil-SMP) *)
 }
 
 exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
@@ -104,7 +107,17 @@ val vcpu_by_id : t -> int -> Vcpu.t option
 val tlb_shootdown : t -> unit
 (** Bump the machine-wide TLB generation, invalidating every VCPU's
     cached translations.  {!Pagetable.io}[.invalidate] should point
-    here for any table the MMU (and hence the TLB) can consult. *)
+    here for any table the MMU (and hence the TLB) can consult.  This
+    is the *correctness* half of a shootdown; it charges nothing. *)
+
+val tlb_shootdown_distributed : t -> initiator:Vcpu.t -> unit
+(** The *cost* half of a distributed TLB shootdown (Veil-SMP): charge
+    the initiating VCPU [Cycles.tlb_local_flush] plus
+    [Ipi.initiator_cost] per remote VCPU, charge each remote VCPU
+    [Cycles.ipi_handler], and flush every VCPU's TLB epoch.  With one
+    VCPU this is exactly the pre-SMP flat 500-cycle charge.  Callers
+    must already have bumped the generation via the page-table edit
+    ({!tlb_shootdown}). *)
 
 (* Checked guest memory access *)
 

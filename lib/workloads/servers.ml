@@ -153,7 +153,12 @@ let lighttpd_concurrent ?(requests = 60) ?(clients = 3) ?(file_kb = 10) () =
     (fun ctx ->
       let env = ctx.Workload.env in
       let sched =
-        Guest_kernel.Sched.create ~on_context_switch:(fun () -> env.Env.compute 900) ()
+        Guest_kernel.Sched.create
+          ~on_context_switch:(fun () -> env.Env.compute 900)
+            (* every failed readiness re-poll of a blocked coroutine
+               costs cycles too — idle waiting is not free *)
+          ~on_blocked_poll:(fun () -> env.Env.compute 120)
+          ()
       in
       let total = requests * ctx.Workload.scale in
       let per_client = total / clients in

@@ -58,6 +58,45 @@ let test_plan_schedules () =
   Alcotest.(check (list bool)) "skip ignores the first eligible draws"
     [ false; false; true; true; true ] fired
 
+(* Adversarial seeds for the state derivation
+   [(mixed land max_int) lor 1]: seed 0, int extremes, and the two
+   seeds that solve [mixed land max_int = 0] (found by fixing the 16
+   free low bits and back-substituting through the multiply).  Without
+   the [lor 1] the xorshift state sticks at 0 — every [draw] returns 0
+   and the schedule degenerates.  Each seed must yield a well-mixed,
+   reproducible stream. *)
+let test_plan_adversarial_seeds () =
+  let seeds = [ 0; max_int; min_int; 0x396b1b8a8b9b10bc; -3824519917198271814 ] in
+  List.iter
+    (fun seed ->
+      let tag = Printf.sprintf "seed %#x" seed in
+      let p = FP.create ~seed () in
+      let distinct = Hashtbl.create 64 in
+      for _ = 1 to 64 do
+        Hashtbl.replace distinct (FP.draw p 65536) ()
+      done;
+      Alcotest.(check bool)
+        (tag ^ ": draws are non-degenerate")
+        true
+        (Hashtbl.length distinct > 32);
+      let arm seed =
+        let p = FP.create ~seed () in
+        List.iter (fun s -> FP.set_site p s ~prob:0.3 ()) FP.all_sites;
+        for i = 0 to 199 do
+          ignore (FP.step p);
+          ignore (FP.fire p (List.nth FP.all_sites (i mod FP.nsites)))
+        done;
+        p
+      in
+      let a = arm seed and b = arm seed in
+      Alcotest.(check bool) (tag ^ ": replay-identical") true (FP.journal_equal a b);
+      Alcotest.(check bool) (tag ^ ": prob 0.3 fires sometimes") true (FP.total_hits a > 0);
+      Alcotest.(check bool)
+        (tag ^ ": prob 0.3 also misses")
+        true
+        (FP.total_hits a < 200))
+    seeds
+
 let test_site_names_roundtrip () =
   List.iter
     (fun s ->
@@ -217,6 +256,7 @@ let suite =
     ("fault plan is seed-deterministic", `Quick, test_plan_deterministic);
     ("zero-probability plan is inert", `Quick, test_plan_zero_prob_is_inert);
     ("max_hits and skip schedules", `Quick, test_plan_schedules);
+    ("adversarial seeds keep the PRNG live", `Quick, test_plan_adversarial_seeds);
     ("site names round trip", `Quick, test_site_names_roundtrip);
     ("summary json carries the seed", `Quick, test_summary_json_mentions_seed);
     ("armed all-zero plan boots identically", `Quick, test_armed_zero_plan_identical_boot);

@@ -183,7 +183,11 @@ let kernel_fuzz =
           match Kern.invoke kernel proc sys args with
           | K.RInt _ | K.RBuf _ | K.RStat _ | K.RErr _ -> true
           | exception P.Guest_page_fault _ -> true (* wild user pointers *)
-          | exception _ -> false)
+          | exception e ->
+              Printf.eprintf "kernel_fuzz: %s %s raised %s\n" (S.to_string sys)
+                (String.concat " " (List.map (Format.asprintf "%a" K.pp_arg) args))
+                (Printexc.to_string e);
+              false)
         calls
       (* the kernel is still functional afterwards *)
       &&

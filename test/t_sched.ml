@@ -56,6 +56,35 @@ let test_context_switch_charging () =
   Sched.run sched;
   Alcotest.(check int) "hook fired per switch" (Sched.context_switches sched) !charged
 
+(* A blocked task's predicate is re-polled every time the scheduler
+   looks for runnable work; each failed poll must cost cycles via
+   [on_blocked_poll] — pre-fix, a blocked-heavy schedule spun for
+   free, under-counting exactly the waiting the SMP runs care about. *)
+let test_blocked_poll_charging () =
+  let polls = ref 0 and switches = ref 0 in
+  let sched =
+    Sched.create
+      ~on_context_switch:(fun () -> incr switches)
+      ~on_blocked_poll:(fun () -> incr polls)
+      ()
+  in
+  let flag = ref false in
+  Sched.spawn sched ~name:"blocked" (fun () -> Sched.block_until (fun () -> !flag));
+  Sched.spawn sched ~name:"spinner" (fun () ->
+      for _ = 1 to 10 do
+        Sched.yield ()
+      done;
+      flag := true);
+  Sched.run sched;
+  (* the blocked task's predicate was consulted (and found false) at
+     least once per spinner step before the flag flipped *)
+  Alcotest.(check bool)
+    (Printf.sprintf "failed polls accrue cost (%d)" !polls)
+    true (!polls >= 10);
+  (* polls are distinct from context switches: both hooks fired, and a
+     poll does not masquerade as a switch *)
+  Alcotest.(check int) "switch hook unchanged" (Sched.context_switches sched) !switches
+
 let test_exception_propagates () =
   let sched = Sched.create () in
   Sched.spawn sched ~name:"boom" (fun () -> failwith "task exploded");
@@ -113,6 +142,7 @@ let suite =
     ("block on satisfied predicate", `Quick, test_block_already_true);
     ("deadlock detection", `Quick, test_deadlock_detected);
     ("context switch hook", `Quick, test_context_switch_charging);
+    ("blocked polls accrue cycles", `Quick, test_blocked_poll_charging);
     ("task exceptions propagate", `Quick, test_exception_propagates);
     ("concurrent echo server", `Quick, test_concurrent_echo_server);
   ]

@@ -117,6 +117,53 @@ let test_phys_mem_rw () =
   Alcotest.check_raises "oob write" (Invalid_argument "Phys_mem: access 0x8000+4 out of range")
     (fun () -> Sevsnp.Phys_mem.write mem (8 * T.page_size) (Bytes.create 4))
 
+(* Regressions at the 256 KiB chunk seams of the arena: the u64
+   accessors have a distinct straddle path, [read_into]/[write_sub]
+   split their blits per chunk, and [check_range] must reject a
+   near-[max_int] gpa whose [gpa + len] wraps negative. *)
+let test_phys_mem_chunk_boundary () =
+  let module PM = Sevsnp.Phys_mem in
+  (* 3 chunks' worth of pages so accesses can straddle seams *)
+  let mem = PM.create ~npages:192 in
+  let seam = 64 * T.page_size in
+  (* exact fit: last 8 bytes of chunk 0 (fast path's inclusive edge) *)
+  PM.write_u64 mem (seam - 8) 0x0123456789abcdef;
+  Alcotest.(check int) "u64 exact fit at chunk end" 0x0123456789abcdef
+    (PM.read_u64 mem (seam - 8));
+  (* straddle: 4 bytes in chunk 0, 4 in chunk 1 *)
+  PM.write_u64 mem (seam - 4) 0x1a5a1234fedc9876;
+  Alcotest.(check int) "u64 straddling chunk seam" 0x1a5a1234fedc9876
+    (PM.read_u64 mem (seam - 4));
+  (* byte view must agree with the straddled u64 on both sides *)
+  Alcotest.(check int) "low byte before seam" 0x76 (PM.read_byte mem (seam - 4));
+  Alcotest.(check int) "high byte after seam" 0x1a (PM.read_byte mem (seam + 3));
+  (* straddled read where the upper chunk was never materialized *)
+  let mem2 = PM.create ~npages:192 in
+  PM.write_byte mem2 (seam - 1) 0xff;
+  Alcotest.(check int) "straddle into unmaterialized chunk" 0xff00
+    (PM.read_u64 mem2 (seam - 2) land 0xffff);
+  Alcotest.(check int) "upper bytes read zero" 0 (PM.read_u64 mem2 (seam - 2) lsr 16);
+  (* bulk copy across the seam: write_sub/read_into chunk splitting *)
+  let pat = Bytes.init 1000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  PM.write_sub mem (seam - 500) pat 0 1000;
+  let back = Bytes.create 1000 in
+  PM.read_into mem (seam - 500) back 0 1000;
+  Alcotest.(check bytes) "bulk roundtrip across seam" pat back;
+  (* a second seam in the same transfer *)
+  let big = Bytes.make ((2 * 64 * T.page_size) + 64) 'x' in
+  PM.write mem 32 big;
+  Alcotest.(check bytes) "two-seam transfer" big (PM.read mem 32 (Bytes.length big));
+  (* overflow-proof bound check: gpa + len wraps negative pre-fix *)
+  List.iter
+    (fun gpa ->
+      Alcotest.check_raises "huge gpa rejected"
+        (Invalid_argument (Printf.sprintf "Phys_mem: access 0x%x+8 out of range" gpa))
+        (fun () -> ignore (PM.read_u64 mem gpa)))
+    [ max_int - 4; max_int - 7; max_int ];
+  Alcotest.check_raises "negative len rejected"
+    (Invalid_argument "Phys_mem: access 0x0+-1 out of range")
+    (fun () -> ignore (PM.read mem 0 (-1)))
+
 let phys_mem_roundtrip =
   QCheck.Test.make ~name:"phys_mem write/read roundtrip" ~count:100
     QCheck.(pair (bytes_of_size QCheck.Gen.(1 -- 200)) (QCheck.make QCheck.Gen.(0 -- 20000)))
@@ -412,6 +459,7 @@ let suite =
     ("rmp adjust rules", `Quick, test_rmp_adjust_rules);
     ("rmp shared semantics", `Quick, test_rmp_shared_semantics);
     ("phys_mem rw", `Quick, test_phys_mem_rw);
+    ("phys_mem chunk boundaries", `Quick, test_phys_mem_chunk_boundary);
     q phys_mem_roundtrip;
     ("pagetable map/walk/protect/unmap", `Quick, test_pagetable_map_walk);
     ("pagetable pte encode/decode", `Quick, test_pagetable_encode_decode);

@@ -1,0 +1,216 @@
+(* Veil-SMP tests: AP bring-up through the monitor, the deterministic
+   interleaver, per-VCPU runqueues with work stealing, and the
+   distributed TLB-shootdown IPI cost model. *)
+
+module K = Guest_kernel.Ktypes
+module S = Guest_kernel.Sysno
+module Kern = Guest_kernel.Kernel
+module Sched = Guest_kernel.Sched
+module Smp = Veil_core.Smp
+module B = Veil_core.Boot
+module P = Sevsnp.Platform
+module V = Sevsnp.Vcpu
+module C = Sevsnp.Cycles
+module T = Sevsnp.Types
+module Hv = Hypervisor.Hv
+
+let boot () = B.boot_veil ~npages:2048 ~seed:7 ()
+
+(* --- AP bring-up is a monitored §5 delegation --- *)
+
+let test_bring_up () =
+  let sys = boot () in
+  let smp = Smp.bring_up sys ~nvcpus:4 () in
+  Alcotest.(check int) "nvcpus" 4 (Smp.nvcpus smp);
+  Alcotest.(check int) "hardware vcpus hot-plugged" 4 (P.vcpu_count sys.B.platform);
+  let m = Veil_core.Monitor.stats sys.B.mon in
+  Alcotest.(check int) "3 delegated boots" 3 m.Veil_core.Monitor.delegated_vcpu_boots;
+  for i = 0 to 3 do
+    Alcotest.(check int) (Printf.sprintf "vcpu %d id" i) i (Smp.vcpu smp i).V.id
+  done;
+  (* every AP boots at VMPL-3 (Dom_UNT), like the paper's §5.3 *)
+  for i = 1 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "ap %d at vmpl3" i)
+      true
+      (V.vmpl (Smp.vcpu smp i) = T.Vmpl3)
+  done;
+  (* pinned workers really execute on their APs: each one makes
+     syscalls and the cycles land on that AP's own counter *)
+  let kernel = sys.B.kernel in
+  let before = Array.init 4 (fun i -> C.total (Smp.vcpu smp i).V.counter) in
+  for w = 0 to 3 do
+    Smp.spawn ~vcpu:w smp
+      ~name:(Printf.sprintf "worker-%d" w)
+      (fun () ->
+        let proc = Kern.spawn kernel in
+        for _ = 1 to 5 do
+          (match Kern.invoke kernel proc S.Getpid [] with
+          | K.RInt _ -> ()
+          | r -> Alcotest.failf "getpid: %a" K.pp_ret r);
+          Sched.yield ()
+        done)
+  done;
+  Smp.run smp;
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "vcpu %d accrued cycles" i)
+      true
+      (C.total (Smp.vcpu smp i).V.counter > before.(i))
+  done;
+  (* Smp.run always hands the kernel back to the boot VCPU *)
+  Alcotest.(check int) "kernel back on boot vcpu" 0 (Kern.vcpu kernel).V.id
+
+let test_bring_up_refusals () =
+  let sys = boot () in
+  let hooks = Kern.hooks sys.B.kernel in
+  let expect_err label id =
+    match hooks.Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:id with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s: vcpu_id %d accepted" label id
+  in
+  (* the id is OS-provided data: the monitor sanitizes it *)
+  expect_err "id 0 is the boot vcpu" 0;
+  expect_err "negative id" (-1);
+  expect_err "id past the idcb slots" 8;
+  expect_err "id skips ahead" 2;
+  (* a legitimate boot, then a duplicate of the same id *)
+  (match hooks.Guest_kernel.Hooks.h_vcpu_boot ~vcpu_id:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ap 1: %s" e);
+  expect_err "duplicate id" 1;
+  Alcotest.(check int) "only one ap plugged" 2 (P.vcpu_count sys.B.platform);
+  (* bring_up surfaces a monitor refusal as Failure, not a hang *)
+  match Smp.bring_up (boot ()) ~nvcpus:9 () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "nvcpus=9 must exceed the idcb region's slots"
+
+(* --- per-VCPU runqueues steal work deterministically --- *)
+
+let test_work_stealing () =
+  let sys = boot () in
+  let smp = Smp.bring_up sys ~nvcpus:2 () in
+  let done_ = ref 0 and flag = ref false in
+  (* VCPU 1's own queue holds only a blocked waiter, so every step the
+     interleaver grants it must be served by stealing runnable work
+     from VCPU 0's overloaded queue. *)
+  Smp.spawn ~vcpu:1 smp ~name:"waiter" (fun () ->
+      Sched.block_until (fun () -> !flag);
+      incr done_);
+  for i = 0 to 6 do
+    Smp.spawn ~vcpu:0 smp
+      ~name:(Printf.sprintf "pinned-%d" i)
+      (fun () ->
+        for _ = 1 to 4 do
+          Sched.yield ()
+        done;
+        if i = 6 then flag := true;
+        incr done_)
+  done;
+  Smp.run smp;
+  Alcotest.(check int) "all tasks finished" 8 !done_;
+  Alcotest.(check bool) "idle vcpu stole work" true (Smp.steals smp > 0);
+  Alcotest.(check bool) "journal one digit per step" true
+    (String.length (Smp.journal smp) = Smp.schedule_steps smp)
+
+(* --- the interleaver schedule is a pure function of the seed --- *)
+
+let run_seeded seed =
+  let sys = boot () in
+  let smp = Smp.bring_up ~policy:(Hv.Interleave.Seeded seed) sys ~nvcpus:4 () in
+  let acc = ref 0 in
+  for w = 0 to 3 do
+    Smp.spawn ~vcpu:w smp
+      ~name:(Printf.sprintf "t-%d" w)
+      (fun () ->
+        for _ = 1 to 8 do
+          acc := (!acc * 31) + w;
+          Sched.yield ()
+        done)
+  done;
+  Smp.run smp;
+  (Smp.journal smp, !acc)
+
+let test_determinism () =
+  let j1, a1 = run_seeded 1234 in
+  let j2, a2 = run_seeded 1234 in
+  Alcotest.(check string) "same seed, same schedule" j1 j2;
+  Alcotest.(check int) "same seed, same interleaving result" a1 a2;
+  let j3, _ = run_seeded 99 in
+  Alcotest.(check bool) "different seed, different schedule" true (j1 <> j3)
+
+(* --- distributed TLB shootdown: costs and staleness --- *)
+
+let test_tlb_shootdown () =
+  let sys = boot () in
+  let smp = Smp.bring_up sys ~nvcpus:3 () in
+  let platform = sys.B.platform in
+  let initiator = Smp.vcpu smp 0 in
+  (* warm an AP's TLB with a fabricated translation *)
+  let tlb1 = (Smp.vcpu smp 1).V.tlb in
+  let e = Sevsnp.Tlb.probe tlb1 ~vapage:5 ~root:3 in
+  Sevsnp.Tlb.fill tlb1 e ~vapage:5 ~root:3 ~gpfn:42 ~flags:1 ~rmp:0;
+  Alcotest.(check bool) "entry cached" true (Sevsnp.Tlb.is_hit tlb1 e ~vapage:5 ~root:3);
+  let before = Array.init 3 (fun i -> C.read_bucket (Smp.vcpu smp i).V.counter C.Kernel) in
+  P.tlb_shootdown_distributed platform ~initiator;
+  let delta i = C.read_bucket (Smp.vcpu smp i).V.counter C.Kernel - before.(i) in
+  (* initiator: local flush + send/ack per remote; remotes: one handler *)
+  Alcotest.(check int) "initiator cost"
+    (C.tlb_local_flush + (2 * (C.ipi_send + C.ipi_ack)))
+    (delta 0);
+  Alcotest.(check int) "remote 1 handler cost" C.ipi_handler (delta 1);
+  Alcotest.(check int) "remote 2 handler cost" C.ipi_handler (delta 2);
+  Alcotest.(check bool) "remote entry invalidated" false
+    (Sevsnp.Tlb.is_hit tlb1 e ~vapage:5 ~root:3)
+
+let test_single_vcpu_shootdown_unchanged () =
+  (* with one VCPU the distributed model degenerates to the pre-SMP
+     flat local-flush charge: the single-VCPU E2/E3 numbers depend on
+     this *)
+  let sys = boot () in
+  let vcpu = sys.B.vcpu in
+  let before = C.read_bucket vcpu.V.counter C.Kernel in
+  P.tlb_shootdown_distributed sys.B.platform ~initiator:vcpu;
+  Alcotest.(check int) "exactly the flat 500-cycle flush" C.tlb_local_flush
+    (C.read_bucket vcpu.V.counter C.Kernel - before)
+
+let test_ipi_charges () =
+  let sys = boot () in
+  let smp = Smp.bring_up sys ~nvcpus:2 () in
+  let a = Smp.vcpu smp 0 and b = Smp.vcpu smp 1 in
+  let ka = C.read_bucket a.V.counter C.Kernel and kb = C.read_bucket b.V.counter C.Kernel in
+  Sevsnp.Ipi.send ~initiator:a ~target:b Sevsnp.Ipi.Reschedule;
+  Alcotest.(check int) "initiator pays send+ack" (C.ipi_send + C.ipi_ack)
+    (C.read_bucket a.V.counter C.Kernel - ka);
+  Alcotest.(check int) "target pays the handler" C.ipi_handler
+    (C.read_bucket b.V.counter C.Kernel - kb)
+
+(* --- the malicious-hypervisor AP-start oracle stays blocked --- *)
+
+let test_ap_attack_blocked () =
+  let atk =
+    match
+      List.find_opt
+        (fun a -> Veil_attacks.Attacks.name a = "ap-start-tampered-vmsa")
+        (Veil_attacks.Attacks.all ())
+    with
+    | Some a -> a
+    | None -> Alcotest.fail "ap-start-tampered-vmsa missing from the suite"
+  in
+  let o = Veil_attacks.Attacks.run atk in
+  Alcotest.(check bool)
+    (Printf.sprintf "blocked (%s)" (Veil_attacks.Attacks.outcome_to_string o))
+    true
+    (Veil_attacks.Attacks.is_blocked o)
+
+let suite =
+  [
+    ("ap bring-up via monitor", `Quick, test_bring_up);
+    ("ap bring-up refusals", `Quick, test_bring_up_refusals);
+    ("work stealing", `Quick, test_work_stealing);
+    ("seeded interleave determinism", `Quick, test_determinism);
+    ("distributed tlb shootdown", `Quick, test_tlb_shootdown);
+    ("single-vcpu shootdown unchanged", `Quick, test_single_vcpu_shootdown_unchanged);
+    ("ipi cost split", `Quick, test_ipi_charges);
+    ("ap-start attack blocked", `Quick, test_ap_attack_blocked);
+  ]

@@ -17,6 +17,7 @@ let () =
       ("mcache", T_mcache.suite);
       ("kernel-semantics", T_kernel2.suite);
       ("scheduler", T_sched.suite);
+      ("smp", T_smp.suite);
       ("facade", T_facade.suite);
       ("obs", T_obs.suite);
       ("chaos", T_chaos.suite);
