@@ -62,14 +62,16 @@ let micro_json (name, ns) =
   Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%.1f}" (Obs.Metrics.json_escape name) ns
 
 (* E-scale results ride along too: one record per (bench, vcpu count). *)
-let escale_recorded : (string * int * int * float) list ref = ref []
+let escale_recorded : (string * int * int * float * float) list ref = ref []
 
-let record_escale ~bench ~nvcpus ~ops ~ops_per_s =
-  if !json_mode then escale_recorded := (bench, nvcpus, ops, ops_per_s) :: !escale_recorded
+let record_escale ~bench ~nvcpus ~ops ~ops_per_s ~serialized_pct =
+  if !json_mode then
+    escale_recorded := (bench, nvcpus, ops, ops_per_s, serialized_pct) :: !escale_recorded
 
-let escale_json (bench, nvcpus, ops, ops_per_s) =
-  Printf.sprintf "{\"bench\":\"%s\",\"vcpus\":%d,\"ops\":%d,\"ops_per_s\":%.1f}"
-    (Obs.Metrics.json_escape bench) nvcpus ops ops_per_s
+let escale_json (bench, nvcpus, ops, ops_per_s, serialized_pct) =
+  Printf.sprintf
+    "{\"bench\":\"%s\",\"vcpus\":%d,\"ops\":%d,\"ops_per_s\":%.1f,\"serialized_pct\":%.1f}"
+    (Obs.Metrics.json_escape bench) nvcpus ops ops_per_s serialized_pct
 
 let emit_json () =
   if !json_mode then
@@ -459,218 +461,55 @@ let ablate ?(scale = 1) () =
         (frames * 4096) stats.Veil_core.Slog.appended stats.Veil_core.Slog.dropped_full)
     [ 1; 2; 4; 16 ]
 
-(* --- E-scale: SMP throughput scaling (Veil-SMP, §5) --- *)
+(* --- E-scale: SMP throughput scaling (Veil-SMP, §5) ---
 
-module Smp = Veil_core.Smp
-module Sch = Guest_kernel.Sched
-module V = Sevsnp.Vcpu
+   The measurement harness lives in {!Workloads.Escale} so veilctl's
+   scope/report commands regenerate exactly the numbers these tables
+   print; bench only drives it and formats the output. *)
 
-(* Deterministic interleaver seed for every E-scale run; the guest RNG
-   still follows --seed, so the two axes of reproduction are
-   independent. *)
-let escale_inter_seed = 1911
-
-let escale_vcpu_counts () =
-  (* the monitor's IDCB region provisions at most 8 VCPUs *)
-  let wanted =
-    match Sys.getenv_opt "VEIL_ESCALE_VCPUS" with
-    | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
-    | None -> [ 1; 2; 4; 8 ]
-  in
-  match List.filter (fun n -> n >= 1 && n <= 8) wanted with
-  | [] -> [ 1 ]
-  | l -> List.sort_uniq compare l
-
-type escale_result = {
-  es_ops : int;
-  es_wall : int;  (* max per-VCPU cycle delta: the simulated wall clock *)
-  es_busy : int;  (* sum of per-VCPU deltas *)
-  es_mon : int;   (* Monitor + Switch bucket cycles: work funneled through VeilMon *)
-  es_prof_mon_self : int;  (* Veil-Prof: os_call frame self cycles *)
-  es_prof_mon_hits : int;
-  es_steals : int;
-  es_journal : string;
-}
-
-let escale_throughput r = float_of_int r.es_ops /. seconds r.es_wall
-
-(* Boot a Veil guest, bring up [nvcpus - 1] APs through the monitor,
-   hand the system to [spawn_work] (returns the op count), interleave
-   to completion under the seeded scheduler, and account per VCPU. *)
-let escale_measure ~nvcpus ~spawn_work =
-  let sys = Veil_core.Boot.boot_veil ~npages:4096 ~seed:!seed () in
-  let prof = sys.Veil_core.Boot.platform.P.profiler in
-  Obs.Profiler.set_enabled prof true;
-  let smp =
-    Smp.bring_up ~policy:(Hypervisor.Hv.Interleave.Seeded escale_inter_seed) sys ~nvcpus ()
-  in
-  let counter i = (Smp.vcpu smp i).V.counter in
-  let before = Array.init nvcpus (fun i -> C.total (counter i)) in
-  let mon_before =
-    Array.init nvcpus (fun i ->
-        C.read_bucket (counter i) C.Monitor + C.read_bucket (counter i) C.Switch)
-  in
-  let ops = spawn_work sys smp in
-  Smp.run smp;
-  let deltas = Array.init nvcpus (fun i -> C.total (counter i) - before.(i)) in
-  let mon =
-    Array.init nvcpus (fun i ->
-        C.read_bucket (counter i) C.Monitor + C.read_bucket (counter i) C.Switch
-        - mon_before.(i))
-    |> Array.fold_left ( + ) 0
-  in
-  {
-    es_ops = ops;
-    es_wall = Array.fold_left max 0 deltas;
-    es_busy = Array.fold_left ( + ) 0 deltas;
-    es_mon = mon;
-    es_prof_mon_self = Obs.Profiler.bucket_self prof "os_call";
-    es_prof_mon_hits = Obs.Profiler.bucket_hits prof "os_call";
-    es_steals = Smp.steals smp;
-    es_journal = Smp.journal smp;
-  }
-
-(* syscall-bench: a worker per VCPU splits [ops_total] getpid calls;
-   every 32nd op is an audited open/close whose log append is an IDCB
-   call into VeilMon — the serialized slice of the workload. *)
-let escale_syscall_work ~ops_total sys smp =
-  let kernel = sys.Veil_core.Boot.kernel in
-  Guest_kernel.Audit.set_rules (Kern.audit kernel) [ S.Open ];
-  let nv = Smp.nvcpus smp in
-  let per = ops_total / nv in
-  for w = 0 to nv - 1 do
-    Smp.spawn ~vcpu:w smp ~name:(Printf.sprintf "sysbench-%d" w) (fun () ->
-        let proc = Kern.spawn kernel in
-        for i = 1 to per do
-          (match Kern.invoke kernel proc S.Getpid [] with
-          | K.RInt _ -> ()
-          | r -> failwith (Format.asprintf "escale getpid: %a" K.pp_ret r));
-          (if i mod 32 = 0 then
-             match
-               Kern.invoke kernel proc S.Open
-                 [ K.Str (Printf.sprintf "/tmp/es-%d" w); K.Int 0x42; K.Int 0o644 ]
-             with
-             | K.RInt fd -> ignore (Kern.invoke kernel proc S.Close [ K.Int fd ])
-             | r -> failwith (Format.asprintf "escale open: %a" K.pp_ret r));
-          Sch.yield ()
-        done)
-  done;
-  per * nv
-
-(* HTTP-server: one listener coroutine pinned to the boot VCPU accepts
-   [nclients] connections and spawns a handler coroutine per
-   connection; handlers and clients are distributed over the VCPUs.
-   The response path is audited (Sendto), so every reply drags a log
-   append through VeilMon — the monitor-side serialization E-scale is
-   after. *)
-let escale_http_work ~requests sys smp =
-  let kernel = sys.Veil_core.Boot.kernel in
-  Guest_kernel.Audit.set_rules (Kern.audit kernel) [ S.Sendto ];
-  let nv = Smp.nvcpus smp in
-  let nclients = 4 in
-  let per_client = requests / nclients in
-  let port = 9300 in
-  let body = Bytes.make 1024 'H' in
-  Smp.spawn ~vcpu:0 smp ~name:"httpd" (fun () ->
-      let proc = Kern.spawn kernel in
-      let sys_ s a = Kern.invoke_blocking kernel proc s a in
-      let srv =
-        match sys_ S.Socket [ K.Int 2; K.Int 1; K.Int 0 ] with
-        | K.RInt f -> f
-        | _ -> failwith "escale http: socket"
-      in
-      ignore (sys_ S.Bind [ K.Int srv; K.Int port ]);
-      ignore (sys_ S.Listen [ K.Int srv; K.Int 16 ]);
-      for c = 0 to nclients - 1 do
-        let conn =
-          match sys_ S.Accept [ K.Int srv ] with
-          | K.RInt f -> f
-          | _ -> failwith "escale http: accept"
-        in
-        (* handler rides the connection's VCPU, not the listener's;
-           the fd belongs to the listener's process, so the handler
-           keeps issuing syscalls as that process *)
-        Smp.spawn ~vcpu:(c mod nv) smp ~name:(Printf.sprintf "handler-%d" c) (fun () ->
-            for _ = 1 to per_client do
-              match sys_ S.Recvfrom [ K.Int conn; K.Int 256 ] with
-              | K.RBuf b when Bytes.length b > 0 ->
-                  (* request parsing + file lookup + response build *)
-                  V.charge (Kern.vcpu kernel) C.Compute 30_000;
-                  ignore (sys_ S.Sendto [ K.Int conn; K.Buf body ])
-              | _ -> failwith "escale http: server recv"
-            done)
-      done);
-  let served = ref 0 in
-  for c = 0 to nclients - 1 do
-    Smp.spawn ~vcpu:(c mod nv) smp ~name:(Printf.sprintf "client-%d" c) (fun () ->
-        let proc = Kern.spawn kernel in
-        let sys_ s a = Kern.invoke_blocking kernel proc s a in
-        let fd =
-          match sys_ S.Socket [ K.Int 2; K.Int 1; K.Int 0 ] with
-          | K.RInt f -> f
-          | _ -> failwith "escale http: client socket"
-        in
-        (* under SMP interleaving a client can run before the listener
-           is up: retry the refused connect on the next slice *)
-        let rec connect () =
-          match sys_ S.Connect [ K.Int fd; K.Int port ] with
-          | K.RInt _ -> ()
-          | K.RErr K.ECONNREFUSED ->
-              Sch.yield ();
-              connect ()
-          | r -> failwith (Format.asprintf "escale http: connect: %a" K.pp_ret r)
-        in
-        connect ();
-        for r = 1 to per_client do
-          (* client-side request build + TLS-ish work *)
-          V.charge (Kern.vcpu kernel) C.Compute 90_000;
-          ignore (sys_ S.Sendto [ K.Int fd; K.Buf (Bytes.of_string (Printf.sprintf "GET /%d" r)) ]);
-          match sys_ S.Recvfrom [ K.Int fd; K.Int 2048 ] with
-          | K.RBuf b when Bytes.length b = Bytes.length body -> incr served
-          | _ -> failwith "escale http: bad reply"
-        done)
-  done;
-  ignore served;
-  nclients * per_client
+module Es = Workloads.Escale
 
 let escale () =
   header "E-scale  SMP throughput scaling with Veil-SMP (§5 AP bring-up)"
     "monitor-relayed AP boot; deterministic interleaving; VeilMon serializes log/IDCB work";
-  let counts = escale_vcpu_counts () in
-  Printf.printf "interleaver: seeded(%d); guest seed %d; VCPU counts: %s\n" escale_inter_seed
+  let counts = Es.vcpu_counts () in
+  Printf.printf "interleaver: seeded(%d); guest seed %d; VCPU counts: %s\n" Es.inter_seed
     !seed
     (String.concat "," (List.map string_of_int counts));
   let run_table name ~spawn_work ~ops =
     Printf.printf "\n%s (%d ops total, strong scaling):\n" name ops;
-    Printf.printf "  %5s %14s %9s %9s %12s %10s %7s\n" "vcpus" "throughput" "speedup"
-      "hw-amdahl" "wall Mcyc" "mon-share" "steals";
+    Printf.printf "  %5s %14s %9s %9s %11s %12s %10s %7s\n" "vcpus" "throughput" "speedup"
+      "hw-amdahl" "serialized%" "wall Mcyc" "mon-share" "steals";
     let base = ref None in
     let serial_frac = ref 0.0 in
     List.iter
       (fun nv ->
-        let r = escale_measure ~nvcpus:nv ~spawn_work in
-        let tp = escale_throughput r in
-        record_escale ~bench:name ~nvcpus:nv ~ops:r.es_ops ~ops_per_s:tp;
+        let (r : Es.result), _sys = Es.measure ~nvcpus:nv ~seed:!seed ~spawn_work () in
+        let tp = Es.throughput r in
+        let ser = Es.serialized_pct r in
+        record_escale ~bench:name ~nvcpus:nv ~ops:r.Es.es_ops ~ops_per_s:tp
+          ~serialized_pct:ser;
         let tp0 = match !base with None -> base := Some tp; tp | Some t -> t in
-        if nv = 1 then serial_frac := float_of_int r.es_mon /. float_of_int r.es_busy;
+        if nv = 1 then serial_frac := float_of_int r.Es.es_mon /. float_of_int r.Es.es_busy;
         (* The simulator charges VeilMon work to the calling VCPU, so
            the measured speedup is the no-contention optimum; hw-amdahl
            is what one serialized VeilMon instance (a single VMPL0
            monitor, one RMP lock) would allow on hardware, taking the
            Monitor+Switch share of the 1-VCPU run as the serial
-           fraction. *)
+           fraction.  serialized% is the same slice measured directly
+           by the monitor's entry ledger (Veil-Scope) instead of
+           inferred from the 1-VCPU bucket share. *)
         let s = !serial_frac in
-        let ceiling = if s > 0.0 then 1.0 /. (s +. ((1.0 -. s) /. float_of_int nv))
-                      else float_of_int nv in
-        Printf.printf "  %5d %11.1f k/s %8.2fx %8.2fx %12.2f %9.1f%% %7d\n" nv (tp /. 1000.0)
-          (tp /. tp0) ceiling
-          (float_of_int r.es_wall /. 1e6)
-          (100.0 *. float_of_int r.es_mon /. float_of_int r.es_busy)
-          r.es_steals;
+        let ceiling = Es.amdahl_ceiling ~serial_frac:s ~nvcpus:nv in
+        Printf.printf "  %5d %11.1f k/s %8.2fx %8.2fx %10.1f%% %12.2f %9.1f%% %7d\n" nv
+          (tp /. 1000.0) (tp /. tp0) ceiling ser
+          (float_of_int r.Es.es_wall /. 1e6)
+          (100.0 *. float_of_int r.Es.es_mon /. float_of_int r.Es.es_busy)
+          r.Es.es_steals;
         if nv = List.fold_left max 1 counts then begin
           Printf.printf
             "  Veil-Prof @%d VCPUs: VeilMon os_call self=%d cycles over %d calls; every\n" nv
-            r.es_prof_mon_self r.es_prof_mon_hits;
+            r.Es.es_prof_mon_self r.Es.es_prof_mon_hits;
           Printf.printf
             "  call funnels through the single VeilMon instance (7135-cycle relayed\n";
           Printf.printf
@@ -680,18 +519,18 @@ let escale () =
           | Some path ->
               let oc = open_out (Printf.sprintf "%s.%s" path
                                    (String.map (function ' ' -> '-' | c -> c) name)) in
-              output_string oc r.es_journal;
+              output_string oc r.Es.es_journal;
               output_char oc '\n';
               close_out oc
           | None -> ());
           (* reproducibility: the schedule and the numbers must replay *)
-          let r2 = escale_measure ~nvcpus:nv ~spawn_work in
-          if r2.es_journal <> r.es_journal || escale_throughput r2 <> tp then
+          let (r2 : Es.result), _ = Es.measure ~nvcpus:nv ~seed:!seed ~spawn_work () in
+          if r2.Es.es_journal <> r.Es.es_journal || Es.throughput r2 <> tp then
             failwith "E-scale: same seed produced a different schedule or throughput";
           Printf.printf "  replay @%d VCPUs: identical schedule (%d steps) and throughput — OK\n"
-            nv (String.length r.es_journal)
+            nv (String.length r.Es.es_journal)
         end)
       counts
   in
-  run_table "syscall-bench" ~spawn_work:(escale_syscall_work ~ops_total:4096) ~ops:4096;
-  run_table "http-server" ~spawn_work:(escale_http_work ~requests:256) ~ops:256
+  run_table "syscall-bench" ~spawn_work:(Es.syscall_work ~ops_total:4096) ~ops:4096;
+  run_table "http-server" ~spawn_work:(Es.http_work ~requests:256) ~ops:256

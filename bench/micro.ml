@@ -194,6 +194,38 @@ let alloc_check () =
     Veil_core.Monitor.domain_switch mon vcpu ~target:Veil_core.Privdom.Mon;
     Veil_core.Monitor.domain_switch mon vcpu ~target:Veil_core.Privdom.Unt
   in
+  (* Veil-Scope contract: arming the scheduler's [wait_obs] while the
+     tracer is disabled must add zero allocation to the yield/park
+     path — each hook is one [Trace.enabled] test.  Effect-based
+     suspension itself allocates (continuation capture), so the
+     contract is armed = unarmed, like the chaos comparison. *)
+  let sched_words wait_obs =
+    let s = Guest_kernel.Sched.create ?wait_obs ~nvcpus:1 () in
+    let iters = 20_000 in
+    Guest_kernel.Sched.spawn ~vcpu:0 s ~name:"spin" (fun () ->
+        for _ = 1 to iters do
+          Guest_kernel.Sched.yield ()
+        done);
+    ignore (Guest_kernel.Sched.step_vcpu s 0);
+    let before = Gc.minor_words () in
+    let steps = ref 0 in
+    while Guest_kernel.Sched.step_vcpu s 0 do
+      incr steps
+    done;
+    (Gc.minor_words () -. before) /. float_of_int !steps
+  in
+  let quiet_tr = Obs.Trace.create ~capacity:64 () in
+  let sc_plain = sched_words None in
+  let sc_armed =
+    sched_words
+      (Some
+         {
+           Guest_kernel.Sched.wo_tracer = quiet_tr;
+           wo_now = (fun () -> 0);
+           wo_vcpu = (fun () -> 0);
+           wo_vmpl = 3;
+         })
+  in
   let tr = platform.Sevsnp.Platform.tracer in
   let prof = platform.Sevsnp.Platform.profiler in
   let was_on = Obs.Trace.enabled tr in
@@ -223,14 +255,18 @@ let alloc_check () =
   Printf.printf "  sched_yield syscall (profiler off): %.4f w/op\n" s_off;
   Printf.printf "  domain-switch roundtrip: chaos disarmed %.4f w/op, armed zero-prob %.4f w/op\n"
     d_disarmed d_armed;
+  Printf.printf "  sched yield step: wait_obs unarmed %.4f w/op, armed tracer-off %.4f w/op\n"
+    sc_plain sc_armed;
   if
     x_off = 0.0 && x_on = 0.0 && w_off = 0.0 && w_on = 0.0 && r_off = 0.0 && r_on = 0.0
     && t_off = 0.0 && t_on = 0.0 && s_off = 0.0 && d_armed = d_disarmed
+    && sc_armed = sc_plain
   then
     print_endline
       "  PASS: checked physical access, the TLB-hit translated path, and the\n\
       \        profiler-disabled syscall path allocate nothing; an armed\n\
-      \        zero-probability chaos plan costs the same as disarmed"
+      \        zero-probability chaos plan costs the same as disarmed, and an\n\
+      \        armed wait_obs with the tracer off costs the yield path nothing"
   else begin
     print_endline "  FAIL: an instrumented hot path allocates";
     exit 1

@@ -421,6 +421,7 @@ let metrics_cmd =
     arm_observability platform;
     Obs.Trace.set_enabled platform.Sevsnp.Platform.tracer false;
     quickstart_scenario sys;
+    Sevsnp.Platform.refresh_obs_gauges platform;
     let m = platform.Sevsnp.Platform.metrics in
     if json then print_string (Obs.Metrics.to_json m) else print_string (Obs.Metrics.dump m)
   in
@@ -509,6 +510,94 @@ let sql_cmd =
     (Cmd.info "sql"
        ~doc:"Execute statements on the B-tree-backed mini SQL engine inside a fresh guest.")
     Term.(const run $ stmts_arg $ npages_arg $ seed_arg)
+
+(* --- scope: Veil-Scope cross-VCPU critical-path / wait-state report --- *)
+
+let scope_cmd =
+  let vcpus_arg =
+    let doc = "VCPU count for the SMP run (1-8)." in
+    Arg.(value & opt int 4 & info [ "vcpus" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Operation count (http requests or syscall ops)." in
+    Arg.(value & opt int 64 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload: http (listener + handlers + clients) or syscall." in
+    Arg.(value & opt (enum [ ("http", `Http); ("syscall", `Syscall) ]) `Http
+         & info [ "w"; "workload" ] ~docv:"KIND" ~doc)
+  in
+  let top_arg =
+    let doc = "Render the N longest requests' critical paths in full." in
+    Arg.(value & opt int 3 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let scope_out_arg =
+    let doc = "Write the report here (\"-\" = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run kind nvcpus requests top out seed =
+    if nvcpus < 1 || nvcpus > 8 then begin
+      Printf.eprintf "scope: --vcpus must be in 1..8 (got %d)\n" nvcpus;
+      exit 2
+    end;
+    let module Es = Workloads.Escale in
+    let name, spawn_work =
+      match kind with
+      | `Http -> ("http-server", Es.http_work ~requests)
+      | `Syscall -> ("syscall-bench", Es.syscall_work ~ops_total:requests)
+    in
+    let (r : Es.result), sys = Es.measure ~trace:true ~nvcpus ~seed ~spawn_work () in
+    let platform = sys.Veil_core.Boot.platform in
+    let tr = platform.Sevsnp.Platform.tracer in
+    Obs.Trace.set_enabled tr false;
+    Sevsnp.Platform.refresh_obs_gauges platform;
+    let reqs = Obs.Critpath.requests (Obs.Trace.events tr) in
+    let summary = Obs.Critpath.summarize reqs in
+    let buf = Buffer.create 4096 in
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    p "Veil-Scope — cross-VCPU critical paths and wait states\n";
+    p "workload: %s, %d VCPUs, %d ops, guest seed %d, interleaver seeded(%d)\n" name nvcpus
+      r.Es.es_ops seed Es.inter_seed;
+    p "trace: %d events stored (capacity %d)" (Obs.Trace.stored tr) (Obs.Trace.capacity tr);
+    if Obs.Trace.dropped tr > 0 then
+      p "; WARNING: %d events dropped to ring wraparound — earliest requests are partial"
+        (Obs.Trace.dropped tr);
+    p "\n\n%s" (Obs.Critpath.render_summary summary);
+    (* the N longest requests, in full *)
+    let by_extent =
+      List.stable_sort
+        (fun a b -> compare (Obs.Critpath.extent b) (Obs.Critpath.extent a))
+        reqs
+    in
+    let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+    List.iter (fun rq -> p "\n%s" (Obs.Critpath.render rq)) (take top by_extent);
+    (* serialized-monitor ledger: the single-server-queue view *)
+    let w = r.Es.es_wait in
+    p "\nserialized monitor (VeilMon entry ledger, measurement window only):\n";
+    p "  %-20s %8s %14s %14s\n" "call type" "entries" "busy cyc" "queued cyc";
+    List.iter
+      (fun (tag, entries, busy, queued) ->
+        p "  %-20s %8d %14d %14d\n" tag entries busy queued)
+      w.Veil_core.Monitor.ws_by_type;
+    p "  %-20s %8d %14d %14d\n" "total" w.Veil_core.Monitor.ws_entries
+      w.Veil_core.Monitor.ws_busy_cycles w.Veil_core.Monitor.ws_queued_cycles;
+    let ser = Es.serialized_pct r in
+    let ceiling = Es.amdahl_ceiling ~serial_frac:(ser /. 100.0) ~nvcpus in
+    p "measured serialized share: %.1f%% of %d busy cycles held the monitor\n" ser r.Es.es_busy;
+    p "implied hardware Amdahl ceiling @%d VCPUs: %.2fx\n" nvcpus ceiling;
+    if out = "-" then print_string (Buffer.contents buf)
+    else begin
+      write_file_or_die out (Buffer.contents buf);
+      Printf.printf "wrote %s\n" out
+    end
+  in
+  Cmd.v
+    (Cmd.info "scope"
+       ~doc:
+         "Run an SMP workload with tracing armed and print the Veil-Scope report: per-request \
+          critical paths (work vs wait per VMPL and wait reason, reconstructed from causal ids) \
+          plus the serialized-monitor entry ledger and the hardware scaling ceiling it implies.")
+    Term.(const run $ workload_arg $ vcpus_arg $ requests_arg $ top_arg $ scope_out_arg $ seed_arg)
 
 (* --- report: regenerate the paper tables from profiler attribution
    and diff them against EXPERIMENTS.md --- *)
@@ -689,6 +778,53 @@ let report_cmd =
           (float_of_cell (cell cells 5 name)))
       (Workloads.Registry.audit_programs ());
 
+    (* E-scale — serialized-monitor share, re-measured by the Veil-Scope
+       entry ledger and diffed against the table's serialized% column;
+       the ceiling the measurement implies must also reproduce the
+       hw-amdahl column (within 10%), i.e. ground truth agrees with
+       what the 1-VCPU bucket share inferred. *)
+    print_endline "E-scale  serialized-monitor share (Veil-Scope entry ledger)";
+    let escale_sec = md_section md "E-scale" in
+    let split_at_http lines =
+      let rec go acc = function
+        | [] -> (List.rev acc, [])
+        | l :: rest when starts_with "http-server" l -> (List.rev acc, rest)
+        | l :: rest -> go (l :: acc) rest
+      in
+      go [] lines
+    in
+    let sys_rows, http_rows = split_at_http escale_sec in
+    let module Es = Workloads.Escale in
+    let counts =
+      (* the full 1/2/4/8 sweep doubles report runtime; 1 and 4 pin the
+         no-contention base and the contended point (override with
+         VEIL_ESCALE_VCPUS for the full sweep) *)
+      match Sys.getenv_opt "VEIL_ESCALE_VCPUS" with
+      | Some _ -> Es.vcpu_counts ()
+      | None -> [ 1; 4 ]
+    in
+    List.iter
+      (fun (bench, rows, spawn_work) ->
+        List.iter
+          (fun nv ->
+            let cells = need rows (string_of_int nv) in
+            let (r : Es.result), _ = Es.measure ~nvcpus:nv ~seed:97 ~spawn_work () in
+            let ser = Es.serialized_pct r in
+            check_float
+              (Printf.sprintf "%s @%d serialized%%" bench nv)
+              ser
+              (float_of_cell (cell cells 4 (bench ^ " serialized%")))
+              ~tol:0.05;
+            let hw = float_of_cell (cell cells 3 (bench ^ " hw-amdahl")) in
+            check_float
+              (Printf.sprintf "%s @%d measured ceiling" bench nv)
+              (Es.amdahl_ceiling ~serial_frac:(ser /. 100.0) ~nvcpus:nv)
+              hw
+              ~tol:((0.1 *. hw) +. 0.005))
+          counts)
+      [ ("syscall-bench", sys_rows, fun s m -> Es.syscall_work ~ops_total:4096 s m);
+        ("http-server", http_rows, fun s m -> Es.http_work ~requests:256 s m) ];
+
     if !drifts = 0 then Printf.printf "all regenerated values match %s\n" exp_path
     else Printf.printf "%d value(s) drifted from %s\n" !drifts exp_path;
     if check && !drifts > 0 then exit 1
@@ -798,7 +934,7 @@ let main =
   let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in
   Cmd.group
     (Cmd.info "veilctl" ~version:Veil_core.Veil.version ~doc)
-    [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; profile_cmd; report_cmd;
-      metrics_cmd; migrate_cmd; sql_cmd; chaos_cmd ]
+    [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; profile_cmd; scope_cmd;
+      report_cmd; metrics_cmd; migrate_cmd; sql_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

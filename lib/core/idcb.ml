@@ -60,6 +60,47 @@ let request_size = function
   | R_tpm_extend { data; _ } -> 16 + Bytes.length data
   | R_tpm_quote { nonce } -> 8 + Bytes.length nonce
 
+(* Dense request tags for per-call-type ledgers (Veil-Scope): array
+   indexing instead of hashing keeps the os_call fast path
+   allocation-free. *)
+
+let ntags = 15
+
+let request_tag = function
+  | R_none -> 0
+  | R_pvalidate _ -> 1
+  | R_vcpu_boot _ -> 2
+  | R_module_load _ -> 3
+  | R_module_unload _ -> 4
+  | R_log_append _ -> 5
+  | R_log_fetch _ -> 6
+  | R_enclave_finalize _ -> 7
+  | R_enclave_destroy _ -> 8
+  | R_enclave_evict _ -> 9
+  | R_enclave_restore _ -> 10
+  | R_pt_sync _ -> 11
+  | R_enclave_schedule _ -> 12
+  | R_tpm_extend _ -> 13
+  | R_tpm_quote _ -> 14
+
+let tag_name = function
+  | 0 -> "none"
+  | 1 -> "pvalidate"
+  | 2 -> "vcpu_boot"
+  | 3 -> "module_load"
+  | 4 -> "module_unload"
+  | 5 -> "log_append"
+  | 6 -> "log_fetch"
+  | 7 -> "enclave_finalize"
+  | 8 -> "enclave_destroy"
+  | 9 -> "enclave_evict"
+  | 10 -> "enclave_restore"
+  | 11 -> "pt_sync"
+  | 12 -> "enclave_schedule"
+  | 13 -> "tpm_extend"
+  | 14 -> "tpm_quote"
+  | _ -> "unknown"
+
 let response_size = function
   | Resp_none -> 0
   | Resp_ok -> 8

@@ -58,4 +58,15 @@ val request_size : request -> int
 (** Approximate wire size in bytes, used to charge the cross-domain
     copy cost. *)
 
+val ntags : int
+(** Number of distinct request tags. *)
+
+val request_tag : request -> int
+(** Dense tag in [0, ntags) identifying the request's constructor —
+    array index for per-call-type ledgers (never allocates). *)
+
+val tag_name : int -> string
+(** Stable lower-case name for a {!request_tag} ("pvalidate",
+    "log_append", ...). *)
+
 val response_size : response -> int

@@ -43,6 +43,34 @@ and t = {
   c_switch_retries : Obs.Metrics.counter;
   c_ghcb_sanitized : Obs.Metrics.counter;
   c_replays : Obs.Metrics.counter;
+  (* Serialized-monitor entry ledger (Veil-Scope).  The monitor is one
+     hardware-serialized resource: on real silicon, two VCPUs' os_calls
+     cannot be served concurrently.  The simulator interleaves VCPUs
+     deterministically, so overlap never *executes* — but it is still
+     measurable: model the monitor as a single-server queue on the
+     machine clock (the furthest-ahead VCPU's window-relative rdtsc).
+     Each os_call arrives at that clock and holds the server for the
+     Monitor+Switch cycles it charges; an arrival before the previous
+     service's end is queued for the difference.  At 1 VCPU the
+     machine clock is the caller's own, which already paid the prior
+     service, so queueing is identically zero and single-VCPU numbers
+     are untouched; at N VCPUs the clocks advance in parallel and the
+     overlap *is* the serialized slice.  Plain int bookkeeping: no
+     allocation, no cycle charges. *)
+  mutable mon_busy_until : int;  (* monitor-timeline end of the service in progress *)
+  ledger_clock_base : int array;
+      (* per-VCPU rdtsc at the last {!reset_wait_ledger}: arrivals are
+         window-relative, so the boot VCPU's ~tens-of-millions head
+         start (it paid for boot) does not read as every AP queueing
+         behind it *)
+  mutable mon_entries : int;
+  mutable mon_busy_cycles : int;  (* summed service (Monitor+Switch) cycles *)
+  mutable mon_queued_cycles : int;  (* summed queueing delay *)
+  tag_entries : int array;  (* per Idcb.request_tag *)
+  tag_busy : int array;
+  tag_queued : int array;
+  c_mon_busy_cycles : Obs.Metrics.counter;
+  c_mon_queued_cycles : Obs.Metrics.counter;
 }
 
 let platform t = t.platform
@@ -88,6 +116,16 @@ let create ~hv ~layout ~boot_vcpu =
     c_switch_retries = Obs.Metrics.counter platform.P.metrics "monitor.switch_retries";
     c_ghcb_sanitized = Obs.Metrics.counter platform.P.metrics "monitor.ghcb_sanitized";
     c_replays = Obs.Metrics.counter platform.P.metrics "monitor.replays_suppressed";
+    mon_busy_until = 0;
+    ledger_clock_base = Array.make 64 0;
+    mon_entries = 0;
+    mon_busy_cycles = 0;
+    mon_queued_cycles = 0;
+    tag_entries = Array.make Idcb.ntags 0;
+    tag_busy = Array.make Idcb.ntags 0;
+    tag_queued = Array.make Idcb.ntags 0;
+    c_mon_busy_cycles = Obs.Metrics.counter platform.P.metrics "monitor.wait.busy_cycles";
+    c_mon_queued_cycles = Obs.Metrics.counter platform.P.metrics "monitor.wait.queued_cycles";
   }
 
 (* --- protected-region registry --- *)
@@ -477,9 +515,47 @@ let serve_pending t vcpu =
       Hashtbl.replace t.served vcpu.V.id (seq, resp);
       resp
 
+(* One os_call through the single-server queue model: [arrival] is the
+   caller's clock at entry, [service] the Monitor+Switch cycles the
+   call charged (read from the caller's bucket counters, so the ledger
+   shares E-scale's mon-share definition exactly).  Returns the
+   queueing delay so the caller can emit it as a wait edge. *)
+(* Global "machine time" proxy for arrivals: the furthest-ahead VCPU's
+   window-relative clock.  A VCPU with nothing runnable charges no
+   cycles, so its own clock lags real time; on hardware the wall clock
+   keeps advancing for everyone, and the leading VCPU is the closest
+   zero-allocation approximation the monitor can read.  Arrivals are
+   therefore monotone across calls, and only calls landing inside a
+   previous call's service window register as queued. *)
+let rec max_clock bases vcpus acc =
+  match vcpus with
+  | [] -> acc
+  | v :: rest ->
+      let base = if v.V.id < Array.length bases then bases.(v.V.id) else 0 in
+      let c = V.rdtsc v - base in
+      max_clock bases rest (if c > acc then c else acc)
+
+let ledger_enter t vcpu =
+  let arrival = max_clock t.ledger_clock_base t.platform.P.vcpus_rev 0 in
+  let queued = if t.mon_busy_until > arrival then t.mon_busy_until - arrival else 0 in
+  (arrival, queued, C.read_bucket vcpu.V.counter C.Monitor + C.read_bucket vcpu.V.counter C.Switch)
+
+let ledger_exit t vcpu ~tag ~arrival ~queued ~mon0 =
+  let service = C.read_bucket vcpu.V.counter C.Monitor + C.read_bucket vcpu.V.counter C.Switch - mon0 in
+  t.mon_busy_until <- arrival + queued + service;
+  t.mon_entries <- t.mon_entries + 1;
+  t.mon_busy_cycles <- t.mon_busy_cycles + service;
+  t.mon_queued_cycles <- t.mon_queued_cycles + queued;
+  t.tag_entries.(tag) <- t.tag_entries.(tag) + 1;
+  t.tag_busy.(tag) <- t.tag_busy.(tag) + service;
+  t.tag_queued.(tag) <- t.tag_queued.(tag) + queued;
+  Obs.Metrics.add t.c_mon_busy_cycles service;
+  Obs.Metrics.add t.c_mon_queued_cycles queued
+
 let os_call t vcpu (req : Idcb.request) : Idcb.response =
   t.stats.os_calls <- t.stats.os_calls + 1;
   Obs.Metrics.incr t.c_os_calls;
+  let arrival, queued, mon0 = ledger_enter t vcpu in
   (* An IDCB request is a request origin: mint a causal id if this VCPU
      is not already carrying one (e.g. an os_call issued from inside a
      traced syscall keeps the syscall's id). *)
@@ -491,9 +567,18 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
     Obs.Profiler.push prof ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu)
       "os_call";
   let tr = t.platform.P.tracer in
-  if Obs.Trace.enabled tr then
+  if Obs.Trace.enabled tr then begin
     Obs.Trace.span_begin tr ~bucket:"monitor" ~id:(Obs.Profiler.id prof ~vcpu:vcpu.V.id)
       ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) "os_call";
+    (* The measured serialized slice: another VCPU's call is in service
+       until [arrival + queued] on the monitor timeline.  The span is
+       stamped on the caller's own clock (queueing is virtual — the
+       caller's clock does not advance while parked). *)
+    if queued > 0 then
+      Obs.Trace.complete tr ~bucket:"monitor" ~id:(Obs.Profiler.id prof ~vcpu:vcpu.V.id)
+        ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) ~dur:queued
+        (Obs.Trace.Wait Obs.Trace.Monitor_serial)
+  end;
   let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
   (* OS writes the request into the IDCB, stamped with the next
      sequence number — the monitor serves each sequence at most once. *)
@@ -515,7 +600,41 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
     Obs.Profiler.pop prof ~vcpu:vcpu.V.id ~ts:(V.rdtsc vcpu);
     if minted then Obs.Profiler.set_id prof ~vcpu:vcpu.V.id 0
   end;
+  ledger_exit t vcpu ~tag:(Idcb.request_tag req) ~arrival ~queued ~mon0;
   resp
+
+type wait_stats = {
+  ws_entries : int;
+  ws_busy_cycles : int;
+  ws_queued_cycles : int;
+  ws_by_type : (string * int * int * int) list;
+}
+
+let wait_stats t =
+  let by_type = ref [] in
+  for tag = Idcb.ntags - 1 downto 0 do
+    if t.tag_entries.(tag) > 0 then
+      by_type := (Idcb.tag_name tag, t.tag_entries.(tag), t.tag_busy.(tag), t.tag_queued.(tag)) :: !by_type
+  done;
+  { ws_entries = t.mon_entries; ws_busy_cycles = t.mon_busy_cycles;
+    ws_queued_cycles = t.mon_queued_cycles; ws_by_type = !by_type }
+
+let reset_wait_ledger t =
+  t.mon_busy_until <- 0;
+  (* Re-zero every VCPU's window clock: from here on, arrivals are
+     relative to this instant of each VCPU's own timeline. *)
+  Array.fill t.ledger_clock_base 0 (Array.length t.ledger_clock_base) 0;
+  List.iter
+    (fun vcpu ->
+      if vcpu.V.id < Array.length t.ledger_clock_base then
+        t.ledger_clock_base.(vcpu.V.id) <- V.rdtsc vcpu)
+    (P.vcpus t.platform);
+  t.mon_entries <- 0;
+  t.mon_busy_cycles <- 0;
+  t.mon_queued_cycles <- 0;
+  Array.fill t.tag_entries 0 Idcb.ntags 0;
+  Array.fill t.tag_busy 0 Idcb.ntags 0;
+  Array.fill t.tag_queued 0 Idcb.ntags 0
 
 (* --- service primitives --- *)
 

@@ -60,6 +60,27 @@ val os_call : t -> Sevsnp.Vcpu.t -> Idcb.request -> Idcb.response
     once per sequence — see {!serve_pending}), and the VCPU switches
     back.  Charges both switch costs and the IDCB copies. *)
 
+type wait_stats = {
+  ws_entries : int;  (** os_calls through the ledger *)
+  ws_busy_cycles : int;  (** summed Monitor+Switch service cycles *)
+  ws_queued_cycles : int;  (** summed queueing delay (the serialized slice) *)
+  ws_by_type : (string * int * int * int) list;
+      (** (call type, entries, busy, queued), request tags with traffic only *)
+}
+(** Veil-Scope serialized-monitor entry ledger: the monitor modelled as
+    a single-server queue on the machine clock — the furthest-ahead
+    VCPU's rdtsc relative to the last {!reset_wait_ledger} window
+    start.  An os_call arriving before the previous service's end is
+    queued for the difference — the direct measurement of the
+    serialized VeilMon slice that E-scale's hw-amdahl column infers.
+    At 1 VCPU queueing is identically zero.  Always on: plain int
+    bookkeeping, no allocation, no cycle charges. *)
+
+val wait_stats : t -> wait_stats
+
+val reset_wait_ledger : t -> unit
+(** Zero the ledger (measurement windows; boot traffic excluded). *)
+
 val serve_pending : t -> Sevsnp.Vcpu.t -> Idcb.response
 (** Trusted-domain service of the request currently in the VCPU's
     IDCB.  Each IDCB sequence number is served at most once: a

@@ -49,8 +49,24 @@ let bring_up ?(policy = Hv.Interleave.Round_robin) sys ~nvcpus () =
       ~on_context_switch:(fun () ->
         Sevsnp.Vcpu.charge (K.vcpu kernel) C.Kernel context_switch_cost)
       ~on_blocked_poll:(fun () -> Sevsnp.Vcpu.charge (K.vcpu kernel) C.Kernel blocked_poll_cost)
+        (* Wait-span observability (Veil-Scope): suspensions and
+           resumes are stamped on whichever VCPU the interleaver is
+           stepping ([run] retargets the kernel before [step_vcpu]).
+           The OS scheduler runs at VMPL 3. *)
+      ~wait_obs:
+        {
+          S.wo_tracer = sys.Boot.platform.Sevsnp.Platform.tracer;
+          wo_now = (fun () -> Sevsnp.Vcpu.rdtsc (K.vcpu kernel));
+          wo_vcpu = (fun () -> (K.vcpu kernel).Sevsnp.Vcpu.id);
+          wo_vmpl = 3;
+        }
       ()
   in
+  (* AP bring-up funnels heavy one-shot traffic through the monitor on
+     wildly skewed clocks (the boot VCPU already paid for boot); start
+     the serialized-monitor ledger window fresh so wait_stats describes
+     steady-state SMP execution. *)
+  Monitor.reset_wait_ledger sys.Boot.mon;
   { sys; vcpus; sched; inter = Hv.Interleave.create ~policy ~nvcpus () }
 
 let sched t = t.sched

@@ -70,6 +70,16 @@ let handle_domain_switch t vcpu target_vmpl =
   if Obs.Profiler.enabled prof then
     Obs.Profiler.leaf prof ~vcpu:vcpu.Sevsnp.Vcpu.id ~vmpl:(T.vmpl_index from)
       ~dur:C.hv_switch_logic "hv_relay";
+  (* From the guest's point of view the relay leg is pure waiting: the
+     VCPU is out of the guest while the (untrusted) host decides to
+     re-enter it.  Emit it as a wait edge on the request's causal id. *)
+  (let tr = t.platform.P.tracer in
+   if Obs.Trace.enabled tr then
+     Obs.Trace.complete tr ~bucket:"switch"
+       ~id:(Obs.Profiler.id prof ~vcpu:vcpu.Sevsnp.Vcpu.id)
+       ~vcpu:vcpu.Sevsnp.Vcpu.id ~vmpl:(T.vmpl_index from)
+       ~ts:(Sevsnp.Vcpu.rdtsc vcpu - C.hv_switch_logic) ~dur:C.hv_switch_logic
+       (Obs.Trace.Wait Obs.Trace.Relay));
   if not (policy_allows t ~ghcb_gpfn ~a:from ~b:target_vmpl) then
     P.halt t.platform
       (Format.asprintf "domain switch %a -> %a via GHCB frame %d violates installed policy" T.pp_vmpl from

@@ -5,13 +5,34 @@ type status =
   | Blocked of (unit -> bool) * (unit, unit) Effect.Deep.continuation
   | Fresh of (unit -> unit)
 
-type task = { name : string; mutable status : status option (* None = finished *); mutable home : int }
+type task = {
+  name : string;
+  mutable status : status option; (* None = finished *)
+  mutable home : int;
+  mutable parked_at : int;  (* cycle stamp when suspended; -1 = not stamped *)
+  mutable parked_blocked : bool;  (* Blocked (vs merely runnable-in-queue) *)
+}
+
+(* Wait-span observability (Veil-Scope): when armed *and* the tracer is
+   enabled, the scheduler stamps each suspension with the stepping
+   VCPU's cycle clock and, at resume, emits the parked interval as a
+   [Trace.Wait] span — [Runqueue] for a runnable task that sat behind
+   others, [Blocked_poll] for a [block_until] sleep.  Pure observation:
+   no cycles are charged, and with the tracer off every path below is a
+   single flag test (the bench alloc-check pins this). *)
+type wait_obs = {
+  wo_tracer : Obs.Trace.t;
+  wo_now : unit -> int;  (* the stepping VCPU's cycle counter *)
+  wo_vcpu : unit -> int;  (* the stepping VCPU's id *)
+  wo_vmpl : int;  (* VMPL to stamp (the scheduling kernel's) *)
+}
 
 type t = {
   mutable tasks : task list;  (* every task in spawn order (legacy [run] path) *)
   queues : task list array;  (* per-VCPU runqueues, spawn order within a queue *)
   on_context_switch : unit -> unit;
   on_blocked_poll : unit -> unit;
+  wait_obs : wait_obs option;
   mutable switches : int;
   mutable steals : int;
   mutable spawned : int;
@@ -20,13 +41,14 @@ type t = {
 exception Deadlock of string list
 
 let create ?(nvcpus = 1) ?(on_context_switch = fun () -> ()) ?(on_blocked_poll = fun () -> ())
-    () =
+    ?wait_obs () =
   if nvcpus < 1 then invalid_arg "Sched.create: nvcpus must be >= 1";
   {
     tasks = [];
     queues = Array.make nvcpus [];
     on_context_switch;
     on_blocked_poll;
+    wait_obs;
     switches = 0;
     steals = 0;
     spawned = 0;
@@ -42,7 +64,10 @@ let spawn ?vcpu t ~name body =
         v
     | None -> t.spawned mod nvcpus t
   in
-  let task = { name; status = Some (Fresh body); home } in
+  let task = { name; status = Some (Fresh body); home; parked_at = -1; parked_blocked = false } in
+  (match t.wait_obs with
+  | Some wo when Obs.Trace.enabled wo.wo_tracer -> task.parked_at <- wo.wo_now ()
+  | _ -> ());
   t.spawned <- t.spawned + 1;
   t.tasks <- t.tasks @ [ task ];
   t.queues.(home) <- t.queues.(home) @ [ task ]
@@ -56,6 +81,34 @@ let live t = List.length (List.filter (fun task -> task.status <> None) t.tasks)
 let context_switches t = t.switches
 let steals t = t.steals
 
+(* Stamp a suspension with the stepping VCPU's clock (wait spans are
+   emitted at the matching [unpark]). *)
+let park t task ~blocked =
+  match t.wait_obs with
+  | Some wo when Obs.Trace.enabled wo.wo_tracer ->
+      task.parked_at <- wo.wo_now ();
+      task.parked_blocked <- blocked
+  | _ -> ()
+
+(* Close the parked interval as a Wait span.  A task stolen onto a
+   VCPU whose clock lags its parking stamp yields a non-positive
+   extent; such cross-clock slivers are dropped rather than clamped
+   into fake waiting. *)
+let unpark t task =
+  if task.parked_at >= 0 then begin
+    (match t.wait_obs with
+    | Some wo when Obs.Trace.enabled wo.wo_tracer ->
+        let dur = wo.wo_now () - task.parked_at in
+        if dur > 0 then
+          Obs.Trace.complete wo.wo_tracer ~bucket:"sched" ~vcpu:(wo.wo_vcpu ()) ~vmpl:wo.wo_vmpl
+            ~ts:task.parked_at ~dur
+            (if task.parked_blocked then Obs.Trace.Wait Obs.Trace.Blocked_poll
+             else Obs.Trace.Wait Obs.Trace.Runqueue)
+    | _ -> ());
+    task.parked_at <- -1;
+    task.parked_blocked <- false
+  end
+
 (* Run one step of a task; its effects suspend it back into [status]. *)
 let step t task =
   let handler =
@@ -67,11 +120,14 @@ let step t task =
           match eff with
           | Yield ->
               Some
-                (fun (k : (a, unit) Effect.Deep.continuation) -> task.status <- Some (Runnable k))
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  task.status <- Some (Runnable k);
+                  park t task ~blocked:false)
           | Block pred ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  task.status <- Some (Blocked (pred, k)))
+                  task.status <- Some (Blocked (pred, k));
+                  park t task ~blocked:true)
           | _ -> None);
     }
   in
@@ -80,6 +136,7 @@ let step t task =
   | Some (Fresh body) ->
       t.switches <- t.switches + 1;
       t.on_context_switch ();
+      unpark t task;
       Effect.Deep.match_with body () handler
   | Some (Runnable k) ->
       (* the fiber keeps its original deep handler: resume bare — a
@@ -88,12 +145,14 @@ let step t task =
       t.switches <- t.switches + 1;
       t.on_context_switch ();
       task.status <- None (* replaced by the handler if it suspends *);
+      unpark t task;
       Effect.Deep.continue k ()
   | Some (Blocked (pred, k)) ->
       if pred () then begin
         t.switches <- t.switches + 1;
         t.on_context_switch ();
         task.status <- None;
+        unpark t task;
         Effect.Deep.continue k ()
       end
 

@@ -19,15 +19,29 @@
 
 type t
 
+type wait_obs = {
+  wo_tracer : Obs.Trace.t;
+  wo_now : unit -> int;  (** the stepping VCPU's cycle counter *)
+  wo_vcpu : unit -> int;  (** the stepping VCPU's id *)
+  wo_vmpl : int;  (** VMPL stamped on wait spans (the scheduling kernel's) *)
+}
+(** Veil-Scope wait-span observability: while the tracer is enabled,
+    every suspension is stamped and, at resume, emitted as a
+    {!Obs.Trace.Wait} span — [Runqueue] for a runnable task that sat
+    behind others (or was parked by a steal), [Blocked_poll] for a
+    [block_until] sleep.  Observation only: no cycles are charged, and
+    with the tracer disabled each hook is a single flag test. *)
+
 val create :
-  ?nvcpus:int -> ?on_context_switch:(unit -> unit) -> ?on_blocked_poll:(unit -> unit) -> unit -> t
+  ?nvcpus:int -> ?on_context_switch:(unit -> unit) -> ?on_blocked_poll:(unit -> unit) ->
+  ?wait_obs:wait_obs -> unit -> t
 (** [nvcpus] (default 1) sets the number of runqueues.
     [on_context_switch] is invoked at every switch between coroutines
     (charge scheduling costs there).  [on_blocked_poll] is invoked
     every time a blocked coroutine's predicate is polled and comes
     back false — charge the poll cost there; the pre-SMP scheduler
     re-polled for free, which let blocked-heavy schedules spin without
-    accruing cycles. *)
+    accruing cycles.  [wait_obs] arms wait-span emission. *)
 
 val spawn : ?vcpu:int -> t -> name:string -> (unit -> unit) -> unit
 (** Register a coroutine; it starts on the next {!run}/{!step_vcpu}.

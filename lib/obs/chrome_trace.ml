@@ -32,6 +32,17 @@ let to_json ?freq_hz t =
     Buffer.add_string buf "\n  "
   in
   Buffer.add_string buf "{\"traceEvents\":[";
+  (* Ring wraparound is not silent: say how many events this export is
+     missing, as a global instant pinned at the window's start. *)
+  if Trace.dropped t > 0 then begin
+    sep ();
+    let ts0 = match evs with ev :: _ -> ev.Trace.ev_ts | [] -> 0 in
+    Buffer.add_string buf
+      "{\"name\":\"trace_truncated\",\"cat\":\"veil\",\"ph\":\"i\",\"s\":\"g\"";
+    buf_ts buf ~freq_hz ",\"ts\":" ts0;
+    Buffer.add_string buf
+      (Printf.sprintf ",\"pid\":0,\"tid\":0,\"args\":{\"dropped\":%d}}" (Trace.dropped t))
+  end;
   (* Metadata: name every VMPL process and VCPU thread we will use. *)
   let seen_pids = Hashtbl.create 8 and seen_tids = Hashtbl.create 8 in
   List.iter
@@ -77,5 +88,46 @@ let to_json ?freq_hz t =
         Buffer.add_string buf (Printf.sprintf "\"id\":%d," ev.Trace.ev_id);
       Buffer.add_string buf (Printf.sprintf "\"arg\":%d,\"cycles\":%d}}" ev.Trace.ev_arg ev.Trace.ev_ts))
     evs;
+  (* Flow events: one s -> t* -> f chain per causal id that hops
+     between (vmpl, vcpu) lanes, so Perfetto draws the request's
+     journey across privilege levels as arrows. *)
+  let by_id : (int, Trace.event list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      if ev.Trace.ev_id <> 0 && ev.Trace.ev_phase <> Trace.End then
+        Hashtbl.replace by_id ev.Trace.ev_id
+          (ev :: Option.value ~default:[] (Hashtbl.find_opt by_id ev.Trace.ev_id)))
+    evs;
+  let flow_ids =
+    List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) by_id [])
+  in
+  let flow_point ph (ev : Trace.event) =
+    sep ();
+    Buffer.add_string buf (Printf.sprintf "{\"name\":\"req\",\"cat\":\"veil.flow\",\"ph\":\"%s\"" ph);
+    if ph = "f" then Buffer.add_string buf ",\"bp\":\"e\"";
+    Buffer.add_string buf (Printf.sprintf ",\"id\":%d" ev.Trace.ev_id);
+    buf_ts buf ~freq_hz ",\"ts\":" ev.Trace.ev_ts;
+    Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d}" ev.Trace.ev_vmpl ev.Trace.ev_vcpu)
+  in
+  List.iter
+    (fun id ->
+      let points = List.rev (Hashtbl.find by_id id) in
+      let lanes =
+        List.sort_uniq compare
+          (List.map (fun ev -> (ev.Trace.ev_vmpl, ev.Trace.ev_vcpu)) points)
+      in
+      match points with
+      | first :: (_ :: _ as rest) when List.length lanes > 1 ->
+          flow_point "s" first;
+          let rec steps prev = function
+            | [ last ] -> flow_point "f" last
+            | ev :: rest ->
+                if (ev.Trace.ev_vmpl, ev.Trace.ev_vcpu) <> prev then flow_point "t" ev;
+                steps (ev.Trace.ev_vmpl, ev.Trace.ev_vcpu) rest
+            | [] -> ()
+          in
+          steps (first.Trace.ev_vmpl, first.Trace.ev_vcpu) rest
+      | _ -> ())
+    flow_ids;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
   Buffer.contents buf

@@ -1,0 +1,232 @@
+(* Per-request causal graphs over the Trace ring (see the .mli).
+
+   The ring stores three shapes of evidence: Complete spans (stamped
+   with their start, recorded at their end), Begin/End pairs (os_call),
+   and Wait spans (always Complete).  A request's critical path is the
+   innermost-wins flattening of all its spans: slice the request's
+   extent at every span boundary and label each slice with the deepest
+   span covering it — "deepest" meaning latest start, then earliest
+   end, then wait edges over work (a wait is emitted *inside* the work
+   span that incurred it and must win its slice, or waiting would be
+   double-booked as work). *)
+
+type seg = {
+  sg_name : string;
+  sg_vmpl : int;
+  sg_vcpu : int;
+  sg_ts : int;
+  sg_dur : int;
+  sg_wait : Trace.wait_reason option;
+}
+
+type request = {
+  rq_id : int;
+  rq_start : int;
+  rq_finish : int;
+  rq_segs : seg list;
+  rq_wait : ((int * Trace.wait_reason) * int) list;
+  rq_work : (int * int) list;
+}
+
+(* --- begin/end pairing (same per-VCPU LIFO discipline the exporter
+   and Trace.well_nested use) --- *)
+
+let pair_spans events =
+  let stacks : (int, Trace.event list) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev.Trace.ev_phase with
+      | Trace.Complete -> out := ev :: !out
+      | Trace.Begin ->
+          let st = Option.value ~default:[] (Hashtbl.find_opt stacks ev.Trace.ev_vcpu) in
+          Hashtbl.replace stacks ev.Trace.ev_vcpu (ev :: st)
+      | Trace.End -> (
+          match Hashtbl.find_opt stacks ev.Trace.ev_vcpu with
+          | Some (b :: rest) ->
+              Hashtbl.replace stacks ev.Trace.ev_vcpu rest;
+              out :=
+                { b with Trace.ev_phase = Trace.Complete;
+                  ev_dur = max 0 (ev.Trace.ev_ts - b.Trace.ev_ts) }
+                :: !out
+          | Some [] | None -> () (* Begin evicted by wraparound *))
+      | Trace.Instant -> ())
+    events;
+  List.rev !out
+
+(* --- innermost-wins flattening --- *)
+
+let is_wait (ev : Trace.event) =
+  match ev.Trace.ev_kind with Trace.Wait r -> Some r | _ -> None
+
+(* Deeper = started later; ties: ends earlier; ties: wait beats work. *)
+let deeper (a : Trace.event) (b : Trace.event) =
+  if a.Trace.ev_ts <> b.Trace.ev_ts then a.Trace.ev_ts > b.Trace.ev_ts
+  else
+    let ea = a.Trace.ev_ts + a.Trace.ev_dur and eb = b.Trace.ev_ts + b.Trace.ev_dur in
+    if ea <> eb then ea < eb
+    else is_wait a <> None && is_wait b = None
+
+let flatten spans =
+  let spans = List.filter (fun (ev : Trace.event) -> ev.Trace.ev_dur > 0) spans in
+  match spans with
+  | [] -> []
+  | _ ->
+      let edges =
+        List.concat_map
+          (fun (ev : Trace.event) -> [ ev.Trace.ev_ts; ev.Trace.ev_ts + ev.Trace.ev_dur ])
+          spans
+      in
+      let points = List.sort_uniq compare edges in
+      let slices = ref [] in
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+            let covering =
+              List.filter
+                (fun (ev : Trace.event) ->
+                  ev.Trace.ev_ts <= a && ev.Trace.ev_ts + ev.Trace.ev_dur >= b)
+                spans
+            in
+            (match covering with
+            | [] ->
+                slices :=
+                  { sg_name = "gap"; sg_vmpl = -1; sg_vcpu = -1; sg_ts = a; sg_dur = b - a;
+                    sg_wait = None }
+                  :: !slices
+            | first :: more ->
+                let innermost =
+                  List.fold_left (fun acc ev -> if deeper ev acc then ev else acc) first more
+                in
+                slices :=
+                  { sg_name = Trace.kind_name innermost.Trace.ev_kind;
+                    sg_vmpl = innermost.Trace.ev_vmpl; sg_vcpu = innermost.Trace.ev_vcpu;
+                    sg_ts = a; sg_dur = b - a; sg_wait = is_wait innermost }
+                  :: !slices);
+            walk rest
+        | _ -> ()
+      in
+      walk points;
+      (* Merge adjacent slices labelled by the same span. *)
+      let merged =
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | prev :: rest
+              when prev.sg_name = s.sg_name && prev.sg_vmpl = s.sg_vmpl
+                   && prev.sg_vcpu = s.sg_vcpu && prev.sg_wait = s.sg_wait
+                   && prev.sg_ts + prev.sg_dur = s.sg_ts ->
+                { prev with sg_dur = prev.sg_dur + s.sg_dur } :: rest
+            | _ -> s :: acc)
+          [] (List.rev !slices)
+      in
+      List.rev merged
+
+let sorted_assoc_fold kvs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    kvs;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let of_spans id spans =
+  let segs = flatten spans in
+  match segs with
+  | [] -> None
+  | first :: _ ->
+      let last = List.nth segs (List.length segs - 1) in
+      let wait =
+        List.filter_map
+          (fun s -> Option.map (fun r -> ((s.sg_vmpl, r), s.sg_dur)) s.sg_wait)
+          segs
+      in
+      let work =
+        List.filter_map (fun s -> if s.sg_wait = None then Some (s.sg_vmpl, s.sg_dur) else None) segs
+      in
+      Some
+        { rq_id = id; rq_start = first.sg_ts; rq_finish = last.sg_ts + last.sg_dur;
+          rq_segs = segs; rq_wait = sorted_assoc_fold wait; rq_work = sorted_assoc_fold work }
+
+let requests events =
+  let complete = pair_spans events in
+  let by_id : (int, Trace.event list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.Trace.ev_id <> 0 then
+        by_id |> fun tbl ->
+        Hashtbl.replace tbl ev.Trace.ev_id
+          (ev :: Option.value ~default:[] (Hashtbl.find_opt tbl ev.Trace.ev_id)))
+    complete;
+  Hashtbl.fold (fun id spans acc -> (id, List.rev spans) :: acc) by_id []
+  |> List.filter_map (fun (id, spans) -> of_spans id spans)
+  |> List.sort (fun a b -> compare (a.rq_start, a.rq_id) (b.rq_start, b.rq_id))
+
+let total_work rq = List.fold_left (fun acc (_, c) -> acc + c) 0 rq.rq_work
+let total_wait rq = List.fold_left (fun acc (_, c) -> acc + c) 0 rq.rq_wait
+let extent rq = rq.rq_finish - rq.rq_start
+
+type summary = {
+  sm_requests : int;
+  sm_cycles : int;
+  sm_work : (int * int) list;
+  sm_wait : ((int * Trace.wait_reason) * int) list;
+}
+
+let summarize rqs =
+  {
+    sm_requests = List.length rqs;
+    sm_cycles = List.fold_left (fun acc rq -> acc + extent rq) 0 rqs;
+    sm_work = sorted_assoc_fold (List.concat_map (fun rq -> rq.rq_work) rqs);
+    sm_wait = sorted_assoc_fold (List.concat_map (fun rq -> rq.rq_wait) rqs);
+  }
+
+let wait_by_reason sm = sorted_assoc_fold (List.map (fun ((_, r), c) -> (r, c)) sm.sm_wait)
+
+(* --- rendering --- *)
+
+let vmpl_label v = if v < 0 then "?" else string_of_int v
+
+let render rq =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "request %d: %d cycles (work %d, wait %d) ts [%d..%d]\n" rq.rq_id (extent rq)
+       (total_work rq) (total_wait rq) rq.rq_start rq.rq_finish);
+  List.iter
+    (fun ((vmpl, r), c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  wait  vmpl%-2s %-14s %10d\n" (vmpl_label vmpl)
+           (Trace.wait_reason_name r) c))
+    rq.rq_wait;
+  List.iter
+    (fun (vmpl, c) ->
+      Buffer.add_string buf (Printf.sprintf "  work  vmpl%-2s %-14s %10d\n" (vmpl_label vmpl) "" c))
+    rq.rq_work;
+  Buffer.add_string buf "  critical path:\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %12d %+10d  vmpl%-2s vcpu%-2d %s%s\n" s.sg_ts s.sg_dur
+           (vmpl_label s.sg_vmpl) s.sg_vcpu s.sg_name
+           (match s.sg_wait with Some _ -> "  [wait]" | None -> "")))
+    rq.rq_segs;
+  Buffer.contents buf
+
+let render_summary sm =
+  let buf = Buffer.create 512 in
+  let work = List.fold_left (fun acc (_, c) -> acc + c) 0 sm.sm_work in
+  let wait = List.fold_left (fun acc (_, c) -> acc + c) 0 sm.sm_wait in
+  Buffer.add_string buf
+    (Printf.sprintf "%d requests, %d cycles on critical paths (work %d, wait %d)\n" sm.sm_requests
+       sm.sm_cycles work wait);
+  let pct c = if sm.sm_cycles = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int sm.sm_cycles in
+  List.iter
+    (fun ((vmpl, r), c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  wait  vmpl%-2s %-14s %10d  (%.1f%%)\n" (vmpl_label vmpl)
+           (Trace.wait_reason_name r) c (pct c)))
+    sm.sm_wait;
+  List.iter
+    (fun (vmpl, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  work  vmpl%-2s %-14s %10d  (%.1f%%)\n" (vmpl_label vmpl) "" c (pct c)))
+    sm.sm_work;
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Veil-Scope — per-request critical paths and wait-vs-work
+    decomposition, reconstructed from the {!Trace} ring.
+
+    Every traced layer tags its events with the causal id minted at the
+    request's origin ({!Profiler.mint}); grouping the ring by [ev_id]
+    therefore recovers one causal graph per logical request, spanning
+    VMPLs and — after a steal or a relay — VCPUs.  Spans describe
+    *work*; {!Trace.Wait} spans are explicit *wait edges*: cycles the
+    request spent parked (runqueue, the serialized monitor entry,
+    shootdown acks, blocked polls, the host relay leg) rather than
+    executing.
+
+    The critical path of a request is its innermost-wins flattening:
+    the timeline of its extent, each slice labelled by the deepest
+    enclosing span (wait edges, which nest inside the work span that
+    incurred them, win their slice).  Summing slices by (VMPL, reason)
+    yields the wait-vs-work decomposition that tells a batching ring
+    (ROADMAP item 1) exactly which cycles it can reclaim. *)
+
+type seg = {
+  sg_name : string;  (** kind name of the innermost covering span *)
+  sg_vmpl : int;
+  sg_vcpu : int;
+  sg_ts : int;  (** slice start (cycles) *)
+  sg_dur : int;  (** slice extent (cycles, > 0) *)
+  sg_wait : Trace.wait_reason option;  (** [Some r] if the slice is a wait edge *)
+}
+
+type request = {
+  rq_id : int;  (** causal id ({!Trace.event.ev_id}) *)
+  rq_start : int;
+  rq_finish : int;
+  rq_segs : seg list;  (** the critical path: time-ordered, gap-free slices *)
+  rq_wait : ((int * Trace.wait_reason) * int) list;
+      (** (vmpl, reason) -> waiting cycles, sorted *)
+  rq_work : (int * int) list;  (** vmpl -> working cycles, sorted; -1 = untraced gap *)
+}
+
+val requests : Trace.event list -> request list
+(** Reconstruct one {!request} per nonzero causal id found in the
+    events (begin/end pairs are matched per VCPU first, exactly like
+    the Chrome exporter renders them).  Sorted by start time.  Events
+    whose begin was evicted by ring wraparound contribute nothing. *)
+
+val total_work : request -> int
+
+val total_wait : request -> int
+
+val extent : request -> int
+(** [rq_finish - rq_start]. *)
+
+type summary = {
+  sm_requests : int;
+  sm_cycles : int;  (** summed request extents *)
+  sm_work : (int * int) list;  (** vmpl -> cycles *)
+  sm_wait : ((int * Trace.wait_reason) * int) list;  (** (vmpl, reason) -> cycles *)
+}
+
+val summarize : request list -> summary
+
+val wait_by_reason : summary -> (Trace.wait_reason * int) list
+(** {!summary.sm_wait} folded over VMPLs. *)
+
+val render : request -> string
+(** Human-readable critical-path report for one request (the
+    [veilctl scope] per-request block). *)
+
+val render_summary : summary -> string

@@ -178,9 +178,9 @@ let to_json t =
       | Histogram h ->
           Some
             (Printf.sprintf
-               "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%g,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+               "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%g,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"p999\":%d}"
                (json_escape n) h.n h.sum h.mn h.mx (mean h) (percentile h 50.0) (percentile h 95.0)
-               (percentile h 99.0))
+               (percentile h 99.0) (percentile h 99.9))
       | _ -> None)
   in
   obj

@@ -74,7 +74,7 @@ val dump : t -> string
 
 val to_json : t -> string
 (** One JSON object: [{"counters":{..},"gauges":{..},"histograms":{..}}]
-    with mean/p50/p95/p99 readouts inlined per histogram. *)
+    with mean/p50/p95/p99/p999 readouts inlined per histogram. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON string literal (shared with

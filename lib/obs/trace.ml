@@ -1,3 +1,5 @@
+type wait_reason = Runqueue | Monitor_serial | Shootdown_ack | Blocked_poll | Relay
+
 type kind =
   | Vmgexit
   | Vmenter
@@ -11,6 +13,7 @@ type kind =
   | Audit_emit
   | Io
   | Span of string
+  | Wait of wait_reason
 
 type phase = Instant | Begin | End | Complete
 
@@ -51,6 +54,7 @@ let clear t =
 let capacity t = t.cap
 let emitted t = t.total
 let stored t = min t.total t.cap
+let dropped t = max 0 (t.total - t.cap)
 
 let push t ev =
   t.buf.(t.total mod t.cap) <- ev;
@@ -110,6 +114,13 @@ let well_nested t =
     (events t);
   !ok
 
+let wait_reason_name = function
+  | Runqueue -> "runqueue"
+  | Monitor_serial -> "monitor_serial"
+  | Shootdown_ack -> "shootdown_ack"
+  | Blocked_poll -> "blocked_poll"
+  | Relay -> "relay"
+
 let kind_name = function
   | Vmgexit -> "vmgexit"
   | Vmenter -> "vmenter"
@@ -123,3 +134,8 @@ let kind_name = function
   | Audit_emit -> "audit_emit"
   | Io -> "io"
   | Span s -> s
+  | Wait Runqueue -> "wait.runqueue"
+  | Wait Monitor_serial -> "wait.monitor_serial"
+  | Wait Shootdown_ack -> "wait.shootdown_ack"
+  | Wait Blocked_poll -> "wait.blocked_poll"
+  | Wait Relay -> "wait.relay"

@@ -18,6 +18,15 @@
     hypervisor, kernel, core, workloads) can emit into the same
     stream. *)
 
+type wait_reason =
+  | Runqueue  (** runnable but not stepped: sat on a runqueue behind other tasks *)
+  | Monitor_serial
+      (** queueing delay at the serialized VeilMon slice: a second
+          VCPU's os_call arrived while one was being served *)
+  | Shootdown_ack  (** TLB-shootdown initiator spinning for remote IPI acks *)
+  | Blocked_poll  (** suspended on a [block_until] predicate that polled false *)
+  | Relay  (** host-side relay leg of a domain switch (untrusted hypervisor) *)
+
 type kind =
   | Vmgexit  (** world exit; [arg] 0 = VMGEXIT, 1 = automatic exit *)
   | Vmenter  (** re-entry on a VMSA; [vmpl] is the entered instance's *)
@@ -31,6 +40,10 @@ type kind =
   | Audit_emit  (** protected audit append; [arg] = record bytes *)
   | Io  (** host I/O request; [arg] = bytes *)
   | Span of string  (** named software span (begin/end paired) *)
+  | Wait of wait_reason
+      (** wait edge: cycles a request spent *waiting* rather than
+          working (complete span; [dur] = the wait) — the raw material
+          for {!Critpath} wait-vs-work decomposition *)
 
 type phase = Instant | Begin | End | Complete
 
@@ -67,6 +80,11 @@ val emitted : t -> int
 val stored : t -> int
 (** Events currently held: [min (emitted t) (capacity t)]. *)
 
+val dropped : t -> int
+(** Events silently overwritten by ring wraparound since
+    creation/[clear]: [max 0 (emitted t - capacity t)].  Nonzero means
+    {!events} is a truncated window — exporters should say so. *)
+
 val emit :
   t -> ?phase:phase -> ?dur:int -> ?bucket:string -> ?arg:int -> ?id:int ->
   vcpu:int -> vmpl:int -> ts:int -> kind -> unit
@@ -102,4 +120,7 @@ val well_nested : t -> bool
 
 val kind_name : kind -> string
 (** Stable lower-case name ("vmgexit", "domain_switch", ...; a [Span]
-    reports its own name). *)
+    reports its own name, a [Wait] reports ["wait.<reason>"]). *)
+
+val wait_reason_name : wait_reason -> string
+(** Stable lower-case name ("runqueue", "monitor_serial", ...). *)

@@ -23,6 +23,7 @@ type t = {
   c_tlb_miss : Obs.Metrics.counter;
   c_tlb_flush : Obs.Metrics.counter;
   c_ipi : Obs.Metrics.counter;
+  g_trace_dropped : Obs.Metrics.gauge;
 }
 
 exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
@@ -55,7 +56,12 @@ let create ?(seed = 7) ~npages () =
     c_tlb_miss = Obs.Metrics.counter metrics "tlb.miss";
     c_tlb_flush = Obs.Metrics.counter metrics "tlb.flush";
     c_ipi = Obs.Metrics.counter metrics "platform.ipi";
+    g_trace_dropped = Obs.Metrics.gauge metrics "trace.dropped";
   }
+
+(* Ring wraparound is invisible to the tracer's hot path; surface it as
+   a gauge on demand (called by exporters/CLIs before a dump). *)
+let refresh_obs_gauges t = Obs.Metrics.set t.g_trace_dropped (Obs.Trace.dropped t.tracer)
 
 (* Machine-wide TLB shootdown: invalidate every VCPU's cached
    translations (page-table edit, RMP mutation outside the Rmp module's
@@ -201,7 +207,17 @@ let tlb_shootdown_distributed t ~initiator =
     (fun v ->
       if v.Vcpu.id <> initiator.Vcpu.id then begin
         Obs.Metrics.incr t.c_ipi;
-        Ipi.send ~initiator ~target:v Ipi.Tlb_flush
+        Ipi.send ~initiator ~target:v Ipi.Tlb_flush;
+        (* The ack leg of the send the initiator just paid for is
+           waiting, not work: the spin until this remote acknowledged
+           ([Cycles.ipi_ack], the tail of the interval Ipi.send
+           charged). *)
+        if Obs.Trace.enabled t.tracer then
+          Obs.Trace.complete t.tracer ~bucket:"kernel"
+            ~id:(Obs.Profiler.id t.profiler ~vcpu:initiator.Vcpu.id)
+            ~vcpu:initiator.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl initiator))
+            ~ts:(Vcpu.rdtsc initiator - Cycles.ipi_ack) ~dur:Cycles.ipi_ack
+            (Obs.Trace.Wait Obs.Trace.Shootdown_ack)
       end)
     (List.rev t.vcpus_rev)
 

@@ -49,6 +49,9 @@ type t = {
   c_ipi : Obs.Metrics.counter;
       (** "platform.ipi": shootdown/reschedule IPIs delivered to remote
           VCPUs (Veil-SMP) *)
+  g_trace_dropped : Obs.Metrics.gauge;
+      (** "trace.dropped": events lost to trace-ring wraparound, synced
+          by {!refresh_obs_gauges} *)
 }
 
 exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access }
@@ -118,6 +121,11 @@ val tlb_shootdown_distributed : t -> initiator:Vcpu.t -> unit
     VCPU this is exactly the pre-SMP flat 500-cycle charge.  Callers
     must already have bumped the generation via the page-table edit
     ({!tlb_shootdown}). *)
+
+val refresh_obs_gauges : t -> unit
+(** Sync on-demand observability gauges — currently ["trace.dropped"]
+    (events lost to ring wraparound since the last clear).  Call before
+    dumping/exporting metrics; never called on hot paths. *)
 
 (* Checked guest memory access *)
 

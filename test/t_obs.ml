@@ -473,6 +473,182 @@ let test_folded_roundtrip () =
   let ledger_totals = List.map (fun (k, (self, _)) -> (k, self)) (P.ledger p) in
   Alcotest.(check bool) "folded leaf totals equal the ledger" true (totals = ledger_totals)
 
+(* --- Veil-Scope: wait kinds, drop accounting, flow export --- *)
+
+let test_wait_kind_names () =
+  List.iter
+    (fun (r, kind, reason) ->
+      Alcotest.(check string) kind kind (Tr.kind_name (Tr.Wait r));
+      Alcotest.(check string) reason reason (Tr.wait_reason_name r))
+    [
+      (Tr.Runqueue, "wait.runqueue", "runqueue");
+      (Tr.Monitor_serial, "wait.monitor_serial", "monitor_serial");
+      (Tr.Shootdown_ack, "wait.shootdown_ack", "shootdown_ack");
+      (Tr.Blocked_poll, "wait.blocked_poll", "blocked_poll");
+      (Tr.Relay, "wait.relay", "relay");
+    ]
+
+let test_dropped_counter () =
+  let t = Tr.create ~capacity:16 () in
+  Tr.set_enabled t true;
+  for i = 0 to 39 do
+    Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:i Tr.Npf
+  done;
+  Alcotest.(check int) "dropped = emitted - capacity" 24 (Tr.dropped t);
+  Tr.clear t;
+  Alcotest.(check int) "clear resets the drop count" 0 (Tr.dropped t)
+
+let test_chrome_truncation_warning () =
+  let t = Tr.create ~capacity:16 () in
+  Tr.set_enabled t true;
+  for i = 0 to 39 do
+    Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:i Tr.Npf
+  done;
+  let json = parse_json (Obs.Chrome_trace.to_json t) in
+  let evs = match field "traceEvents" json with Some (List l) -> l | _ -> failwith "no traceEvents" in
+  match List.find_opt (fun e -> str_exn "name" e = "trace_truncated") evs with
+  | Some e ->
+      Alcotest.(check string) "global instant" "i" (str_exn "ph" e);
+      Alcotest.(check string) "veil category" "veil" (str_exn "cat" e);
+      (* pinned at the surviving window's start (oldest kept event) *)
+      Alcotest.(check int) "pinned at window start" 24 (num_exn "ts" e);
+      (match field "args" e with
+      | Some a -> Alcotest.(check int) "drop count in args" 24 (num_exn "dropped" a)
+      | None -> Alcotest.fail "truncation warning has no args")
+  | None -> Alcotest.fail "no trace_truncated event in a wrapped export"
+
+(* A causal id that hops (vmpl, vcpu) lanes becomes an s -> t* -> f
+   flow chain; an id confined to one lane draws no arrows. *)
+let test_chrome_flow_events () =
+  let t = Tr.create ~capacity:64 () in
+  Tr.set_enabled t true;
+  Tr.emit t ~vcpu:0 ~vmpl:3 ~ts:100 ~id:5 Tr.Syscall;
+  Tr.emit t ~vcpu:1 ~vmpl:0 ~ts:150 ~id:5 Tr.Vmgexit;
+  Tr.emit t ~vcpu:0 ~vmpl:3 ~ts:200 ~id:5 Tr.Vmenter;
+  (* single-lane id: two events, both on (vmpl 2, vcpu 0) *)
+  Tr.emit t ~vcpu:0 ~vmpl:2 ~ts:300 ~id:9 Tr.Vmgexit;
+  Tr.emit t ~vcpu:0 ~vmpl:2 ~ts:310 ~id:9 Tr.Vmenter;
+  let json = parse_json (Obs.Chrome_trace.to_json t) in
+  let evs = match field "traceEvents" json with Some (List l) -> l | _ -> failwith "no traceEvents" in
+  let cat e = match field "cat" e with Some (Str s) -> s | _ -> "" in
+  let flows = List.filter (fun e -> cat e = "veil.flow") evs in
+  Alcotest.(check (list string)) "s at the start, t on the hop, f at the end"
+    [ "s"; "t"; "f" ]
+    (List.map (fun e -> str_exn "ph" e) flows);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "flow name" "req" (str_exn "name" e);
+      Alcotest.(check int) "only the lane-hopping id flows" 5 (num_exn "id" e))
+    flows;
+  (match flows with
+  | [ s; tpt; f ] ->
+      Alcotest.(check (pair int int)) "s on the syscall lane" (3, 0)
+        (num_exn "pid" s, num_exn "tid" s);
+      Alcotest.(check (pair int int)) "t on the monitor lane" (0, 1)
+        (num_exn "pid" tpt, num_exn "tid" tpt);
+      Alcotest.(check int) "f back at the origin" 3 (num_exn "pid" f);
+      Alcotest.(check bool) "f carries the enclosing-slice binding"
+        true
+        (match field "bp" f with Some (Str "e") -> true | _ -> false)
+  | _ -> Alcotest.fail "expected exactly three flow points")
+
+let test_metrics_json_tail_percentiles () =
+  let m = M.create () in
+  let h = M.histogram m "lat" in
+  for _ = 1 to 10 do M.observe h 1000 done;
+  match field "histograms" (parse_json (M.to_json m)) with
+  | Some hs -> (
+      match field "lat" hs with
+      | Some hj ->
+          Alcotest.(check int) "p99 in JSON" 1000 (num_exn "p99" hj);
+          Alcotest.(check int) "p999 in JSON" 1000 (num_exn "p999" hj)
+      | None -> Alcotest.fail "histogram lat missing from JSON")
+  | None -> Alcotest.fail "no histograms object"
+
+(* --- Veil-Scope: critical-path reconstruction --- *)
+
+module Cp = Obs.Critpath
+
+(* One synthetic request: an os_call Begin/End envelope [100, 200] on
+   vmpl 3, a Monitor_serial wait [110, 130] inside it, and a domain
+   switch [130, 170] at vmpl 0 — innermost-wins flattening must slice
+   the envelope around both. *)
+let test_critpath_flattening () =
+  let t = Tr.create ~capacity:64 () in
+  Tr.set_enabled t true;
+  Tr.span_begin t ~bucket:"monitor" ~id:5 ~vcpu:0 ~vmpl:3 ~ts:100 "os_call";
+  Tr.complete t ~bucket:"monitor" ~id:5 ~vcpu:0 ~vmpl:3 ~ts:110 ~dur:20 (Tr.Wait Tr.Monitor_serial);
+  Tr.complete t ~bucket:"switch" ~id:5 ~vcpu:0 ~vmpl:0 ~ts:130 ~dur:40 Tr.Domain_switch;
+  Tr.span_end t ~vcpu:0 ~vmpl:3 ~ts:200 "os_call";
+  (* an id-less event must not start a request of its own *)
+  Tr.emit t ~vcpu:0 ~vmpl:0 ~ts:50 Tr.Npf;
+  match Cp.requests (Tr.events t) with
+  | [ rq ] ->
+      Alcotest.(check int) "id" 5 rq.Cp.rq_id;
+      Alcotest.(check int) "start" 100 rq.Cp.rq_start;
+      Alcotest.(check int) "finish" 200 rq.Cp.rq_finish;
+      Alcotest.(check int) "extent" 100 (Cp.extent rq);
+      (* [100,110) envelope + [170,200) envelope at vmpl 3; [130,170)
+         switch at vmpl 0; the wait slice [110,130) is not work *)
+      Alcotest.(check (list (pair int int))) "work by vmpl" [ (0, 40); (3, 40) ] rq.Cp.rq_work;
+      Alcotest.(check int) "total work" 80 (Cp.total_work rq);
+      Alcotest.(check int) "total wait" 20 (Cp.total_wait rq);
+      (match rq.Cp.rq_wait with
+      | [ ((vmpl, reason), c) ] ->
+          Alcotest.(check int) "wait at the caller's vmpl" 3 vmpl;
+          Alcotest.(check string) "wait reason" "monitor_serial" (Tr.wait_reason_name reason);
+          Alcotest.(check int) "wait cycles" 20 c
+      | _ -> Alcotest.fail "expected exactly one wait entry");
+      Alcotest.(check int) "work + wait = extent" (Cp.extent rq)
+        (Cp.total_work rq + Cp.total_wait rq)
+  | rqs -> Alcotest.failf "expected one request, got %d" (List.length rqs)
+
+(* Uncovered extent between a request's spans is labelled as a gap
+   (vmpl -1) rather than silently attributed to either side. *)
+let test_critpath_gap_labelled () =
+  let t = Tr.create ~capacity:64 () in
+  Tr.set_enabled t true;
+  Tr.complete t ~id:6 ~vcpu:0 ~vmpl:3 ~ts:300 ~dur:10 Tr.Syscall;
+  Tr.complete t ~id:6 ~vcpu:1 ~vmpl:0 ~ts:350 ~dur:10 Tr.Vmgexit;
+  (* an id whose only evidence is zero-length yields no request *)
+  Tr.complete t ~id:7 ~vcpu:0 ~vmpl:0 ~ts:400 ~dur:0 Tr.Vmgexit;
+  match Cp.requests (Tr.events t) with
+  | [ rq ] ->
+      Alcotest.(check int) "extent covers the gap" 60 (Cp.extent rq);
+      Alcotest.(check (list (pair int int))) "gap attributed to vmpl -1"
+        [ (-1, 40); (0, 10); (3, 10) ]
+        rq.Cp.rq_work;
+      let gap = List.find (fun s -> s.Cp.sg_vmpl = -1) rq.Cp.rq_segs in
+      Alcotest.(check string) "gap segment named" "gap" gap.Cp.sg_name;
+      Alcotest.(check int) "gap extent" 40 gap.Cp.sg_dur
+  | rqs -> Alcotest.failf "expected one request, got %d" (List.length rqs)
+
+(* summarize folds per-request decompositions; wait_by_reason projects
+   the (vmpl, reason) keys down to reasons. *)
+let test_critpath_summary () =
+  let t = Tr.create ~capacity:64 () in
+  Tr.set_enabled t true;
+  Tr.complete t ~id:1 ~vcpu:0 ~vmpl:3 ~ts:100 ~dur:50 Tr.Syscall;
+  Tr.complete t ~id:1 ~vcpu:0 ~vmpl:3 ~ts:110 ~dur:10 (Tr.Wait Tr.Runqueue);
+  Tr.complete t ~id:2 ~vcpu:1 ~vmpl:3 ~ts:200 ~dur:30 Tr.Syscall;
+  Tr.complete t ~id:2 ~vcpu:1 ~vmpl:3 ~ts:205 ~dur:5 (Tr.Wait Tr.Runqueue);
+  let rqs = Cp.requests (Tr.events t) in
+  Alcotest.(check int) "two requests" 2 (List.length rqs);
+  let sm = Cp.summarize rqs in
+  Alcotest.(check int) "requests" 2 sm.Cp.sm_requests;
+  Alcotest.(check int) "cycles = summed extents" 80 sm.Cp.sm_cycles;
+  Alcotest.(check (list (pair int int))) "work folded" [ (3, 65) ] sm.Cp.sm_work;
+  (match Cp.wait_by_reason sm with
+  | [ (reason, c) ] ->
+      Alcotest.(check string) "reason folded" "runqueue" (Tr.wait_reason_name reason);
+      Alcotest.(check int) "wait cycles folded" 15 c
+  | _ -> Alcotest.fail "expected one folded wait reason");
+  (* renderers stay total on synthetic input *)
+  Alcotest.(check bool) "render is non-empty" true
+    (String.length (Cp.render (List.hd rqs)) > 0);
+  Alcotest.(check bool) "render_summary is non-empty" true
+    (String.length (Cp.render_summary sm) > 0)
+
 let suite =
   [
     Alcotest.test_case "ring wraparound keeps newest" `Quick test_ring_wraparound;
@@ -496,4 +672,12 @@ let suite =
     Alcotest.test_case "profiler causal ids" `Quick test_profiler_causal_ids;
     Alcotest.test_case "profiler depth overflow" `Quick test_profiler_depth_overflow;
     Alcotest.test_case "folded stacks round-trip" `Quick test_folded_roundtrip;
+    Alcotest.test_case "wait kind names" `Quick test_wait_kind_names;
+    Alcotest.test_case "dropped counter" `Quick test_dropped_counter;
+    Alcotest.test_case "chrome truncation warning" `Quick test_chrome_truncation_warning;
+    Alcotest.test_case "chrome flow events" `Quick test_chrome_flow_events;
+    Alcotest.test_case "metrics JSON tail percentiles" `Quick test_metrics_json_tail_percentiles;
+    Alcotest.test_case "critical-path flattening" `Quick test_critpath_flattening;
+    Alcotest.test_case "critical-path gap labelling" `Quick test_critpath_gap_labelled;
+    Alcotest.test_case "critical-path summary" `Quick test_critpath_summary;
   ]

@@ -135,6 +135,83 @@ let test_concurrent_echo_server () =
   Alcotest.(check int) "server echoed everything" (nclients * requests_per_client) !served;
   Alcotest.(check int) "clients verified everything" (nclients * requests_per_client) !answered
 
+(* --- Veil-Scope wait spans: suspensions become Trace.Wait records --- *)
+
+module Tr = Obs.Trace
+
+let fake_obs tr clock =
+  { Sched.wo_tracer = tr; wo_now = (fun () -> !clock); wo_vcpu = (fun () -> 0); wo_vmpl = 3 }
+
+(* Drive step_vcpu by hand with a fake clock so every wait span's
+   timestamp and duration is pinned exactly: spawn stamps the
+   time-to-first-step as Runqueue wait, yield re-parks as Runqueue,
+   block_until parks as Blocked_poll. *)
+let test_wait_spans () =
+  let tr = Tr.create ~capacity:64 () in
+  Tr.set_enabled tr true;
+  let clock = ref 100 in
+  let sched = Sched.create ~nvcpus:1 ~wait_obs:(fake_obs tr clock) () in
+  let flag = ref false in
+  Sched.spawn sched ~name:"blocker" (fun () -> Sched.block_until (fun () -> !flag));
+  Sched.spawn sched ~name:"worker" (fun () ->
+      Sched.yield ();
+      flag := true);
+  (* t=130: blocker steps first (spawned at 100 -> 30 cycles runqueue),
+     then parks blocked at 130 *)
+  clock := 130;
+  Alcotest.(check bool) "step 1" true (Sched.step_vcpu sched 0);
+  (* t=150: worker's first step (spawned at 100 -> 50 cycles runqueue),
+     yields, parking runnable at 150 *)
+  clock := 150;
+  Alcotest.(check bool) "step 2" true (Sched.step_vcpu sched 0);
+  (* t=170: blocker still blocked; worker resumes (20 cycles runqueue),
+     flips the flag and finishes *)
+  clock := 170;
+  Alcotest.(check bool) "step 3" true (Sched.step_vcpu sched 0);
+  (* t=200: blocker's predicate is satisfied (parked blocked 130..200) *)
+  clock := 200;
+  Alcotest.(check bool) "step 4" true (Sched.step_vcpu sched 0);
+  Alcotest.(check int) "all done" 0 (Sched.live sched);
+  let spans =
+    List.map
+      (fun e -> (Tr.kind_name e.Tr.ev_kind, e.Tr.ev_ts, e.Tr.ev_dur))
+      (Tr.events tr)
+  in
+  Alcotest.(check (list (triple string int int)))
+    "every suspension interval, stamped and measured"
+    [
+      ("wait.runqueue", 100, 30) (* blocker: spawn -> first step *);
+      ("wait.runqueue", 100, 50) (* worker: spawn -> first step *);
+      ("wait.runqueue", 150, 20) (* worker: yield -> resume *);
+      ("wait.blocked_poll", 130, 70) (* blocker: block_until -> wakeup *);
+    ]
+    spans;
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "bucket" "sched" e.Tr.ev_bucket;
+      Alcotest.(check int) "vmpl" 3 e.Tr.ev_vmpl)
+    (Tr.events tr)
+
+(* Armed wait_obs with the tracer disabled must emit nothing (the
+   zero-cost-when-off contract the bench alloc-check also pins), and a
+   clock that never advances must not produce zero-length spans. *)
+let test_wait_spans_off_and_zero () =
+  let tr_off = Tr.create ~capacity:64 () in
+  let clock = ref 0 in
+  let sched = Sched.create ~nvcpus:1 ~wait_obs:(fake_obs tr_off clock) () in
+  Sched.spawn sched ~name:"t" (fun () -> Sched.yield ());
+  while Sched.step_vcpu sched 0 do
+    clock := !clock + 10
+  done;
+  Alcotest.(check int) "tracer off: no events" 0 (Tr.emitted tr_off);
+  let tr_static = Tr.create ~capacity:64 () in
+  Tr.set_enabled tr_static true;
+  let frozen = ref 500 in
+  let sched2 = Sched.create ~nvcpus:1 ~wait_obs:(fake_obs tr_static frozen) () in
+  Sched.spawn sched2 ~name:"t" (fun () -> Sched.yield ());
+  while Sched.step_vcpu sched2 0 do () done;
+  Alcotest.(check int) "frozen clock: zero-length waits dropped" 0 (Tr.emitted tr_static)
+
 let suite =
   [
     ("round robin interleaving", `Quick, test_round_robin);
@@ -145,4 +222,6 @@ let suite =
     ("blocked polls accrue cycles", `Quick, test_blocked_poll_charging);
     ("task exceptions propagate", `Quick, test_exception_propagates);
     ("concurrent echo server", `Quick, test_concurrent_echo_server);
+    ("wait spans stamp suspensions", `Quick, test_wait_spans);
+    ("wait spans off / zero-length", `Quick, test_wait_spans_off_and_zero);
   ]

@@ -185,6 +185,112 @@ let test_ipi_charges () =
   Alcotest.(check int) "target pays the handler" C.ipi_handler
     (C.read_bucket b.V.counter C.Kernel - kb)
 
+(* --- Veil-Scope: wait spans and steal counts under the interleaver --- *)
+
+module Tr = Obs.Trace
+module Mon = Veil_core.Monitor
+
+(* The work-stealing shape (a blocked waiter on VCPU 1 plus an
+   overloaded VCPU 0) with the platform tracer armed: the run must
+   leave Runqueue and Blocked_poll wait spans in the ring, and — since
+   the schedule is a pure function of policy + seed — the journal, the
+   steal count, and the wait-span population must replay identically. *)
+let run_traced policy =
+  let sys = boot () in
+  let smp = Smp.bring_up ~policy sys ~nvcpus:2 () in
+  let tr = sys.B.platform.P.tracer in
+  Tr.clear tr;
+  Tr.set_enabled tr true;
+  let done_ = ref 0 and flag = ref false in
+  Smp.spawn ~vcpu:1 smp ~name:"waiter" (fun () ->
+      Sched.block_until (fun () -> !flag);
+      incr done_);
+  for i = 0 to 6 do
+    Smp.spawn ~vcpu:0 smp
+      ~name:(Printf.sprintf "pinned-%d" i)
+      (fun () ->
+        for _ = 1 to 4 do
+          Sched.yield ()
+        done;
+        if i = 6 then flag := true;
+        incr done_)
+  done;
+  Smp.run smp;
+  Tr.set_enabled tr false;
+  let count reason =
+    List.length
+      (List.filter (fun e -> e.Tr.ev_kind = Tr.Wait reason) (Tr.events tr))
+  in
+  Alcotest.(check int) "all tasks finished" 8 !done_;
+  (Smp.journal smp, Smp.steals smp, count Tr.Runqueue, count Tr.Blocked_poll)
+
+let test_wait_spans_under_interleaver () =
+  let _, steals, runq, blocked = run_traced Hv.Interleave.Round_robin in
+  Alcotest.(check bool) "idle vcpu stole work" true (steals > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "runqueue waits recorded (%d)" runq)
+    true (runq > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "blocked_poll waits recorded (%d)" blocked)
+    true (blocked > 0);
+  let j1, s1, r1, b1 = run_traced (Hv.Interleave.Seeded 1911) in
+  let j2, s2, r2, b2 = run_traced (Hv.Interleave.Seeded 1911) in
+  Alcotest.(check string) "replay: identical journal" j1 j2;
+  Alcotest.(check int) "replay: identical steals" s1 s2;
+  Alcotest.(check int) "replay: identical runqueue spans" r1 r2;
+  Alcotest.(check int) "replay: identical blocked spans" b1 b2;
+  Alcotest.(check bool) "seeded run also steals" true (s1 > 0)
+
+(* --- Veil-Scope: the serialized-monitor entry ledger --- *)
+
+(* One VCPU: the single-server queue can never see overlapping
+   arrivals, so queueing is identically zero while service (busy)
+   cycles accrue per request tag. *)
+let test_monitor_ledger_single_vcpu () =
+  let sys = boot () in
+  let smp = Smp.bring_up sys ~nvcpus:1 () in
+  let vcpu = Smp.vcpu smp 0 in
+  for i = 1 to 5 do
+    ignore
+      (Mon.os_call sys.B.mon vcpu
+         (Veil_core.Idcb.R_tpm_extend { pcr = 0; data = Bytes.make 8 (Char.chr (64 + i)) }))
+  done;
+  let ws = Mon.wait_stats sys.B.mon in
+  Alcotest.(check int) "five ledger entries" 5 ws.Mon.ws_entries;
+  Alcotest.(check bool) "service cycles accrue" true (ws.Mon.ws_busy_cycles > 0);
+  Alcotest.(check int) "no queueing at 1 vcpu" 0 ws.Mon.ws_queued_cycles;
+  match List.find_opt (fun (n, _, _, _) -> n = "tpm_extend") ws.Mon.ws_by_type with
+  | Some (_, entries, busy, queued) ->
+      Alcotest.(check int) "per-tag entries" 5 entries;
+      Alcotest.(check bool) "per-tag busy" true (busy > 0);
+      Alcotest.(check int) "per-tag queued" 0 queued
+  | None -> Alcotest.fail "tpm_extend missing from ws_by_type"
+
+(* Two VCPUs: advance VCPU 0's clock far ahead so it holds the machine
+   clock stationary, then issue back-to-back calls from the AP — the
+   second arrives (on the machine clock) inside the first's service
+   window and must be charged queueing delay. *)
+let test_monitor_ledger_queueing () =
+  let sys = boot () in
+  let smp = Smp.bring_up sys ~nvcpus:2 () in
+  V.charge (Smp.vcpu smp 0) C.Compute 5_000_000;
+  let ap = Smp.vcpu smp 1 in
+  ignore (Mon.os_call sys.B.mon ap (Veil_core.Idcb.R_tpm_extend { pcr = 1; data = Bytes.make 4 'a' }));
+  ignore (Mon.os_call sys.B.mon ap (Veil_core.Idcb.R_tpm_extend { pcr = 1; data = Bytes.make 4 'b' }));
+  let ws = Mon.wait_stats sys.B.mon in
+  Alcotest.(check int) "two ledger entries" 2 ws.Mon.ws_entries;
+  Alcotest.(check bool)
+    (Printf.sprintf "second call queued behind the first (%d cycles)" ws.Mon.ws_queued_cycles)
+    true
+    (ws.Mon.ws_queued_cycles > 0);
+  (* the queueing delay is (at most) the first call's service time *)
+  Alcotest.(check bool) "queued <= busy" true (ws.Mon.ws_queued_cycles <= ws.Mon.ws_busy_cycles);
+  match List.find_opt (fun (n, _, _, _) -> n = "tpm_extend") ws.Mon.ws_by_type with
+  | Some (_, entries, _, queued) ->
+      Alcotest.(check int) "per-tag entries" 2 entries;
+      Alcotest.(check bool) "per-tag queueing attributed" true (queued > 0)
+  | None -> Alcotest.fail "tpm_extend missing from ws_by_type"
+
 (* --- the malicious-hypervisor AP-start oracle stays blocked --- *)
 
 let test_ap_attack_blocked () =
@@ -212,5 +318,8 @@ let suite =
     ("distributed tlb shootdown", `Quick, test_tlb_shootdown);
     ("single-vcpu shootdown unchanged", `Quick, test_single_vcpu_shootdown_unchanged);
     ("ipi cost split", `Quick, test_ipi_charges);
+    ("wait spans under the interleaver", `Quick, test_wait_spans_under_interleaver);
+    ("monitor ledger: 1 vcpu never queues", `Quick, test_monitor_ledger_single_vcpu);
+    ("monitor ledger: overlap queues", `Quick, test_monitor_ledger_queueing);
     ("ap-start attack blocked", `Quick, test_ap_attack_blocked);
   ]
