@@ -33,6 +33,12 @@ let json_mode = ref false
    failing table can be reproduced (and chaos runs can diversify the
    guest side).  97 is the driver's historical default. *)
 let seed = ref 97
+
+(* Veil-Ring opt-in (--rings): escale runs with batched submission
+   rings; everything else is untouched so E2's single-call legs stay
+   byte-identical. *)
+let rings = ref false
+
 let recorded : (string * D.stats) list ref = ref []
 
 let record ~experiment (s : D.stats) =
@@ -62,16 +68,17 @@ let micro_json (name, ns) =
   Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%.1f}" (Obs.Metrics.json_escape name) ns
 
 (* E-scale results ride along too: one record per (bench, vcpu count). *)
-let escale_recorded : (string * int * int * float * float) list ref = ref []
+let escale_recorded : (string * int * int * float * float * bool) list ref = ref []
 
 let record_escale ~bench ~nvcpus ~ops ~ops_per_s ~serialized_pct =
   if !json_mode then
-    escale_recorded := (bench, nvcpus, ops, ops_per_s, serialized_pct) :: !escale_recorded
+    escale_recorded := (bench, nvcpus, ops, ops_per_s, serialized_pct, !rings) :: !escale_recorded
 
-let escale_json (bench, nvcpus, ops, ops_per_s, serialized_pct) =
+let escale_json (bench, nvcpus, ops, ops_per_s, serialized_pct, ringed) =
   Printf.sprintf
-    "{\"bench\":\"%s\",\"vcpus\":%d,\"ops\":%d,\"ops_per_s\":%.1f,\"serialized_pct\":%.1f}"
-    (Obs.Metrics.json_escape bench) nvcpus ops ops_per_s serialized_pct
+    "{\"bench\":\"%s\",\"vcpus\":%d,\"ops\":%d,\"ops_per_s\":%.1f,\"serialized_pct\":%.1f,\
+     \"rings\":%b}"
+    (Obs.Metrics.json_escape bench) nvcpus ops ops_per_s serialized_pct ringed
 
 let emit_json () =
   if !json_mode then
@@ -473,9 +480,10 @@ let escale () =
   header "E-scale  SMP throughput scaling with Veil-SMP (§5 AP bring-up)"
     "monitor-relayed AP boot; deterministic interleaving; VeilMon serializes log/IDCB work";
   let counts = Es.vcpu_counts () in
-  Printf.printf "interleaver: seeded(%d); guest seed %d; VCPU counts: %s\n" Es.inter_seed
-    !seed
-    (String.concat "," (List.map string_of_int counts));
+  Printf.printf "interleaver: seeded(%d); guest seed %d; VCPU counts: %s; rings: %s\n"
+    Es.inter_seed !seed
+    (String.concat "," (List.map string_of_int counts))
+    (if !rings then "on (Veil-Ring batched submission)" else "off");
   let run_table name ~spawn_work ~ops =
     Printf.printf "\n%s (%d ops total, strong scaling):\n" name ops;
     Printf.printf "  %5s %14s %9s %9s %11s %12s %10s %7s\n" "vcpus" "throughput" "speedup"
@@ -484,7 +492,7 @@ let escale () =
     let serial_frac = ref 0.0 in
     List.iter
       (fun nv ->
-        let (r : Es.result), _sys = Es.measure ~nvcpus:nv ~seed:!seed ~spawn_work () in
+        let (r : Es.result), _sys = Es.measure ~rings:!rings ~nvcpus:nv ~seed:!seed ~spawn_work () in
         let tp = Es.throughput r in
         let ser = Es.serialized_pct r in
         record_escale ~bench:name ~nvcpus:nv ~ops:r.Es.es_ops ~ops_per_s:tp
@@ -524,7 +532,7 @@ let escale () =
               close_out oc
           | None -> ());
           (* reproducibility: the schedule and the numbers must replay *)
-          let (r2 : Es.result), _ = Es.measure ~nvcpus:nv ~seed:!seed ~spawn_work () in
+          let (r2 : Es.result), _ = Es.measure ~rings:!rings ~nvcpus:nv ~seed:!seed ~spawn_work () in
           if r2.Es.es_journal <> r.Es.es_journal || Es.throughput r2 <> tp then
             failwith "E-scale: same seed produced a different schedule or throughput";
           Printf.printf "  replay @%d VCPUs: identical schedule (%d steps) and throughput — OK\n"

@@ -10,7 +10,8 @@ let usage () =
   print_endline "        --json additionally prints every recorded run as one JSON document;";
   print_endline "        --seed sets the guest RNG seed for every run, default 97;";
   print_endline "        escale: VEIL_ESCALE_VCPUS=1,2,4,8 picks the VCPU counts,";
-  print_endline "        VEIL_ESCALE_JOURNAL=path dumps the interleaver schedule journals)"
+  print_endline "        VEIL_ESCALE_JOURNAL=path dumps the interleaver schedule journals,";
+  print_endline "        --rings runs escale with Veil-Ring batched submission rings)"
 
 let scale =
   match Sys.getenv_opt "VEIL_BENCH_SCALE" with Some s -> int_of_string s | None -> 1
@@ -28,6 +29,9 @@ let args =
         prerr_endline "bench: --seed expects an integer";
         exit 2
     | "--json" :: rest -> strip rest
+    | "--rings" :: rest ->
+        Experiments.rings := true;
+        strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in

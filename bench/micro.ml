@@ -106,6 +106,42 @@ let test_tlb_hit_u64 =
            (Sevsnp.Platform.read_u64_via_pt sys.Veil_core.Boot.platform sys.Veil_core.Boot.vcpu
               ~root:proc.Guest_kernel.Process.pt_root mem_va)))
 
+(* Exitless syscalls (§10, FlexSC-style): enclave submits into the
+   shared-arena ring, a worker VCPU drains — no synchronous exit on
+   the enclave VCPU.  One lazy system with a hotplugged worker, shared
+   by the wall-clock test and the submit-path alloc-check. *)
+let exitless_rig =
+  lazy
+    (let sys = Veil_core.Boot.boot_veil ~npages:2048 ~seed:23 () in
+     (match
+        (Guest_kernel.Kernel.hooks sys.Veil_core.Boot.kernel).Guest_kernel.Hooks.h_vcpu_boot
+          ~vcpu_id:1
+      with
+     | Ok () -> ()
+     | Error e -> failwith ("micro exitless: " ^ e));
+     let worker = List.nth (Sevsnp.Platform.vcpus sys.Veil_core.Boot.platform) 1 in
+     let rt =
+       match
+         Enclave_sdk.Runtime.create sys ~binary:(Bytes.make 4096 'E')
+           (Guest_kernel.Kernel.spawn sys.Veil_core.Boot.kernel)
+       with
+       | Ok rt -> rt
+       | Error e -> failwith ("micro exitless: " ^ e)
+     in
+     let ring = Result.get_ok (Enclave_sdk.Exitless.create rt ~slots:32) in
+     (sys, worker, rt, ring))
+
+let test_exitless =
+  Test.make ~name:"exitless/submit-drain"
+    (Staged.stage (fun () ->
+         let _, worker, _, ring = Lazy.force exitless_rig in
+         let tickets =
+           List.init 32 (fun _ ->
+               Result.get_ok (Enclave_sdk.Exitless.submit ring Guest_kernel.Sysno.Getpid []))
+         in
+         ignore (Enclave_sdk.Exitless.drain_on ring worker);
+         List.iter (fun t -> ignore (Enclave_sdk.Exitless.poll ring t)) tickets))
+
 let lzss_input = lazy (Workloads.Textgen.text (Veil_crypto.Rng.create 5) 4096)
 
 let test_deflate =
@@ -137,7 +173,7 @@ let test_huffman =
 let all_tests =
   Test.make_grouped ~name:"veil-micro"
     [ test_sha256; test_chacha; test_powmod; test_domain_switch; test_os_call; test_rmpadjust;
-      test_checked_read_4k; test_via_pt_read_4k; test_tlb_hit_u64;
+      test_checked_read_4k; test_via_pt_read_4k; test_tlb_hit_u64; test_exitless;
       test_lzss; test_huffman; test_deflate; test_mcache ]
 
 (* Veil-Trace contract: while tracing is disabled, the instrumented
@@ -235,6 +271,15 @@ let alloc_check () =
   let w_off = words_per_op wr and r_off = words_per_op rd and x_off = words_per_op ex in
   let t_off = words_per_op tl in
   let s_off = words_per_op sy in
+  (* Exitless contract: a prepared submission into the shared-arena
+     ring is pure stores + integer math — the enclave-side submit path
+     allocates nothing (§10's other future-work path, next to rings). *)
+  let _, _, _, ex_ring = Lazy.force exitless_rig in
+  let ex_prep = Result.get_ok (Enclave_sdk.Exitless.prepare Guest_kernel.Sysno.Getpid []) in
+  let ex_sub () =
+    Enclave_sdk.Exitless.cancel ex_ring (Enclave_sdk.Exitless.submit_prepared ex_ring ex_prep)
+  in
+  let e_sub = words_per_op ex_sub in
   Sevsnp.Platform.disarm_chaos platform;
   let d_disarmed = words_per_op ds in
   Sevsnp.Platform.arm_chaos platform (Chaos.Fault_plan.create ~seed:1 ());
@@ -253,20 +298,22 @@ let alloc_check () =
   Printf.printf "  read_u64       : tracing off %.4f w/op, on %.4f w/op\n" r_off r_on;
   Printf.printf "  tlb-hit u64 read: tracing off %.4f w/op, on %.4f w/op\n" t_off t_on;
   Printf.printf "  sched_yield syscall (profiler off): %.4f w/op\n" s_off;
+  Printf.printf "  exitless prepared submit: %.4f w/op\n" e_sub;
   Printf.printf "  domain-switch roundtrip: chaos disarmed %.4f w/op, armed zero-prob %.4f w/op\n"
     d_disarmed d_armed;
   Printf.printf "  sched yield step: wait_obs unarmed %.4f w/op, armed tracer-off %.4f w/op\n"
     sc_plain sc_armed;
   if
     x_off = 0.0 && x_on = 0.0 && w_off = 0.0 && w_on = 0.0 && r_off = 0.0 && r_on = 0.0
-    && t_off = 0.0 && t_on = 0.0 && s_off = 0.0 && d_armed = d_disarmed
+    && t_off = 0.0 && t_on = 0.0 && s_off = 0.0 && e_sub = 0.0 && d_armed = d_disarmed
     && sc_armed = sc_plain
   then
     print_endline
-      "  PASS: checked physical access, the TLB-hit translated path, and the\n\
-      \        profiler-disabled syscall path allocate nothing; an armed\n\
-      \        zero-probability chaos plan costs the same as disarmed, and an\n\
-      \        armed wait_obs with the tracer off costs the yield path nothing"
+      "  PASS: checked physical access, the TLB-hit translated path, the\n\
+      \        profiler-disabled syscall path and the exitless submit path\n\
+      \        allocate nothing; an armed zero-probability chaos plan costs\n\
+      \        the same as disarmed, and an armed wait_obs with the tracer\n\
+      \        off costs the yield path nothing"
   else begin
     print_endline "  FAIL: an instrumented hot path allocates";
     exit 1

@@ -490,6 +490,7 @@ let sql_cmd =
         Workloads.Env.sys = (fun s a -> Guest_kernel.Kernel.invoke kernel proc s a);
         compute = (fun c -> Sevsnp.Vcpu.charge n.Veil_core.Boot.n_vcpu Sevsnp.Cycles.Compute c);
         env_rng = Veil_crypto.Rng.create seed;
+        env_rings = false;
       }
     in
     let db = Workloads.Sqldb.open_db env ~dir:"/srv/sql" in
@@ -825,6 +826,40 @@ let report_cmd =
       [ ("syscall-bench", sys_rows, fun s m -> Es.syscall_work ~ops_total:4096 s m);
         ("http-server", http_rows, fun s m -> Es.http_work ~requests:256 s m) ];
 
+    (* E-scale-rings — the same sweep under Veil-Ring batched
+       submission (bench escale --rings).  The serialized% column must
+       reproduce AND stay below the unringed E-scale share at every
+       row: batching is the whole point, so a ringed share at or above
+       the unringed one is flagged as drift. *)
+    print_endline "E-scale-rings  serialized share under batched submission (Veil-Ring)";
+    let rings_sec = md_section md "E-scale-rings" in
+    if rings_sec = [] then failwith "EXPERIMENTS.md: no \"## E-scale-rings\" section";
+    let ringed_sys_rows, ringed_http_rows = split_at_http rings_sec in
+    List.iter
+      (fun (bench, rows, plain_rows, spawn_work) ->
+        List.iter
+          (fun nv ->
+            let cells = need rows (string_of_int nv) in
+            let (r : Es.result), _ =
+              Es.measure ~rings:true ~nvcpus:nv ~seed:97 ~spawn_work ()
+            in
+            let ser = Es.serialized_pct r in
+            check_float
+              (Printf.sprintf "%s @%d ringed ser%%" bench nv)
+              ser
+              (float_of_cell (cell cells 4 (bench ^ " ringed serialized%")))
+              ~tol:0.05;
+            let plain_ser =
+              float_of_cell (cell (need plain_rows (string_of_int nv)) 4 (bench ^ " serialized%"))
+            in
+            Printf.printf "  %-28s measured %10.2f   unringed %10.2f   %s\n"
+              (Printf.sprintf "%s @%d ringed<plain" bench nv)
+              ser plain_ser
+              (verdict (ser < plain_ser)))
+          counts)
+      [ ("syscall-bench", ringed_sys_rows, sys_rows, fun s m -> Es.syscall_work ~ops_total:4096 s m);
+        ("http-server", ringed_http_rows, http_rows, fun s m -> Es.http_work ~requests:256 s m) ];
+
     if !drifts = 0 then Printf.printf "all regenerated values match %s\n" exp_path
     else Printf.printf "%d value(s) drifted from %s\n" !drifts exp_path;
     if check && !drifts > 0 then exit 1
@@ -846,9 +881,10 @@ let chaos_cmd =
   in
   let sites_arg =
     let doc =
-      "Comma-separated injection sites to arm (default: all 12).  Site names: relay_drop, \
+      "Comma-separated injection sites to arm (default: all 13).  Site names: relay_drop, \
        relay_dup, relay_reorder, relay_refuse, vmgexit_delay, vmgexit_refuse, spurious_exit, \
-       rmpadjust_fail, pvalidate_fail, spurious_npf, ghcb_corrupt, shared_bitflip."
+       rmpadjust_fail, pvalidate_fail, spurious_npf, ghcb_corrupt, shared_bitflip, \
+       ring_slot_corrupt."
     in
     Arg.(value & opt (some string) None & info [ "sites" ] ~docv:"SITES" ~doc)
   in

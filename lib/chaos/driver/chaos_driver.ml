@@ -69,6 +69,7 @@ let default_prob = function
   | FP.Rmpadjust_fail | FP.Pvalidate_fail -> 0.02
   | FP.Spurious_npf | FP.Ghcb_corrupt -> 0.01
   | FP.Shared_bitflip -> 0.005
+  | FP.Ring_slot_corrupt -> 0.02
 
 (* Watchdog budget: a trial (boot sweep + workload, or the whole attack
    sweep) takes well under 100k world exits; a protocol livelock would

@@ -17,12 +17,14 @@ type site =
   | Spurious_npf
   | Ghcb_corrupt
   | Shared_bitflip
+  | Ring_slot_corrupt
 
 let all_sites =
   [ Relay_drop; Relay_dup; Relay_reorder; Relay_refuse; Vmgexit_delay; Vmgexit_refuse;
-    Spurious_exit; Rmpadjust_fail; Pvalidate_fail; Spurious_npf; Ghcb_corrupt; Shared_bitflip ]
+    Spurious_exit; Rmpadjust_fail; Pvalidate_fail; Spurious_npf; Ghcb_corrupt; Shared_bitflip;
+    Ring_slot_corrupt ]
 
-let nsites = 12
+let nsites = 13
 
 let site_index = function
   | Relay_drop -> 0
@@ -37,6 +39,7 @@ let site_index = function
   | Spurious_npf -> 9
   | Ghcb_corrupt -> 10
   | Shared_bitflip -> 11
+  | Ring_slot_corrupt -> 12
 
 let site_of_index = function
   | 0 -> Relay_drop
@@ -51,6 +54,7 @@ let site_of_index = function
   | 9 -> Spurious_npf
   | 10 -> Ghcb_corrupt
   | 11 -> Shared_bitflip
+  | 12 -> Ring_slot_corrupt
   | i -> invalid_arg (Printf.sprintf "Fault_plan.site_of_index %d" i)
 
 let site_name = function
@@ -66,6 +70,7 @@ let site_name = function
   | Spurious_npf -> "spurious_npf"
   | Ghcb_corrupt -> "ghcb_corrupt"
   | Shared_bitflip -> "shared_bitflip"
+  | Ring_slot_corrupt -> "ring_slot_corrupt"
 
 let site_of_name n = List.find_opt (fun s -> site_name s = n) all_sites
 

@@ -28,6 +28,10 @@ type site =
   | Spurious_npf    (** a resumable nested-page-fault exit (re-executed) *)
   | Ghcb_corrupt    (** scribbles hypervisor-writable GHCB fields after service *)
   | Shared_bitflip  (** flips one bit in a Shared page (never a private one) *)
+  | Ring_slot_corrupt
+      (** scribbles a submitted Veil-Ring slot between submit and
+          drain (the ring lives in OS memory — TOCTOU); the monitor
+          must reject the slot without poisoning the rest of the batch *)
 
 type t
 

@@ -41,12 +41,12 @@ let image_segment ~seed ~which (r : Layout.region) =
 
 let region_pair (r : Layout.region) = (r.Layout.lo, r.Layout.hi)
 
-let install_hooks mon (kernel : K.t) _vcpu =
-  (* Veil-SMP: hook calls come from whichever VCPU the kernel is
-     currently executing on, not the boot VCPU the hooks were
-     installed under — otherwise an AP's monitor requests would use
-     VCPU 0's IDCB and VMSA replicas. *)
-  let call req = Monitor.os_call mon (K.vcpu kernel) req in
+(* Hook construction is parameterized over two call shapes so the
+   unbatched and Veil-Ring variants share one definition:
+   [call] is a synchronous round trip whose response the kernel
+   consumes; [defer] is fire-and-forget traffic (audit records,
+   pt_syncs) a ring may batch. *)
+let make_hooks (kernel : K.t) ~call ~defer =
   let lift_unit = function
     | Idcb.Resp_ok -> Ok ()
     | Idcb.Resp_error e -> Error e
@@ -72,7 +72,7 @@ let install_hooks mon (kernel : K.t) _vcpu =
               Error e
           | _ -> Error "unexpected response");
       h_module_unload = (fun loaded -> lift_unit (call (Idcb.R_module_unload loaded)));
-      h_audit = (fun record -> ignore (call (Idcb.R_log_append record)));
+      h_audit = (fun record -> defer (Idcb.R_log_append record));
       h_enclave_finalize =
         (fun desc ->
           match call (Idcb.R_enclave_finalize desc) with
@@ -81,10 +81,18 @@ let install_hooks mon (kernel : K.t) _vcpu =
           | _ -> Error "unexpected response");
       h_enclave_destroy = (fun desc -> lift_unit (call (Idcb.R_enclave_destroy desc)));
       h_pt_sync =
-        (fun ~pid ~va ~npages ~prot -> ignore (call (Idcb.R_pt_sync { pid; va; npages; prot })));
+        (fun ~pid ~va ~npages ~prot -> defer (Idcb.R_pt_sync { pid; va; npages; prot }));
     }
   in
   K.set_hooks kernel hooks
+
+let install_hooks mon (kernel : K.t) _vcpu =
+  (* Veil-SMP: hook calls come from whichever VCPU the kernel is
+     currently executing on, not the boot VCPU the hooks were
+     installed under — otherwise an AP's monitor requests would use
+     VCPU 0's IDCB and VMSA replicas. *)
+  let call req = Monitor.os_call mon (K.vcpu kernel) req in
+  make_hooks kernel ~call ~defer:(fun req -> ignore (call req))
 
 let boot_veil ?(npages = default_npages) ?log_frames ?(seed = 11) ?(activate_kci = true) ?chaos () =
   let layout = Layout.standard ?log_frames ~npages () in
@@ -137,6 +145,75 @@ let boot_veil ?(npages = default_npages) ?log_frames ?(seed = 11) ?(activate_kci
     layout;
     boot_cycles = Sevsnp.Vcpu.rdtsc vcpu;
   }
+
+(* --- Veil-Ring: opt-in batched submission rings --- *)
+
+let default_ring_slots = 64
+
+(* Flush once the ring is half full: deferral stays bounded (at most
+   [slots/2] records ride the ring across syscalls) while one
+   Monitor+Switch entry still amortizes over a whole watermark's worth
+   of requests. *)
+let ring_watermark slots = max 1 (slots / 2)
+
+let flush_ring_of mon vcpu =
+  match Monitor.ring_of mon ~vcpu_id:vcpu.Sevsnp.Vcpu.id with
+  | Some ring -> ignore (Monitor.os_call_batch mon vcpu ring)
+  | None -> ()
+
+let enable_rings ?(slots = default_ring_slots) sys () =
+  let mon = sys.mon and kernel = sys.kernel in
+  (* One ring per existing VCPU, carved from OS memory (the kernel's
+     free-frame pool) — the same less-privileged-party placement rule
+     as the IDCBs; the monitor re-checks it at registration. *)
+  List.iter
+    (fun vcpu ->
+      let vcpu_id = vcpu.Sevsnp.Vcpu.id in
+      if Monitor.ring_of mon ~vcpu_id = None then begin
+        let gpfn = K.alloc_frame kernel in
+        match Monitor.register_ring mon (Ring.create ~gpfn ~vcpu_id ~slots) with
+        | Ok () -> ()
+        | Error e -> failwith ("enable_rings: " ^ e)
+      end)
+    (P.vcpus sys.platform);
+  (* Ring-aware hooks: fire-and-forget traffic rides the current
+     VCPU's ring; synchronous calls flush it first so the trusted side
+     observes this VCPU's requests in program order. *)
+  let call req =
+    let vcpu = K.vcpu kernel in
+    flush_ring_of mon vcpu;
+    Monitor.os_call mon vcpu req
+  in
+  let defer req =
+    let vcpu = K.vcpu kernel in
+    match Monitor.ring_of mon ~vcpu_id:vcpu.Sevsnp.Vcpu.id with
+    | Some ring ->
+        if not (Monitor.ring_submit mon vcpu ring req) then begin
+          (* full-ring backpressure: flush, then resubmit *)
+          ignore (Monitor.os_call_batch mon vcpu ring);
+          ignore (Monitor.ring_submit mon vcpu ring req)
+        end
+    | None -> ignore (Monitor.os_call mon vcpu req)
+  in
+  make_hooks kernel ~call ~defer;
+  let wm = ring_watermark slots in
+  K.set_ring_flush kernel
+    (Some
+       (fun () ->
+         let vcpu = K.vcpu kernel in
+         match Monitor.ring_of mon ~vcpu_id:vcpu.Sevsnp.Vcpu.id with
+         | Some ring when Ring.pending ring >= wm -> ignore (Monitor.os_call_batch mon vcpu ring)
+         | _ -> ()))
+
+let rings_enabled sys =
+  List.exists
+    (fun vcpu -> Monitor.ring_of sys.mon ~vcpu_id:vcpu.Sevsnp.Vcpu.id <> None)
+    (P.vcpus sys.platform)
+
+(* Drain every VCPU's leftover slots (measurement-window barriers,
+   audit-log reads: anything that must observe all deferred traffic). *)
+let flush_rings sys =
+  List.iter (fun vcpu -> flush_ring_of sys.mon vcpu) (P.vcpus sys.platform)
 
 let boot_native ?(npages = default_npages) ?(seed = 11) () =
   let layout = Layout.standard ~npages () in

@@ -51,3 +51,25 @@ val default_chaos : (unit -> Chaos.Fault_plan.t option) ref
 val boot_native : ?npages:int -> ?seed:int -> unit -> native_system
 
 val default_npages : int
+
+(* Veil-Ring: opt-in batched submission rings *)
+
+val default_ring_slots : int
+
+val enable_rings : ?slots:int -> veil_system -> unit -> unit
+(** Switch the booted system to batched monitor traffic: allocate one
+    {!Ring.t} per existing VCPU from OS memory, register each with
+    VeilMon (placement-checked), and reinstall the kernel hooks so
+    fire-and-forget requests (audit records, pt_syncs) ride the
+    current VCPU's ring — flushed at the syscall tail once half full,
+    or inline on full-ring backpressure — while synchronous calls
+    flush first to preserve program order.  VCPUs must already be
+    booted (call after {!Smp.bring_up}); rings stay on until the
+    system is discarded. *)
+
+val rings_enabled : veil_system -> bool
+
+val flush_rings : veil_system -> unit
+(** Drain every VCPU's leftover slots — the barrier before reading
+    audit logs, counters or any other state that must observe all
+    deferred traffic. *)

@@ -64,7 +64,12 @@ let request_size = function
    indexing instead of hashing keeps the os_call fast path
    allocation-free. *)
 
-let ntags = 15
+let ntags = 16
+
+(* Tag 15 is not a request constructor: it labels a batched ring flush
+   in the serialized-entry ledger, where the whole batch — not any one
+   slot — is the unit of monitor service (Veil-Ring). *)
+let ring_flush_tag = 15
 
 let request_tag = function
   | R_none -> 0
@@ -99,6 +104,7 @@ let tag_name = function
   | 12 -> "enclave_schedule"
   | 13 -> "tpm_extend"
   | 14 -> "tpm_quote"
+  | 15 -> "ring_flush"
   | _ -> "unknown"
 
 let response_size = function

@@ -65,6 +65,11 @@ val request_tag : request -> int
 (** Dense tag in [0, ntags) identifying the request's constructor —
     array index for per-call-type ledgers (never allocates). *)
 
+val ring_flush_tag : int
+(** Extra ledger tag (not a request constructor) under which a batched
+    ring flush's single serialized monitor entry is accounted: the
+    batch, not any one slot, holds the monitor (Veil-Ring). *)
+
 val tag_name : int -> string
 (** Stable lower-case name for a {!request_tag} ("pvalidate",
     "log_append", ...). *)

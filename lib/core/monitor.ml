@@ -14,6 +14,19 @@ type service = { svc_name : string; svc_target : Privdom.t; svc_handler : handle
 
 and handler = t -> Sevsnp.Vcpu.t -> Idcb.request -> Idcb.response option
 
+(* Per-VCPU shard of VeilMon's hot per-call state (Veil-Ring).  The
+   replay caches used to live in one Hashtbl guarded by the whole
+   serialized entry; one record per VCPU keeps lookups to an array
+   load, shrinks the shared critical section to true RMP mutations,
+   and gives batched flushes their own (batch_seq, slot) replay
+   granularity alongside the per-IDCB sequence scheme. *)
+and shard = {
+  mutable sh_seq : int;  (* last served IDCB sequence; -1 = none *)
+  mutable sh_resp : Idcb.response;
+  mutable sh_batch_seq : int;  (* last served ring batch sequence; -1 = none *)
+  mutable sh_batch_n : int;  (* its slot count (for replay accounting) *)
+}
+
 and t = {
   hv : Hypervisor.Hv.t;
   platform : P.t;
@@ -34,10 +47,14 @@ and t = {
   mutable vmsa_cursor : T.gpfn;
   mutable kernel_entry : int;
   mutable initialized : bool;
-  served : (int, int * Idcb.response) Hashtbl.t;
-      (** vcpu_id -> (last served seq, its response): replayed-relay
-          suppression for os_call requests *)
+  shards : shard array;  (* indexed by vcpu_id: replayed-relay suppression *)
+  rings : Ring.t option array;
+      (* indexed by vcpu_id: the registered Veil-Ring submission ring,
+         placement-checked at {!register_ring} *)
   c_os_calls : Obs.Metrics.counter;
+  c_ring_flushes : Obs.Metrics.counter;
+  c_ring_slots : Obs.Metrics.counter;
+  c_ring_slot_rejected : Obs.Metrics.counter;
   c_sanitizer_rejections : Obs.Metrics.counter;
   c_insn_retries : Obs.Metrics.counter;
   c_switch_retries : Obs.Metrics.counter;
@@ -109,8 +126,14 @@ let create ~hv ~layout ~boot_vcpu =
     vmsa_cursor = layout.Layout.vmsa_region.Layout.lo;
     kernel_entry = 0;
     initialized = false;
-    served = Hashtbl.create 8;
+    shards =
+      Array.init 64 (fun _ ->
+          { sh_seq = -1; sh_resp = Idcb.Resp_none; sh_batch_seq = -1; sh_batch_n = 0 });
+    rings = Array.make 64 None;
     c_os_calls = Obs.Metrics.counter platform.P.metrics "monitor.os_calls";
+    c_ring_flushes = Obs.Metrics.counter platform.P.metrics "monitor.ring_flushes";
+    c_ring_slots = Obs.Metrics.counter platform.P.metrics "monitor.ring_slots";
+    c_ring_slot_rejected = Obs.Metrics.counter platform.P.metrics "monitor.ring_slot_rejected";
     c_sanitizer_rejections = Obs.Metrics.counter platform.P.metrics "monitor.sanitizer_rejections";
     c_insn_retries = Obs.Metrics.counter platform.P.metrics "monitor.insn_retries";
     c_switch_retries = Obs.Metrics.counter platform.P.metrics "monitor.switch_retries";
@@ -495,25 +518,29 @@ let dispatch t vcpu req =
    carries.  Runs the sanitizer and dispatch at most once per IDCB
    sequence number: a duplicated or replayed hypervisor relay of an
    already-served request gets the cached response back instead of a
-   second (possibly state-mutating) execution. *)
+   second (possibly state-mutating) execution.  The replay cache is the
+   caller's own per-VCPU shard — an array load, no shared structure. *)
 let serve_pending t vcpu =
   let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
   let seq = idcb.Idcb.seq in
-  match Hashtbl.find_opt t.served vcpu.V.id with
-  | Some (s, cached) when s = seq ->
-      Obs.Metrics.incr t.c_replays;
-      cached
-  | _ ->
-      let resp =
-        match sanitize t vcpu idcb.Idcb.request with
-        | Error e ->
-            t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
-            Obs.Metrics.incr t.c_sanitizer_rejections;
-            Idcb.Resp_error e
-        | Ok () -> dispatch t vcpu idcb.Idcb.request
-      in
-      Hashtbl.replace t.served vcpu.V.id (seq, resp);
-      resp
+  let sh = t.shards.(vcpu.V.id) in
+  if sh.sh_seq = seq then begin
+    Obs.Metrics.incr t.c_replays;
+    sh.sh_resp
+  end
+  else begin
+    let resp =
+      match sanitize t vcpu idcb.Idcb.request with
+      | Error e ->
+          t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
+          Obs.Metrics.incr t.c_sanitizer_rejections;
+          Idcb.Resp_error e
+      | Ok () -> dispatch t vcpu idcb.Idcb.request
+    in
+    sh.sh_seq <- seq;
+    sh.sh_resp <- resp;
+    resp
+  end
 
 (* One os_call through the single-server queue model: [arrival] is the
    caller's clock at entry, [service] the Monitor+Switch cycles the
@@ -602,6 +629,155 @@ let os_call t vcpu (req : Idcb.request) : Idcb.response =
   end;
   ledger_exit t vcpu ~tag:(Idcb.request_tag req) ~arrival ~queued ~mon0;
   resp
+
+(* --- Veil-Ring: batched submission rings --- *)
+
+(* Same placement rule as the IDCBs (§5.2): the ring must live in the
+   less-privileged party's memory.  Checked twice, independently: the
+   monitor's own protected-region registry (the ring may not alias
+   VeilMon/Dom_SEC state) and the RMP (the frame must be plain private
+   guest memory the OS can read and write — not a VMSA, not
+   host-shared). *)
+let register_ring t ring =
+  let gpfn = Ring.gpfn ring in
+  let vcpu_id = Ring.vcpu_id ring in
+  if vcpu_id < 0 || vcpu_id >= Array.length t.rings then Error "ring vcpu id out of range"
+  else if frame_is_protected t gpfn then Error "ring frame aliases protected memory"
+  else if not (Sevsnp.Rmp.guest_can_rw t.platform.P.rmp gpfn ~vmpl:T.Vmpl3) then
+    Error "ring frame is not OS-writable private memory"
+  else begin
+    t.rings.(vcpu_id) <- Some ring;
+    Ok ()
+  end
+
+let ring_of t ~vcpu_id =
+  if vcpu_id < 0 || vcpu_id >= Array.length t.rings then None else t.rings.(vcpu_id)
+
+(* Producer side of a slot: the OS copies the request into its own
+   ring memory (the Copy cost the IDCB write would have paid). *)
+let ring_submit _t vcpu ring req =
+  if Ring.submit ring req then begin
+    charge_on vcpu C.Copy (C.copy_cost (Idcb.request_size req));
+    true
+  end
+  else false
+
+(* A batch with any VMPL-0-delegated slot is served entirely at
+   Dom_MON — the more privileged domain can run the Dom_SEC services'
+   dispatch, the reverse cannot happen. *)
+let batch_target ring n =
+  let rec go i =
+    if i >= n then Privdom.Sec
+    else
+      match classify_target (Ring.peek ring i) with
+      | Privdom.Mon -> Privdom.Mon
+      | _ -> go (i + 1)
+  in
+  go 0
+
+(* Trusted-domain service of every pending slot.  Replay suppression
+   at (batch_seq, slot) granularity: the producer stamps a monotonic
+   batch sequence at flush time, and a duplicated/replayed relay of an
+   already-served batch answers from the cached per-slot responses
+   (still sitting in the ring) without re-executing anything.  A slot
+   that fails its framing check — e.g. scribbled by the OS or a
+   DMA-capable device between submit and drain, the ring being OS
+   memory — is rejected and journaled individually; the rest of the
+   batch is served normally.  Degraded, never silent. *)
+let serve_batch t vcpu ring =
+  (match ring_of t ~vcpu_id:(Ring.vcpu_id ring) with
+  | Some r when r == ring -> ()
+  | _ -> failwith "serve_batch: unregistered ring");
+  let sh = t.shards.(Ring.vcpu_id ring) in
+  let bseq = Ring.batch_seq ring in
+  if sh.sh_batch_seq = bseq then begin
+    Obs.Metrics.add t.c_replays sh.sh_batch_n;
+    sh.sh_batch_n
+  end
+  else begin
+    let n = Ring.pending ring in
+    (match t.platform.P.chaos with
+    | Some plan when Chaos.Fault_plan.site_enabled plan Chaos.Fault_plan.Ring_slot_corrupt ->
+        for i = 0 to n - 1 do
+          if Chaos.Fault_plan.fire plan Chaos.Fault_plan.Ring_slot_corrupt then begin
+            Ring.corrupt_slot ring i;
+            P.chaos_mark t.platform (Some vcpu) "ring_slot_corrupt"
+          end
+        done
+    | _ -> ());
+    for i = 0 to n - 1 do
+      let resp =
+        if Ring.slot_is_corrupt ring i then begin
+          t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
+          Obs.Metrics.incr t.c_sanitizer_rejections;
+          Obs.Metrics.incr t.c_ring_slot_rejected;
+          Idcb.Resp_error "ring slot failed its framing check"
+        end
+        else
+          match sanitize t vcpu (Ring.peek ring i) with
+          | Error e ->
+              t.stats.sanitizer_rejections <- t.stats.sanitizer_rejections + 1;
+              Obs.Metrics.incr t.c_sanitizer_rejections;
+              Idcb.Resp_error e
+          | Ok () -> dispatch t vcpu (Ring.peek ring i)
+      in
+      Ring.set_response ring i resp
+    done;
+    sh.sh_batch_seq <- bseq;
+    sh.sh_batch_n <- n;
+    n
+  end
+
+(* One flush: a single Monitor+Switch entry amortized over every
+   pending slot.  Accounted in the serialized-entry ledger as one
+   entry under the dedicated [ring_flush] tag — the batch, not any one
+   slot, holds the monitor. *)
+let os_call_batch t vcpu ring =
+  if Ring.is_empty ring then 0
+  else begin
+    let n = Ring.pending ring in
+    Obs.Metrics.incr t.c_ring_flushes;
+    Obs.Metrics.add t.c_ring_slots n;
+    let arrival, queued, mon0 = ledger_enter t vcpu in
+    let prof = t.platform.P.profiler in
+    let prof_on = Obs.Profiler.enabled prof in
+    let minted = prof_on && Obs.Profiler.id prof ~vcpu:vcpu.V.id = 0 in
+    if minted then Obs.Profiler.set_id prof ~vcpu:vcpu.V.id (Obs.Profiler.mint prof);
+    if prof_on then
+      Obs.Profiler.push prof ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu)
+        "os_call_batch";
+    let tr = t.platform.P.tracer in
+    if Obs.Trace.enabled tr then begin
+      Obs.Trace.span_begin tr ~bucket:"monitor" ~id:(Obs.Profiler.id prof ~vcpu:vcpu.V.id)
+        ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) "os_call_batch";
+      if queued > 0 then
+        Obs.Trace.complete tr ~bucket:"monitor" ~id:(Obs.Profiler.id prof ~vcpu:vcpu.V.id)
+          ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu) ~dur:queued
+          (Obs.Trace.Wait Obs.Trace.Ring_flush)
+    end;
+    (* The producer stamps the batch sequence covering every pending
+       slot (the slot copies were already charged at submit time). *)
+    ignore (Ring.stamp_flush ring);
+    let target = batch_target ring n in
+    domain_switch t vcpu ~target;
+    let served = serve_batch t vcpu ring in
+    domain_switch t vcpu ~target:Privdom.Unt;
+    (* Completion scan: the OS reads each slot's response out of its
+       own ring memory, then retires the slots. *)
+    for i = 0 to n - 1 do
+      charge_on vcpu C.Copy (C.copy_cost (Idcb.response_size (Ring.response_at ring i)))
+    done;
+    Ring.consume ring;
+    if Obs.Trace.enabled tr then
+      Obs.Trace.span_end tr ~vcpu:vcpu.V.id ~vmpl:(T.vmpl_index (V.vmpl vcpu)) ~ts:(V.rdtsc vcpu)
+        "os_call_batch";
+    if prof_on then begin
+      Obs.Profiler.pop prof ~vcpu:vcpu.V.id ~ts:(V.rdtsc vcpu);
+      if minted then Obs.Profiler.set_id prof ~vcpu:vcpu.V.id 0
+    end;
+    ledger_exit t vcpu ~tag:Idcb.ring_flush_tag ~arrival ~queued ~mon0;
+    served
+  end
 
 type wait_stats = {
   ws_entries : int;

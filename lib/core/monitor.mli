@@ -88,6 +88,39 @@ val serve_pending : t -> Sevsnp.Vcpu.t -> Idcb.response
     under ["monitor.replays_suppressed"]) instead of re-executing a
     state-mutating request. *)
 
+(* Veil-Ring: batched submission/completion rings *)
+
+val register_ring : t -> Ring.t -> (unit, string) result
+(** Accept a per-VCPU submission ring.  Placement is checked like an
+    IDCB's (§5.2): the backing frame must be OS-writable private guest
+    memory and must not alias any protected region.  One ring per
+    VCPU; re-registration replaces. *)
+
+val ring_of : t -> vcpu_id:int -> Ring.t option
+
+val ring_submit : t -> Sevsnp.Vcpu.t -> Ring.t -> Idcb.request -> bool
+(** Producer side: enqueue a deferrable request, charging the slot
+    copy the IDCB write would have paid.  [false] = ring full
+    (backpressure — flush first). *)
+
+val os_call_batch : t -> Sevsnp.Vcpu.t -> Ring.t -> int
+(** Flush every pending slot through ONE Monitor+Switch entry: stamp
+    the batch sequence, switch to the serving domain (Dom_MON if any
+    slot is VMPL-0-delegated, else Dom_SEC), sanitize and dispatch
+    each slot ({!serve_batch}), switch back, and retire the slots.
+    Accounted in the wait ledger as a single entry under the
+    ["ring_flush"] tag.  Returns the number of slots served; 0 for an
+    empty ring (no switch paid). *)
+
+val serve_batch : t -> Sevsnp.Vcpu.t -> Ring.t -> int
+(** Trusted-domain half of a flush, exposed for replay testing: serves
+    each pending slot at most once per batch sequence.  A duplicated
+    relay of an already-served batch returns the cached per-slot
+    responses (counted per slot under ["monitor.replays_suppressed"]).
+    A slot that fails its framing check (ring_slot_corrupt chaos) is
+    rejected and journaled under ["monitor.ring_slot_rejected"]
+    without poisoning the rest of the batch. *)
+
 val domain_switch : t -> Sevsnp.Vcpu.t -> target:Privdom.t -> unit
 (** Raw hypervisor-relayed switch (used by services and the enclave
     runtime); current instance's GHCB must permit it.  The switch is

@@ -12,17 +12,25 @@ type t = {
   c_fetches : Obs.Metrics.counter;
   c_buffered : Obs.Metrics.counter;
   g_degraded : Obs.Metrics.gauge;
-  pending : string Queue.t;
+  pending : string Queue.t array;
       (** graceful degradation: lines that arrived while the region was
-          full wait here (bounded) and are flushed by {!clear} *)
+          full wait here (bounded) and are flushed by {!clear}.
+          Sharded per-VCPU (Veil-Ring): a parked append touches only
+          the appending VCPU's queue, so degraded-mode bookkeeping
+          stays out of the shared critical section. *)
   mutable head : int;  (** next free byte offset within the region *)
   mutable nlines : int;
   mutable chain : bytes;
 }
 
-(* Bounded buffered-retry queue: past this the service sheds records
-   (still explicitly — the caller sees the error response). *)
+(* Bounded buffered-retry queue (per VCPU shard): past this the service
+   sheds records (still explicitly — the caller sees the error
+   response). *)
 let pending_cap = 256
+
+let nshards = 8
+
+let shard_of t vcpu = t.pending.(vcpu.Sevsnp.Vcpu.id land (nshards - 1))
 
 let stats t =
   {
@@ -73,11 +81,12 @@ let append t vcpu (record : Guest_kernel.Audit.record) =
     (* Degraded, not dead: park the record in the bounded retry buffer
        (flushed on the next {!clear}), surface the state via the
        metrics registry, and answer with an explicit error. *)
-    if Queue.length t.pending < pending_cap then begin
-      Queue.push line t.pending;
-      Obs.Metrics.incr t.c_buffered;
-      Obs.Metrics.set t.g_degraded 1
-    end;
+    (let q = shard_of t vcpu in
+     if Queue.length q < pending_cap then begin
+       Queue.push line q;
+       Obs.Metrics.incr t.c_buffered;
+       Obs.Metrics.set t.g_degraded 1
+     end);
     Idcb.Resp_error "VeilS-LOG: reserved storage full; retrieve logs"
   end
   else begin
@@ -132,27 +141,30 @@ let read_all t =
   lines
 
 let degraded t = Obs.Metrics.gauge_value t.g_degraded <> 0
-let pending_count t = Queue.length t.pending
+let pending_count t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.pending
 
-(* Buffered retry: drain the degraded-mode queue into the (just
-   retrieved and cleared) region, oldest first. *)
+(* Buffered retry: drain the degraded-mode shards into the (just
+   retrieved and cleared) region, oldest first within each shard,
+   shard 0 (the boot VCPU's) first. *)
 let flush_pending t =
-  if not (Queue.is_empty t.pending) then begin
+  if pending_count t > 0 then begin
     let vcpu = Monitor.boot_vcpu t.mon in
     let here = Privdom.of_vmpl (Sevsnp.Vcpu.vmpl vcpu) in
     let need_switch =
       not (Privdom.more_privileged here Privdom.Enc || Privdom.equal here Privdom.Sec)
     in
     if need_switch then Monitor.domain_switch t.mon vcpu ~target:Privdom.Sec;
-    while
-      (not (Queue.is_empty t.pending))
-      && t.head + String.length (Queue.peek t.pending) + 4 <= capacity_bytes t
-    do
-      write_line t vcpu (Queue.pop t.pending)
-    done;
+    Array.iter
+      (fun q ->
+        while
+          (not (Queue.is_empty q)) && t.head + String.length (Queue.peek q) + 4 <= capacity_bytes t
+        do
+          write_line t vcpu (Queue.pop q)
+        done)
+      t.pending;
     if need_switch then Monitor.domain_switch t.mon vcpu ~target:here
   end;
-  if Queue.is_empty t.pending then Obs.Metrics.set t.g_degraded 0
+  if pending_count t = 0 then Obs.Metrics.set t.g_degraded 0
 
 let clear t =
   t.head <- 0;
@@ -177,7 +189,7 @@ let install mon =
       c_fetches = Obs.Metrics.counter m "slog.fetches";
       c_buffered = Obs.Metrics.counter m "slog.buffered_retries";
       g_degraded = Obs.Metrics.gauge m "slog.degraded";
-      pending = Queue.create ();
+      pending = Array.init nshards (fun _ -> Queue.create ());
       head = 0;
       nlines = 0;
       chain = Bytes.make 32 '\000';

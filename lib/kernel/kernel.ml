@@ -19,6 +19,10 @@ type t = {
   symbols : (string * int) list;
   mutable hooks : Hooks.t;
   mutable hooks_installed : bool;
+  mutable ring_flush : (unit -> unit) option;
+      (* Veil-Ring: called at the syscall tail to flush the current
+         VCPU's submission ring once it crosses its watermark; None
+         (the default) keeps the unbatched path byte-identical *)
   procs : (int, Process.t) Hashtbl.t;
   mutable next_pid : int;
   mutable ghcb : Sevsnp.Ghcb.t option;
@@ -54,6 +58,8 @@ let set_hooks t h =
 let set_audit_protection t enabled =
   Audit.set_protect_hook t.audit
     (if enabled && t.hooks_installed then Some t.hooks.Hooks.h_audit else None)
+
+let set_ring_flush t f = t.ring_flush <- f
 
 let hooks t = t.hooks
 let text_range t = t.text
@@ -183,6 +189,7 @@ let boot ~platform ~vcpu ~free_frames:(free_lo, free_hi) ~text_frames ~data_fram
       symbols = [];
       hooks = Hooks.none;
       hooks_installed = false;
+      ring_flush = None;
       procs = Hashtbl.create 16;
       next_pid = 1;
       ghcb = None;
@@ -888,6 +895,10 @@ let invoke t proc sys args =
      ignore (Audit.emit t.audit ~cycles:(Sevsnp.Vcpu.rdtsc t.vcpu) ~sys ~pid:proc.Process.pid ~detail)
    end);
   let ret = dispatch t proc sys args in
+  (* Veil-Ring flush point: deferred requests submitted during this
+     syscall (audit records, pt_syncs) ride the ring until the
+     watermark, then one batched monitor entry serves them all. *)
+  (match t.ring_flush with None -> () | Some flush -> flush ());
   let dur = Sevsnp.Vcpu.rdtsc t.vcpu - ts0 in
   Obs.Metrics.observe t.h_syscall_cycles dur;
   if Obs.Trace.enabled t.platform.P.tracer then

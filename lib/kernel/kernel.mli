@@ -50,6 +50,13 @@ val set_audit_protection : t -> bool -> unit
 (** Toggle the VeilS-LOG capture, leaving plain in-memory kaudit
     running — the baseline of experiment E6. *)
 
+val set_ring_flush : t -> (unit -> unit) option -> unit
+(** Veil-Ring: install (or remove) the syscall-tail flush hook.  When
+    set, it runs after every syscall's dispatch so deferred monitor
+    requests batched during the syscall are flushed once the current
+    VCPU's submission ring crosses its watermark.  [None] (the
+    default) keeps the single-call path byte-identical. *)
+
 val hooks : t -> Hooks.t
 
 val text_range : t -> int * int

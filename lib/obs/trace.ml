@@ -1,4 +1,4 @@
-type wait_reason = Runqueue | Monitor_serial | Shootdown_ack | Blocked_poll | Relay
+type wait_reason = Runqueue | Monitor_serial | Shootdown_ack | Blocked_poll | Relay | Ring_flush
 
 type kind =
   | Vmgexit
@@ -120,6 +120,7 @@ let wait_reason_name = function
   | Shootdown_ack -> "shootdown_ack"
   | Blocked_poll -> "blocked_poll"
   | Relay -> "relay"
+  | Ring_flush -> "ring_flush"
 
 let kind_name = function
   | Vmgexit -> "vmgexit"
@@ -139,3 +140,4 @@ let kind_name = function
   | Wait Shootdown_ack -> "wait.shootdown_ack"
   | Wait Blocked_poll -> "wait.blocked_poll"
   | Wait Relay -> "wait.relay"
+  | Wait Ring_flush -> "wait.ring_flush"

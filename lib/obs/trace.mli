@@ -26,6 +26,10 @@ type wait_reason =
   | Shootdown_ack  (** TLB-shootdown initiator spinning for remote IPI acks *)
   | Blocked_poll  (** suspended on a [block_until] predicate that polled false *)
   | Relay  (** host-side relay leg of a domain switch (untrusted hypervisor) *)
+  | Ring_flush
+      (** queueing delay charged to a batched ring flush: the single
+          serialized monitor entry that serves every slot of a
+          submission ring in one Monitor+Switch leg (Veil-Ring) *)
 
 type kind =
   | Vmgexit  (** world exit; [arg] 0 = VMGEXIT, 1 = automatic exit *)

@@ -22,6 +22,24 @@ val submit : t -> Guest_kernel.Sysno.t -> Guest_kernel.Ktypes.arg list -> (ticke
 (** Enclave-side, no exit.  [Error] when the ring is full (drain
     first) or the call is SDK-unsupported. *)
 
+type prepared
+(** A pre-validated submission (FlexSC registered entry / io_uring
+    reusable SQE): spec lookup, sanitizer pass and the arena-crossing
+    copy cost are paid once at {!prepare}, so each {!submit_prepared}
+    is pure stores + integer math — zero allocation, which bench
+    micro's alloc-check asserts. *)
+
+val prepare :
+  Guest_kernel.Sysno.t -> Guest_kernel.Ktypes.arg list -> (prepared, string) result
+
+val submit_prepared : t -> prepared -> ticket
+(** Raises [Failure] when the ring is full (drain the worker). *)
+
+val cancel : t -> ticket -> unit
+(** Withdraw a submitted-but-undrained request; a no-op once the
+    worker picked it up.  Lets a benchmark exercise the submit path
+    without paying the drain. *)
+
 val poll : t -> ticket -> Guest_kernel.Ktypes.ret option
 (** Enclave-side completion check; [None] while pending. *)
 

@@ -148,6 +148,19 @@ let tlb_snapshot t gpfn ~vmpl =
 
 let host_can_access t gpfn = gpfn >= 0 && gpfn < t.npages && meta t gpfn land st_mask = st_shared
 
+(* Shared-mailbox placement check (IDCBs, Veil-Ring rings): the frame
+   must be plain validated guest memory the given VMPL can read *and*
+   write — not a VMSA, not host-shared. *)
+let guest_can_rw t gpfn ~vmpl =
+  gpfn >= 0 && gpfn < t.npages
+  &&
+  let m = meta t gpfn in
+  m land st_mask = st_private
+  && m land bit_vmsa = 0
+  &&
+  let bits = perm_bits t gpfn (Types.vmpl_index vmpl) in
+  Perm.bits_allow bits Types.Read Types.Cpl0 && Perm.bits_allow bits Types.Write Types.Cpl0
+
 let iter_entries t f =
   for gpfn = 0 to t.npages - 1 do
     let m = meta t gpfn in

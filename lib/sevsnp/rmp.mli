@@ -78,6 +78,12 @@ val tlb_snapshot : t -> Types.gpfn -> vmpl:Types.vmpl -> int
 val host_can_access : t -> Types.gpfn -> bool
 (** The host may only touch [Shared] frames. *)
 
+val guest_can_rw : t -> Types.gpfn -> vmpl:Types.vmpl -> bool
+(** Shared-mailbox placement check (IDCBs, Veil-Ring submission
+    rings): true when the frame is validated [Private] guest memory
+    (not a VMSA, not host-shared) that [vmpl] can both read and
+    write — the §5.2 "less privileged party's memory" rule. *)
+
 val iter_entries : t -> (Types.gpfn -> entry -> unit) -> unit
 (** Iterate (in frame order) over frames whose RMP state differs from
     the reset state, presenting each as an immutable {!entry}

@@ -35,7 +35,7 @@ let tick_period = C.freq_hz / 250
 
 (* A native environment on [kernel]/[proc], with timer interrupts
    injected at 250 Hz of guest time. *)
-let native_env kernel proc hv vcpu rng =
+let native_env ?(rings = false) kernel proc hv vcpu rng =
   let last_tick = ref (Sevsnp.Vcpu.rdtsc vcpu) in
   let tick () =
     let now = Sevsnp.Vcpu.rdtsc vcpu in
@@ -55,6 +55,7 @@ let native_env kernel proc hv vcpu rng =
         Sevsnp.Vcpu.charge vcpu C.Compute n;
         tick ());
     env_rng = rng;
+    env_rings = rings;
   }
 
 type guest = {
@@ -86,16 +87,22 @@ let boot_guest ~npages ~seed mode =
 let snapshot vcpu = Array.map (fun b -> C.read_bucket vcpu.Sevsnp.Vcpu.counter b)
     [| C.Compute; C.Switch; C.Copy; C.Kernel; C.Monitor; C.Crypto; C.Io; C.Other |]
 
-let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) ?on_boot mode
-    (w : Workload.t) =
+let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) ?(rings = false)
+    ?on_boot mode (w : Workload.t) =
   let guest = boot_guest ~npages ~seed mode in
+  (* Veil-Ring opt-in: only meaningful under a monitor; native mode has
+     no VeilMon to batch calls into. *)
+  let rings = rings && guest.g_veil <> None in
+  (match guest.g_veil with
+  | Some v when rings -> Veil_core.Boot.enable_rings v ()
+  | _ -> ());
   (match on_boot with
   | Some f -> f (Hypervisor.Hv.platform guest.g_hv)
   | None -> ());
   let kernel = guest.g_kernel and hv = guest.g_hv and vcpu = guest.g_vcpu in
   let rng = Veil_crypto.Rng.create (seed * 7919) in
   let client_proc = K.spawn kernel in
-  let client_env = native_env kernel client_proc hv vcpu (Veil_crypto.Rng.split rng) in
+  let client_env = native_env ~rings kernel client_proc hv vcpu (Veil_crypto.Rng.split rng) in
   (* Audit configuration (Fig. 6 modes). *)
   (match mode with
   | Kaudit | Veils_log ->
@@ -123,6 +130,7 @@ let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) ?on_
             Env.sys = (fun s a -> Enclave_sdk.Runtime.ocall rt s a);
             compute = (fun n -> Enclave_sdk.Runtime.compute rt n);
             env_rng = Veil_crypto.Rng.split rng;
+            env_rings = rings;
           }
         in
         let ctx = { Workload.env; client = client_env; rng = Veil_crypto.Rng.split rng; scale } in
@@ -130,7 +138,7 @@ let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) ?on_
         Some (Enclave_sdk.Runtime.stats rt)
     | Native | Veil_background | Kaudit | Veils_log ->
         let proc = K.spawn kernel in
-        let env = native_env kernel proc hv vcpu (Veil_crypto.Rng.split rng) in
+        let env = native_env ~rings kernel proc hv vcpu (Veil_crypto.Rng.split rng) in
         let ctx = { Workload.env; client = client_env; rng = Veil_crypto.Rng.split rng; scale } in
         w.Workload.body ctx;
         None
@@ -146,6 +154,11 @@ let run ?(scale = 1) ?(seed = 97) ?(npages = Veil_core.Boot.default_npages) ?on_
     | None -> 0
   in
   let enclave_stats = run_body () in
+  (* Window barrier: deferred ring traffic is part of the measured run
+     and must land before the counters and log totals are read. *)
+  (match guest.g_veil with
+  | Some v when rings -> Veil_core.Boot.flush_rings v
+  | _ -> ());
   let after = snapshot vcpu in
   let d i = after.(i) - before.(i) in
   let cycles = Array.fold_left ( + ) 0 (Array.init 8 d) in

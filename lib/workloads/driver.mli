@@ -36,14 +36,19 @@ val run :
   ?scale:int ->
   ?seed:int ->
   ?npages:int ->
+  ?rings:bool ->
   ?on_boot:(Sevsnp.Platform.t -> unit) ->
   mode ->
   Workload.t ->
   stats
 (** Boot a fresh guest, run setup natively, then the workload body in
-    the requested configuration, measuring only the body.  [on_boot]
-    runs right after boot, before any workload setup — e.g. to enable
-    the platform tracer or grab its metrics registry. *)
+    the requested configuration, measuring only the body.  [rings]
+    (default false) opts the run into Veil-Ring batched submission
+    rings (ignored in [Native] mode, which has no monitor); deferred
+    traffic is flushed before the final counters are read, and the
+    workload's {!Env.t} carries [env_rings = true].  [on_boot] runs
+    right after boot, before any workload setup — e.g. to enable the
+    platform tracer or grab its metrics registry. *)
 
 val overhead_pct : baseline:stats -> stats -> float
 (** Percentage slowdown versus the baseline run. *)

@@ -5,6 +5,7 @@ type t = {
   sys : S.t -> K.arg list -> K.ret;
   compute : int -> unit;
   env_rng : Veil_crypto.Rng.t;
+  env_rings : bool;
 }
 
 exception Sys_error of K.errno * string

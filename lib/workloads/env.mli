@@ -9,6 +9,11 @@ type t = {
   sys : Guest_kernel.Sysno.t -> Guest_kernel.Ktypes.arg list -> Guest_kernel.Ktypes.ret;
   compute : int -> unit;  (** charge computation cycles *)
   env_rng : Veil_crypto.Rng.t;
+  env_rings : bool;
+      (** Veil-Ring opt-in: when true, fire-and-forget monitor traffic
+          issued under this environment rides per-VCPU submission rings
+          and may be observed late — readers of audit/log state must go
+          through a {!Veil_core.Boot.flush_rings} barrier first. *)
 }
 
 exception Sys_error of Guest_kernel.Ktypes.errno * string

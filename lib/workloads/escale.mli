@@ -44,6 +44,7 @@ val amdahl_ceiling : serial_frac:float -> nvcpus:int -> float
 
 val measure :
   ?trace:bool ->
+  ?rings:bool ->
   nvcpus:int ->
   seed:int ->
   spawn_work:(Veil_core.Boot.veil_system -> Veil_core.Smp.t -> int) ->
@@ -52,7 +53,10 @@ val measure :
 (** Boot, bring up [nvcpus], reset the monitor wait ledger, spawn the
     workload (returns its op count), interleave to completion, account.
     [trace] (default false) additionally arms the platform tracer for
-    the run — [veilctl scope] reads the ring afterwards. *)
+    the run — [veilctl scope] reads the ring afterwards.  [rings]
+    (default false) enables Veil-Ring batched submission rings after
+    AP bring-up, with a {!Veil_core.Boot.flush_rings} barrier before
+    the counters are read. *)
 
 val syscall_work : ops_total:int -> Veil_core.Boot.veil_system -> Veil_core.Smp.t -> int
 (** syscall-bench: a worker per VCPU splits [ops_total] getpid calls;
@@ -60,8 +64,9 @@ val syscall_work : ops_total:int -> Veil_core.Boot.veil_system -> Veil_core.Smp.
     call into VeilMon — the serialized slice of the workload. *)
 
 val http_work : requests:int -> Veil_core.Boot.veil_system -> Veil_core.Smp.t -> int
-(** HTTP-server: one listener pinned to the boot VCPU accepts 4
-    connections and spawns a handler per connection; handlers and
-    clients are distributed over the VCPUs.  The response path is
-    audited (Sendto), so every reply drags a log append through
-    VeilMon. *)
+(** HTTP-server: one listener pinned to the boot VCPU accepts one
+    connection per VCPU (minimum 4, so counts up to 4 keep their
+    historical schedules) and spawns a handler per connection;
+    handlers and clients are distributed over the VCPUs.  The response
+    path is audited (Sendto), so every reply drags a log append
+    through VeilMon. *)

@@ -67,6 +67,7 @@ let with_db f =
       W.Env.sys = (fun s a -> Guest_kernel.Kernel.invoke kernel proc s a);
       compute = (fun _ -> ());
       env_rng = Veil_crypto.Rng.create 5;
+      env_rings = false;
     }
   in
   f env (W.Sqldb.open_db env ~dir:"/tmp/db")

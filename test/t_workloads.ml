@@ -59,6 +59,7 @@ let null_env kernel proc =
     W.Env.sys = (fun s a -> Guest_kernel.Kernel.invoke kernel proc s a);
     compute = (fun _ -> ());
     env_rng = Veil_crypto.Rng.create 5;
+    env_rings = false;
   }
 
 let with_env f =

@@ -21,4 +21,5 @@ let () =
       ("facade", T_facade.suite);
       ("obs", T_obs.suite);
       ("chaos", T_chaos.suite);
+      ("ring", T_ring.suite);
     ]
