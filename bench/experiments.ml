@@ -39,6 +39,13 @@ let seed = ref 97
    byte-identical. *)
 let rings = ref false
 
+(* Veil-Pulse opt-in (--pulse): escale runs with the epoch sampler
+   armed (fixed interval below) and per-interval series in the JSON;
+   pulse-off runs touch no sampler state, so their schedules stay
+   byte-identical. *)
+let pulse = ref false
+let pulse_interval = 400_000
+
 let recorded : (string * D.stats) list ref = ref []
 
 let record ~experiment (s : D.stats) =
@@ -68,17 +75,23 @@ let micro_json (name, ns) =
   Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%.1f}" (Obs.Metrics.json_escape name) ns
 
 (* E-scale results ride along too: one record per (bench, vcpu count). *)
-let escale_recorded : (string * int * int * float * float * bool) list ref = ref []
+let escale_recorded : (string * int * int * float * float * bool * string) list ref = ref []
 
-let record_escale ~bench ~nvcpus ~ops ~ops_per_s ~serialized_pct =
+(* The per-interval pulse timeseries JSON is built by
+   [Workloads.Escale.pulse_json] ("" / omitted key when the run was
+   pulse-less, so pulse-off JSON stays byte-compatible with earlier
+   PRs). *)
+let record_escale ~bench ~nvcpus ~ops ~ops_per_s ~serialized_pct ~pulse_series =
   if !json_mode then
-    escale_recorded := (bench, nvcpus, ops, ops_per_s, serialized_pct, !rings) :: !escale_recorded
+    escale_recorded :=
+      (bench, nvcpus, ops, ops_per_s, serialized_pct, !rings, pulse_series) :: !escale_recorded
 
-let escale_json (bench, nvcpus, ops, ops_per_s, serialized_pct, ringed) =
+let escale_json (bench, nvcpus, ops, ops_per_s, serialized_pct, ringed, pulse_series) =
   Printf.sprintf
     "{\"bench\":\"%s\",\"vcpus\":%d,\"ops\":%d,\"ops_per_s\":%.1f,\"serialized_pct\":%.1f,\
-     \"rings\":%b}"
+     \"rings\":%b%s}"
     (Obs.Metrics.json_escape bench) nvcpus ops ops_per_s serialized_pct ringed
+    (if pulse_series = "" then "" else ",\"pulse\":" ^ pulse_series)
 
 let emit_json () =
   if !json_mode then
@@ -480,10 +493,11 @@ let escale () =
   header "E-scale  SMP throughput scaling with Veil-SMP (§5 AP bring-up)"
     "monitor-relayed AP boot; deterministic interleaving; VeilMon serializes log/IDCB work";
   let counts = Es.vcpu_counts () in
-  Printf.printf "interleaver: seeded(%d); guest seed %d; VCPU counts: %s; rings: %s\n"
+  Printf.printf "interleaver: seeded(%d); guest seed %d; VCPU counts: %s; rings: %s; pulse: %s\n"
     Es.inter_seed !seed
     (String.concat "," (List.map string_of_int counts))
-    (if !rings then "on (Veil-Ring batched submission)" else "off");
+    (if !rings then "on (Veil-Ring batched submission)" else "off")
+    (if !pulse then Printf.sprintf "on (interval %d cycles)" pulse_interval else "off");
   let run_table name ~spawn_work ~ops =
     Printf.printf "\n%s (%d ops total, strong scaling):\n" name ops;
     Printf.printf "  %5s %14s %9s %9s %11s %12s %10s %7s\n" "vcpus" "throughput" "speedup"
@@ -492,11 +506,29 @@ let escale () =
     let serial_frac = ref 0.0 in
     List.iter
       (fun nv ->
-        let (r : Es.result), _sys = Es.measure ~rings:!rings ~nvcpus:nv ~seed:!seed ~spawn_work () in
+        let pulse_arg = if !pulse then Some pulse_interval else None in
+        let (r : Es.result), sys =
+          Es.measure ~rings:!rings ?pulse:pulse_arg ~nvcpus:nv ~seed:!seed ~spawn_work ()
+        in
         let tp = Es.throughput r in
         let ser = Es.serialized_pct r in
         record_escale ~bench:name ~nvcpus:nv ~ops:r.Es.es_ops ~ops_per_s:tp
-          ~serialized_pct:ser;
+          ~serialized_pct:ser
+          ~pulse_series:(if !pulse then Workloads.Escale.pulse_json sys else "");
+        if !pulse then begin
+          let pu = sys.Veil_core.Boot.platform.P.pulse in
+          Printf.printf "  pulse @%d VCPUs: %d intervals captured (%d retained), %d anchors\n" nv
+            (Obs.Pulse.captured pu) (Obs.Pulse.retained pu) (Obs.Pulse.anchors_emitted pu);
+          List.iter
+            (fun (br : Obs.Pulse.burn_report) ->
+              Printf.printf
+                "    SLO %s: %d/%d bad (budget %.1f), burn %.2fx%s, %d crossing(s)\n"
+                br.Obs.Pulse.br_name br.Obs.Pulse.br_bad br.Obs.Pulse.br_total
+                br.Obs.Pulse.br_budget br.Obs.Pulse.br_burn
+                (if br.Obs.Pulse.br_crossed then " (over budget)" else "")
+                br.Obs.Pulse.br_crossings)
+            (Obs.Pulse.burn_reports pu)
+        end;
         let tp0 = match !base with None -> base := Some tp; tp | Some t -> t in
         if nv = 1 then serial_frac := float_of_int r.Es.es_mon /. float_of_int r.Es.es_busy;
         (* The simulator charges VeilMon work to the calling VCPU, so
@@ -532,7 +564,9 @@ let escale () =
               close_out oc
           | None -> ());
           (* reproducibility: the schedule and the numbers must replay *)
-          let (r2 : Es.result), _ = Es.measure ~rings:!rings ~nvcpus:nv ~seed:!seed ~spawn_work () in
+          let (r2 : Es.result), _ =
+            Es.measure ~rings:!rings ?pulse:pulse_arg ~nvcpus:nv ~seed:!seed ~spawn_work ()
+          in
           if r2.Es.es_journal <> r.Es.es_journal || Es.throughput r2 <> tp then
             failwith "E-scale: same seed produced a different schedule or throughput";
           Printf.printf "  replay @%d VCPUs: identical schedule (%d steps) and throughput — OK\n"

@@ -11,7 +11,8 @@ let usage () =
   print_endline "        --seed sets the guest RNG seed for every run, default 97;";
   print_endline "        escale: VEIL_ESCALE_VCPUS=1,2,4,8 picks the VCPU counts,";
   print_endline "        VEIL_ESCALE_JOURNAL=path dumps the interleaver schedule journals,";
-  print_endline "        --rings runs escale with Veil-Ring batched submission rings)"
+  print_endline "        --rings runs escale with Veil-Ring batched submission rings,";
+  print_endline "        --pulse arms Veil-Pulse telemetry sampling during escale)"
 
 let scale =
   match Sys.getenv_opt "VEIL_BENCH_SCALE" with Some s -> int_of_string s | None -> 1
@@ -31,6 +32,9 @@ let args =
     | "--json" :: rest -> strip rest
     | "--rings" :: rest ->
         Experiments.rings := true;
+        strip rest
+    | "--pulse" :: rest ->
+        Experiments.pulse := true;
         strip rest
     | a :: rest -> a :: strip rest
     | [] -> []

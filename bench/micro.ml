@@ -285,6 +285,16 @@ let alloc_check () =
   Sevsnp.Platform.arm_chaos platform (Chaos.Fault_plan.create ~seed:1 ());
   let d_armed = words_per_op ds in
   Sevsnp.Platform.disarm_chaos platform;
+  (* Veil-Pulse contract: an armed sampler whose epoch never elapses
+     pays only integer compares on the world-exit path — the same
+     words/op as disarmed (where the tick is one flag test).  The
+     domain-switch round trip runs through vmgexit, i.e. through the
+     tick site. *)
+  let pu = platform.Sevsnp.Platform.pulse in
+  let p_disarmed = words_per_op ds in
+  Obs.Pulse.arm pu ~interval:max_int ~now:(Sevsnp.Vcpu.rdtsc vcpu);
+  let p_armed = words_per_op ds in
+  Obs.Pulse.disarm pu;
   Obs.Trace.set_enabled tr true;
   let w_on = words_per_op wr and r_on = words_per_op rd and x_on = words_per_op ex in
   let t_on = words_per_op tl in
@@ -301,19 +311,22 @@ let alloc_check () =
   Printf.printf "  exitless prepared submit: %.4f w/op\n" e_sub;
   Printf.printf "  domain-switch roundtrip: chaos disarmed %.4f w/op, armed zero-prob %.4f w/op\n"
     d_disarmed d_armed;
+  Printf.printf "  domain-switch roundtrip: pulse disarmed %.4f w/op, armed no-capture %.4f w/op\n"
+    p_disarmed p_armed;
   Printf.printf "  sched yield step: wait_obs unarmed %.4f w/op, armed tracer-off %.4f w/op\n"
     sc_plain sc_armed;
   if
     x_off = 0.0 && x_on = 0.0 && w_off = 0.0 && w_on = 0.0 && r_off = 0.0 && r_on = 0.0
     && t_off = 0.0 && t_on = 0.0 && s_off = 0.0 && e_sub = 0.0 && d_armed = d_disarmed
-    && sc_armed = sc_plain
+    && sc_armed = sc_plain && p_armed = p_disarmed
   then
     print_endline
       "  PASS: checked physical access, the TLB-hit translated path, the\n\
       \        profiler-disabled syscall path and the exitless submit path\n\
       \        allocate nothing; an armed zero-probability chaos plan costs\n\
-      \        the same as disarmed, and an armed wait_obs with the tracer\n\
-      \        off costs the yield path nothing"
+      \        the same as disarmed, an armed wait_obs with the tracer\n\
+      \        off costs the yield path nothing, and an armed pulse\n\
+      \        sampler between captures costs what disarmed costs"
   else begin
     print_endline "  FAIL: an instrumented hot path allocates";
     exit 1

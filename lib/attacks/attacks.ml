@@ -619,6 +619,71 @@ let atk_stale_tlb =
       ignore (P.read_via_pt platform vcpu ~root:proc.Guest_kernel.Process.pt_root va 8);
       Breached "stale TLB entry let the OS read a revoked frame")
 
-let validation_attacks () = [ atk_validation_pt; atk_validation_module; atk_stale_tlb ]
+let atk_pulse_tamper =
+  mk "hypervisor-pulse-telemetry-tamper"
+    "untrusted hypervisor drops, edits and reorders attested Veil-Pulse telemetry before it \
+     reaches the verifier; the per-interval hash chain must flag every manipulation (ISSUE 8)"
+    (fun () ->
+      let sys = fresh () in
+      let platform = sys.Veil_core.Boot.platform in
+      let pu = platform.P.pulse in
+      let vcpu = sys.Veil_core.Boot.vcpu in
+      let kernel = sys.Veil_core.Boot.kernel in
+      let proc = K.spawn kernel in
+      (* audited opens: every op appends to VeilS-LOG through VeilMon,
+         so the world-exit path (where the sampler ticks) runs hot *)
+      Guest_kernel.Audit.set_rules (K.audit kernel) [ Guest_kernel.Sysno.Open ];
+      Obs.Pulse.arm pu ~interval:200_000 ~now:(Sevsnp.Vcpu.rdtsc vcpu);
+      for i = 1 to 200 do
+        match
+          K.invoke kernel proc Guest_kernel.Sysno.Open
+            [ Guest_kernel.Ktypes.Str (Printf.sprintf "/tmp/pulse-%d" i);
+              Guest_kernel.Ktypes.Int 0x42; Guest_kernel.Ktypes.Int 0o644 ]
+        with
+        | Guest_kernel.Ktypes.RInt fd ->
+            ignore (K.invoke kernel proc Guest_kernel.Sysno.Close [ Guest_kernel.Ktypes.Int fd ])
+        | r -> failwith (Format.asprintf "attack setup: open: %a" Guest_kernel.Ktypes.pp_ret r)
+      done;
+      Obs.Pulse.flush pu ~now:(Sevsnp.Vcpu.rdtsc vcpu);
+      Obs.Pulse.disarm pu;
+      let export = Obs.Pulse.export pu in
+      (match Obs.Pulse.verify_export pu export with
+      | Ok n when n >= 3 -> ()
+      | Ok n -> failwith (Printf.sprintf "attack setup: only %d interval(s) captured" n)
+      | Error (_, e) -> failwith ("attack setup: clean export rejected: " ^ e));
+      let hdr, body =
+        match String.split_on_char '\n' export with
+        | h :: rest -> (h, rest)
+        | [] -> failwith "attack setup: empty export"
+      in
+      let rejoin body = String.concat "\n" (hdr :: body) in
+      let accepted tampered =
+        match Obs.Pulse.verify_export pu tampered with Ok _ -> true | Error _ -> false
+      in
+      (* drop: suppress a middle interval *)
+      let dropped = rejoin (List.filteri (fun k _ -> k <> List.length body / 2) body) in
+      (* edit: inflate the middle interval's payload in place *)
+      let edited =
+        rejoin
+          (List.mapi
+             (fun k l ->
+               if k = List.length body / 2 then
+                 l ^ ",1:999" (* forge an extra delta slot *)
+               else l)
+             body)
+      in
+      (* reorder: swap the first two intervals *)
+      let reordered =
+        match body with a :: b :: rest -> rejoin (b :: a :: rest) | _ -> rejoin body
+      in
+      if accepted dropped then Breached "verifier accepted telemetry with a dropped interval"
+      else if accepted edited then Breached "verifier accepted an edited interval"
+      else if accepted reordered then Breached "verifier accepted reordered intervals"
+      else
+        Blocked_crypto
+          "interval hash chain flagged the dropped, edited and reordered telemetry")
+
+let validation_attacks () =
+  [ atk_validation_pt; atk_validation_module; atk_stale_tlb; atk_pulse_tamper ]
 
 let all () = framework_attacks () @ enclave_attacks () @ validation_attacks ()

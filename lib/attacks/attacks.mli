@@ -40,6 +40,8 @@ val enclave_attacks : unit -> t list
 
 val validation_attacks : unit -> t list
 (** §8.3: overwrite VeilMon-protected page tables; overwrite a loaded
-    module's text after disabling the OS's own W^X bits. *)
+    module's text after disabling the OS's own W^X bits; drop/edit/
+    reorder attested Veil-Pulse telemetry in transit (the hash chain
+    must pinpoint the manipulation). *)
 
 val all : unit -> t list

@@ -8,21 +8,23 @@ module A = Veil_attacks.Attacks
 module Rt = Enclave_sdk.Runtime
 module Smp = Veil_core.Smp
 
-type workload_kind = Wl_boot | Wl_syscall | Wl_enclave | Wl_slog
+type workload_kind = Wl_boot | Wl_syscall | Wl_enclave | Wl_slog | Wl_pulse
 
-let all_workloads = [ Wl_boot; Wl_syscall; Wl_enclave; Wl_slog ]
+let all_workloads = [ Wl_boot; Wl_syscall; Wl_enclave; Wl_slog; Wl_pulse ]
 
 let workload_name = function
   | Wl_boot -> "boot"
   | Wl_syscall -> "syscall"
   | Wl_enclave -> "enclave"
   | Wl_slog -> "slog"
+  | Wl_pulse -> "pulse"
 
 let workload_of_name = function
   | "boot" -> Some Wl_boot
   | "syscall" -> Some Wl_syscall
   | "enclave" -> Some Wl_enclave
   | "slog" -> Some Wl_slog
+  | "pulse" -> Some Wl_pulse
   | _ -> None
 
 type outcome =
@@ -70,6 +72,7 @@ let default_prob = function
   | FP.Spurious_npf | FP.Ghcb_corrupt -> 0.01
   | FP.Shared_bitflip -> 0.005
   | FP.Ring_slot_corrupt -> 0.02
+  | FP.Pulse_export_tamper -> 0.25
 
 (* Watchdog budget: a trial (boot sweep + workload, or the whole attack
    sweep) takes well under 100k world exits; a protocol livelock would
@@ -273,6 +276,46 @@ let run_slog () =
   end
   else Passed
 
+(* --- pulse: attested telemetry under an export-tampering hypervisor --- *)
+
+let run_pulse ~plan () =
+  let sys = B.boot_veil ~npages:trial_npages ~seed:29 () in
+  let platform = sys.B.platform in
+  let kernel = sys.B.kernel in
+  let vcpu = sys.B.vcpu in
+  let pu = platform.Sevsnp.Platform.pulse in
+  Guest_kernel.Audit.set_rules (K.audit kernel) [ S.Open ];
+  Obs.Pulse.arm pu ~interval:200_000 ~now:(Sevsnp.Vcpu.rdtsc vcpu);
+  let proc = K.spawn kernel in
+  for i = 0 to 99 do
+    ignore
+      (K.invoke kernel proc S.Open
+         [ Kt.Str (Printf.sprintf "/tmp/p%d" i); Kt.Int 0x42; Kt.Int 0o644 ])
+  done;
+  Obs.Pulse.flush pu ~now:(Sevsnp.Vcpu.rdtsc vcpu);
+  Obs.Pulse.disarm pu;
+  ignore (B.anchor_pulse sys);
+  if Obs.Pulse.captured pu < 2 then Corrupt "pulse: sampler captured fewer than 2 intervals"
+  else begin
+    (* The export leg is the tamper surface: the hypervisor ships the
+       series to a remote verifier, and the armed plan may drop or
+       edit an interval line in transit. *)
+    let before = FP.hits plan FP.Pulse_export_tamper in
+    let export = Sevsnp.Platform.export_pulse platform in
+    let tampered = FP.hits plan FP.Pulse_export_tamper > before in
+    match (Obs.Pulse.verify_export pu export, tampered) with
+    | Ok n, false ->
+        if n <> Obs.Pulse.retained pu then
+          Corrupt (Printf.sprintf "pulse: clean export verified only %d of %d intervals" n
+               (Obs.Pulse.retained pu))
+        else Passed
+    | Ok _, true -> Corrupt "pulse: tampered telemetry accepted by the verifier"
+    | Error (i, reason), true ->
+        Degraded (Printf.sprintf "pulse: telemetry tampering detected at interval %d (%s)" i reason)
+    | Error (i, reason), false ->
+        Corrupt (Printf.sprintf "pulse: clean export rejected at interval %d (%s)" i reason)
+  end
+
 let run_workload ?sites ?(vcpus = 1) ~seed kind =
   let plan = make_plan ?sites ~seed () in
   let body =
@@ -281,6 +324,7 @@ let run_workload ?sites ?(vcpus = 1) ~seed kind =
     | Wl_syscall -> run_syscall ~seed ~vcpus
     | Wl_enclave -> run_enclave ~seed
     | Wl_slog -> run_slog
+    | Wl_pulse -> run_pulse ~plan
   in
   let outcome = with_plan plan (fun () -> classify body) in
   {

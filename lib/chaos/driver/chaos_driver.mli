@@ -1,7 +1,8 @@
 (** Veil-Chaos trial driver (ISSUE 4).
 
     Runs the paper's workloads — boot, the E4 syscall bench, a shielded
-    enclave, and VeilS-LOG — on freshly booted guests with a seeded
+    enclave, VeilS-LOG, and attested Veil-Pulse telemetry export — on
+    freshly booted guests with a seeded
     {!Chaos.Fault_plan} armed on the platform, and classifies each
     trial against the two robustness invariants:
 
@@ -14,7 +15,7 @@
     Everything is derived from one integer seed, so a failing trial is
     reproduced exactly by re-running with the seed the driver printed. *)
 
-type workload_kind = Wl_boot | Wl_syscall | Wl_enclave | Wl_slog
+type workload_kind = Wl_boot | Wl_syscall | Wl_enclave | Wl_slog | Wl_pulse
 
 val all_workloads : workload_kind list
 val workload_name : workload_kind -> string

@@ -18,13 +18,14 @@ type site =
   | Ghcb_corrupt
   | Shared_bitflip
   | Ring_slot_corrupt
+  | Pulse_export_tamper
 
 let all_sites =
   [ Relay_drop; Relay_dup; Relay_reorder; Relay_refuse; Vmgexit_delay; Vmgexit_refuse;
     Spurious_exit; Rmpadjust_fail; Pvalidate_fail; Spurious_npf; Ghcb_corrupt; Shared_bitflip;
-    Ring_slot_corrupt ]
+    Ring_slot_corrupt; Pulse_export_tamper ]
 
-let nsites = 13
+let nsites = 14
 
 let site_index = function
   | Relay_drop -> 0
@@ -40,6 +41,7 @@ let site_index = function
   | Ghcb_corrupt -> 10
   | Shared_bitflip -> 11
   | Ring_slot_corrupt -> 12
+  | Pulse_export_tamper -> 13
 
 let site_of_index = function
   | 0 -> Relay_drop
@@ -55,6 +57,7 @@ let site_of_index = function
   | 10 -> Ghcb_corrupt
   | 11 -> Shared_bitflip
   | 12 -> Ring_slot_corrupt
+  | 13 -> Pulse_export_tamper
   | i -> invalid_arg (Printf.sprintf "Fault_plan.site_of_index %d" i)
 
 let site_name = function
@@ -71,6 +74,7 @@ let site_name = function
   | Ghcb_corrupt -> "ghcb_corrupt"
   | Shared_bitflip -> "shared_bitflip"
   | Ring_slot_corrupt -> "ring_slot_corrupt"
+  | Pulse_export_tamper -> "pulse_export_tamper"
 
 let site_of_name n = List.find_opt (fun s -> site_name s = n) all_sites
 

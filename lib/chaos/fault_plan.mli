@@ -32,6 +32,11 @@ type site =
       (** scribbles a submitted Veil-Ring slot between submit and
           drain (the ring lives in OS memory — TOCTOU); the monitor
           must reject the slot without poisoning the rest of the batch *)
+  | Pulse_export_tamper
+      (** corrupts or drops one exported Veil-Pulse telemetry interval
+          before the verifier sees it; chain verification must flag
+          the exact interval — tampering is detected, never silently
+          accepted as clean numbers *)
 
 type t
 

@@ -215,6 +215,63 @@ let rings_enabled sys =
 let flush_rings sys =
   List.iter (fun vcpu -> flush_ring_of sys.mon vcpu) (P.vcpus sys.platform)
 
+(* --- Veil-Pulse: anchoring telemetry into VeilS-LOG --- *)
+
+(* Drain the sampler's pending anchor lines into the VeilS-LOG region
+   through the ordinary (ringable) [R_log_append] path — the same
+   execute-ahead chain that protects audit records now covers the
+   telemetry chain heads, so a hypervisor that forges pulse data must
+   also break the measured log.  Anchor records carry sysno [Write]
+   (the telemetry writer) and pid 0.
+
+   Only the anchors pending at entry are drained: the drain's own
+   monitor calls advance the clock and can close further intervals,
+   whose anchors ride the *next* drain — otherwise a short interval
+   could chase its own tail forever. *)
+let anchor_pulse sys =
+  let pulse = sys.platform.P.pulse in
+  let mon = sys.mon in
+  let pending = Obs.Pulse.pending_anchors pulse in
+  for _ = 1 to pending do
+    match Obs.Pulse.pop_anchor pulse with
+    | None -> ()
+    | Some line ->
+        let vcpu = K.vcpu sys.kernel in
+        let record =
+          {
+            Guest_kernel.Audit.seq = Obs.Pulse.anchors_emitted pulse;
+            cycles = Sevsnp.Vcpu.rdtsc vcpu;
+            sys = Guest_kernel.Sysno.Write;
+            pid = 0;
+            detail = line;
+          }
+        in
+        let req = Idcb.R_log_append record in
+        (match Monitor.ring_of mon ~vcpu_id:vcpu.Sevsnp.Vcpu.id with
+        | Some ring ->
+            if not (Monitor.ring_submit mon vcpu ring req) then begin
+              ignore (Monitor.os_call_batch mon vcpu ring);
+              ignore (Monitor.ring_submit mon vcpu ring req)
+            end
+        | None -> ignore (Monitor.os_call mon vcpu req))
+  done;
+  if pending > 0 then flush_rings sys;
+  pending
+
+let pulse_anchor_lines sys =
+  (* The "pulse ..." lines VeilS-LOG retains — what a remote verifier
+     reads back (chain-checked) to learn the trusted interval
+     digests. *)
+  List.filter
+    (fun line ->
+      (* anchors render as "... pid=0 pulse i=..." via Audit.to_line *)
+      let rec find i =
+        i + 6 <= String.length line
+        && (String.sub line i 6 = "pulse " || find (i + 1))
+      in
+      find 0)
+    (Slog.read_all sys.slog)
+
 let boot_native ?(npages = default_npages) ?(seed = 11) () =
   let layout = Layout.standard ~npages () in
   let platform = P.create ~seed ~npages () in

@@ -69,6 +69,23 @@ val enable_rings : ?slots:int -> veil_system -> unit -> unit
 
 val rings_enabled : veil_system -> bool
 
+(* Veil-Pulse: attested telemetry anchoring *)
+
+val anchor_pulse : veil_system -> int
+(** Drain the platform sampler's pending interval anchors into
+    VeilS-LOG through the ordinary (ringable) [R_log_append] path, one
+    record per captured interval (sysno [Write], pid 0, detail
+    ["pulse i=<n> t1=<cycle> digest=<hex> chain=<hex>"]), then flush
+    the rings so every anchor is observable.  Returns how many anchors
+    were appended.  Only anchors pending at entry are drained — the
+    drain's own monitor traffic may close further intervals, which
+    ride the next call. *)
+
+val pulse_anchor_lines : veil_system -> string list
+(** The pulse anchor lines VeilS-LOG currently retains, oldest first —
+    the chain-protected record a remote verifier reads back to learn
+    the trusted interval digests. *)
+
 val flush_rings : veil_system -> unit
 (** Drain every VCPU's leftover slots — the barrier before reading
     audit logs, counters or any other state that must observe all

@@ -18,7 +18,7 @@ let buf_ts buf ~freq_hz key cycles =
       Buffer.add_string buf
         (Printf.sprintf "%.3f" (float_of_int cycles *. 1e6 /. float_of_int hz))
 
-let to_json ?freq_hz t =
+let to_json ?freq_hz ?pulse t =
   (* Complete spans are recorded at their end but stamped with their
      start, so the emission order is not timestamp order; viewers want
      (and the tests assert) sorted output. *)
@@ -129,5 +129,37 @@ let to_json ?freq_hz t =
           steps (first.Trace.ev_vmpl, first.Trace.ev_vcpu) rest
       | _ -> ())
     flow_ids;
+  (* Veil-Pulse counter tracks (ph "C"): one sample per retained
+     interval, stamped at the interval's close, so Perfetto draws
+     metric lanes (syscall rate, windowed p99, exit rate) under the
+     span tracks.  Counters are per-pid; they ride on vmpl0. *)
+  (match pulse with
+  | Some pu when Pulse.retained pu > 0 ->
+      let track name t1 v =
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"veil.pulse\",\"ph\":\"C\"" name);
+        buf_ts buf ~freq_hz ",\"ts\":" t1;
+        Buffer.add_string buf (Printf.sprintf ",\"pid\":0,\"args\":{\"value\":%d}}" v)
+      in
+      for i = Pulse.first_retained pu to Pulse.captured pu - 1 do
+        match Pulse.bounds pu i with
+        | None -> ()
+        | Some (_, t1) ->
+            let n, p99 =
+              match Pulse.hist_window pu ~metric:"kernel.syscall_cycles" ~window:1 ~upto:i with
+              | Some (b, n, _) -> (n, Pulse.wpercentile ~buckets:b 99.0)
+              | None -> (0, 0)
+            in
+            let exits =
+              match Pulse.counter_delta pu ~metric:"platform.vmgexit" i with
+              | Some v -> v
+              | None -> 0
+            in
+            track "pulse.syscalls" t1 n;
+            track "pulse.p99_cycles" t1 p99;
+            track "pulse.vmgexits" t1 exits
+      done
+  | _ -> ());
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
   Buffer.contents buf

@@ -12,8 +12,14 @@
     bucket, the kind-specific [arg], and the causal trace id (when
     nonzero) ride along in ["args"]. *)
 
-val to_json : ?freq_hz:int -> Trace.t -> string
+val to_json : ?freq_hz:int -> ?pulse:Pulse.t -> Trace.t -> string
 (** Export all buffered events.  Timestamps are emitted in
     microseconds when [freq_hz] is given (Chrome's native unit,
     computed as [cycles * 1e6 / freq_hz]); without it, raw cycle
-    values are used — still valid, just unlabeled units. *)
+    values are used — still valid, just unlabeled units.
+
+    With [pulse], one Chrome counter track sample (ph ["C"]) per
+    retained Veil-Pulse interval is appended for the core series —
+    per-interval syscall count, windowed p99 of
+    [kernel.syscall_cycles], and [platform.vmgexit] delta — so
+    Perfetto renders metric lanes alongside the span tracks. *)

@@ -15,11 +15,34 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-type t = { tbl : (string, metric) Hashtbl.t }
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  (* Registration order, dense and append-only: snapshots address
+     metrics by index, so indices must stay stable across [reset]. *)
+  mutable order : (string * metric) array;
+  mutable nordered : int;
+  mutable refresh : unit -> unit;
+}
 
-let create () = { tbl = Hashtbl.create 64 }
+let no_refresh () = ()
+
+let create () =
+  { tbl = Hashtbl.create 64; order = Array.make 16 ("", Counter { c = 0 }); nordered = 0;
+    refresh = no_refresh }
+
+let set_refresh t f = t.refresh <- f
+let refresh t = t.refresh ()
 
 let kind_label = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let order_push t name m =
+  if t.nordered = Array.length t.order then begin
+    let bigger = Array.make (2 * t.nordered) ("", m) in
+    Array.blit t.order 0 bigger 0 t.nordered;
+    t.order <- bigger
+  end;
+  t.order.(t.nordered) <- (name, m);
+  t.nordered <- t.nordered + 1
 
 let intern t name make match_ =
   match Hashtbl.find_opt t.tbl name with
@@ -32,6 +55,7 @@ let intern t name make match_ =
   | None ->
       let m = make () in
       Hashtbl.replace t.tbl name m;
+      order_push t name m;
       (match match_ m with Some h -> h | None -> assert false)
 
 let counter t name =
@@ -131,7 +155,116 @@ let reset t =
           h.mx <- 0)
     t.tbl
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots: a flattened int-array image of every registered metric,
+   preallocated so the sampler's hot path performs only int stores and
+   [Array.blit] — no interning, no boxing.  Slot layout per metric:
+   counter → 1 slot, gauge → 1 slot, histogram → [nbuckets] bucket
+   slots followed by n / sum / mn / mx ([hist_slots] total). *)
+
+let hist_slots = nbuckets + 4
+
+type skind = K_counter | K_gauge | K_histogram
+
+type snapshot = {
+  mutable sn : int;  (** metrics covered *)
+  mutable skinds : skind array;
+  mutable snames : string array;
+  mutable soffs : int array;  (** slot offset per metric index *)
+  mutable sdata : int array;
+  mutable slen : int;  (** total slots used *)
+}
+
+let slots_of = function Counter _ | Gauge _ -> 1 | Histogram _ -> hist_slots
+let skind_of = function Counter _ -> K_counter | Gauge _ -> K_gauge | Histogram _ -> K_histogram
+
+let snap_layout t s =
+  (* (Re)size the snapshot to the current registry.  Allocates only
+     when the registry grew since the last layout. *)
+  if s.sn <> t.nordered then begin
+    let total = ref 0 in
+    for i = 0 to t.nordered - 1 do
+      total := !total + slots_of (snd t.order.(i))
+    done;
+    let kinds = Array.make (max 1 t.nordered) K_counter in
+    let names = Array.make (max 1 t.nordered) "" in
+    let offs = Array.make (max 1 t.nordered) 0 in
+    let data = Array.make (max 1 !total) 0 in
+    let off = ref 0 in
+    for i = 0 to t.nordered - 1 do
+      let name, m = t.order.(i) in
+      kinds.(i) <- skind_of m;
+      names.(i) <- name;
+      offs.(i) <- !off;
+      off := !off + slots_of m
+    done;
+    s.sn <- t.nordered;
+    s.skinds <- kinds;
+    s.snames <- names;
+    s.soffs <- offs;
+    s.sdata <- data;
+    s.slen <- !total
+  end
+
+let snapshot_create t =
+  let s =
+    { sn = -1; skinds = [||]; snames = [||]; soffs = [||]; sdata = [||]; slen = 0 }
+  in
+  snap_layout t s;
+  s
+
+let snapshot_take t s =
+  t.refresh ();
+  snap_layout t s;
+  let data = s.sdata in
+  for i = 0 to s.sn - 1 do
+    let off = s.soffs.(i) in
+    match snd t.order.(i) with
+    | Counter c -> data.(off) <- c.c
+    | Gauge g -> data.(off) <- g.g
+    | Histogram h ->
+        Array.blit h.buckets 0 data off nbuckets;
+        data.(off + nbuckets) <- h.n;
+        data.(off + nbuckets + 1) <- h.sum;
+        data.(off + nbuckets + 2) <- h.mn;
+        data.(off + nbuckets + 3) <- h.mx
+  done
+
+let snap_metrics s = s.sn
+let snap_slots s = s.slen
+let snap_name s i = s.snames.(i)
+let snap_kind s i = s.skinds.(i)
+let snap_offset s i = s.soffs.(i)
+let snap_data s = s.sdata
+
+let diff ~prev ~cur ~into =
+  (* Per-interval deltas of [cur] against [prev], written into the
+     caller-owned [into] (length >= [cur.slen]).  Counter and
+     histogram bucket/n/sum slots delta with counter-reset semantics
+     (cur < prev → delta = cur, Prometheus-style); gauge and histogram
+     mn/mx slots carry the current value. *)
+  if Array.length into < cur.slen then invalid_arg "Metrics.diff: into too small";
+  let pdata = prev.sdata and cdata = cur.sdata in
+  for i = 0 to cur.sn - 1 do
+    let off = cur.soffs.(i) in
+    let prev_at j = if i < prev.sn && j < prev.slen then pdata.(j) else 0 in
+    let mono j =
+      let c = cdata.(j) and p = prev_at j in
+      into.(j) <- (if c < p then c else c - p)
+    in
+    match cur.skinds.(i) with
+    | K_counter -> mono off
+    | K_gauge -> into.(off) <- cdata.(off)
+    | K_histogram ->
+        for j = off to off + nbuckets + 1 do
+          mono j
+        done;
+        into.(off + nbuckets + 2) <- cdata.(off + nbuckets + 2);
+        into.(off + nbuckets + 3) <- cdata.(off + nbuckets + 3)
+  done
+
 let dump t =
+  refresh t;
   let buf = Buffer.create 256 in
   List.iter
     (fun name ->
@@ -161,6 +294,7 @@ let json_escape s =
   Buffer.contents buf
 
 let to_json t =
+  refresh t;
   let pick f = List.filter_map (fun n -> f n (Hashtbl.find t.tbl n)) (names t) in
   let obj fields = "{" ^ String.concat "," fields ^ "}" in
   let counters =

@@ -63,6 +63,68 @@ val percentile : histogram -> float -> int
 
 val find : t -> string -> metric option
 
+val set_refresh : t -> (unit -> unit) -> unit
+(** Install a registry-wide refresh hook for lazily-maintained gauges
+    (e.g. [trace.dropped], which only the platform can true up).  The
+    hook runs before every {!dump}, {!to_json}, and {!snapshot_take},
+    so no direct registry read ever sees a stale gauge.  Must not
+    allocate: it runs on the sampler hot path. *)
+
+val refresh : t -> unit
+(** Run the installed refresh hook (no-op by default). *)
+
+(** {2 Snapshots}
+
+    A snapshot is a preallocated flattened int-array image of every
+    registered metric, addressed by registration order (indices are
+    dense, append-only, and survive {!reset}).  Taking one performs no
+    interning and — once sized — no allocation, so the Veil-Pulse
+    sampler can capture intervals on the world-exit path.  Slot layout
+    per metric: counter → 1 slot, gauge → 1 slot, histogram →
+    {!nbuckets} bucket-count slots then n / sum / min / max
+    ({!hist_slots} total). *)
+
+val nbuckets : int
+(** Number of log₂ buckets per histogram (63). *)
+
+val bucket_hi : int -> int
+(** Upper bound of bucket [i]: 0 for bucket 0, else [2^i - 1]. *)
+
+val hist_slots : int
+(** Snapshot slots per histogram: [nbuckets + 4]. *)
+
+type skind = K_counter | K_gauge | K_histogram
+
+type snapshot
+
+val snapshot_create : t -> snapshot
+(** Allocate a snapshot sized for the current registry. *)
+
+val snapshot_take : t -> snapshot -> unit
+(** Run the refresh hook, then copy every metric's current values into
+    the snapshot.  Allocation-free unless the registry grew since the
+    snapshot was last sized (then the buffers regrow once). *)
+
+val snap_metrics : snapshot -> int
+(** Number of metrics covered. *)
+
+val snap_slots : snapshot -> int
+(** Total int slots used. *)
+
+val snap_name : snapshot -> int -> string
+val snap_kind : snapshot -> int -> skind
+val snap_offset : snapshot -> int -> int
+val snap_data : snapshot -> int array
+(** The raw slot array (do not resize; indices per {!snap_offset}). *)
+
+val diff : prev:snapshot -> cur:snapshot -> into:int array -> unit
+(** Per-interval deltas of [cur] against [prev], written into the
+    caller-owned [into] (length >= [snap_slots cur]).  Counter and
+    histogram bucket/count/sum slots delta with counter-reset
+    semantics ([cur < prev] → delta = [cur], Prometheus-style); gauge
+    and histogram min/max slots carry the current value.  Metrics
+    registered after [prev] was taken delta against zero. *)
+
 val names : t -> string list
 (** All registered names, sorted. *)
 

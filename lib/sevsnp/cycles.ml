@@ -92,6 +92,11 @@ let deep_copy_cost n = 12 * n
    lighttpd redirect share implies. *)
 
 let kaudit_format = 11_000
+
+(* One Veil-Pulse epoch capture: a monitor-resident scan of the whole
+   metrics registry into a preallocated snapshot plus the amortized
+   digest/chain fold — no domain switch, no copies out of VMPL0. *)
+let pulse_sample = 600
 (* Building one kaudit SYSCALL record (field formatting, context
    capture); calibrated against Fig. 6's Kaudit bars. *)
 let hash_cost n = 12 * n

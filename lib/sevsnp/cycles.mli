@@ -104,6 +104,10 @@ val deep_copy_cost : int -> int
 val kaudit_format : int
 (** Cost of formatting one kaudit record. *)
 
+val pulse_sample : int
+(** One Veil-Pulse epoch capture: registry scan into a preallocated
+    snapshot + digest/chain fold, monitor-resident (no switch). *)
+
 val hash_cost : int -> int
 (** SHA-256 software cost over [n] bytes. *)
 

@@ -13,6 +13,7 @@ type t = {
   metrics : Obs.Metrics.t;
   tracer : Obs.Trace.t;
   profiler : Obs.Profiler.t;
+  pulse : Obs.Pulse.t;
   mutable chaos : Chaos.Fault_plan.t option;
   c_npf : Obs.Metrics.counter;
   c_rmpadjust : Obs.Metrics.counter;
@@ -31,7 +32,8 @@ exception Guest_page_fault of { fault_va : Types.va; fault_access : Types.access
 let create ?(seed = 7) ~npages () =
   let rng = Veil_crypto.Rng.create seed in
   let metrics = Obs.Metrics.create () in
-  {
+  let t =
+    {
     mem = Phys_mem.create ~npages;
     rmp = Rmp.create ~npages;
     vcpus_rev = [];
@@ -46,6 +48,7 @@ let create ?(seed = 7) ~npages () =
     metrics;
     tracer = Obs.Trace.create ();
     profiler = Obs.Profiler.create ();
+    pulse = Obs.Pulse.create ~metrics ();
     chaos = None;
     c_npf = Obs.Metrics.counter metrics "platform.npf";
     c_rmpadjust = Obs.Metrics.counter metrics "platform.rmpadjust";
@@ -57,11 +60,20 @@ let create ?(seed = 7) ~npages () =
     c_tlb_flush = Obs.Metrics.counter metrics "tlb.flush";
     c_ipi = Obs.Metrics.counter metrics "platform.ipi";
     g_trace_dropped = Obs.Metrics.gauge metrics "trace.dropped";
-  }
+    }
+  in
+  (* Lazily-maintained gauges are trued up by the registry-wide
+     refresh hook, so every dump / to_json / pulse snapshot sees
+     current values — no caller-side refresh discipline needed. *)
+  Obs.Metrics.set_refresh metrics (fun () ->
+      Obs.Metrics.set t.g_trace_dropped (Obs.Trace.dropped t.tracer));
+  Obs.Pulse.set_tracer t.pulse (Some t.tracer);
+  t
 
 (* Ring wraparound is invisible to the tracer's hot path; surface it as
-   a gauge on demand (called by exporters/CLIs before a dump). *)
-let refresh_obs_gauges t = Obs.Metrics.set t.g_trace_dropped (Obs.Trace.dropped t.tracer)
+   a gauge on demand (kept for existing callers — the registry refresh
+   hook installed by [create] now runs this on every registry read). *)
+let refresh_obs_gauges t = Obs.Metrics.refresh t.metrics
 
 (* Machine-wide TLB shootdown: invalidate every VCPU's cached
    translations (page-table edit, RMP mutation outside the Rmp module's
@@ -500,6 +512,12 @@ let vmgexit t vcpu =
   check_running t;
   chaos_step t;
   vcpu.Vcpu.last_exit_ts <- Vcpu.rdtsc vcpu;
+  (* Veil-Pulse epoch sampler: rides the same world-exit boundary as
+     the chaos watchdog.  Disarmed this is one flag test; a fired
+     capture bills its monitor-resident registry scan to the ticking
+     VCPU. *)
+  if Obs.Pulse.tick t.pulse ~now:vcpu.Vcpu.last_exit_ts then
+    Vcpu.charge vcpu Cycles.Monitor Cycles.pulse_sample;
   Obs.Metrics.incr t.c_vmgexit;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
@@ -521,6 +539,8 @@ let automatic_exit t vcpu =
   check_running t;
   chaos_step t;
   vcpu.Vcpu.last_exit_ts <- Vcpu.rdtsc vcpu;
+  if Obs.Pulse.tick t.pulse ~now:vcpu.Vcpu.last_exit_ts then
+    Vcpu.charge vcpu Cycles.Monitor Cycles.pulse_sample;
   Obs.Metrics.incr t.c_vmgexit;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~vcpu:vcpu.Vcpu.id ~vmpl:(Types.vmpl_index (Vcpu.vmpl vcpu))
@@ -601,3 +621,38 @@ let attestation_report t vcpu ~report_data =
   check_running t;
   Vcpu.charge vcpu Cycles.Crypto (Cycles.hash_cost 4096);
   Attestation.report t.attestation ~requester_vmpl:(Vcpu.vmpl vcpu) ~report_data
+
+(* --- Veil-Pulse attested export --- *)
+
+(* Telemetry leaves the CVM through the hypervisor, which the threat
+   model lets corrupt or suppress anything in flight.  [export_pulse]
+   is that hostile channel: the [Pulse_export_tamper] chaos site may
+   edit one exported interval line or drop it entirely before the
+   verifier sees the data.  [Pulse.verify_export] must flag the exact
+   interval — detected tampering, never silently accepted numbers. *)
+let export_pulse t =
+  let exported = Obs.Pulse.export t.pulse in
+  match t.chaos with
+  | Some plan when Chaos.Fault_plan.fire plan Chaos.Fault_plan.Pulse_export_tamper -> (
+      chaos_mark t None "pulse_export_tamper";
+      match String.split_on_char '\n' exported with
+      | header :: lines when lines <> [] ->
+          let victim = Chaos.Fault_plan.draw plan (List.length lines) in
+          let drop = Chaos.Fault_plan.draw plan 2 = 0 in
+          let lines' =
+            List.concat (List.mapi
+              (fun i line ->
+                if i <> victim then [ line ]
+                else if drop then []
+                else
+                  (* Edit: perturb one digit of the payload so the
+                     line still parses but its digest diverges. *)
+                  [ (let b = Bytes.of_string line in
+                     let k = Bytes.length b - 1 in
+                     Bytes.set b k (if Bytes.get b k = '0' then '1' else '0');
+                     Bytes.to_string b) ])
+              lines)
+          in
+          String.concat "\n" (header :: lines')
+      | _ -> exported)
+  | _ -> exported

@@ -32,6 +32,11 @@ type t = {
           save/restore, GHCB protocol, RMPADJUST, PVALIDATE — as
           profiler leaves, and upper layers (hypervisor, kernel,
           monitor, SDK) open the surrounding frames *)
+  pulse : Obs.Pulse.t;
+      (** Veil-Pulse epoch sampler, disarmed by default; [tick]ed on
+          every world exit right after the chaos watchdog, so armed it
+          captures delta-encoded registry snapshots on exit boundaries
+          and disarmed it costs one flag test *)
   mutable chaos : Chaos.Fault_plan.t option;
       (** armed Veil-Chaos fault plan, [None] in normal operation; the
           platform's instruction/exit paths and the hypervisor consult
@@ -124,8 +129,17 @@ val tlb_shootdown_distributed : t -> initiator:Vcpu.t -> unit
 
 val refresh_obs_gauges : t -> unit
 (** Sync on-demand observability gauges — currently ["trace.dropped"]
-    (events lost to ring wraparound since the last clear).  Call before
-    dumping/exporting metrics; never called on hot paths. *)
+    (events lost to ring wraparound since the last clear).  [create]
+    installs this as the registry's refresh hook, so [Metrics.to_json],
+    [Metrics.dump], and every Veil-Pulse snapshot already run it;
+    explicit calls remain for exporters outside the registry. *)
+
+val export_pulse : t -> string
+(** Serialize the retained Veil-Pulse intervals *through the
+    hypervisor*: the [Pulse_export_tamper] chaos site may corrupt or
+    drop one interval line in flight (marked via {!chaos_mark}).
+    Feed the result to [Obs.Pulse.verify_export] — on a tampered
+    export it pinpoints the damaged interval. *)
 
 (* Checked guest memory access *)
 

@@ -46,7 +46,16 @@ let amdahl_ceiling ~serial_frac ~nvcpus =
   if serial_frac > 0.0 then 1.0 /. (serial_frac +. ((1.0 -. serial_frac) /. float_of_int nvcpus))
   else float_of_int nvcpus
 
-let measure ?(trace = false) ?(rings = false) ~nvcpus ~seed ~spawn_work () =
+(* Default SLO for pulse-armed runs: 95% of syscalls at or under
+   2^14 - 1 cycles per trailing 8-interval window.  Plain getpid and
+   unaudited I/O land well under this; the audited Sendto reply path
+   (log append through VeilMon) lands above it, so the http workload
+   burns real error budget and the report is non-trivial. *)
+let slo_good_below = (1 lsl 14) - 1
+let slo_target = 0.95
+let slo_window = 8
+
+let measure ?(trace = false) ?(rings = false) ?pulse ~nvcpus ~seed ~spawn_work () =
   let sys = Veil_core.Boot.boot_veil ~npages:4096 ~seed () in
   let prof = sys.Veil_core.Boot.platform.P.profiler in
   Obs.Profiler.set_enabled prof true;
@@ -59,6 +68,15 @@ let measure ?(trace = false) ?(rings = false) ~nvcpus ~seed ~spawn_work () =
   (* Measurement window starts here: boot and AP bring-up traffic must
      not pollute the serialized-monitor ledger. *)
   Veil_core.Monitor.reset_wait_ledger sys.Veil_core.Boot.mon;
+  (* Veil-Pulse opt-in: armed at window start so interval 0 opens on
+     the first measured exit; the pulse-off path touches nothing. *)
+  (match pulse with
+  | Some interval ->
+      let pu = sys.Veil_core.Boot.platform.P.pulse in
+      Obs.Pulse.objective pu ~name:"syscall-latency" ~metric:"kernel.syscall_cycles"
+        ~good_below:slo_good_below ~slo:slo_target ~window:slo_window;
+      Obs.Pulse.arm pu ~interval ~now:(V.rdtsc (Smp.vcpu smp 0))
+  | None -> ());
   if trace then begin
     Obs.Trace.clear sys.Veil_core.Boot.platform.P.tracer;
     Obs.Trace.set_enabled sys.Veil_core.Boot.platform.P.tracer true
@@ -81,20 +99,88 @@ let measure ?(trace = false) ?(rings = false) ~nvcpus ~seed ~spawn_work () =
         - mon_before.(i))
     |> Array.fold_left ( + ) 0
   in
+  let wait = Veil_core.Monitor.wait_stats sys.Veil_core.Boot.mon in
+  let prof_mon_self =
+    Obs.Profiler.bucket_self prof "os_call" + Obs.Profiler.bucket_self prof "os_call_batch"
+  in
+  let prof_mon_hits =
+    Obs.Profiler.bucket_hits prof "os_call" + Obs.Profiler.bucket_hits prof "os_call_batch"
+  in
+  (* Pulse epilogue, after every window counter and ledger is read:
+     close the tail interval, stop sampling, then append every anchor
+     to VeilS-LOG.  In-window sampling cost (Cycles.pulse_sample per
+     capture) is part of the measurement; anchoring models the
+     retrieval-time export and stays outside it. *)
+  (match pulse with
+  | Some _ ->
+      let pu = sys.Veil_core.Boot.platform.P.pulse in
+      let now =
+        Array.init nvcpus (fun i -> V.rdtsc (Smp.vcpu smp i)) |> Array.fold_left max 0
+      in
+      Obs.Pulse.flush pu ~now;
+      Obs.Pulse.disarm pu;
+      ignore (Veil_core.Boot.anchor_pulse sys)
+  | None -> ());
   ( {
       es_ops = ops;
       es_wall = Array.fold_left max 0 deltas;
       es_busy = Array.fold_left ( + ) 0 deltas;
       es_mon = mon;
-      es_prof_mon_self =
-        Obs.Profiler.bucket_self prof "os_call" + Obs.Profiler.bucket_self prof "os_call_batch";
-      es_prof_mon_hits =
-        Obs.Profiler.bucket_hits prof "os_call" + Obs.Profiler.bucket_hits prof "os_call_batch";
+      es_prof_mon_self = prof_mon_self;
+      es_prof_mon_hits = prof_mon_hits;
       es_steals = Smp.steals smp;
       es_journal = Smp.journal smp;
-      es_wait = Veil_core.Monitor.wait_stats sys.Veil_core.Boot.mon;
+      es_wait = wait;
     },
     sys )
+
+(* Veil-Pulse per-interval timeseries of one measured run, as a JSON
+   object — shared by the bench JSON document and [veilctl pulse
+   --json] so the two never drift. *)
+let pulse_json sys =
+  let pu = sys.Veil_core.Boot.platform.P.pulse in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"interval\":%d,\"captured\":%d,\"overwritten\":%d,\"intervals\":["
+       (Obs.Pulse.interval_cycles pu) (Obs.Pulse.captured pu) (Obs.Pulse.overwritten pu));
+  let first = Obs.Pulse.first_retained pu in
+  for i = first to Obs.Pulse.captured pu - 1 do
+    if i > first then Buffer.add_char buf ',';
+    let t0, t1 = match Obs.Pulse.bounds pu i with Some b -> b | None -> (0, 0) in
+    let n, p50, p99, p999 =
+      match Obs.Pulse.hist_window pu ~metric:"kernel.syscall_cycles" ~window:1 ~upto:i with
+      | Some (b, n, _) ->
+          ( n,
+            Obs.Pulse.wpercentile ~buckets:b 50.0,
+            Obs.Pulse.wpercentile ~buckets:b 99.0,
+            Obs.Pulse.wpercentile ~buckets:b 99.9 )
+      | None -> (0, 0, 0, 0)
+    in
+    let exits =
+      match Obs.Pulse.counter_delta pu ~metric:"platform.vmgexit" i with Some v -> v | None -> 0
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"i\":%d,\"t0\":%d,\"t1\":%d,\"syscalls\":%d,\"p50\":%d,\"p99\":%d,\"p999\":%d,\
+          \"vmgexits\":%d}"
+         i t0 t1 n p50 p99 p999 exits)
+  done;
+  Buffer.add_string buf "],\"slo\":[";
+  List.iteri
+    (fun k (br : Obs.Pulse.burn_report) ->
+      if k > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"metric\":\"%s\",\"good_below\":%d,\"slo\":%g,\"window\":%d,\
+            \"total\":%d,\"bad\":%d,\"budget\":%g,\"burn\":%g,\"crossed\":%b,\"crossings\":%d}"
+           (Obs.Metrics.json_escape br.Obs.Pulse.br_name)
+           (Obs.Metrics.json_escape br.Obs.Pulse.br_metric)
+           br.Obs.Pulse.br_good_below br.Obs.Pulse.br_slo br.Obs.Pulse.br_window
+           br.Obs.Pulse.br_total br.Obs.Pulse.br_bad br.Obs.Pulse.br_budget br.Obs.Pulse.br_burn
+           br.Obs.Pulse.br_crossed br.Obs.Pulse.br_crossings))
+    (Obs.Pulse.burn_reports pu);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
 
 let syscall_work ~ops_total sys smp =
   let kernel = sys.Veil_core.Boot.kernel in

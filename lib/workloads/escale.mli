@@ -42,9 +42,19 @@ val serialized_pct : result -> float
 val amdahl_ceiling : serial_frac:float -> nvcpus:int -> float
 (** [1 / (s + (1-s)/N)]. *)
 
+val slo_good_below : int
+(** Default pulse-run SLO latency target: 95% of syscalls at or under
+    [2^14 - 1] cycles per trailing {!slo_window}-interval window —
+    audited appends through VeilMon land above this, so audit-heavy
+    workloads burn visible error budget. *)
+
+val slo_target : float
+val slo_window : int
+
 val measure :
   ?trace:bool ->
   ?rings:bool ->
+  ?pulse:int ->
   nvcpus:int ->
   seed:int ->
   spawn_work:(Veil_core.Boot.veil_system -> Veil_core.Smp.t -> int) ->
@@ -56,7 +66,20 @@ val measure :
     the run — [veilctl scope] reads the ring afterwards.  [rings]
     (default false) enables Veil-Ring batched submission rings after
     AP bring-up, with a {!Veil_core.Boot.flush_rings} barrier before
-    the counters are read. *)
+    the counters are read.  [pulse] (default off) arms the Veil-Pulse
+    sampler with the given interval (cycles) at window start, declares
+    the default syscall-latency objective ({!slo_good_below}), and at
+    window end closes the tail interval and anchors every captured
+    interval into VeilS-LOG — read the series off
+    [sys.platform.pulse]. *)
+
+val pulse_json : Veil_core.Boot.veil_system -> string
+(** Veil-Pulse per-interval timeseries of a measured run as one JSON
+    object: [interval]/[captured]/[overwritten], an [intervals] array
+    ([i], [t0], [t1], [syscalls], windowed [p50]/[p99]/[p999] of
+    [kernel.syscall_cycles], [vmgexits]) and an [slo] array of burn
+    reports.  Shared by the bench JSON document and
+    [veilctl pulse --json]. *)
 
 val syscall_work : ops_total:int -> Veil_core.Boot.veil_system -> Veil_core.Smp.t -> int
 (** syscall-bench: a worker per VCPU splits [ops_total] getpid calls;

@@ -105,7 +105,7 @@ let test_site_names_roundtrip () =
       | None -> Alcotest.fail ("no round trip for " ^ FP.site_name s))
     FP.all_sites;
   Alcotest.(check bool) "unknown name rejected" true (FP.site_of_name "nonsense" = None);
-  Alcotest.(check int) "thirteen sites" 13 FP.nsites
+  Alcotest.(check int) "fourteen sites" 14 FP.nsites
 
 let test_summary_json_mentions_seed () =
   let p = FP.create ~seed:12345 () in

@@ -22,4 +22,5 @@ let () =
       ("obs", T_obs.suite);
       ("chaos", T_chaos.suite);
       ("ring", T_ring.suite);
+      ("pulse", T_pulse.suite);
     ]
