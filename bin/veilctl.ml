@@ -1316,11 +1316,157 @@ let bench_cmd =
           tolerance — the cross-PR trajectory regression gate.")
     Term.(const run $ baseline_arg $ tol_arg $ vcpus_filter_arg $ seed_arg)
 
+(* --- explore (ISSUE 9): exhaustive interleaving search --- *)
+
+let explore_cmd =
+  let module E = Explore in
+  let scenario_arg =
+    let doc =
+      "Comma-separated scenarios to explore (default: the four standard ones).  Names: \
+       ap-race, rmp-shootdown, oscall-replay, ring-race; the test-only weakened-replay \
+       scenario must be named explicitly."
+    in
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAMES" ~doc)
+  in
+  let budget_arg =
+    let doc = "Max branch executions per scenario; alternatives beyond it are reported as the open frontier." in
+    Arg.(value & opt int E.default_config.E.cf_budget & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Interleaver steps per branch before the schedule watchdog trips." in
+    Arg.(value & opt int E.default_config.E.cf_max_steps & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the machine-readable report (branch counts, pruning ratio, frontier coverage)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay the veil-explore artifact line(s) in $(docv) byte-for-byte instead of exploring; \
+       fails unless every journal reproduces its recorded outcome class."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"JOURNAL" ~doc)
+  in
+  let out_arg =
+    let doc = "Write one veil-explore artifact line per minimized counterexample to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let expect_arg =
+    let doc =
+      "Invert the exit status: succeed only if a violation IS found (used by tests/CI to \
+       demonstrate detect -> minimize -> replay on the weakened scenario)."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let run seed scenarios budget max_steps json replay out expect =
+    let config =
+      { E.default_config with E.cf_budget = budget; cf_max_steps = max_steps; cf_seed = seed }
+    in
+    match replay with
+    | Some path ->
+        let ic = open_in path in
+        let failures = ref 0 and lines = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then begin
+               incr lines;
+               match E.parse_artifact line with
+               | Error e ->
+                   incr failures;
+                   Printf.printf "replay: BAD ARTIFACT: %s (%s)\n" (String.trim line) e
+               | Ok af -> (
+                   match E.replay ~config af with
+                   | Ok msg -> Printf.printf "replay: %s\n" msg
+                   | Error e ->
+                       incr failures;
+                       Printf.printf "replay: FAILED: %s\n" e)
+             end
+           done
+         with End_of_file -> close_in ic);
+        if !lines = 0 then begin
+          Printf.eprintf "explore: no artifact lines in %s\n" path;
+          exit 2
+        end;
+        if !failures > 0 then exit 1
+    | None ->
+        let scenarios =
+          match scenarios with
+          | None -> E.all_scenarios
+          | Some s ->
+              List.map
+                (fun n ->
+                  let n = String.trim n in
+                  match E.find_scenario n with
+                  | Some sc -> sc
+                  | None ->
+                      Printf.eprintf "unknown scenario: %s\n" n;
+                      exit 2)
+                (String.split_on_char ',' s)
+        in
+        let reports = List.map (fun sc -> E.explore ~config sc) scenarios in
+        let violations =
+          List.filter_map (fun r -> Option.map (fun cx -> (r, cx)) r.E.rr_violation) reports
+        in
+        if json then print_endline (E.report_json reports)
+        else begin
+          Printf.printf "veil-explore: %d scenario(s), budget %d branches, %d interleaver steps\n"
+            (List.length reports) budget max_steps;
+          List.iter
+            (fun r ->
+              Printf.printf
+                "  %-16s vcpus=%d branches=%-4d points=%-4d pruned=%-4d deferred=%-4d \
+                 depth=%-3d prune=%.0f%% coverage=%.0f%% %s\n"
+                r.E.rr_scenario r.E.rr_nvcpus r.E.rr_runs r.E.rr_branch_points r.E.rr_pruned
+                r.E.rr_deferred r.E.rr_max_depth
+                (100.0 *. E.pruning_ratio r)
+                (100.0 *. E.frontier_coverage r)
+                (if E.exhausted r then "exhausted" else "budget-bounded");
+              match r.E.rr_violation with
+              | None -> ()
+              | Some cx ->
+                  Printf.printf
+                    "    VIOLATION %s after %d branch(es): journal %S (%d -> %d steps, %d \
+                     shrink runs)\n"
+                    cx.E.cx_detail cx.E.cx_found_after cx.E.cx_journal cx.E.cx_orig_len
+                    (String.length cx.E.cx_journal)
+                    cx.E.cx_shrink_runs)
+            reports
+        end;
+        (match out with
+        | Some path when violations <> [] ->
+            let oc = open_out path in
+            List.iter
+              (fun (_, cx) -> output_string oc (E.artifact_of_counterexample cx ^ "\n"))
+              violations;
+            close_out oc;
+            Printf.eprintf "explore: wrote %d artifact line(s) to %s\n" (List.length violations)
+              path
+        | _ -> ());
+        if expect then begin
+          if violations = [] then begin
+            Printf.eprintf "explore: expected a violation, found none\n";
+            exit 1
+          end
+        end
+        else if violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Enumerate the schedule tree of bounded SMP scenarios over the monitor protocols \
+          (DFS with sleep-set pruning and a branch budget), re-checking the chaos invariants \
+          plus slog-chain/IDCB/Dom_MON/ring-cache invariants on every branch; violations are \
+          shrunk to a minimal schedule journal replayable byte-for-byte with --replay.")
+    Term.(const run $ seed_arg $ scenario_arg $ budget_arg $ max_steps_arg $ json_arg
+          $ replay_arg $ out_arg $ expect_arg)
+
 let main =
   let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in
   Cmd.group
     (Cmd.info "veilctl" ~version:Veil_core.Veil.version ~doc)
     [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; profile_cmd; scope_cmd;
-      report_cmd; metrics_cmd; migrate_cmd; sql_cmd; chaos_cmd; pulse_cmd; bench_cmd ]
+      report_cmd; metrics_cmd; migrate_cmd; sql_cmd; chaos_cmd; pulse_cmd; bench_cmd;
+      explore_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -27,7 +27,10 @@ let workload_of_name = function
   | "pulse" -> Some Wl_pulse
   | _ -> None
 
-type outcome =
+(* The classifier lives in the shared {!Chaos_outcome} module (used by
+   Veil-Explore too); the driver re-exports the type with its historic
+   name so callers and the JSON report are unchanged. *)
+type outcome = Chaos_outcome.t =
   | Passed
   | Degraded of string
   | Halted of string
@@ -35,15 +38,8 @@ type outcome =
   | Corrupt of string
   | Crashed of string
 
-let outcome_ok = function Passed | Degraded _ | Halted _ -> true | _ -> false
-
-let outcome_to_string = function
-  | Passed -> "passed"
-  | Degraded e -> "degraded: " ^ e
-  | Halted e -> "halted: " ^ e
-  | Watchdog e -> "watchdog: " ^ e
-  | Corrupt e -> "CORRUPT: " ^ e
-  | Crashed e -> "CRASHED: " ^ e
+let outcome_ok = Chaos_outcome.ok
+let outcome_to_string = Chaos_outcome.to_string
 
 type trial = {
   tr_workload : workload_kind;
@@ -91,25 +87,10 @@ let with_plan plan f =
   B.default_chaos := (fun () -> Some plan);
   Fun.protect ~finally:(fun () -> B.default_chaos := saved) f
 
-let watchdog_prefix = "chaos watchdog"
+exception Fail = Chaos_outcome.Fail
 
-let is_watchdog r =
-  String.length r >= String.length watchdog_prefix
-  && String.sub r 0 (String.length watchdog_prefix) = watchdog_prefix
-
-exception Fail of outcome
-
-let corrupt fmt = Printf.ksprintf (fun m -> raise (Fail (Corrupt m))) fmt
-
-let classify f =
-  try f () with
-  | Fail o -> o
-  | T.Cvm_halted r when is_watchdog r -> Watchdog r
-  | T.Cvm_halted r -> Halted r
-  | T.Npf info -> Halted (Fmt.str "#NPF: %a" T.pp_npf info)
-  | Rt.Enclave_killed e -> Degraded ("enclave killed: " ^ e)
-  | Stack_overflow -> Watchdog "stack overflow (unbounded retry loop)"
-  | e -> Crashed (Printexc.to_string e)
+let corrupt = Chaos_outcome.corrupt
+let classify = Chaos_outcome.classify
 
 (* Guest boot parameters are FIXED per workload (same image, same
    layout every trial): all trial-to-trial variation comes from the

@@ -27,7 +27,7 @@ val workload_of_name : string -> workload_kind option
     violations: [Watchdog] is a detected hang, [Corrupt] a silently
     wrong guest-visible result, [Crashed] an unclassified exception
     escaping the simulator. *)
-type outcome =
+type outcome = Chaos_outcome.t =
   | Passed
   | Degraded of string
   | Halted of string

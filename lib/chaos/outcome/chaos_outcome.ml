@@ -1,0 +1,61 @@
+(* The shared Veil-Chaos trial classifier (ISSUE 9, extracted from
+   chaos_driver.ml so `veilctl chaos` and `veilctl explore` enforce the
+   same contract): a run of guest code either Passed, degraded with an
+   explicit error, or halted explicitly — anything else (a detected
+   hang, a silently wrong guest-visible result, an unclassified
+   exception) violates the "attacks blocked; correct, degraded, or
+   halted — never silent corruption" invariant. *)
+
+module T = Sevsnp.Types
+module Rt = Enclave_sdk.Runtime
+
+type t =
+  | Passed
+  | Degraded of string
+  | Halted of string
+  | Watchdog of string
+  | Corrupt of string
+  | Crashed of string
+
+let ok = function Passed | Degraded _ | Halted _ -> true | _ -> false
+
+let to_string = function
+  | Passed -> "passed"
+  | Degraded e -> "degraded: " ^ e
+  | Halted e -> "halted: " ^ e
+  | Watchdog e -> "watchdog: " ^ e
+  | Corrupt e -> "CORRUPT: " ^ e
+  | Crashed e -> "CRASHED: " ^ e
+
+(* Stable lower-case class name, without the detail message — what a
+   replay artifact records and a confirming re-execution must match. *)
+let class_name = function
+  | Passed -> "passed"
+  | Degraded _ -> "degraded"
+  | Halted _ -> "halted"
+  | Watchdog _ -> "watchdog"
+  | Corrupt _ -> "corrupt"
+  | Crashed _ -> "crashed"
+
+let same_class a b = String.equal (class_name a) (class_name b)
+
+let watchdog_prefix = "chaos watchdog"
+
+let is_watchdog r =
+  String.length r >= String.length watchdog_prefix
+  && String.sub r 0 (String.length watchdog_prefix) = watchdog_prefix
+
+exception Fail of t
+
+let fail o = raise (Fail o)
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Fail (Corrupt m))) fmt
+
+let classify f =
+  try f () with
+  | Fail o -> o
+  | T.Cvm_halted r when is_watchdog r -> Watchdog r
+  | T.Cvm_halted r -> Halted r
+  | T.Npf info -> Halted (Fmt.str "#NPF: %a" T.pp_npf info)
+  | Rt.Enclave_killed e -> Degraded ("enclave killed: " ^ e)
+  | Stack_overflow -> Watchdog "stack overflow (unbounded retry loop)"
+  | e -> Crashed (Printexc.to_string e)

@@ -47,6 +47,10 @@ and t = {
   mutable vmsa_cursor : T.gpfn;
   mutable kernel_entry : int;
   mutable initialized : bool;
+  mutable replay_guard : bool;
+      (* normally [true]; Veil-Explore's weakened-guard demonstration
+         turns the IDCB/ring replay caches off (test-only) to prove the
+         explorer detects the double execution the guard prevents *)
   shards : shard array;  (* indexed by vcpu_id: replayed-relay suppression *)
   rings : Ring.t option array;
       (* indexed by vcpu_id: the registered Veil-Ring submission ring,
@@ -126,6 +130,7 @@ let create ~hv ~layout ~boot_vcpu =
     vmsa_cursor = layout.Layout.vmsa_region.Layout.lo;
     kernel_entry = 0;
     initialized = false;
+    replay_guard = true;
     shards =
       Array.init 64 (fun _ ->
           { sh_seq = -1; sh_resp = Idcb.Resp_none; sh_batch_seq = -1; sh_batch_n = 0 });
@@ -524,7 +529,7 @@ let serve_pending t vcpu =
   let idcb = idcb_of t ~vcpu_id:vcpu.V.id in
   let seq = idcb.Idcb.seq in
   let sh = t.shards.(vcpu.V.id) in
-  if sh.sh_seq = seq then begin
+  if t.replay_guard && sh.sh_seq = seq then begin
     Obs.Metrics.incr t.c_replays;
     sh.sh_resp
   end
@@ -690,7 +695,7 @@ let serve_batch t vcpu ring =
   | _ -> failwith "serve_batch: unregistered ring");
   let sh = t.shards.(Ring.vcpu_id ring) in
   let bseq = Ring.batch_seq ring in
-  if sh.sh_batch_seq = bseq then begin
+  if t.replay_guard && sh.sh_batch_seq = bseq then begin
     Obs.Metrics.add t.c_replays sh.sh_batch_n;
     sh.sh_batch_n
   end
@@ -858,3 +863,5 @@ let attestation_report t vcpu ~nonce =
 
 let session_key_with t ~peer_public =
   Veil_crypto.Dh.shared_secret ~secret:t.dh.Veil_crypto.Dh.secret ~peer_public ()
+
+let weaken_replay_guard_for_test t = t.replay_guard <- false

@@ -88,6 +88,14 @@ val serve_pending : t -> Sevsnp.Vcpu.t -> Idcb.response
     under ["monitor.replays_suppressed"]) instead of re-executing a
     state-mutating request. *)
 
+val weaken_replay_guard_for_test : t -> unit
+(** TEST-ONLY.  Disable the IDCB and ring replay caches so a
+    duplicated/replayed relay re-executes its request.  Used by
+    Veil-Explore's weakened-guard scenario to demonstrate end-to-end
+    detect → minimize → replay of the silent double execution the
+    guard normally prevents.  Never call this outside a test or an
+    explore scenario marked weakened. *)
+
 (* Veil-Ring: batched submission/completion rings *)
 
 val register_ring : t -> Ring.t -> (unit, string) result

@@ -74,21 +74,31 @@ let nvcpus t = Array.length t.vcpus
 let vcpu t i = t.vcpus.(i)
 let spawn ?vcpu t ~name body = S.spawn ?vcpu t.sched ~name body
 
-let run t =
+let run ?max_steps t =
   let kernel = t.sys.Boot.kernel in
   let boot_vcpu = t.vcpus.(0) in
   let runnable v = S.queue_live t.sched v in
+  let budget = match max_steps with None -> max_int | Some n -> n in
   let rec loop () =
     if S.live t.sched > 0 then
-      match Hv.Interleave.next t.inter ~runnable with
-      | None -> failwith "Smp.run: live coroutines on no runqueue"
-      | Some v ->
-          K.set_vcpu kernel t.vcpus.(v);
-          if S.step_vcpu t.sched v then loop ()
-          else
-            (* No queue anywhere held a runnable task: every live
-               coroutine is blocked. *)
-            raise (S.Deadlock (S.live_names t.sched))
+      if Hv.Interleave.steps t.inter >= budget then
+        (* Schedule-level watchdog (Veil-Explore): a schedule that
+           never retires its coroutines is a livelock finding, reported
+           with the same watchdog prefix the chaos step budget uses so
+           the shared classifier maps it to [Watchdog]. *)
+        raise
+          (Sevsnp.Types.Cvm_halted
+             (Printf.sprintf "chaos watchdog: interleaver step budget (%d) exceeded" budget))
+      else
+        match Hv.Interleave.next t.inter ~runnable with
+        | None -> failwith "Smp.run: live coroutines on no runqueue"
+        | Some v ->
+            K.set_vcpu kernel t.vcpus.(v);
+            if S.step_vcpu t.sched v then loop ()
+            else
+              (* No queue anywhere held a runnable task: every live
+                 coroutine is blocked. *)
+              raise (S.Deadlock (S.live_names t.sched))
   in
   (* Whatever happens, leave the kernel attributed to the boot VCPU —
      single-VCPU code after an SMP phase must not charge an AP. *)

@@ -27,11 +27,14 @@ val spawn : ?vcpu:int -> t -> name:string -> (unit -> unit) -> unit
 (** Register a coroutine; [vcpu] pins its home runqueue (default:
     round-robin assignment). *)
 
-val run : t -> unit
+val run : ?max_steps:int -> t -> unit
 (** Interleave until every coroutine finished.  Raises
     {!Guest_kernel.Sched.Deadlock} when all live coroutines are
-    blocked.  Always restores the kernel's current VCPU to the boot
-    VCPU on exit. *)
+    blocked.  [max_steps] (default: unbounded) is the Veil-Explore
+    schedule watchdog: exceeding it raises
+    [Sevsnp.Types.Cvm_halted "chaos watchdog: ..."], which the shared
+    chaos classifier maps to [Watchdog].  Always restores the kernel's
+    current VCPU to the boot VCPU on exit. *)
 
 val sched : t -> Guest_kernel.Sched.t
 val nvcpus : t -> int

@@ -382,9 +382,24 @@ let inject_interrupt t vcpu =
 
    Every choice is appended to a journal (one digit per step) so two
    runs can be compared byte-for-byte and a diverging schedule can be
-   uploaded as a CI artifact. *)
+   uploaded as a CI artifact.
+
+   Veil-Explore turns each decision into an explicit *branch point*:
+   [Scripted] drives the schedule from a previously recorded journal
+   (byte-for-byte replay, with a typed error — never silent truncation
+   — when the journal is shorter than the schedule it drives), and
+   [Guided] hands the full runnable set to an external chooser so a
+   schedule-tree search can enumerate the alternatives it did not
+   take. *)
 module Interleave = struct
-  type policy = Round_robin | Seeded of int
+  type policy =
+    | Round_robin
+    | Seeded of int
+    | Scripted of string
+    | Guided of (int list -> int)
+
+  exception Journal_exhausted of { journal : string; steps : int }
+  exception Journal_mismatch of { journal : string; step : int; chosen : int }
 
   type sched = {
     nvcpus : int;
@@ -397,9 +412,14 @@ module Interleave = struct
 
   let create ?(policy = Round_robin) ~nvcpus () =
     if nvcpus < 1 then invalid_arg "Hv.Interleave.create: nvcpus must be >= 1";
+    (match policy with
+    | Scripted _ | Guided _ when nvcpus > 10 ->
+        (* the journal encodes one VCPU id per character *)
+        invalid_arg "Hv.Interleave.create: scripted/guided schedules support at most 10 VCPUs"
+    | _ -> ());
     let state =
       match policy with
-      | Round_robin -> 1
+      | Round_robin | Scripted _ | Guided _ -> 1
       | Seeded seed ->
           (* Same avalanche + force-odd trick as the chaos PRNG: the
              all-zero fixpoint is unreachable for every seed. *)
@@ -417,23 +437,51 @@ module Interleave = struct
     t.state <- s;
     s
 
+  let record t v =
+    t.cursor <- (v + 1) mod t.nvcpus;
+    t.steps <- t.steps + 1;
+    Buffer.add_string t.journal (string_of_int v);
+    Some v
+
+  (* Runnable VCPUs in ascending id order — the branch-point alphabet. *)
+  let enabled t ~runnable =
+    let rec go v acc = if v < 0 then acc else go (v - 1) (if runnable v then v :: acc else acc) in
+    go (t.nvcpus - 1) []
+
   let next t ~runnable =
-    let start =
-      match t.policy with Round_robin -> t.cursor | Seeded _ -> next_raw t mod t.nvcpus
-    in
-    let rec scan k =
-      if k >= t.nvcpus then None
-      else
-        let v = (start + k) mod t.nvcpus in
-        if runnable v then Some v else scan (k + 1)
-    in
-    match scan 0 with
-    | Some v ->
-        t.cursor <- (v + 1) mod t.nvcpus;
-        t.steps <- t.steps + 1;
-        Buffer.add_string t.journal (string_of_int v);
-        Some v
-    | None -> None
+    match t.policy with
+    | Round_robin | Seeded _ -> (
+        let start =
+          match t.policy with
+          | Round_robin -> t.cursor
+          | Seeded _ -> next_raw t mod t.nvcpus
+          | Scripted _ | Guided _ -> assert false
+        in
+        let rec scan k =
+          if k >= t.nvcpus then None
+          else
+            let v = (start + k) mod t.nvcpus in
+            if runnable v then Some v else scan (k + 1)
+        in
+        match scan 0 with Some v -> record t v | None -> None)
+    | Scripted j -> (
+        match enabled t ~runnable with
+        | [] -> None
+        | en ->
+            if t.steps >= String.length j then
+              raise (Journal_exhausted { journal = j; steps = t.steps + 1 });
+            let c = Char.code j.[t.steps] - Char.code '0' in
+            if c < 0 || c >= t.nvcpus || not (List.mem c en) then
+              raise (Journal_mismatch { journal = j; step = t.steps; chosen = c });
+            record t c)
+    | Guided f -> (
+        match enabled t ~runnable with
+        | [] -> None
+        | en ->
+            let c = f en in
+            if not (List.mem c en) then
+              invalid_arg "Hv.Interleave: guide chose a VCPU outside the runnable set";
+            record t c)
 
   let journal t = Buffer.contents t.journal
   let steps t = t.steps

@@ -73,11 +73,33 @@ module Interleave : sig
         (** an xorshift stream (chaos-PRNG family) picks the start
             VCPU each step; the scan to the first runnable one from
             there is deterministic too *)
+    | Scripted of string
+        (** byte-for-byte replay of a recorded journal: step [i] takes
+            the VCPU named by character [i].  Raises
+            {!Journal_exhausted} when the schedule needs more steps
+            than the journal provides (a replay must never silently
+            truncate), and {!Journal_mismatch} when the scripted
+            choice is out of range or not runnable (the journal was
+            recorded against a different guest). *)
+    | Guided of (int list -> int)
+        (** Veil-Explore branch points: at each decision the chooser
+            receives the full runnable set (ascending VCPU ids,
+            non-empty) and returns the VCPU to step.  Returning an id
+            outside the set raises [Invalid_argument]. *)
+
+  exception Journal_exhausted of { journal : string; steps : int }
+  (** [steps] is the 1-based schedule step that found the journal
+      empty. *)
+
+  exception Journal_mismatch of { journal : string; step : int; chosen : int }
+  (** The journal prescribed [chosen] at 0-based [step] but that VCPU
+      does not exist or is not runnable. *)
 
   type sched
 
   val create : ?policy:policy -> nvcpus:int -> unit -> sched
-  (** Default policy is [Round_robin]. *)
+  (** Default policy is [Round_robin].  [Scripted]/[Guided] schedules
+      support at most 10 VCPUs (one journal character per step). *)
 
   val next : sched -> runnable:(int -> bool) -> int option
   (** Pick the next VCPU to step; [None] when no VCPU is runnable.

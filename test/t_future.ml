@@ -106,6 +106,50 @@ let test_migration_wrong_destination () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a third party imported state sealed for someone else"
 
+(* --- checkpoint/restore leaves audit + telemetry sane (ISSUE 9) --- *)
+
+let test_migration_slog_metrics_sane () =
+  let src = boot 64 and dst = boot 65 in
+  let rt = mk_rt src (Bytes.make 4096 'M') in
+  let sealed =
+    match
+      V.Migration.export src (Rt.enclave rt) ~dest_public:(V.Monitor.dh_public dst.V.Boot.mon)
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let owner = Kern.spawn dst.V.Boot.kernel in
+  let slog_before = V.Slog.count dst.V.Boot.slog in
+  (match
+     V.Migration.import dst ~owner ~source_public:(V.Monitor.dh_public src.V.Boot.mon) sealed
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let verify sys label =
+    Alcotest.(check bool) label true
+      (V.Slog.verify_chain
+         ~lines:(V.Slog.read_all sys.V.Boot.slog)
+         ~digest:(V.Slog.chain_digest sys.V.Boot.slog))
+  in
+  verify dst "slog chain verifies after restore";
+  verify src "source slog chain intact after export";
+  Alcotest.(check bool) "restore never rewrites audit history" true
+    (V.Slog.count dst.V.Boot.slog >= slog_before);
+  (* the telemetry registry keeps working post-resume *)
+  let m = dst.V.Boot.platform.Sevsnp.Platform.metrics in
+  Alcotest.(check bool) "metrics registry populated" true
+    (List.length (Obs.Metrics.names m) > 0);
+  let osc = Obs.Metrics.counter m "monitor.os_calls" in
+  let before = Obs.Metrics.value osc in
+  (match
+     V.Monitor.os_call dst.V.Boot.mon dst.V.Boot.vcpu
+       (V.Idcb.R_tpm_extend { pcr = 7; data = Bytes.of_string "post-resume" })
+   with
+  | V.Idcb.Resp_ok -> ()
+  | _ -> Alcotest.fail "post-resume os_call failed");
+  Alcotest.(check int) "os_call counter still counts" (before + 1) (Obs.Metrics.value osc);
+  verify dst "slog chain extends correctly after post-resume os_call"
+
 (* --- exitless syscalls --- *)
 
 let hotplug sys id =
@@ -223,6 +267,7 @@ let suite =
     ("migration roundtrip preserves state + measurement", `Quick, test_migration_roundtrip);
     ("migration rejects tampered state", `Quick, test_migration_tamper_rejected);
     ("migration sealed to one destination only", `Quick, test_migration_wrong_destination);
+    ("migration leaves slog chain + metrics sane", `Quick, test_migration_slog_metrics_sane);
     ("exitless: two syscalls, zero exits", `Quick, test_exitless_basic);
     ("exitless: ring capacity enforced", `Quick, test_exitless_ring_full);
     ("exitless: unsupported calls rejected", `Quick, test_exitless_rejects_unsupported);

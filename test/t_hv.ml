@@ -188,6 +188,79 @@ let test_vcpu_hotplug () =
           Alcotest.(check bool) "replica exists" true (Hv.vmsa_for sys.Veil_core.Boot.hv ~vcpu_id:1 ~vmpl <> None))
         [ T.Vmpl0; T.Vmpl1; T.Vmpl2; T.Vmpl3 ]
 
+(* --- Interleave: scripted replay + guided branch points (ISSUE 9) --- *)
+
+module I = Hv.Interleave
+
+let test_interleave_scripted_roundtrip () =
+  let runnable _ = true in
+  let a = I.create ~policy:(I.Seeded 7) ~nvcpus:3 () in
+  for _ = 1 to 12 do
+    ignore (I.next a ~runnable)
+  done;
+  let j = I.journal a in
+  let b = I.create ~policy:(I.Scripted j) ~nvcpus:3 () in
+  for _ = 1 to 12 do
+    ignore (I.next b ~runnable)
+  done;
+  Alcotest.(check string) "byte-for-byte replay" j (I.journal b)
+
+let test_interleave_short_journal_fails_loudly () =
+  let runnable _ = true in
+  let t = I.create ~policy:(I.Scripted "0120") ~nvcpus:3 () in
+  for _ = 1 to 4 do
+    ignore (I.next t ~runnable)
+  done;
+  (try
+     ignore (I.next t ~runnable);
+     Alcotest.fail "journal shorter than the schedule silently extended"
+   with I.Journal_exhausted { journal; steps } ->
+     Alcotest.(check string) "journal reported" "0120" journal;
+     Alcotest.(check int) "1-based failing step reported" 5 steps);
+  (* no runnable VCPU is an idle schedule, not an exhausted journal *)
+  let idle = I.create ~policy:(I.Scripted "") ~nvcpus:2 () in
+  Alcotest.(check bool) "idle -> None, no decision consumed" true
+    (I.next idle ~runnable:(fun _ -> false) = None)
+
+let test_interleave_journal_mismatch () =
+  let t = I.create ~policy:(I.Scripted "02") ~nvcpus:3 () in
+  ignore (I.next t ~runnable:(fun _ -> true));
+  (try
+     ignore (I.next t ~runnable:(fun v -> v <> 2));
+     Alcotest.fail "non-runnable scripted choice accepted"
+   with I.Journal_mismatch { step; chosen; _ } ->
+     Alcotest.(check int) "0-based step" 1 step;
+     Alcotest.(check int) "prescribed vcpu" 2 chosen);
+  let bad = I.create ~policy:(I.Scripted "7") ~nvcpus:2 () in
+  try
+    ignore (I.next bad ~runnable:(fun _ -> true));
+    Alcotest.fail "out-of-range scripted choice accepted"
+  with I.Journal_mismatch { chosen = 7; _ } -> ()
+
+let test_interleave_guided_branch_points () =
+  let seen = ref [] in
+  let last en = List.nth en (List.length en - 1) in
+  let t =
+    I.create
+      ~policy:
+        (I.Guided
+           (fun en ->
+             seen := en :: !seen;
+             last en))
+      ~nvcpus:3 ()
+  in
+  ignore (I.next t ~runnable:(fun _ -> true));
+  ignore (I.next t ~runnable:(fun v -> v = 0));
+  Alcotest.(check string) "guided choices journaled" "20" (I.journal t);
+  Alcotest.(check (list (list int))) "full runnable sets exposed, newest first"
+    [ [ 0 ]; [ 0; 1; 2 ] ]
+    !seen;
+  let rogue = I.create ~policy:(I.Guided (fun _ -> 9)) ~nvcpus:2 () in
+  try
+    ignore (I.next rogue ~runnable:(fun _ -> true));
+    Alcotest.fail "guide chose outside the runnable set"
+  with Invalid_argument _ -> ()
+
 let suite =
   [
     ("measured launch", `Quick, test_launch_measured);
@@ -205,4 +278,8 @@ let suite =
     ("host cannot read private memory", `Quick, test_host_cannot_read_private);
     ("io request round trip", `Quick, test_io_request);
     ("vcpu hotplug via delegation", `Quick, test_vcpu_hotplug);
+    ("interleave: scripted replay round-trips", `Quick, test_interleave_scripted_roundtrip);
+    ("interleave: short journal fails loudly", `Quick, test_interleave_short_journal_fails_loudly);
+    ("interleave: journal mismatch fails loudly", `Quick, test_interleave_journal_mismatch);
+    ("interleave: guided branch points", `Quick, test_interleave_guided_branch_points);
   ]

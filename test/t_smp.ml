@@ -139,6 +139,28 @@ let test_determinism () =
   let j3, _ = run_seeded 99 in
   Alcotest.(check bool) "different seed, different schedule" true (j1 <> j3)
 
+(* --- the schedule watchdog: Smp.run ?max_steps (ISSUE 9) --- *)
+
+let test_run_step_budget_watchdog () =
+  let sys = boot () in
+  let smp = Smp.bring_up sys ~nvcpus:2 () in
+  let spins = ref 0 in
+  Smp.spawn ~vcpu:0 smp ~name:"spinner" (fun () ->
+      while true do
+        incr spins;
+        Sched.yield ()
+      done);
+  (try
+     Smp.run ~max_steps:64 smp;
+     Alcotest.fail "runaway schedule not stopped"
+   with T.Cvm_halted msg ->
+     (* the "chaos watchdog" prefix is what maps this halt to the
+        Watchdog class in the shared chaos/explore classifier *)
+     Alcotest.(check bool) "classifiable as a watchdog trip" true
+       (String.length msg >= 14 && String.sub msg 0 14 = "chaos watchdog"));
+  Alcotest.(check bool) "stopped at the budget" true (!spins <= 64);
+  Alcotest.(check bool) "budget actually consumed" true (!spins > 32)
+
 (* --- distributed TLB shootdown: costs and staleness --- *)
 
 let test_tlb_shootdown () =
@@ -315,6 +337,7 @@ let suite =
     ("ap bring-up refusals", `Quick, test_bring_up_refusals);
     ("work stealing", `Quick, test_work_stealing);
     ("seeded interleave determinism", `Quick, test_determinism);
+    ("run ~max_steps trips the schedule watchdog", `Quick, test_run_step_budget_watchdog);
     ("distributed tlb shootdown", `Quick, test_tlb_shootdown);
     ("single-vcpu shootdown unchanged", `Quick, test_single_vcpu_shootdown_unchanged);
     ("ipi cost split", `Quick, test_ipi_charges);

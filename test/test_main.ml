@@ -23,4 +23,5 @@ let () =
       ("chaos", T_chaos.suite);
       ("ring", T_ring.suite);
       ("pulse", T_pulse.suite);
+      ("explore", T_explore.suite);
     ]
