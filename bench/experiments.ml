@@ -93,13 +93,21 @@ let escale_json (bench, nvcpus, ops, ops_per_s, serialized_pct, ringed, pulse_se
     (Obs.Metrics.json_escape bench) nvcpus ops ops_per_s serialized_pct ringed
     (if pulse_series = "" then "" else ",\"pulse\":" ^ pulse_series)
 
+(* E-fleet runs record their full fleet reports here (see [efleet]
+   below); declared alongside the other accumulators so [emit_json]
+   stays the single JSON emitter. *)
+let efleet_recorded : string list ref = ref []
+
 let emit_json () =
   if !json_mode then
-    Printf.printf "\n{\"seed\":%d,\"veil_bench\":[%s],\"veil_micro\":[%s],\"veil_escale\":[%s]}\n"
+    Printf.printf
+      "\n{\"seed\":%d,\"veil_bench\":[%s],\"veil_micro\":[%s],\"veil_escale\":[%s],\
+       \"veil_efleet\":[%s]}\n"
       !seed
       (String.concat "," (List.rev_map stats_json !recorded))
       (String.concat "," (List.rev_map micro_json !micro_recorded))
       (String.concat "," (List.rev_map escale_json !escale_recorded))
+      (String.concat "," (List.rev !efleet_recorded))
 
 (* --- E1: initialization time (§9.1) --- *)
 
@@ -576,3 +584,119 @@ let escale () =
   in
   run_table "syscall-bench" ~spawn_work:(Es.syscall_work ~ops_total:4096) ~ops:4096;
   run_table "http-server" ~spawn_work:(Es.http_work ~requests:256) ~ops:256
+
+(* --- E-fleet: multi-guest host under open-loop traffic (ISSUE 10) --- *)
+
+let record_efleet ~label ~util (r : Fleet.report) =
+  if !json_mode then
+    efleet_recorded :=
+      Printf.sprintf "{\"label\":\"%s\",\"guests\":%d,\"util\":%.2f,\"report\":%s}"
+        (Obs.Metrics.json_escape label)
+        (Array.length r.Fleet.r_guests)
+        util (Fleet.report_json r)
+      :: !efleet_recorded
+
+let efleet ?(scale = 1) () =
+  header "E-fleet  Multi-guest host: open-loop traffic against isolated Veil guests"
+    "fleet-provisioned CVMs; per-tenant isolation and tails must hold under shared-host load";
+  let base guests vcpus requests =
+    {
+      Fleet.default with
+      guests;
+      vcpus;
+      seed = !seed;
+      requests = requests * scale;
+      rings = !rings;
+      pulse = (if !pulse then Some pulse_interval else None);
+    }
+  in
+  Printf.printf "workload: http; seed %d; rings: %s; pulse: %s; requests scale x%d\n" !seed
+    (if !rings then "on" else "off")
+    (if !pulse then "on" else "off")
+    scale;
+  (* per-cell calibration (closed-loop probe fleet), then an open-loop
+     drive at 60% of measured capacity *)
+  let grid = [ (1, 4); (2, 4); (4, 4) ] in
+  Printf.printf
+    "\nopen loop at 60%% of calibrated capacity (merged-histogram sojourn, cycles):\n";
+  Printf.printf "  %6s %6s %10s %10s %10s %10s %10s %8s\n" "guests" "vcpus" "offered" "achieved"
+    "p50" "p99" "p999" "queue%";
+  List.iter
+    (fun (g, v) ->
+      let cfg = base g v (g * v * 24) in
+      let svc = Fleet.calibrate cfg in
+      let rate = Fleet.rate_for cfg ~utilization:0.6 ~mean_service_cycles:svc in
+      let r = Fleet.run { cfg with process = Fleet.Arrival.Poisson { rate } } in
+      record_efleet ~label:"open-0.6" ~util:0.6 r;
+      let queued, busy =
+        Array.fold_left
+          (fun (q, b) gr ->
+            ( q + gr.Fleet.gr_wait.Veil_core.Monitor.ws_queued_cycles,
+              b + gr.Fleet.gr_wait.Veil_core.Monitor.ws_busy_cycles ))
+          (0, 0) r.Fleet.r_guests
+      in
+      Printf.printf "  %6d %6d %10.0f %10.0f %10d %10d %10d %7.1f%%\n" g v r.Fleet.r_offered
+        r.Fleet.r_throughput r.Fleet.r_p50 r.Fleet.r_p99 r.Fleet.r_p999
+        (if busy = 0 then 0.0 else 100.0 *. float_of_int queued /. float_of_int busy))
+    grid;
+  (* coordinated omission: the same overloaded box measured both ways *)
+  let co_cfg = base 4 4 384 in
+  let closed = Fleet.run { co_cfg with mode = Fleet.Closed_loop } in
+  record_efleet ~label:"closed" ~util:0.0 closed;
+  let over_rate = Fleet.rate_for co_cfg ~utilization:1.5 ~mean_service_cycles:closed.Fleet.r_mean in
+  let open_over =
+    Fleet.run { co_cfg with process = Fleet.Arrival.Poisson { rate = over_rate } }
+  in
+  record_efleet ~label:"open-1.5" ~util:1.5 open_over;
+  Printf.printf "\ncoordinated omission (4 guests x 4 VCPUs, 1.5x overload):\n";
+  Printf.printf "  closed loop (what a waiting client reports): p99 %10d cycles, %8.0f rps\n"
+    closed.Fleet.r_p99 closed.Fleet.r_throughput;
+  Printf.printf "  open loop   (what arrivals actually suffer): p99 %10d cycles, %8.0f rps\n"
+    open_over.Fleet.r_p99 open_over.Fleet.r_throughput;
+  Printf.printf "  omitted tail: open-loop p99 is %.1fx the closed-loop p99\n"
+    (float_of_int open_over.Fleet.r_p99 /. float_of_int (max 1 closed.Fleet.r_p99));
+  (* bursty arrivals at the same mean rate *)
+  let rate06 = Fleet.rate_for co_cfg ~utilization:0.6 ~mean_service_cycles:closed.Fleet.r_mean in
+  let poisson =
+    Fleet.run { co_cfg with process = Fleet.Arrival.Poisson { rate = rate06 } }
+  in
+  let mmpp =
+    Fleet.run
+      {
+        co_cfg with
+        (* same mean as rate06: (0.5r*2ms + 2.25r*0.8ms)/2.8ms = r.
+           Dwells must be short against the run length or the process
+           never leaves its opening low state and "bursty" quietly
+           means "underloaded". *)
+        process =
+          Fleet.Arrival.Mmpp
+            { low = rate06 /. 2.0; high = rate06 *. 2.25; dwell_low = 0.002; dwell_high = 0.0008 };
+      }
+  in
+  record_efleet ~label:"mmpp-0.6" ~util:0.6 mmpp;
+  Printf.printf "\nburstiness at the same mean offered load (%.0f rps):\n" rate06;
+  Printf.printf "  poisson: p99 %10d  p999 %10d\n" poisson.Fleet.r_p99 poisson.Fleet.r_p999;
+  Printf.printf "  mmpp   : p99 %10d  p999 %10d  (bursts queue; the mean hides them)\n"
+    mmpp.Fleet.r_p99 mmpp.Fleet.r_p999;
+  (* per-guest seeds + replay identity on the headline cell *)
+  let headline = { co_cfg with process = Fleet.Arrival.Poisson { rate = rate06 } } in
+  let r1 = Fleet.run headline and r2 = Fleet.run headline in
+  if Fleet.report_json r1 <> Fleet.report_json r2 then
+    failwith "E-fleet: same config produced a different report";
+  Printf.printf "\nreplay: per-guest seeds [%s] reproduce the report byte-for-byte — OK\n"
+    (String.concat ";"
+       (Array.to_list
+          (Array.map (fun g -> string_of_int g.Fleet.gr_seed) r1.Fleet.r_guests)));
+  Printf.printf "merged-registry digest: %s\n" r1.Fleet.r_merged_digest;
+  (* fleet-scope attack oracle (E8/E9 extended): a compromised guest
+     kernel must neither reach VeilMon nor move a co-tenant *)
+  let oracle = Veil_attacks.Attacks.fleet_attacks () in
+  Printf.printf "\nfleet-scope attack oracle:\n";
+  List.iter
+    (fun atk ->
+      let o = Veil_attacks.Attacks.run atk in
+      Printf.printf "  %-40s %s\n" (Veil_attacks.Attacks.name atk)
+        (Veil_attacks.Attacks.outcome_to_string o);
+      if not (Veil_attacks.Attacks.is_blocked o) then
+        failwith ("E-fleet: attack not contained: " ^ Veil_attacks.Attacks.name atk))
+    oracle

@@ -5,7 +5,7 @@
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|escale|ablate|micro|all] [--json] [--seed N]";
+    "usage: bench/main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|escale|efleet|ablate|micro|all] [--json] [--seed N]";
   print_endline "       (no argument = all; scale via VEIL_BENCH_SCALE, default 1;";
   print_endline "        --json additionally prints every recorded run as one JSON document;";
   print_endline "        --seed sets the guest RNG seed for every run, default 97;";
@@ -56,6 +56,7 @@ let all () =
   Experiments.e10 ();
   Experiments.e11 ();
   Experiments.escale ();
+  Experiments.efleet ~scale ();
   Experiments.ablate ~scale ();
   Micro.run ()
 
@@ -73,6 +74,7 @@ let () =
   | "e10" -> Experiments.e10 ()
   | "e11" -> Experiments.e11 ()
   | "escale" -> Experiments.escale ()
+  | "efleet" -> Experiments.efleet ~scale ()
   | "ablate" -> Experiments.ablate ~scale ()
   | "micro" -> Micro.run ()
   | "all" -> all ()

@@ -1461,12 +1461,192 @@ let explore_cmd =
     Term.(const run $ seed_arg $ scenario_arg $ budget_arg $ max_steps_arg $ json_arg
           $ replay_arg $ out_arg $ expect_arg)
 
+(* --- fleet --- *)
+
+let fleet_cmd =
+  let guests_arg =
+    let doc = "Number of guest platform instances." in
+    Arg.(value & opt int 4 & info [ "g"; "guests" ] ~docv:"N" ~doc)
+  in
+  let vcpus_arg =
+    let doc = "Service lanes (VCPUs) per guest (1-8)." in
+    Arg.(value & opt int 4 & info [ "vcpus" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Total arrivals across the fleet." in
+    Arg.(value & opt int 400 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload served by every guest: http, memcached or sqldb." in
+    Arg.(value
+         & opt (enum [ ("http", Fleet.Http); ("memcached", Fleet.Memcached); ("sqldb", Fleet.Sqldb) ])
+             Fleet.Http
+         & info [ "w"; "workload" ] ~docv:"KIND" ~doc)
+  in
+  let arrivals_arg =
+    let doc = "Arrival process: poisson or mmpp (2-state bursty)." in
+    Arg.(value & opt (enum [ ("poisson", `Poisson); ("mmpp", `Mmpp) ]) `Poisson
+         & info [ "arrivals" ] ~docv:"PROC" ~doc)
+  in
+  let rate_arg =
+    let doc = "Offered load in requests/second (0 = calibrate to --util of fleet capacity)." in
+    Arg.(value & opt float 0.0 & info [ "rate" ] ~docv:"RPS" ~doc)
+  in
+  let util_arg =
+    let doc = "Target utilization when --rate is 0." in
+    Arg.(value & opt float 0.6 & info [ "util" ] ~docv:"U" ~doc)
+  in
+  let closed_arg =
+    let doc = "Closed-loop clients (coordinated-omission baseline) instead of open-loop." in
+    Arg.(value & flag & info [ "closed" ] ~doc)
+  in
+  let lb_arg =
+    let doc = "Load balancer policy: rr (deterministic round-robin) or least-loaded." in
+    Arg.(value & opt (enum [ ("rr", Fleet.Round_robin); ("least", Fleet.Least_loaded) ])
+             Fleet.Round_robin
+         & info [ "lb" ] ~docv:"POLICY" ~doc)
+  in
+  let rings_arg =
+    let doc = "Submit monitor calls through Veil-Ring batched rings." in
+    Arg.(value & flag & info [ "rings" ] ~doc)
+  in
+  let chaos_arg =
+    let doc = "Arm a per-guest recoverable fault plan derived from the guest seed." in
+    Arg.(value & flag & info [ "chaos" ] ~doc)
+  in
+  let pulse_arg =
+    let doc = "Arm Veil-Pulse sampling at this cycle interval." in
+    Arg.(value & opt (some int) None & info [ "pulse" ] ~docv:"CYCLES" ~doc)
+  in
+  let hostile_arg =
+    let doc =
+      "Run this guest's kernel compromised: it fires cross-tenant probes alongside its \
+       traffic (all must be blocked; co-tenants must not move)."
+    in
+    Arg.(value & opt (some int) None & info [ "hostile" ] ~docv:"GUEST" ~doc)
+  in
+  let replay_arg =
+    let doc = "Run the fleet twice and fail unless the reports are byte-identical." in
+    Arg.(value & flag & info [ "replay-check" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let fleet_out_arg =
+    let doc = "Write the report here (\"-\" = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run guests vcpus requests workload arrivals rate util closed lb rings chaos pulse hostile
+      replay json out seed =
+    if vcpus < 1 || vcpus > 8 then begin
+      Printf.eprintf "fleet: --vcpus must be in 1..8 (got %d)\n" vcpus;
+      exit 2
+    end;
+    if guests < 1 then begin
+      Printf.eprintf "fleet: --guests must be >= 1\n";
+      exit 2
+    end;
+    (match hostile with
+    | Some h when h < 0 || h >= guests ->
+        Printf.eprintf "fleet: --hostile %d is not a guest index (0..%d)\n" h (guests - 1);
+        exit 2
+    | _ -> ());
+    let base =
+      { Fleet.default with guests; vcpus; seed; requests; workload; lb; rings; chaos; pulse;
+        hostile; mode = (if closed then Fleet.Closed_loop else Fleet.Open_loop) }
+    in
+    let rate =
+      if rate > 0.0 then rate
+      else
+        let svc = Fleet.calibrate base in
+        Fleet.rate_for base ~utilization:util ~mean_service_cycles:svc
+    in
+    let process =
+      match arrivals with
+      | `Poisson -> Fleet.Arrival.Poisson { rate }
+      | `Mmpp ->
+          (* bursty but same mean rate: half-rate troughs (2 ms dwell)
+             with 2.25x bursts (0.8 ms dwell) *)
+          Fleet.Arrival.Mmpp
+            { low = rate /. 2.0; high = rate *. 2.25; dwell_low = 0.002; dwell_high = 0.0008 }
+    in
+    let cfg = { base with process } in
+    let r = Fleet.run cfg in
+    if replay then begin
+      let r2 = Fleet.run cfg in
+      if Fleet.report_json r <> Fleet.report_json r2 then begin
+        Printf.eprintf "fleet: REPLAY MISMATCH — identical config produced different reports\n";
+        exit 1
+      end
+    end;
+    let buf = Buffer.create 2048 in
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    if json then Buffer.add_string buf (Fleet.report_json r)
+    else begin
+      p "Veil-Fleet — %d guest(s) x %d VCPU(s), %s, %s loop, seed %d\n" guests vcpus
+        (Fleet.workload_name workload)
+        (if closed then "closed" else "open")
+        seed;
+      p "offered %.0f rps, achieved %.0f rps, wall %.3f s\n" r.Fleet.r_offered
+        r.Fleet.r_throughput
+        (Sevsnp.Cycles.seconds_of_cycles r.Fleet.r_wall_cycles);
+      p "fleet sojourn (merged histogram): p50 %d  p99 %d  p999 %d  mean %.0f cycles\n"
+        r.Fleet.r_p50 r.Fleet.r_p99 r.Fleet.r_p999 r.Fleet.r_mean;
+      p "merged-registry digest: %s\n" r.Fleet.r_merged_digest;
+      if replay then p "replay check: PASS (byte-identical report on re-run)\n";
+      p "\n  %-5s %8s %10s %10s %10s %10s %7s %6s %8s\n" "guest" "reqs" "p50" "p99" "p999"
+        "mean-svc" "queue%" "slog" "blocked";
+      Array.iter
+        (fun g ->
+          let w = g.Fleet.gr_wait in
+          let qpct =
+            if w.Veil_core.Monitor.ws_busy_cycles = 0 then 0.0
+            else
+              100.0
+              *. float_of_int w.Veil_core.Monitor.ws_queued_cycles
+              /. float_of_int w.Veil_core.Monitor.ws_busy_cycles
+          in
+          p "  %-5s %8d %10d %10d %10d %10.0f %6.1f%% %6s %8s\n"
+            (Printf.sprintf "%d%s" g.Fleet.gr_id (if g.Fleet.gr_hostile then "!" else ""))
+            g.Fleet.gr_requests g.Fleet.gr_p50 g.Fleet.gr_p99 g.Fleet.gr_p999 g.Fleet.gr_mean_svc
+            qpct
+            (if g.Fleet.gr_slog_ok then "ok" else "BROKEN")
+            (if g.Fleet.gr_hostile then string_of_int g.Fleet.gr_blocked else "-"))
+        r.Fleet.r_guests;
+      match hostile with
+      | None -> ()
+      | Some h ->
+          let atk = r.Fleet.r_guests.(h) in
+          p "\nhostile guest %d: %d/%d probes blocked (%s)\n" h atk.Fleet.gr_blocked
+            (atk.Fleet.gr_requests + 1)
+            (if atk.Fleet.gr_blocked = atk.Fleet.gr_requests + 1 then "all sanitized/faulted"
+             else "SOME PROBES LANDED")
+    end;
+    if out = "-" then print_string (Buffer.contents buf)
+    else begin
+      write_file_or_die out (Buffer.contents buf);
+      Printf.printf "wrote %s\n" out
+    end
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Boot N isolated Veil guests behind a simulated load balancer and drive them with \
+          open-loop traffic (Poisson or bursty MMPP arrivals, heavy-tailed request sizes); \
+          report per-guest and fleet-aggregate throughput and sojourn percentiles from merged \
+          histograms, with optional rings, pulse, per-guest chaos plans, a compromised-guest \
+          oracle and a replay-identity check.")
+    Term.(const run $ guests_arg $ vcpus_arg $ requests_arg $ workload_arg $ arrivals_arg
+          $ rate_arg $ util_arg $ closed_arg $ lb_arg $ rings_arg $ chaos_arg $ pulse_arg
+          $ hostile_arg $ replay_arg $ json_arg $ fleet_out_arg $ seed_arg)
+
 let main =
   let doc = "drive the Veil protected-services framework on the simulated SEV-SNP platform" in
   Cmd.group
     (Cmd.info "veilctl" ~version:Veil_core.Veil.version ~doc)
     [ boot_cmd; attacks_cmd; ltp_cmd; run_cmd; status_cmd; trace_cmd; profile_cmd; scope_cmd;
       report_cmd; metrics_cmd; migrate_cmd; sql_cmd; chaos_cmd; pulse_cmd; bench_cmd;
-      explore_cmd ]
+      explore_cmd; fleet_cmd ]
 
 let () = exit (Cmd.eval main)

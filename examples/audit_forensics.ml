@@ -73,12 +73,12 @@ let () =
   in
   (match Veil_core.Channel.connect user sys.Boot.mon sys.Boot.vcpu with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (Veil_core.Channel.error_to_string e));
   (match Veil_core.Channel.fetch_logs user sys.Boot.slog sys.Boot.vcpu with
   | Ok lines ->
       Printf.printf "   %d hash-chain-verified lines retrieved; the attack trail:\n" (List.length lines);
       List.iter
         (fun l -> if contains l "execve" || contains l "setuid" then Printf.printf "     %s\n" l)
         lines
-  | Error e -> failwith e);
+  | Error e -> failwith (Veil_core.Channel.error_to_string e));
   print_endline "\naudit_forensics complete: tampering was useless against the protected log."

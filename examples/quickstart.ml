@@ -28,7 +28,7 @@ let () =
   in
   (match Veil_core.Channel.connect user sys.Boot.mon sys.Boot.vcpu with
   | Ok () -> print_endline "   attestation passed: VMPL-0 report, expected launch measurement"
-  | Error e -> failwith e);
+  | Error e -> failwith (Veil_core.Channel.error_to_string e));
 
   step "3. The user's program is installed in an enclave (ioctl to /dev/veil)";
   let proc = Guest_kernel.Kernel.spawn sys.Boot.kernel in

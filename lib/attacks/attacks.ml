@@ -72,7 +72,7 @@ let atk_boot_image =
       in
       match Veil_core.Channel.connect user evil.Veil_core.Boot.mon evil.Veil_core.Boot.vcpu with
       | Ok () -> Breached "remote user accepted a tampered boot image"
-      | Error e -> Blocked_crypto e)
+      | Error e -> Blocked_crypto (Veil_core.Channel.error_to_string e))
 
 let atk_read_mon =
   mk "read-dom-mon" "compromised OS reads VeilMon heap memory (Table 1, domain enforcement)"
@@ -686,4 +686,69 @@ let atk_pulse_tamper =
 let validation_attacks () =
   [ atk_validation_pt; atk_validation_module; atk_stale_tlb; atk_pulse_tamper ]
 
-let all () = framework_attacks () @ enclave_attacks () @ validation_attacks ()
+(* Fleet scope (ISSUE 10): the Table-1 attacker — a fully compromised
+   guest kernel — rides inside one tenant of a multi-guest host.  The
+   oracle is strict byte-identity: co-tenants of the hostile guest must
+   report the *same* histograms, data digests and schedules as in a
+   benign run of the identical fleet, not merely "close" numbers. *)
+let atk_fleet_cross_tenant =
+  mk "fleet-compromised-guest-cross-tenant"
+    "one guest of a 3-guest fleet runs a compromised kernel firing malicious request pointers \
+     and a direct VeilMon read; every probe must be blocked and no co-tenant's histograms, \
+     data or schedule may move by a single byte"
+    (fun () ->
+      let cfg =
+        {
+          Fleet.default with
+          guests = 3;
+          vcpus = 2;
+          requests = 72;
+          seed = 1033;
+          lb = Fleet.Round_robin;
+          (* Arm explicit per-guest fault plans: they are derived from the
+             per-guest seed, so benign and hostile runs see identical fault
+             streams and the byte-identity oracle holds even when the chaos
+             driver has installed an ambient (stateful, shared) plan. *)
+          chaos = true;
+        }
+      in
+      let benign = Fleet.run cfg in
+      let hostile = Fleet.run { cfg with hostile = Some 0 } in
+      let victim i = (benign.Fleet.r_guests.(i), hostile.Fleet.r_guests.(i)) in
+      let attacker = hostile.Fleet.r_guests.(0) in
+      let drift = ref [] in
+      for i = 1 to cfg.guests - 1 do
+        let b, h = victim i in
+        if b.Fleet.gr_hist_digest <> h.Fleet.gr_hist_digest then
+          drift := Printf.sprintf "guest %d histograms moved" i :: !drift;
+        if b.Fleet.gr_data_digest <> h.Fleet.gr_data_digest then
+          drift := Printf.sprintf "guest %d data moved" i :: !drift;
+        if b.Fleet.gr_journal <> h.Fleet.gr_journal then
+          drift := Printf.sprintf "guest %d schedule moved" i :: !drift;
+        if b.Fleet.gr_log_lines <> h.Fleet.gr_log_lines then
+          drift := Printf.sprintf "guest %d protected log moved" i :: !drift;
+        if not h.Fleet.gr_slog_ok then
+          drift := Printf.sprintf "guest %d log chain broken" i :: !drift
+      done;
+      if !drift <> [] then
+        Breached ("cross-tenant interference: " ^ String.concat "; " !drift)
+      else if
+        (* one sanitizer probe per served request, plus the final
+           direct #NPF read *)
+        attacker.Fleet.gr_blocked <> attacker.Fleet.gr_requests + 1
+      then
+        Breached
+          (Printf.sprintf "hostile guest: only %d of %d probes blocked"
+             attacker.Fleet.gr_blocked
+             (attacker.Fleet.gr_requests + 1))
+      else
+        Blocked_sanitizer
+          (Printf.sprintf
+             "all %d malicious pointers rejected, VeilMon read faulted, %d co-tenants \
+              byte-identical to the benign run"
+             attacker.Fleet.gr_requests (cfg.guests - 1)))
+
+let fleet_attacks () = [ atk_fleet_cross_tenant ]
+
+let all () =
+  framework_attacks () @ enclave_attacks () @ validation_attacks () @ fleet_attacks ()

@@ -44,4 +44,11 @@ val validation_attacks : unit -> t list
     reorder attested Veil-Pulse telemetry in transit (the hash chain
     must pinpoint the manipulation). *)
 
+val fleet_attacks : unit -> t list
+(** Fleet scope: a compromised guest kernel inside one tenant of a
+    multi-guest host fires malicious request pointers and a direct
+    VeilMon read while serving traffic.  Every probe must be blocked,
+    and the co-tenants' reports must be byte-identical to a benign run
+    of the same fleet. *)
+
 val all : unit -> t list

@@ -1,5 +1,27 @@
 module C = Sevsnp.Cycles
 
+(* Typed channel errors.  The one the fleet teardown/reconnect path
+   cares about is [Disconnected]: the session is gone (never
+   established, explicitly dropped, or the guest restarted underneath
+   us) and the correct reaction is re-attest + retry — unlike an
+   attestation refusal or detected tampering, which retrying cannot
+   fix and must surface to the operator. *)
+type error =
+  | Disconnected  (* no live session: reconnect and retry *)
+  | Attestation of string  (* handshake refused: wrong platform/image *)
+  | Tampering of string  (* seal/MAC/hash-chain verification failed *)
+  | Rejected of string  (* remote refused the request *)
+
+let error_to_string = function
+  | Disconnected -> "channel not connected"
+  | Attestation m -> "attestation: " ^ m
+  | Tampering m -> "channel tampering detected: " ^ m
+  | Rejected m -> m
+
+let retryable = function
+  | Disconnected -> true
+  | Attestation _ | Tampering _ | Rejected _ -> false
+
 type t = {
   rng : Veil_crypto.Rng.t;
   platform_public : Veil_crypto.Bignum.t;
@@ -16,20 +38,24 @@ let create rng ~platform_public ~expected_launch =
 let connected t = t.session <> None
 let session_key t = t.session
 
+let disconnect t =
+  t.session <- None;
+  t.peer <- None
+
 let connect t mon vcpu =
   let nonce = Veil_crypto.Rng.bytes t.rng 16 in
   let report = Monitor.attestation_report mon vcpu ~nonce in
   if not (Sevsnp.Attestation.verify ~public_key:t.platform_public report) then
-    Error "attestation: bad platform signature"
+    Error (Attestation "bad platform signature")
   else if not (Sevsnp.Types.equal_vmpl report.Sevsnp.Attestation.requester_vmpl Sevsnp.Types.Vmpl0) then
-    Error "attestation: report was not requested from VMPL-0"
+    Error (Attestation "report was not requested from VMPL-0")
   else begin
     let launch_ok =
       match t.expected_launch with
       | None -> true
       | Some expected -> Bytes.equal expected report.Sevsnp.Attestation.launch_measurement
     in
-    if not launch_ok then Error "attestation: launch measurement mismatch (wrong boot image?)"
+    if not launch_ok then Error (Attestation "launch measurement mismatch (wrong boot image?)")
     else begin
       (* The report must bind the DH public value VeilMon presented. *)
       let buf = Buffer.create 64 in
@@ -37,7 +63,7 @@ let connect t mon vcpu =
       Buffer.add_bytes buf (Veil_crypto.Bignum.to_bytes_be (Monitor.dh_public mon));
       let expected_rd = Veil_crypto.Sha256.digest_string (Buffer.contents buf) in
       if not (Bytes.equal expected_rd report.Sevsnp.Attestation.report_data) then
-        Error "attestation: report data does not bind the DH key"
+        Error (Attestation "report data does not bind the DH key")
       else begin
         t.session <-
           Some
@@ -83,7 +109,7 @@ let open_ ~key ~seq ~dir msg =
     else Ok (Veil_crypto.Chacha20.encrypt ~key ~nonce:(nonce_of ~seq ~dir) ct)
   end
 
-let with_session t k = match t.session with None -> Error "channel not connected" | Some key -> k key
+let with_session t k = match t.session with None -> Error Disconnected | Some key -> k key
 
 let fetch_logs t slog vcpu =
   with_session t (fun key ->
@@ -92,7 +118,7 @@ let fetch_logs t slog vcpu =
       (* user -> monitor: sealed request *)
       let request = seal ~key ~seq ~dir:0 (Bytes.of_string "fetch-logs") in
       match open_ ~key ~seq ~dir:0 request with
-      | Error e -> Error ("monitor rejected request: " ^ e)
+      | Error e -> Error (Rejected ("monitor rejected request: " ^ e))
       | Ok _ ->
           (* monitor -> user: sealed log payload + chain digest *)
           let lines = Slog.read_all slog in
@@ -101,17 +127,17 @@ let fetch_logs t slog vcpu =
           Sevsnp.Vcpu.charge vcpu C.Crypto (C.cipher_cost (String.length payload) + C.hash_cost (String.length payload));
           let sealed = seal ~key ~seq ~dir:1 (Bytes.of_string payload) in
           (match open_ ~key ~seq ~dir:1 sealed with
-          | Error e -> Error ("channel tampering detected: " ^ e)
+          | Error e -> Error (Tampering e)
           | Ok plain ->
               let lines' =
                 match Bytes.to_string plain with "" -> [] | s -> String.split_on_char '\n' s
               in
               if not (Slog.verify_chain ~lines:lines' ~digest) then
-                Error "log hash chain verification failed"
+                Error (Tampering "log hash chain verification failed")
               else Ok lines'))
 
 let verify_enclave t enc ~enclave_id ~expected =
   with_session t (fun _key ->
       match Encsvc.find enc enclave_id with
-      | None -> Error "no such enclave"
+      | None -> Error (Rejected "no such enclave")
       | Some e -> Ok (Bytes.equal (Encsvc.measurement e) expected))

@@ -29,6 +29,6 @@ let connect_user ?(seed = 1) (sys : system) =
   in
   match Channel.connect user sys.Boot.mon sys.Boot.vcpu with
   | Ok () -> Ok user
-  | Error e -> Error e
+  | Error e -> Error (Channel.error_to_string e)
 
 let protected_logs (sys : system) = Slog.read_all sys.Boot.slog

@@ -1,0 +1,51 @@
+(** Open-loop traffic generation for Veil-Fleet.
+
+    An open-loop generator decides arrival instants *without looking
+    at the system*: requests keep coming while earlier ones queue,
+    which is what exposes tail latency a closed-loop client silently
+    omits (coordinated omission — the waiting client stops offering
+    load exactly when the system is slow).
+
+    The PRNG here is a family of its own, domain-separated from the
+    chaos / interleaver seeds ([Chaos.Fault_plan]'s xorshift over a
+    [0x9E3779B1]/[0x6A09E667] mix): fleet runs reuse one operator seed
+    for fault plans *and* traffic, and a shared stream would correlate
+    fault bursts with arrival bursts, biasing every tail percentile.
+    Arrival state derives through a SplitMix-style finalizer under an
+    explicit ["ARRIVAL"] domain tag, and outputs go through an
+    xorshift* multiplier the fault-plan generator does not have — the
+    two families never produce the same stream, even on adversarial
+    seeds (see the regression in [test/t_fleet.ml]). *)
+
+type process =
+  | Poisson of { rate : float }
+      (** Memoryless arrivals at [rate] requests/second (exponential
+          inter-arrival gaps). *)
+  | Mmpp of { low : float; high : float; dwell_low : float; dwell_high : float }
+      (** 2-state Markov-modulated Poisson process — bursty traffic.
+          Rates in requests/second; expected state dwell times in
+          seconds.  Starts in the low state. *)
+
+val mean_rate : process -> float
+(** Long-run offered load in requests/second (MMPP: dwell-weighted). *)
+
+type t
+
+val make : seed:int -> stream:int -> process -> t
+(** [stream] splits one seed into independent generators (the fleet
+    uses stream 0 for arrivals and stream [guest_id + 1] for each
+    guest's request-content draws). *)
+
+val next_gap : t -> int
+(** Cycles until the next arrival (>= 0). *)
+
+val pareto_size : t -> xm:int -> alpha:float -> cap:int -> int
+(** Heavy-tailed request size: truncated Pareto on [[xm, cap]] with
+    shape [alpha] (smaller = heavier tail). *)
+
+val uniform : t -> int -> int
+(** Uniform draw in [[0, n-1]]; 0 when [n <= 0]. *)
+
+val draw : t -> int
+(** One raw 63-bit output (exposed for the domain-separation
+    regression tests). *)

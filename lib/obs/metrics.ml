@@ -263,6 +263,46 @@ let diff ~prev ~cur ~into =
         into.(off + nbuckets + 3) <- cdata.(off + nbuckets + 3)
   done
 
+(* Cross-instance aggregation (Veil-Fleet).  Every guest owns its own
+   registry, so fleet-level percentiles need the guests' histograms
+   summed bucket-by-bucket.  This is *not* [diff]: the sources are
+   absolute per-instance totals, not successive samples of one stream,
+   so Prometheus counter-reset semantics (cur < prev → delta = cur)
+   must never be applied here — two guests with different reset epochs
+   would silently drop one guest's traffic.  Values add; min/max
+   widen. *)
+let merge_into ~into src =
+  for i = 0 to src.nordered - 1 do
+    let name, m = src.order.(i) in
+    match m with
+    | Counter c -> add (counter into name) c.c
+    | Gauge g ->
+        let dst = gauge into name in
+        set dst (gauge_value dst + g.g)
+    | Histogram h ->
+        let dst = histogram into name in
+        if h.n > 0 then begin
+          for b = 0 to nbuckets - 1 do
+            dst.buckets.(b) <- dst.buckets.(b) + h.buckets.(b)
+          done;
+          if dst.n = 0 then begin
+            dst.mn <- h.mn;
+            dst.mx <- h.mx
+          end
+          else begin
+            if h.mn < dst.mn then dst.mn <- h.mn;
+            if h.mx > dst.mx then dst.mx <- h.mx
+          end;
+          dst.n <- dst.n + h.n;
+          dst.sum <- dst.sum + h.sum
+        end
+  done
+
+let merge srcs =
+  let into = create () in
+  List.iter (fun src -> merge_into ~into src) srcs;
+  into
+
 let dump t =
   refresh t;
   let buf = Buffer.create 256 in

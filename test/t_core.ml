@@ -352,11 +352,11 @@ let test_channel_attest_and_logs () =
   Alcotest.(check bool) "not yet connected" false (V.Channel.connected user);
   (match V.Channel.connect user sys.V.Boot.mon sys.V.Boot.vcpu with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (V.Channel.error_to_string e));
   Alcotest.(check bool) "session established" true (V.Channel.connected user);
   match V.Channel.fetch_logs user sys.V.Boot.slog sys.V.Boot.vcpu with
   | Ok lines -> Alcotest.(check int) "logs retrieved over channel" 4 (List.length lines)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (V.Channel.error_to_string e)
 
 let test_channel_rejects_wrong_key () =
   let sys = boot () in
@@ -366,6 +366,60 @@ let test_channel_rejects_wrong_key () =
   match V.Channel.connect user sys.V.Boot.mon sys.V.Boot.vcpu with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "accepted a report signed by the wrong platform"
+
+(* The typed-error satellite: a user whose guest restarted must be
+   able to *classify* the failure — [Disconnected] is retryable
+   (re-attest and go again), a digest mismatch is tampering and must
+   not be retried.  The old bare-string errors made this decision
+   impossible without string matching. *)
+let test_channel_reconnect_after_restart () =
+  let boot_seeded seed = V.Boot.boot_veil ~npages:1024 ~seed () in
+  let sys = boot_seeded 7 in
+  run_audited_syscalls sys 3;
+  let user =
+    V.Channel.create (Veil_crypto.Rng.create 2)
+      ~platform_public:(Sevsnp.Attestation.platform_public_key sys.V.Boot.platform.P.attestation)
+      ~expected_launch:(Sevsnp.Attestation.launch_measurement sys.V.Boot.platform.P.attestation)
+  in
+  (* no session yet: typed, retryable *)
+  (match V.Channel.fetch_logs user sys.V.Boot.slog sys.V.Boot.vcpu with
+  | Error e ->
+      Alcotest.(check bool) "disconnected is retryable" true (V.Channel.retryable e);
+      Alcotest.(check bool) "it is Disconnected" true (e = V.Channel.Disconnected)
+  | Ok _ -> Alcotest.fail "fetch over a never-connected channel must fail");
+  (match V.Channel.connect user sys.V.Boot.mon sys.V.Boot.vcpu with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (V.Channel.error_to_string e));
+  (match V.Channel.fetch_logs user sys.V.Boot.slog sys.V.Boot.vcpu with
+  | Ok lines -> Alcotest.(check int) "logs before restart" 3 (List.length lines)
+  | Error e -> Alcotest.fail (V.Channel.error_to_string e));
+  (* guest restarts: same image, same seed — a fresh platform the old
+     session keys are useless against *)
+  let sys2 = boot_seeded 7 in
+  run_audited_syscalls sys2 5;
+  V.Channel.disconnect user;
+  (match V.Channel.fetch_logs user sys2.V.Boot.slog sys2.V.Boot.vcpu with
+  | Error e -> Alcotest.(check bool) "stale session is retryable" true (V.Channel.retryable e)
+  | Ok _ -> Alcotest.fail "fetch over a dropped session must fail");
+  (* the retry loop a client writes against the typed error *)
+  (match V.Channel.connect user sys2.V.Boot.mon sys2.V.Boot.vcpu with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("reconnect: " ^ V.Channel.error_to_string e));
+  (match V.Channel.fetch_logs user sys2.V.Boot.slog sys2.V.Boot.vcpu with
+  | Ok lines -> Alcotest.(check int) "logs after reconnect" 5 (List.length lines)
+  | Error e -> Alcotest.fail (V.Channel.error_to_string e));
+  (* an imposter platform (report signed by the wrong key) is not a
+     retry candidate: attestation error, never retryable *)
+  let imposter = boot_seeded 8 in
+  let strict =
+    V.Channel.create (Veil_crypto.Rng.create 3)
+      ~platform_public:(Sevsnp.Attestation.platform_public_key sys.V.Boot.platform.P.attestation)
+      ~expected_launch:None
+  in
+  match V.Channel.connect strict imposter.V.Boot.mon imposter.V.Boot.vcpu with
+  | Error e ->
+      Alcotest.(check bool) "attestation failure is not retryable" false (V.Channel.retryable e)
+  | Ok () -> Alcotest.fail "connected to a platform signing with the wrong key"
 
 let test_sealed_messages () =
   let key = Bytes.make 32 'k' in
@@ -409,5 +463,6 @@ let suite =
     ("enclave restore integrity check", `Quick, test_enclave_restore_wrong_page);
     ("channel attestation + log fetch", `Quick, test_channel_attest_and_logs);
     ("channel rejects wrong platform key", `Quick, test_channel_rejects_wrong_key);
+    ("channel reconnects after guest restart", `Quick, test_channel_reconnect_after_restart);
     ("sealed message envelope", `Quick, test_sealed_messages);
   ]

@@ -24,4 +24,5 @@ let () =
       ("ring", T_ring.suite);
       ("pulse", T_pulse.suite);
       ("explore", T_explore.suite);
+      ("fleet", T_fleet.suite);
     ]
